@@ -1,0 +1,393 @@
+package livenet
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus the DESIGN.md ablations and transport
+// micro-benchmarks. The table/figure benchmarks share a single
+// quick-scale evaluation pair (computed once) and report the headline
+// numbers as custom metrics, so `go test -bench=.` regenerates the whole
+// evaluation's shape in one run. cmd/livenet-bench runs the full-scale
+// (20-day) version and writes EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"livenet/internal/core"
+	"livenet/internal/eval"
+	"livenet/internal/gcc"
+	"livenet/internal/graph"
+	"livenet/internal/ksp"
+	"livenet/internal/media"
+	"livenet/internal/netem"
+	"livenet/internal/rtp"
+	"livenet/internal/sim"
+	"livenet/internal/wire"
+)
+
+var (
+	benchOnce sync.Once
+	benchRes  *eval.Results
+)
+
+// benchResults runs the shared quick evaluation pair once.
+func benchResults(b *testing.B) *eval.Results {
+	b.Helper()
+	benchOnce.Do(func() { benchRes = eval.Run(eval.Quick()) })
+	return benchRes
+}
+
+// --- Tables and figures (§6) ---
+
+func BenchmarkTable1Overall(b *testing.B) {
+	r := benchResults(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = eval.Table1(r)
+	}
+	_ = out
+	b.ReportMetric(r.LN.CDNDelayMs.Median(), "cdn_ms_livenet")
+	b.ReportMetric(r.HR.CDNDelayMs.Median(), "cdn_ms_hier")
+	b.ReportMetric(r.LN.Streaming.Median(), "stream_ms_livenet")
+	b.ReportMetric(r.HR.Streaming.Median(), "stream_ms_hier")
+	b.ReportMetric(r.LN.ZeroStall.Percent(), "zerostall_pct_livenet")
+	b.ReportMetric(r.HR.ZeroStall.Percent(), "zerostall_pct_hier")
+	b.ReportMetric(r.LN.FastStart.Percent(), "faststart_pct_livenet")
+	b.ReportMetric(r.HR.FastStart.Percent(), "faststart_pct_hier")
+}
+
+func BenchmarkFig2PathDelayTimeSeries(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig2(r)
+	}
+	b.ReportMetric(r.LN.CDNDelayMs.Median(), "livenet_ms")
+	b.ReportMetric(r.HR.CDNDelayMs.Median(), "hier_ms")
+}
+
+func BenchmarkFig8aStreamingDelayCDF(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig8a(r)
+	}
+	b.ReportMetric(r.HR.Streaming.Percentile(60)-r.LN.Streaming.Percentile(60), "gain_ms_p60")
+}
+
+func BenchmarkFig8bStallHistogram(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig8b(r)
+	}
+	b.ReportMetric(100-r.LN.ZeroStall.Percent(), "stalled_pct_livenet")
+	b.ReportMetric(100-r.HR.ZeroStall.Percent(), "stalled_pct_hier")
+}
+
+func BenchmarkFig8cFastStartupDaily(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig8c(r)
+	}
+	b.ReportMetric(r.LN.FastStart.Percent(), "livenet_pct")
+	b.ReportMetric(r.HR.FastStart.Percent(), "hier_pct")
+}
+
+func BenchmarkFig9StartupVsDelay(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig9(r)
+	}
+	if bucket := r.LN.StartupByDelay["(1000,1500]"]; bucket != nil && bucket.Total > 0 {
+		b.ReportMetric(bucket.Percent(), "faststart_pct_1000_1500ms")
+	}
+}
+
+func BenchmarkFig10aBrainResponse(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig10a(r)
+	}
+	all := 0.0
+	n := 0
+	for _, h := range r.LN.RespByHour.Buckets() {
+		all += r.LN.RespByHour.Bucket(h).Median()
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(all/float64(n), "median_resp_ms")
+	}
+}
+
+func BenchmarkFig10bLocalHitRatio(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig10b(r)
+	}
+	hits, total := 0, 0
+	for _, h := range r.LN.HitByHour {
+		hits += h.Hits
+		total += h.Total
+	}
+	if total > 0 {
+		b.ReportMetric(100*float64(hits)/float64(total), "hit_pct")
+	}
+}
+
+func BenchmarkFig10cFirstPacketDelay(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig10c(r)
+	}
+	sum, n := 0.0, 0
+	for _, h := range r.LN.FirstPktByHour.Buckets() {
+		sum += r.LN.FirstPktByHour.Bucket(h).Mean()
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), "avg_first_pkt_ms")
+	}
+}
+
+func BenchmarkTable2PathLength(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Table2(r)
+	}
+	total := 0
+	for _, c := range r.LN.LenCounts {
+		total += c
+	}
+	b.ReportMetric(100*float64(r.LN.LenCounts[2])/float64(total), "len2_pct")
+}
+
+func BenchmarkFig11DelayVsLength(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig11(r)
+	}
+	if s := r.LN.DelayByLen[2]; s != nil {
+		b.ReportMetric(s.Median(), "len2_median_ms")
+	}
+}
+
+func BenchmarkFig12IntraInter(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig12(r)
+	}
+	b.ReportMetric(r.LN.IntraDelay.Median(), "livenet_intra_ms")
+	b.ReportMetric(r.LN.InterDelay.Median(), "livenet_inter_ms")
+}
+
+func BenchmarkFig13LossDiurnal(b *testing.B) {
+	r := benchResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig13(r)
+	}
+	peak := 0.0
+	for _, h := range r.LN.LossByHour.Buckets() {
+		if v := r.LN.LossByHour.Bucket(h).Mean(); v > peak {
+			peak = v
+		}
+	}
+	b.ReportMetric(peak, "peak_loss_pct")
+}
+
+// benchFest runs the festival evaluation once (needs 13 days).
+var (
+	festOnce sync.Once
+	festRes  *eval.Results
+)
+
+func festResults(b *testing.B) *eval.Results {
+	b.Helper()
+	festOnce.Do(func() {
+		o := eval.Quick()
+		o.Days = 13
+		o.Double12 = true
+		festRes = eval.Run(o)
+	})
+	return festRes
+}
+
+func BenchmarkFig14PeakThroughput(b *testing.B) {
+	r := festResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Fig14(r)
+	}
+	normal := r.LN.ByDay[9].PeakConcurrency
+	fest := r.LN.ByDay[10].PeakConcurrency
+	if normal > 0 {
+		b.ReportMetric(float64(fest)/float64(normal), "festival_peak_ratio")
+	}
+}
+
+func BenchmarkTable3Double12(b *testing.B) {
+	r := festResults(b)
+	for i := 0; i < b.N; i++ {
+		_ = eval.Table3(r)
+	}
+	if ds := r.LN.ByDay[10]; ds != nil {
+		b.ReportMetric(ds.ZeroStall.Percent(), "festival_zerostall_pct")
+		b.ReportMetric(ds.FastStart.Percent(), "festival_faststart_pct")
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+func BenchmarkAblationFastSlowPath(b *testing.B) {
+	var r eval.FastSlowResult
+	for i := 0; i < b.N; i++ {
+		r = eval.AblationFastSlow(1, 0.01)
+	}
+	b.ReportMetric(r.FastSlowMedianMs, "fastslow_p50_ms")
+	b.ReportMetric(r.StoreFwdMedianMs, "storefwd_p50_ms")
+}
+
+func BenchmarkAblationLinkWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = eval.AblationLinkWeights(3)
+	}
+}
+
+func BenchmarkAblationMacroFeatures(b *testing.B) {
+	o := eval.Quick()
+	o.Days = 1
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = eval.MacroAblations(o)
+	}
+	_ = out
+}
+
+// --- Transport micro-benchmarks ---
+
+func BenchmarkRTPMarshal(b *testing.B) {
+	p := rtp.Packet{
+		PayloadType: rtp.PayloadVideo, SequenceNumber: 1, SSRC: 7,
+		HasDelayExt: true, DelayAccum10us: 100,
+		Payload: make([]byte, 1187),
+	}
+	buf := make([]byte, 0, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Marshal(buf[:0])
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkRTPUnmarshal(b *testing.B) {
+	p := rtp.Packet{
+		PayloadType: rtp.PayloadVideo, HasDelayExt: true,
+		Payload: make([]byte, 1187),
+	}
+	buf := p.Marshal(nil)
+	var q rtp.Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkPatchDelayExt(b *testing.B) {
+	p := rtp.Packet{HasDelayExt: true, Payload: make([]byte, 1187)}
+	buf := p.Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rtp.PatchDelayExt(buf, 10)
+	}
+}
+
+func BenchmarkPacerDrain(b *testing.B) {
+	p := gcc.NewPacer(10e6)
+	now := time.Duration(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Push(gcc.Item{Class: gcc.ClassVideo, Size: 1200})
+		now += time.Millisecond
+		p.Drain(now, func(gcc.Item) {})
+	}
+}
+
+func BenchmarkYenKSPFullMesh(b *testing.B) {
+	const n = 48
+	g := graph.New(n)
+	rng := sim.NewSource(1).Stream("bench")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.SetLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ksp.Yen(n, i%n, (i+7)%n, 3, g.Neighbors, g.Weight)
+	}
+}
+
+func BenchmarkDenseMeshRouting(b *testing.B) {
+	cfg := core.MacroConfig{Seed: 1, Days: 1, Sites: 48, System: core.SystemLiveNet}
+	cfg.Workload.PeakViewsPerSec = 0.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunMacro(cfg)
+	}
+}
+
+func BenchmarkNetemThroughput(b *testing.B) {
+	loop := sim.NewLoop(1)
+	net := netem.New(loop, loop.RNG("n"))
+	net.AddLink(0, 1, netem.LinkConfig{RTT: 10 * time.Millisecond, BandwidthBps: 1e9})
+	net.Handle(1, func(int, []byte) {})
+	data := make([]byte, 1200)
+	b.ReportAllocs()
+	b.SetBytes(1200)
+	for i := 0; i < b.N; i++ {
+		net.Send(0, 1, data)
+		if i%1024 == 0 {
+			loop.RunUntil(loop.Now() + time.Second)
+		}
+	}
+}
+
+func BenchmarkPacketizeGoP(b *testing.B) {
+	enc := media.NewEncoder(media.DefaultEncoderConfig(2_500_000), sim.NewSource(1).Stream("m"))
+	pz := media.NewPacketizer(1)
+	out := make([]rtp.Packet, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out = pz.Packetize(enc.NextFrame(), 100, out[:0])
+	}
+	_ = out
+}
+
+func BenchmarkClusterSecondOfVideo(b *testing.B) {
+	// End-to-end packet-level cost of one second of streaming for one
+	// broadcaster and one viewer.
+	c := core.NewCluster(core.ClusterConfig{Seed: 1, Sites: 8})
+	defer c.Close()
+	bc := c.NewBroadcasterAt(31.2, 121.5, 100, media.DefaultRenditions[2:])
+	bc.Start()
+	c.Run(time.Second)
+	v := c.NewViewerAt(39.9, 116.4, bc.StreamID(0))
+	_ = v
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(time.Second)
+	}
+}
+
+func BenchmarkWirePathRequest(b *testing.B) {
+	req := wire.PathRequest{StreamID: 7, Consumer: 3, Token: 99}
+	var got wire.PathRequest
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := req.Marshal(nil)
+		if err := got.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

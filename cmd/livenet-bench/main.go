@@ -1,0 +1,103 @@
+// livenet-bench runs the full evaluation harness: every table and figure
+// of the paper's §6 plus the DESIGN.md ablations, printed in the same
+// row/series structure the paper reports. Use -quick for a scaled-down
+// run; the default reproduces the 20-day, 64-site configuration.
+//
+//	livenet-bench            # full 20-day evaluation (minutes)
+//	livenet-bench -quick     # 2-day smoke run (seconds)
+//	livenet-bench -out FILE  # additionally write the report to FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"livenet/internal/eval"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the scaled-down configuration")
+	days := flag.Int("days", 0, "override the number of simulated days")
+	sites := flag.Int("sites", 0, "override the number of CDN sites")
+	seed := flag.Int64("seed", 42, "simulation seed")
+	outFile := flag.String("out", "", "also write the report to this file")
+	skipAblations := flag.Bool("no-ablations", false, "skip the ablation studies")
+	flag.Parse()
+
+	o := eval.Full()
+	if *quick {
+		o = eval.Quick()
+	}
+	if *days > 0 {
+		o.Days = *days
+	}
+	if *sites > 0 {
+		o.Sites = *sites
+	}
+	o.Seed = *seed
+
+	var out io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "LiveNet evaluation — %d days, %d sites, peak %.1f views/s, seed %d\n",
+		o.Days, o.Sites, o.PeakViewsPerSec, o.Seed)
+	start := time.Now()
+	r := eval.Run(o)
+	fmt.Fprintf(out, "simulated %d views per system in %v\n\n", r.LN.Views, time.Since(start).Round(time.Millisecond))
+
+	sections := []string{
+		eval.Table1(r),
+		eval.Fig2(r),
+		eval.Fig8a(r),
+		eval.Fig8b(r),
+		eval.Fig8c(r),
+		eval.Fig9(r),
+		eval.Fig10a(r),
+		eval.Fig10b(r),
+		eval.Fig10c(r),
+		eval.Table2(r),
+		eval.Fig11(r),
+		eval.Fig12(r),
+		eval.Fig13(r),
+	}
+	// Figure 14 / Table 3 need the festival window; the full run includes
+	// it, a short run may not reach day 13.
+	if o.Days >= 13 && o.Double12 {
+		sections = append(sections, eval.Fig14(r), eval.Table3(r))
+	} else {
+		sections = append(sections, "Figure 14 / Table 3 skipped: run needs >= 13 days with -quick off\n")
+	}
+	for _, s := range sections {
+		fmt.Fprintln(out, s)
+	}
+
+	if !*skipAblations {
+		fmt.Fprintln(out, strings.Repeat("-", 60))
+		fmt.Fprintln(out, eval.FastSlowTable(o.Seed, []float64{0, 0.005, 0.01, 0.02}))
+		fmt.Fprintln(out, eval.AblationLinkWeights(o.Seed))
+		ablOpt := o
+		ablOpt.Days = min(o.Days, 2)
+		ablOpt.Double12 = false
+		fmt.Fprintln(out, eval.MacroAblations(ablOpt))
+	}
+	fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+// livenet-brain runs a standalone Streaming Brain over UDP: it serves
+// path lookups (Path Decision), stream registrations (Stream Management)
+// and link reports (Global Discovery) for overlay nodes started with
+// cmd/livenet-node, on this or other machines.
+//
+//	livenet-brain -listen 0.0.0.0:7000 -nodes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"livenet/internal/brain"
+	"livenet/internal/sim"
+	"livenet/internal/udprun"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "UDP listen address")
+	n := flag.Int("nodes", 8, "number of overlay node IDs (0..n-1)")
+	lastResort := flag.String("last-resort", "", "comma-separated reserved relay node IDs")
+	epoch := flag.Duration("epoch", 10*time.Minute, "Global Routing recomputation period")
+	flag.Parse()
+
+	var lr []int
+	if *lastResort != "" {
+		for _, s := range strings.Split(*lastResort, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livenet-brain: bad -last-resort:", err)
+				os.Exit(1)
+			}
+			lr = append(lr, id)
+		}
+	}
+
+	b := brain.New(brain.Config{
+		N:          *n,
+		LastResort: lr,
+		RouteEpoch: *epoch,
+		Clock:      sim.NewRealClock(),
+	})
+	defer b.Close()
+	srv, err := udprun.NewBrainServer(b, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livenet-brain:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("Streaming Brain: %d nodes, listening on %s (epoch %v)\n", *n, srv.Addr(), *epoch)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return
+		case <-tick.C:
+			m := b.Metrics()
+			fmt.Printf("lookups=%d pibHits=%d pibMisses=%d lastResort=%d alarms=%d streams=%d\n",
+				m.Lookups, m.PIBHits, m.PIBMisses, m.LastResortUsed, m.OverloadAlarms, m.StreamsActive)
+		}
+	}
+}

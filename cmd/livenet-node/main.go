@@ -1,0 +1,134 @@
+// livenet-node runs one LiveNet overlay node over UDP. It serves all
+// three flat-CDN roles at once: producer (broadcasters upload to it),
+// relay (other nodes subscribe through it) and consumer (viewers attach
+// to it). Paths come from a Streaming Brain started with
+// cmd/livenet-brain.
+//
+//	livenet-node -id 0 -listen 0.0.0.0:7100 -brain 10.0.0.1:7000 \
+//	    -peers "1=10.0.0.2:7100,2=10.0.0.3:7100"
+//
+// Clients (broadcasters/viewers) are auto-registered from their first
+// datagram; peers only need static entries for node→node first contact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"livenet/internal/node"
+	"livenet/internal/sim"
+	"livenet/internal/udprun"
+	"livenet/internal/wire"
+)
+
+func main() {
+	id := flag.Int("id", 0, "overlay node ID")
+	listen := flag.String("listen", "127.0.0.1:0", "UDP listen address")
+	brainAddr := flag.String("brain", "127.0.0.1:7000", "Streaming Brain address")
+	peers := flag.String("peers", "", "comma-separated id=addr overlay peers")
+	clientIDBase := flag.Int("client-id-base", 1000, "IDs >= this are clients, below are overlay nodes")
+	report := flag.Duration("report", time.Minute, "Global Discovery report interval")
+	flag.Parse()
+
+	ep, err := udprun.Listen(*id, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livenet-node:", err)
+		os.Exit(1)
+	}
+	defer ep.Close()
+
+	cli, err := udprun.NewBrainClient(ep, *brainAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "livenet-node:", err)
+		os.Exit(1)
+	}
+
+	peerIDs := []int{}
+	if *peers != "" {
+		for _, kv := range strings.Split(*peers, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "livenet-node: bad peer %q\n", kv)
+				os.Exit(1)
+			}
+			pid, err := strconv.Atoi(parts[0])
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livenet-node:", err)
+				os.Exit(1)
+			}
+			if err := ep.AddPeer(pid, parts[1]); err != nil {
+				fmt.Fprintln(os.Stderr, "livenet-node:", err)
+				os.Exit(1)
+			}
+			peerIDs = append(peerIDs, pid)
+		}
+	}
+
+	clock := sim.NewRealClock()
+	nd := node.New(node.Config{
+		ID:          *id,
+		Clock:       clock,
+		Net:         ep,
+		PathLookup:  cli.Lookup,
+		OnNewStream: func(sid uint32) { cli.RegisterStream(sid, *id) },
+		IsOverlay:   func(peer int) bool { return peer < *clientIDBase },
+	})
+	defer nd.Close()
+	prober := udprun.NewProber(ep)
+	ep.Serve(prober.WrapHandler(cli.WrapHandler(nd.OnMessage)))
+	fmt.Printf("node %d listening on %s (brain %s, %d static peers)\n",
+		*id, ep.Addr(), *brainAddr, len(peerIDs))
+
+	// Periodic Global Discovery reports: each peer link's RTT is measured
+	// with the UDP ping utility (§4.2: a node that has not transmitted
+	// recently actively probes the link).
+	go func() {
+		for range time.Tick(*report) {
+			for _, pid := range peerIDs {
+				pid := pid
+				prober.Ping(pid, 2*time.Second, func(rtt time.Duration, ok bool) {
+					if !ok {
+						return // unreachable peer: report nothing this round
+					}
+					cli.Report(wire.NodeReport{
+						From: uint16(*id), To: uint16(pid),
+						RTTMicros:   uint32(rtt / time.Microsecond),
+						LossPPM:     0,
+						UtilPercent: 1000,
+						NodeUtil:    uint16(100 * min(99, nd.StreamCount())),
+					})
+				})
+			}
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(30 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return
+		case <-tick.C:
+			m := nd.Metrics()
+			fmt.Printf("rx=%d fwd=%d nacksIn=%d rtx=%d localHits=%d lookups=%d streams=%d\n",
+				m.PacketsReceived, m.PacketsForwarded, m.NACKsReceived,
+				m.Retransmits, m.LocalHits, m.PathLookups, nd.StreamCount())
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

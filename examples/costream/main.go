@@ -1,0 +1,62 @@
+// Costream demonstrates seamless stream switching (§5.2): two shops
+// co-live-stream, the solo broadcast ends and a co-broadcast stream
+// starts, and the consumer node resubscribes on the viewer's behalf —
+// flipping forwarding only once a complete GoP of the new stream is
+// cached, so the viewer sees no stall across the switch.
+//
+//	go run ./examples/costream
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"livenet"
+)
+
+func main() {
+	cluster := livenet.NewCluster(livenet.ClusterConfig{Seed: 3, Sites: 12})
+	defer cluster.Close()
+
+	// Shop A broadcasts solo from Hangzhou.
+	solo := cluster.NewBroadcasterAt(30.3, 120.2, 100, livenet.DefaultRenditions[2:])
+	solo.Start()
+	cluster.Run(2 * time.Second)
+
+	// A viewer in Beijing watches the solo stream.
+	viewer := cluster.NewViewerAt(39.9, 116.4, solo.StreamID(0))
+	cluster.Run(4 * time.Second)
+	before := viewer.Stats()
+	fmt.Printf("watching solo stream %d: frames=%d stalls=%d\n",
+		solo.StreamID(0), before.FramesPlayed, before.Stalls)
+
+	// Shop B joins: co-streaming starts as a NEW stream (the solo stream
+	// ceases, §5.2). The co-broadcast is produced near shop A.
+	co := cluster.NewBroadcasterAt(30.3, 120.2, 200, livenet.DefaultRenditions[2:])
+	co.Start()
+	cluster.Run(time.Second) // let the co-stream's first GoP form
+
+	// The consumer node switches the viewer on its behalf — the client
+	// never resubscribes itself (thin clients, §7.2).
+	consumer := cluster.Nodes[viewer.ConsumerNode]
+	done := consumer.SwitchClientStream(viewer.Viewer.ID, solo.StreamID(0), co.StreamID(0))
+	cluster.Run(3 * time.Second)
+	select {
+	case <-done:
+		fmt.Println("switch completed: consumer resubscribed and flipped at a GoP boundary")
+	default:
+		fmt.Println("switch still pending (no complete GoP of the new stream yet)")
+	}
+	solo.Stop()
+	cluster.Run(4 * time.Second)
+
+	after := viewer.Stats()
+	fmt.Printf("after co-stream switch: frames=%d (+%d) stalls=%d (+%d)\n",
+		after.FramesPlayed, after.FramesPlayed-before.FramesPlayed,
+		after.Stalls, after.Stalls-before.Stalls)
+	if after.Stalls == before.Stalls {
+		fmt.Println("=> no stalls across the switch: the viewer never noticed")
+	}
+	fmt.Printf("consumer now forwards stream %d; old stream torn down: %v\n",
+		co.StreamID(0), !consumer.HasStream(solo.StreamID(0)))
+}

@@ -1,0 +1,62 @@
+// Flashsale reproduces the paper's Double 12 case study (§6.5) at small
+// scale with the session-level evaluation engine: a 13-day run in which
+// the festival (20:00 Dec 11 → 23:59 Dec 12) doubles the load, and
+// LiveNet's metrics stay flat through the spike.
+//
+//	go run ./examples/flashsale
+package main
+
+import (
+	"fmt"
+
+	"livenet"
+	"livenet/internal/workload"
+)
+
+func main() {
+	cfg := livenet.EvalConfig{
+		Seed:   12,
+		Days:   13,
+		Sites:  48,
+		System: livenet.SystemLiveNet,
+	}
+	cfg.Workload.PeakViewsPerSec = 1
+	cfg.Workload.Channels = 150
+	cfg.Workload.Flash = []workload.FlashEvent{workload.Double12()}
+
+	fmt.Println("simulating 13 days of Taobao-Live-like load across the Double 12 festival...")
+	res := livenet.RunEvaluation(cfg)
+	fmt.Printf("total views: %d\n\n", res.Views)
+
+	fmt.Println("day  peak-concurrency  0-stall%  fast-startup%  cdn-ms  unique-paths")
+	maxPeak := 0
+	for d := 0; d < cfg.Days; d++ {
+		if ds := res.ByDay[d]; ds != nil && ds.PeakConcurrency > maxPeak {
+			maxPeak = ds.PeakConcurrency
+		}
+	}
+	for d := 0; d < cfg.Days; d++ {
+		ds := res.ByDay[d]
+		if ds == nil {
+			continue
+		}
+		marker := ""
+		if d == 10 || d == 11 {
+			marker = "  <= Double 12"
+		}
+		fmt.Printf("%3d  %6d (%.2fx)     %5.1f     %5.1f       %5.0f    %5d%s\n",
+			d+1, ds.PeakConcurrency, float64(ds.PeakConcurrency)/float64(maxPeak),
+			ds.ZeroStall.Percent(), ds.FastStart.Percent(),
+			ds.CDNDelayMs.Median(), ds.UniquePaths, marker)
+	}
+
+	// The paper's observation: despite ~2x load, no metric degradation,
+	// and ~20% more unique overlay paths during the festival.
+	normal := res.ByDay[9] // Dec 10
+	fest := res.ByDay[11]  // Dec 12: the full festival day
+	fmt.Printf("\nfestival vs normal day: peak %.2fx, 0-stall %+.1f pts, startup %+.1f pts, unique paths %+.0f%%\n",
+		float64(fest.PeakConcurrency)/float64(normal.PeakConcurrency),
+		fest.ZeroStall.Percent()-normal.ZeroStall.Percent(),
+		fest.FastStart.Percent()-normal.FastStart.Percent(),
+		100*(float64(fest.UniquePaths)/float64(normal.UniquePaths)-1))
+}

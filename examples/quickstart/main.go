@@ -1,0 +1,76 @@
+// Quickstart: build a small LiveNet deployment on the in-process network
+// emulator, broadcast 10 seconds of synthetic simulcast video, attach a
+// few viewers around the world, and print their QoE — all through the
+// public livenet API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"livenet"
+)
+
+func main() {
+	// A 16-site flat CDN with geographic RTTs and near-lossless links.
+	cluster := livenet.NewCluster(livenet.ClusterConfig{
+		Seed:        7,
+		Sites:       16,
+		DiurnalLoss: true,
+	})
+	defer cluster.Close()
+
+	// A broadcaster in Shanghai uploads two simulcast renditions; DNS
+	// redirection maps it to the nearest site, which becomes the
+	// stream's producer node.
+	bc := cluster.NewBroadcasterAt(31.2, 121.5, 100, livenet.DefaultRenditions[:2])
+	bc.Start()
+	fmt.Printf("broadcaster -> producer node %d, streams %d (720p) and %d (480p)\n",
+		bc.Producer, bc.StreamID(0), bc.StreamID(1))
+
+	// Let the stream warm up (the producer's GoP cache fills).
+	cluster.Run(2 * time.Second)
+
+	// Viewers in Beijing, Singapore and London attach to the 720p stream.
+	locations := []struct {
+		name     string
+		lat, lon float64
+	}{
+		{"Beijing", 39.9, 116.4},
+		{"Singapore", 1.35, 103.8},
+		{"London", 51.5, -0.1},
+	}
+	views := make([]*livenet.Viewing, 0, len(locations))
+	for _, loc := range locations {
+		v := cluster.NewViewerAt(loc.lat, loc.lon, bc.StreamID(0))
+		fmt.Printf("%-10s -> consumer node %d (local hit: %v)\n", loc.name, v.ConsumerNode, v.LocalHit)
+		views = append(views, v)
+	}
+
+	// Stream for 10 seconds of virtual time (finishes in milliseconds of
+	// real time on the emulator).
+	cluster.Run(10 * time.Second)
+
+	fmt.Println("\nper-view QoE:")
+	for i, v := range views {
+		s := v.Stats()
+		fmt.Printf("%-10s startup=%-8v frames=%-4d stalls=%d streaming delay=%v (fast startup: %v)\n",
+			locations[i].name,
+			s.StartupDelay.Round(time.Millisecond),
+			s.FramesPlayed, s.Stalls,
+			s.MedianStreamingDelay().Round(time.Millisecond),
+			s.FastStartup())
+	}
+
+	// The actual overlay path each consumer ended up with.
+	fmt.Println("\noverlay paths (producer -> ... -> consumer):")
+	for i, v := range views {
+		fmt.Printf("%-10s %v\n", locations[i].name, cluster.Nodes[v.ConsumerNode].StreamPath(bc.StreamID(0)))
+	}
+
+	bm := cluster.Brain.Metrics()
+	fmt.Printf("\nStreaming Brain: %d lookups, %d PIB hits, %d active streams\n",
+		bm.Lookups, bm.PIBHits, bm.StreamsActive)
+}

@@ -1,0 +1,3 @@
+module livenet
+
+go 1.22

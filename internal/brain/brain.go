@@ -1,0 +1,380 @@
+// Package brain implements the Streaming Brain (§4): the logically
+// centralized controller of LiveNet's flat CDN. It is composed of the
+// four modules of Figure 4:
+//
+//   - Global Discovery collects link/node metrics reported by overlay
+//     nodes (1-minute reports) and real-time overload alarms (80% target).
+//   - Global Routing abstracts link weights (Eq. 2–3) and computes k=3
+//     candidate paths per node pair with Yen's KSP, filtered by the ≤3-hop
+//     and overload constraints.
+//   - Path Decision serves path lookups from consumer nodes out of the
+//     Path Information Base (PIB), falling back to last-resort paths
+//     through reserved well-peered relays when every candidate violates
+//     the constraints.
+//   - Stream Management tracks which producer node carries each live
+//     stream in the Stream Information Base (SIB).
+//
+// One deliberate implementation difference from the paper: instead of
+// recomputing all N² pairs every 10 minutes eagerly, the PIB is filled
+// lazily per requested pair and cached for the current routing epoch
+// (epochs advance on the same 10-minute period). The produced paths are
+// identical; only the computation schedule differs, which keeps a
+// 600-node simulation affordable. An eager RecomputeAll is provided for
+// benchmarks that want the paper's schedule.
+package brain
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"livenet/internal/graph"
+	"livenet/internal/ksp"
+	"livenet/internal/sim"
+)
+
+// Defaults from the paper.
+const (
+	DefaultK          = 3
+	DefaultMaxHops    = 3
+	DefaultRouteEpoch = 10 * time.Minute
+)
+
+// ErrUnknownStream is returned when the SIB has no producer for a stream.
+var ErrUnknownStream = errors.New("brain: unknown stream")
+
+// Config configures the Brain.
+type Config struct {
+	// N is the number of overlay nodes (IDs 0..N-1).
+	N int
+	// K is the number of candidate paths per pair (default 3).
+	K int
+	// MaxHops bounds path length in overlay links (default 3).
+	MaxHops int
+	// RouteEpoch is the Global Routing recomputation period (default 10 m).
+	RouteEpoch time.Duration
+	// LastResort lists reserved well-peered relay node IDs (§4.3).
+	LastResort []int
+	// Clock drives epoch advancement; nil means epochs advance only via
+	// AdvanceEpoch (useful in unit tests).
+	Clock sim.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = DefaultMaxHops
+	}
+	if c.RouteEpoch <= 0 {
+		c.RouteEpoch = DefaultRouteEpoch
+	}
+	return c
+}
+
+// Metrics are the Brain's cumulative counters.
+type Metrics struct {
+	Lookups        uint64
+	PIBHits        uint64
+	PIBMisses      uint64
+	LastResortUsed uint64
+	OverloadAlarms uint64
+	StreamsActive  int
+}
+
+type pairKey struct{ src, dst int }
+
+type pibEntry struct {
+	epoch uint64
+	paths []ksp.Path
+}
+
+// Brain is the Streaming Brain.
+type Brain struct {
+	mu  sync.Mutex
+	cfg Config
+
+	view  *graph.Graph // global view maintained by Global Discovery
+	epoch uint64
+
+	pib map[pairKey]*pibEntry
+	sib map[uint32]int // stream ID -> producer node
+
+	metrics Metrics
+	timer   sim.Timer
+	closed  bool
+
+	// Dense-mesh fast path (see dense.go).
+	dense      bool
+	denseW     []float64
+	denseEpoch uint64
+}
+
+// New creates a Brain over n nodes.
+func New(cfg Config) *Brain {
+	cfg = cfg.withDefaults()
+	b := &Brain{
+		cfg:  cfg,
+		view: graph.New(cfg.N),
+		pib:  make(map[pairKey]*pibEntry),
+		sib:  make(map[uint32]int),
+	}
+	if cfg.Clock != nil {
+		b.scheduleEpoch()
+	}
+	return b
+}
+
+func (b *Brain) scheduleEpoch() {
+	b.timer = b.cfg.Clock.AfterFunc(b.cfg.RouteEpoch, func() {
+		b.AdvanceEpoch()
+		b.mu.Lock()
+		if !b.closed {
+			b.scheduleEpoch()
+		}
+		b.mu.Unlock()
+	})
+}
+
+// Close stops the epoch timer.
+func (b *Brain) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+}
+
+// Metrics returns a snapshot of the counters.
+func (b *Brain) Metrics() Metrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.metrics
+	m.StreamsActive = len(b.sib)
+	return m
+}
+
+// AdvanceEpoch invalidates the PIB so paths are recomputed against the
+// latest global view (the 10-minute Global Routing cycle).
+func (b *Brain) AdvanceEpoch() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.epoch++
+}
+
+// --- Global Discovery ---
+
+// ReportLink ingests one link measurement from a node's periodic report.
+func (b *Brain) ReportLink(from, to int, rtt time.Duration, loss, util float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.view.SetLink(from, to, rtt, loss, util)
+}
+
+// ReportNodeLoad ingests a node's combined load metric (§4.2 footnote 4).
+func (b *Brain) ReportNodeLoad(id int, util float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.view.SetNodeUtil(id, util)
+}
+
+// OverloadAlarm handles a real-time alarm: the node's paths must be
+// invalidated immediately rather than waiting for the next epoch (§4.2).
+// Recording the reported utilization in the view makes the Path
+// Decision's validity filter reject paths through it at once.
+func (b *Brain) OverloadAlarm(id int, util float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.metrics.OverloadAlarms++
+	b.view.SetNodeUtil(id, util)
+}
+
+// LinkOverloadAlarm is the link-level variant.
+func (b *Brain) LinkOverloadAlarm(from, to int, util float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.metrics.OverloadAlarms++
+	if l := b.view.Link(from, to); l != nil {
+		b.view.SetLink(from, to, l.RTT, l.Loss, util)
+	}
+}
+
+// View returns a snapshot clone of the global view (for the evaluation
+// harness and ablations).
+func (b *Brain) View() *graph.Graph {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.view.Clone()
+}
+
+// --- Stream Management ---
+
+// RegisterStream records a stream's producer node in the SIB.
+func (b *Brain) RegisterStream(sid uint32, producer int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sib[sid] = producer
+}
+
+// UnregisterStream removes a finished stream.
+func (b *Brain) UnregisterStream(sid uint32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.sib, sid)
+}
+
+// Producer looks up a stream's producer node.
+func (b *Brain) Producer(sid uint32) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.sib[sid]
+	return p, ok
+}
+
+// --- Path Decision (Algorithm 1, GetPath) ---
+
+// Lookup serves a path request: stream ID + consumer node → up to K
+// candidate paths (producer→consumer node sequences) ordered by
+// preference. Paths with overloaded links/nodes are deleted (IsInvalid);
+// when none survive, a last-resort path through a reserved relay is
+// returned.
+func (b *Brain) Lookup(sid uint32, consumer int) ([][]int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.metrics.Lookups++
+	producer, ok := b.sib[sid]
+	if !ok {
+		return nil, ErrUnknownStream
+	}
+	return b.pathsLocked(producer, consumer), nil
+}
+
+// LookupByProducer is like Lookup but bypasses the SIB (used for
+// prefetching and the Hier baseline comparison harness).
+func (b *Brain) LookupByProducer(producer, consumer int) [][]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pathsLocked(producer, consumer)
+}
+
+func (b *Brain) pathsLocked(producer, consumer int) [][]int {
+	if producer == consumer {
+		return [][]int{{producer}} // 0-hop path: one node is both roles
+	}
+	entry := b.pibEntryLocked(producer, consumer)
+
+	// Validity filter: delete paths with overloaded nodes/links
+	// (Algorithm 1 lines 14–18).
+	out := make([][]int, 0, len(entry.paths))
+	for _, p := range entry.paths {
+		if !b.view.PathOverloaded(p.Nodes) {
+			out = append(out, append([]int(nil), p.Nodes...))
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	// Last resort (§4.3): producer → reserved relay → consumer.
+	if lr := b.lastResortLocked(producer, consumer); lr != nil {
+		b.metrics.LastResortUsed++
+		return [][]int{lr}
+	}
+	return nil
+}
+
+// pibEntryLocked returns the cached PIB entry for a pair, computing it if
+// absent or stale (lazy variant of the 10-minute Global Routing run).
+func (b *Brain) pibEntryLocked(src, dst int) *pibEntry {
+	k := pairKey{src, dst}
+	if e, ok := b.pib[k]; ok && e.epoch == b.epoch {
+		b.metrics.PIBHits++
+		return e
+	}
+	b.metrics.PIBMisses++
+	e := &pibEntry{epoch: b.epoch, paths: b.computePaths(src, dst)}
+	b.pib[k] = e
+	return e
+}
+
+// computePaths is the Global Routing two-step solution (§4.3): KSP on the
+// abstracted weights, then constraint filtering (length only — overload
+// filtering happens at decision time so alarms take effect immediately).
+func (b *Brain) computePaths(src, dst int) []ksp.Path {
+	if b.dense {
+		return b.computePathsDense(src, dst)
+	}
+	adj := b.view.Neighbors
+	w := b.view.Weight
+	paths := ksp.Yen(b.cfg.N, src, dst, b.cfg.K, adj, w)
+	out := paths[:0]
+	for _, p := range paths {
+		if p.Hops() <= b.cfg.MaxHops {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lastResortLocked builds producer → LR → consumer through the best
+// reserved relay. Last-resort nodes are exempt from the overload filter —
+// they are capacity reserved specifically for this (§4.3).
+func (b *Brain) lastResortLocked(producer, consumer int) []int {
+	bestCost := -1.0
+	var best []int
+	for _, lr := range b.cfg.LastResort {
+		if lr == producer || lr == consumer {
+			continue
+		}
+		w1 := b.view.Weight(producer, lr)
+		w2 := b.view.Weight(lr, consumer)
+		if w1+w2 < 0 {
+			continue
+		}
+		if cost := w1 + w2; best == nil || cost < bestCost {
+			bestCost = cost
+			best = []int{producer, lr, consumer}
+		}
+	}
+	return best
+}
+
+// RecomputeAll eagerly fills the PIB for every pair at the current epoch
+// (the paper's 10-minute batch run; used by benchmarks).
+func (b *Brain) RecomputeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := 0; s < b.cfg.N; s++ {
+		for d := 0; d < b.cfg.N; d++ {
+			if s != d {
+				b.pibEntryLocked(s, d)
+			}
+		}
+	}
+}
+
+// PrefetchPaths computes candidate paths from a popular stream's producer
+// to every node, for proactive installation on overlay nodes ahead of
+// viewer arrival (§4.4).
+func (b *Brain) PrefetchPaths(sid uint32) (map[int][][]int, error) {
+	b.mu.Lock()
+	producer, ok := b.sib[sid]
+	b.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownStream
+	}
+	out := make(map[int][][]int, b.cfg.N)
+	for d := 0; d < b.cfg.N; d++ {
+		if d == producer {
+			continue
+		}
+		b.mu.Lock()
+		paths := b.pathsLocked(producer, d)
+		b.mu.Unlock()
+		if len(paths) > 0 {
+			out[d] = paths
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+package brain
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"livenet/internal/geo"
+	"livenet/internal/sim"
+)
+
+// fullMesh builds a Brain over a synthetic world with a full-mesh view.
+func fullMesh(t *testing.T, n int, lastResort []int) (*Brain, *geo.World) {
+	t.Helper()
+	rng := sim.NewSource(1).Stream("geo")
+	cfg := geo.DefaultConfig()
+	cfg.NumSites = n
+	w := geo.Build(cfg, rng)
+	b := New(Config{N: n, LastResort: lastResort})
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				b.ReportLink(i, j, w.RTT(i, j), w.BaseLoss(i, j), 0.1)
+			}
+		}
+		b.ReportNodeLoad(i, 0.2)
+	}
+	return b, w
+}
+
+func TestLookupUnknownStream(t *testing.T) {
+	b, _ := fullMesh(t, 8, nil)
+	if _, err := b.Lookup(99, 3); err != ErrUnknownStream {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLookupReturnsKOrderedPaths(t *testing.T) {
+	b, w := fullMesh(t, 16, nil)
+	b.RegisterStream(1, 2)
+	paths, err := b.Lookup(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want k=3", len(paths))
+	}
+	for i, p := range paths {
+		if p[0] != 2 || p[len(p)-1] != 11 {
+			t.Fatalf("path %d endpoints wrong: %v", i, p)
+		}
+		if hops := len(p) - 1; hops > DefaultMaxHops {
+			t.Fatalf("path %d exceeds max hops: %v", i, p)
+		}
+	}
+	// Preference ordering: nondecreasing weighted cost ≈ nondecreasing RTT
+	// on an evenly loaded mesh. At minimum, the best path should not be
+	// slower than the direct link.
+	direct := w.RTT(2, 11)
+	var bestRTT time.Duration
+	for i := 0; i+1 < len(paths[0]); i++ {
+		bestRTT += w.RTT(paths[0][i], paths[0][i+1])
+	}
+	if bestRTT > direct {
+		t.Fatalf("best path RTT %v worse than direct %v", bestRTT, direct)
+	}
+}
+
+func TestLookupSameNodeZeroHops(t *testing.T) {
+	b, _ := fullMesh(t, 8, nil)
+	b.RegisterStream(5, 4)
+	paths, err := b.Lookup(5, 4)
+	if err != nil || len(paths) != 1 || len(paths[0]) != 1 || paths[0][0] != 4 {
+		t.Fatalf("paths = %v err = %v", paths, err)
+	}
+}
+
+func TestOverloadFiltering(t *testing.T) {
+	b, _ := fullMesh(t, 16, nil)
+	b.RegisterStream(1, 0)
+	paths, _ := b.Lookup(1, 9)
+	if len(paths) == 0 {
+		t.Fatal("no initial paths")
+	}
+	// Overload a relay used by the best path (if it has one).
+	var victim int = -1
+	for _, p := range paths {
+		if len(p) > 2 {
+			victim = p[1]
+			break
+		}
+	}
+	if victim == -1 {
+		// All direct: overload the consumer-side link instead by loading
+		// an arbitrary middle node; then just assert alarms count.
+		victim = 5
+	}
+	b.OverloadAlarm(victim, 0.95)
+	paths2, _ := b.Lookup(1, 9)
+	for _, p := range paths2 {
+		for _, n := range p[1 : len(p)-1] {
+			if n == victim {
+				t.Fatalf("overloaded node %d still used in %v", victim, p)
+			}
+		}
+	}
+	if b.Metrics().OverloadAlarms != 1 {
+		t.Fatalf("alarms = %d", b.Metrics().OverloadAlarms)
+	}
+}
+
+func TestLastResortPath(t *testing.T) {
+	b, _ := fullMesh(t, 12, []int{10, 11})
+	b.RegisterStream(1, 0)
+	// Overload everything except producer, consumer and the reserved
+	// last-resort nodes: every normal path is invalid.
+	for i := 1; i < 10; i++ {
+		if i != 3 {
+			b.OverloadAlarm(i, 0.99)
+		}
+	}
+	// Also the direct link.
+	b.LinkOverloadAlarm(0, 3, 0.99)
+	paths, err := b.Lookup(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 3 {
+		t.Fatalf("want one 2-hop last-resort path, got %v", paths)
+	}
+	mid := paths[0][1]
+	if mid != 10 && mid != 11 {
+		t.Fatalf("last-resort relay = %d, want a reserved node", mid)
+	}
+	if b.Metrics().LastResortUsed != 1 {
+		t.Fatalf("LastResortUsed = %d", b.Metrics().LastResortUsed)
+	}
+}
+
+func TestPIBCachingAndEpoch(t *testing.T) {
+	b, _ := fullMesh(t, 10, nil)
+	b.RegisterStream(1, 0)
+	b.Lookup(1, 5)
+	b.Lookup(1, 5)
+	m := b.Metrics()
+	if m.PIBMisses != 1 || m.PIBHits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", m.PIBHits, m.PIBMisses)
+	}
+	b.AdvanceEpoch()
+	b.Lookup(1, 5)
+	m = b.Metrics()
+	if m.PIBMisses != 2 {
+		t.Fatalf("epoch advance should invalidate PIB: misses=%d", m.PIBMisses)
+	}
+}
+
+func TestEpochTimerAdvances(t *testing.T) {
+	loop := sim.NewLoop(1)
+	b := New(Config{N: 4, Clock: loop, RouteEpoch: 10 * time.Minute})
+	defer b.Close()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				b.ReportLink(i, j, 10*time.Millisecond, 0, 0)
+			}
+		}
+	}
+	b.RegisterStream(1, 0)
+	b.Lookup(1, 2)
+	loop.RunUntil(25 * time.Minute) // two epochs pass
+	b.Lookup(1, 2)
+	if m := b.Metrics(); m.PIBMisses != 2 {
+		t.Fatalf("misses = %d, want 2 after timer epochs", m.PIBMisses)
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	b, _ := fullMesh(t, 6, nil)
+	b.RegisterStream(7, 2)
+	if p, ok := b.Producer(7); !ok || p != 2 {
+		t.Fatalf("producer = %d ok=%v", p, ok)
+	}
+	if b.Metrics().StreamsActive != 1 {
+		t.Fatal("active streams != 1")
+	}
+	b.UnregisterStream(7)
+	if _, ok := b.Producer(7); ok {
+		t.Fatal("stream should be gone")
+	}
+}
+
+func TestPrefetchPaths(t *testing.T) {
+	b, _ := fullMesh(t, 10, nil)
+	b.RegisterStream(1, 3)
+	m, err := b.PrefetchPaths(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 9 {
+		t.Fatalf("prefetched for %d nodes, want 9", len(m))
+	}
+	for dst, paths := range m {
+		if len(paths) == 0 || paths[0][0] != 3 || paths[0][len(paths[0])-1] != dst {
+			t.Fatalf("bad prefetch for %d: %v", dst, paths)
+		}
+	}
+	if _, err := b.PrefetchPaths(99); err != ErrUnknownStream {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecomputeAllFillsPIB(t *testing.T) {
+	b, _ := fullMesh(t, 8, nil)
+	b.RecomputeAll()
+	m := b.Metrics()
+	if m.PIBMisses != 8*7 {
+		t.Fatalf("misses = %d, want 56", m.PIBMisses)
+	}
+	b.RegisterStream(1, 0)
+	b.Lookup(1, 7)
+	if b.Metrics().PIBMisses != 8*7 {
+		t.Fatal("lookup after RecomputeAll should hit the PIB")
+	}
+}
+
+func TestWeightsAvoidLossyLinks(t *testing.T) {
+	// Two routes 0->2: direct (lossy) or via 1 (clean, slightly longer).
+	b := New(Config{N: 3})
+	b.ReportLink(0, 2, 50*time.Millisecond, 0.30, 0.1) // expected ≈ 65ms
+	b.ReportLink(0, 1, 30*time.Millisecond, 0, 0.1)
+	b.ReportLink(1, 2, 30*time.Millisecond, 0, 0.1) // total 60ms
+	b.RegisterStream(1, 0)
+	paths, err := b.Lookup(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths[0]) != 3 || paths[0][1] != 1 {
+		t.Fatalf("best path = %v, want the clean relay route", paths[0])
+	}
+}
+
+func TestMaxHopsFilter(t *testing.T) {
+	// A line graph 0-1-2-3-4: the only 0->4 path has 4 hops (> 3) and the
+	// pair has no last resort, so lookup must return nothing.
+	b := New(Config{N: 5})
+	for i := 0; i < 4; i++ {
+		b.ReportLink(i, i+1, 10*time.Millisecond, 0, 0.1)
+	}
+	b.RegisterStream(1, 0)
+	paths, err := b.Lookup(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("4-hop path should be filtered: %v", paths)
+	}
+}
+
+func TestDenseMatchesYenOnFullMesh(t *testing.T) {
+	rng := sim.NewSource(11).Stream("dense")
+	for trial := 0; trial < 5; trial++ {
+		n := 12 + trial*4
+		mkBrain := func() *Brain {
+			b := New(Config{N: n})
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j {
+						// Deterministic per-trial weights via a fresh RNG pass
+						// would desync the two brains, so derive from indices.
+						rtt := time.Duration(5+((i*31+j*17+trial*7)%120)) * time.Millisecond
+						b.ReportLink(i, j, rtt, 0, 0.1)
+					}
+				}
+			}
+			return b
+		}
+		yen := mkBrain()
+		dense := mkBrain()
+		dense.EnableDense()
+		src := rng.Intn(n)
+		dst := (src + 1 + rng.Intn(n-1)) % n
+		if src == dst {
+			continue
+		}
+		yp := yen.computePaths(src, dst)
+		dp := dense.computePaths(src, dst)
+		// Yen computes the global top-k then filters >3-hop paths (the
+		// paper's order), so it may return fewer than k; dense enumerates
+		// within the hop constraint and always finds k. Dense must contain
+		// every Yen survivor at the same cost, in order, and only produce
+		// valid ≤3-hop paths.
+		if len(dp) < len(yp) {
+			t.Fatalf("n=%d %d->%d: dense %d paths < yen %d", n, src, dst, len(dp), len(yp))
+		}
+		di := 0
+		for _, y := range yp {
+			found := false
+			for ; di < len(dp); di++ {
+				if math.Abs(dp[di].Cost-y.Cost) < 1e-9 {
+					found = true
+					di++
+					break
+				}
+				if dp[di].Cost > y.Cost+1e-9 {
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d %d->%d: yen path cost %v (%v) missing from dense %+v",
+					n, src, dst, y.Cost, y.Nodes, dp)
+			}
+		}
+		for _, p := range dp {
+			if len(p.Nodes)-1 > DefaultMaxHops {
+				t.Fatalf("dense produced >3-hop path %v", p.Nodes)
+			}
+		}
+	}
+}
+
+func TestDenseLookupWorks(t *testing.T) {
+	b, _ := fullMesh(t, 20, nil)
+	b.EnableDense()
+	b.RegisterStream(1, 2)
+	paths, err := b.Lookup(1, 15)
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("paths=%v err=%v", paths, err)
+	}
+	for _, p := range paths {
+		if p[0] != 2 || p[len(p)-1] != 15 || len(p)-1 > DefaultMaxHops {
+			t.Fatalf("bad dense path %v", p)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package brain
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/replication"
+	"livenet/internal/sim"
+)
+
+// paxosNet is an in-memory delayed transport for the Paxos group.
+type paxosNet struct {
+	loop     *sim.Loop
+	replicas map[int]*ReplicatedBrain
+	blocked  map[int]bool
+}
+
+func (n *paxosNet) Send(from, to int, m replication.Msg) {
+	if n.blocked[from] || n.blocked[to] {
+		return
+	}
+	n.loop.AfterFunc(5*time.Millisecond, func() {
+		if rb := n.replicas[to]; rb != nil && !n.blocked[to] {
+			rb.OnMessage(from, m)
+		}
+	})
+}
+
+func newReplicatedGroup(t *testing.T, n int) (*sim.Loop, []*ReplicatedBrain, *paxosNet) {
+	t.Helper()
+	loop := sim.NewLoop(1)
+	net := &paxosNet{loop: loop, replicas: make(map[int]*ReplicatedBrain), blocked: make(map[int]bool)}
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	group := make([]*ReplicatedBrain, n)
+	for i := 0; i < n; i++ {
+		local := New(Config{N: 6})
+		for a := 0; a < 6; a++ {
+			for b := 0; b < 6; b++ {
+				if a != b {
+					local.ReportLink(a, b, 10*time.Millisecond, 0, 0.1)
+				}
+			}
+		}
+		group[i] = NewReplicated(local, i, peers, net, loop)
+		net.replicas[i] = group[i]
+	}
+	return loop, group, net
+}
+
+func TestReplicatedSIBConverges(t *testing.T) {
+	loop, group, _ := newReplicatedGroup(t, 3)
+	group[0].RegisterStream(77, 2)
+	loop.RunUntil(2 * time.Second)
+	for i, rb := range group {
+		p, ok := rb.Local.Producer(77)
+		if !ok || p != 2 {
+			t.Fatalf("replica %d: producer=%d ok=%v", i, p, ok)
+		}
+		// Any replica can now answer lookups.
+		paths, err := rb.Lookup(77, 4)
+		if err != nil || len(paths) == 0 {
+			t.Fatalf("replica %d lookup failed: %v", i, err)
+		}
+	}
+}
+
+func TestReplicatedUnregisterConverges(t *testing.T) {
+	loop, group, _ := newReplicatedGroup(t, 3)
+	group[0].RegisterStream(5, 1)
+	loop.RunUntil(time.Second)
+	group[1].UnregisterStream(5)
+	loop.RunUntil(3 * time.Second)
+	for i, rb := range group {
+		if _, ok := rb.Local.Producer(5); ok {
+			t.Fatalf("replica %d still has the stream", i)
+		}
+	}
+}
+
+func TestReplicatedSurvivesMinorityFailure(t *testing.T) {
+	loop, group, net := newReplicatedGroup(t, 3)
+	net.blocked[2] = true // one data center down
+	group[0].RegisterStream(9, 3)
+	loop.RunUntil(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		if p, ok := group[i].Local.Producer(9); !ok || p != 3 {
+			t.Fatalf("replica %d: producer=%d ok=%v", i, p, ok)
+		}
+	}
+	if _, ok := group[2].Local.Producer(9); ok {
+		t.Fatal("partitioned replica should not have the entry yet")
+	}
+	// The partition heals and the replica catches up via commits... a new
+	// proposal carries the commit traffic that lets it learn.
+	net.blocked[2] = false
+	group[0].RegisterStream(10, 4)
+	loop.RunUntil(4 * time.Second)
+	if p, ok := group[2].Local.Producer(10); !ok || p != 4 {
+		t.Fatalf("healed replica missed new registration: %d %v", p, ok)
+	}
+}
+
+func TestReplicatedConcurrentRegistrations(t *testing.T) {
+	loop, group, _ := newReplicatedGroup(t, 5)
+	for k := 0; k < 10; k++ {
+		group[k%5].RegisterStream(uint32(100+k), k%6)
+	}
+	loop.RunUntil(10 * time.Second)
+	for k := 0; k < 10; k++ {
+		want := k % 6
+		for i, rb := range group {
+			if p, ok := rb.Local.Producer(uint32(100 + k)); !ok || p != want {
+				t.Fatalf("replica %d stream %d: producer=%d ok=%v want %d", i, 100+k, p, ok, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package core assembles the full LiveNet system. It offers two
+// execution granularities over the same control-plane code:
+//
+//   - Cluster: a packet-level deployment on the network emulator — real
+//     nodes running the fast–slow path, a real Streaming Brain, real
+//     broadcasters and viewers. Used by the micro experiments, the
+//     examples, and the transport ablations.
+//   - Macro: a session-level simulator for the 20-day evaluation runs
+//     (Table 1–3, Figures 2 and 8–14), which executes the real Brain,
+//     subscription/grafting and caching logic per viewing session but
+//     abstracts the per-RTP-packet data plane into a calibrated delay/
+//     loss model (see macro.go).
+package core
+
+import (
+	"time"
+
+	"livenet/internal/brain"
+	"livenet/internal/client"
+	"livenet/internal/geo"
+	"livenet/internal/media"
+	"livenet/internal/netem"
+	"livenet/internal/node"
+	"livenet/internal/sim"
+	"livenet/internal/stats"
+)
+
+// ClusterConfig parameterizes a packet-level deployment.
+type ClusterConfig struct {
+	Seed  int64
+	Sites int
+	// OverlayBandwidthBps is the per-link overlay capacity (default 100 Mbps).
+	OverlayBandwidthBps float64
+	// LastMileBandwidthBps is the client access capacity (default 20 Mbps).
+	LastMileBandwidthBps float64
+	// LossScale multiplies the geo base loss (1 = paper-like near-lossless).
+	LossScale float64
+	// DiurnalLoss applies the Figure 13 diurnal pattern to link loss.
+	DiurnalLoss bool
+	// DiscoveryInterval is the node metrics reporting period (default 1 m).
+	DiscoveryInterval time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.Sites <= 0 {
+		c.Sites = 12
+	}
+	if c.OverlayBandwidthBps <= 0 {
+		c.OverlayBandwidthBps = 100e6
+	}
+	if c.LastMileBandwidthBps <= 0 {
+		c.LastMileBandwidthBps = 20e6
+	}
+	if c.LossScale == 0 {
+		c.LossScale = 1
+	}
+	if c.DiscoveryInterval <= 0 {
+		c.DiscoveryInterval = time.Minute
+	}
+	return c
+}
+
+// clientIDBase is where client endpoint IDs start (node IDs are below).
+const clientIDBase = 1 << 16
+
+// Cluster is a packet-level LiveNet deployment.
+type Cluster struct {
+	cfg   ClusterConfig
+	Loop  *sim.Loop
+	World *geo.World
+	Net   *netem.Network
+	Brain *brain.Brain
+	Nodes []*node.Node
+
+	// RespTimes collects Path Decision response times (Figure 10(a)).
+	RespTimes *stats.Sample
+
+	// lowerRendition maps each simulcast stream to its next-lower
+	// rendition (filled as broadcasters are created); consumer nodes use
+	// it for bitrate down-switching (§5.2).
+	lowerRendition map[uint32]uint32
+
+	nextClient int
+	closed     bool
+}
+
+// NewCluster builds the world, full-mesh overlay links, nodes and Brain,
+// and starts the Global Discovery reporting loop.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	cfg = cfg.withDefaults()
+	loop := sim.NewLoop(cfg.Seed)
+	gcfg := geo.DefaultConfig()
+	gcfg.NumSites = cfg.Sites
+	world := geo.Build(gcfg, loop.RNG("geo"))
+	net := netem.New(loop, loop.RNG("netem"))
+
+	c := &Cluster{
+		cfg:            cfg,
+		Loop:           loop,
+		World:          world,
+		Net:            net,
+		RespTimes:      &stats.Sample{},
+		lowerRendition: make(map[uint32]uint32),
+		nextClient:     clientIDBase,
+	}
+
+	// Full-mesh overlay links with geo RTT and near-lossless base loss.
+	for i := 0; i < cfg.Sites; i++ {
+		for j := 0; j < cfg.Sites; j++ {
+			if i == j {
+				continue
+			}
+			i, j := i, j
+			base := world.BaseLoss(i, j) * cfg.LossScale
+			lossFn := func(now time.Duration) float64 {
+				if !cfg.DiurnalLoss {
+					return base
+				}
+				mid := (world.Sites[i].Lon + world.Sites[j].Lon) / 2
+				return base * (0.4 + 1.8*geo.DiurnalFactor(geo.LocalHour(now, mid)))
+			}
+			net.AddLink(i, j, netem.LinkConfig{
+				RTT:          world.RTT(i, j),
+				Jitter:       1500 * time.Microsecond,
+				BandwidthBps: cfg.OverlayBandwidthBps,
+				Loss:         lossFn,
+			})
+		}
+	}
+
+	c.Brain = brain.New(brain.Config{
+		N:          cfg.Sites,
+		LastResort: world.IXPSites(),
+		Clock:      loop,
+	})
+	c.Brain.EnableDense()
+
+	// Overlay nodes wired to the Brain.
+	for id := 0; id < cfg.Sites; id++ {
+		id := id
+		n := node.New(node.Config{
+			ID:         id,
+			Clock:      loop,
+			Net:        net,
+			LinkRTT:    func(to int) time.Duration { return c.linkRTT(id, to) },
+			PathLookup: c.pathLookup,
+			OnNewStream: func(producer int) func(uint32) {
+				return func(sid uint32) { c.Brain.RegisterStream(sid, producer) }
+			}(id),
+			OnStreamEnded: func(sid uint32) { c.Brain.UnregisterStream(sid) },
+			IsOverlay:     func(id int) bool { return id < clientIDBase },
+			LowerRendition: func(sid uint32) (uint32, bool) {
+				lower, ok := c.lowerRendition[sid]
+				return lower, ok
+			},
+		})
+		c.Nodes = append(c.Nodes, n)
+		net.Handle(id, n.OnMessage)
+	}
+
+	c.discoveryLoop()
+	return c
+}
+
+// linkRTT is the per-hop RTT estimate a node uses for the delay-extension
+// accounting: the geo RTT for overlay neighbors (nodes know this from the
+// transport layer), a nominal value for client access links.
+func (c *Cluster) linkRTT(from, to int) time.Duration {
+	if to >= clientIDBase {
+		return 30 * time.Millisecond // nominal last mile
+	}
+	return c.World.RTT(from, to)
+}
+
+// pathLookup reaches the Brain's Path Decision module with a modeled
+// replica round trip: some consumers are co-located with a replica
+// (§7.1: the Path Decision module is replicated widely).
+func (c *Cluster) pathLookup(sid uint32, consumer int, cb func([][]int, error)) {
+	rng := c.Loop.RNG("brainrtt")
+	var rtt time.Duration
+	if rng.Bernoulli(0.35) {
+		rtt = time.Duration(1+rng.Intn(5)) * time.Millisecond
+	} else {
+		rtt = time.Duration(8+rng.Intn(45)) * time.Millisecond
+	}
+	proc := time.Duration(2+rng.Intn(6)) * time.Millisecond
+	total := rtt + proc
+	c.RespTimes.Add(float64(total) / float64(time.Millisecond))
+	c.Loop.AfterFunc(total, func() {
+		paths, err := c.Brain.Lookup(sid, consumer)
+		cb(paths, err)
+	})
+}
+
+// discoveryLoop reports link and node metrics to Global Discovery on the
+// 1-minute schedule of §4.2, with immediate overload alarms at the 80%
+// target.
+func (c *Cluster) discoveryLoop() {
+	c.Loop.AfterFunc(c.cfg.DiscoveryInterval, func() {
+		if c.closed {
+			return
+		}
+		n := c.cfg.Sites
+		for i := 0; i < n; i++ {
+			maxUtil := 0.0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				s, ok := c.Net.LinkStats(i, j)
+				if !ok {
+					continue
+				}
+				c.Brain.ReportLink(i, j, s.RTT, s.LossRate, s.Utilization)
+				if s.Utilization > maxUtil {
+					maxUtil = s.Utilization
+				}
+				if s.Utilization >= 0.8 {
+					c.Brain.LinkOverloadAlarm(i, j, s.Utilization)
+				}
+			}
+			load := 0.7*maxUtil + 0.3*minf(1, float64(c.Nodes[i].StreamCount())/64)
+			c.Brain.ReportNodeLoad(i, load)
+			if load >= 0.8 {
+				c.Brain.OverloadAlarm(i, load)
+			}
+		}
+		c.discoveryLoop()
+	})
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// allocClientID reserves a fresh client endpoint ID.
+func (c *Cluster) allocClientID() int {
+	id := c.nextClient
+	c.nextClient++
+	return id
+}
+
+// lastMile wires a client endpoint to a node with a plausible access link.
+func (c *Cluster) lastMile(clientID, nodeID int, rtt time.Duration, loss float64) {
+	cfg := netem.LinkConfig{
+		RTT:          rtt,
+		Jitter:       2 * time.Millisecond,
+		BandwidthBps: c.cfg.LastMileBandwidthBps,
+	}
+	if loss > 0 {
+		cfg.Loss = func(time.Duration) float64 { return loss }
+	}
+	c.Net.AddDuplex(clientID, nodeID, cfg)
+}
+
+// NewBroadcasterAt creates a broadcaster at the given location, mapped by
+// DNS redirection to its nearest site (the producer node).
+func (c *Cluster) NewBroadcasterAt(lat, lon float64, baseSID uint32, rends []media.Rendition) *Broadcast {
+	producer := c.World.NearestSite(lat, lon)
+	id := c.allocClientID()
+	rng := c.Loop.RNG("lastmile")
+	rtt := time.Duration(10+rng.Intn(30)) * time.Millisecond
+	c.lastMile(id, producer, rtt, 0.0005)
+	bc := client.NewBroadcaster(id, producer, baseSID, rends, c.Loop, c.Net, c.Loop.RNG("media"))
+	bc.FirstMileRTT = rtt
+	// Register the simulcast ladder for bitrate down-switching: rendition
+	// i's next-lower version is rendition i+1 (§5.2).
+	for i := 0; i+1 < len(rends); i++ {
+		c.lowerRendition[bc.StreamID(i)] = bc.StreamID(i + 1)
+	}
+	return &Broadcast{Broadcaster: bc, Producer: producer}
+}
+
+// PrefetchPopular proactively pushes up-to-date overlay paths for a
+// popular stream to every node ahead of viewer arrival (§4.4), so the
+// first viewing request anywhere is a local hit.
+func (c *Cluster) PrefetchPopular(sid uint32) error {
+	paths, err := c.Brain.PrefetchPaths(sid)
+	if err != nil {
+		return err
+	}
+	for dst, p := range paths {
+		c.Nodes[dst].InstallPaths(sid, p)
+	}
+	return nil
+}
+
+// Broadcast bundles a broadcaster with its producer node assignment.
+type Broadcast struct {
+	*client.Broadcaster
+	Producer int
+}
+
+// Viewing bundles a viewer with its consumer node assignment.
+type Viewing struct {
+	*client.Viewer
+	ConsumerNode int
+	LocalHit     bool
+}
+
+// NewViewerAt creates a viewer at the given location, mapped to its
+// nearest site (the consumer node), and attaches it to the stream.
+func (c *Cluster) NewViewerAt(lat, lon float64, sid uint32) *Viewing {
+	consumer := c.World.NearestSite(lat, lon)
+	id := c.allocClientID()
+	rng := c.Loop.RNG("lastmile")
+	rtt := time.Duration(10+rng.Intn(40)) * time.Millisecond
+	loss := 0.0005
+	if rng.Bernoulli(0.12) { // mobile tail
+		loss = 0.003 + rng.Float64()*0.01
+	}
+	c.lastMile(id, consumer, rtt, loss)
+	v := client.NewViewer(id, sid, consumer, c.Loop, c.Net)
+	c.Net.Handle(id, v.OnMessage)
+	v.Attach()
+	hit := c.Nodes[consumer].AttachViewer(id, sid)
+	// Quality-triggered path switching (§4.4): relay client stall reports
+	// to the consumer node.
+	v.OnStall = func(count int) {
+		c.Nodes[consumer].ReportClientQuality(id, sid, count)
+	}
+	return &Viewing{Viewer: v, ConsumerNode: consumer, LocalHit: hit}
+}
+
+// Detach removes a viewing from its consumer.
+func (c *Cluster) Detach(v *Viewing) {
+	c.Nodes[v.ConsumerNode].DetachViewer(v.Viewer.ID, v.Viewer.StreamID)
+	v.Viewer.Close()
+}
+
+// Run advances the cluster's virtual time.
+func (c *Cluster) Run(d time.Duration) {
+	c.Loop.RunUntil(c.Loop.Now() + d)
+}
+
+// Close stops timers.
+func (c *Cluster) Close() {
+	c.closed = true
+	c.Brain.Close()
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+}

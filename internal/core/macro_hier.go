@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"livenet/internal/hier"
+	"livenet/internal/workload"
+)
+
+// hierStream is the per-(L1, stream) download-leg state.
+type hierStream struct {
+	viewers int
+	downL2  int
+	path    []int // full 5-node path for this L1's viewers
+}
+
+// runMacroHier executes the baseline engine: every stream climbs from the
+// broadcaster's L1 edge through an assigned L2 to the streaming center
+// and descends through an L2 to each viewer's L1 edge (fixed 4-hop
+// paths), with the VDN-like L1→L2 mapping of §2.2.
+func runMacroHier(cfg MacroConfig) *MacroResult {
+	e := newMacroEnv(cfg, SystemHier)
+	h := hier.Build(e.world, hier.Config{})
+
+	chans := e.gen.Channels()
+	// Upload legs: broadcaster edge and its assigned L2, fixed per channel.
+	upL1 := make([]int, len(chans))
+	upL2 := make([]int, len(chans))
+	for rank, ch := range chans {
+		upL1[rank] = h.EdgeFor(ch.Lat, ch.Lon)
+		upL2[rank] = h.AssignL2(upL1[rank], 1)
+	}
+
+	// Download-leg state per (L1, stream).
+	down := make(map[int]map[uint32]*hierStream)
+	getDown := func(l1 int) map[uint32]*hierStream {
+		m := down[l1]
+		if m == nil {
+			m = make(map[uint32]*hierStream)
+			down[l1] = m
+		}
+		return m
+	}
+
+	lossAt := func(t time.Duration) func(a, b int) float64 {
+		return func(a, b int) float64 { return e.linkLoss(a, b, t) }
+	}
+
+	nextLossSample := time.Duration(0)
+	const dayChunk = 24 * time.Hour
+	for chunk := time.Duration(0); chunk < e.horizon; chunk += dayChunk {
+		views := e.gen.Views(chunk, minDur(chunk+dayChunk, e.horizon))
+		for _, v := range views {
+			for len(e.deps) > 0 && e.deps[0].at <= v.Start {
+				d := heap.Pop(&e.deps).(departure)
+				if st := getDown(d.site)[d.sid]; st != nil {
+					st.viewers--
+					if st.viewers <= 0 {
+						h.ReleaseL2(st.downL2, 1)
+						delete(getDown(d.site), d.sid)
+					}
+				}
+				e.active--
+			}
+			for nextLossSample <= v.Start {
+				e.sampleLossByHour(nextLossSample)
+				nextLossSample += 10 * time.Minute
+			}
+
+			ch := chans[v.Channel]
+			sid := ch.StreamID
+			l1 := h.EdgeFor(v.Lat, v.Lon)
+			intl := v.Country != ch.Country
+			cp := e.drawClient()
+			t := v.Start
+
+			st := getDown(l1)[sid]
+			localHit := st != nil
+			var firstPktMs float64
+			if st == nil {
+				// Establish the download leg: request climbs L1→L2→center,
+				// data descends the same legs; plus center processing.
+				downL2 := h.AssignL2(l1, 1)
+				path := []int{upL1[v.Channel], upL2[v.Channel], h.Center, downL2, l1}
+				st = &hierStream{downL2: downL2, path: path}
+				getDown(l1)[sid] = st
+				climb := float64(e.world.RTT(l1, downL2)+e.world.RTT(downL2, h.Center)) / float64(time.Millisecond)
+				firstPktMs = climb + 35 + e.rng.Float64()*30 // center lookup + GoP pull
+			} else {
+				firstPktMs = 3 + e.rng.Float64()*8 // L1 GoP cache hit
+			}
+			st.viewers++
+
+			cdnMs := float64(h.PathDelay(st.path, lossAt(t))) / float64(time.Millisecond)
+			stalls := e.stallsFor(SystemHier, v.Duration, st.path, cp, t)
+			startupMs := cp.rttMs + firstPktMs + 110 + e.rng.Float64()*170 + 20
+			if e.rng.Bernoulli(0.05) {
+				startupMs += 300 + e.rng.Float64()*1600
+			}
+			e.recordView(t, st.path, cdnMs, firstPktMs, localHit, intl, stalls, startupMs, false, false)
+			e.notePath(t, st.path)
+
+			e.active++
+			if ds := e.dayStats(t); e.active > ds.PeakConcurrency {
+				ds.PeakConcurrency = e.active
+			}
+			heap.Push(&e.deps, departure{at: v.Start + v.Duration, site: l1, sid: sid})
+		}
+	}
+	e.foldUniquePaths()
+	return e.res
+}
+
+var _ = workload.Day // keep import if refactors drop direct uses

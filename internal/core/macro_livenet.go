@@ -1,0 +1,335 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"livenet/internal/brain"
+	"livenet/internal/geo"
+	"livenet/internal/workload"
+)
+
+// lnStream is the per-(site, stream) session-level state: the macro
+// analogue of a node's Stream FIB entry plus its GoP cache indicator.
+type lnStream struct {
+	upstream   int   // previous hop toward the producer (-1 at producer)
+	path       []int // actual producer→this-site path
+	viewers    int   // locally attached viewers
+	downstream map[int]bool
+}
+
+// runMacroLiveNet executes the LiveNet session-level engine: the real
+// Streaming Brain computes paths over the real Eq. 2–3 weights; viewing
+// sessions establish/graft subscriptions exactly like the packet-level
+// node code (including cache hits and the long-chain effect); only the
+// per-packet data plane is replaced by the calibrated delay/loss model.
+func runMacroLiveNet(cfg MacroConfig) *MacroResult {
+	e := newMacroEnv(cfg, SystemLiveNet)
+	n := cfg.Sites
+
+	bcfg := brain.Config{N: n, LastResort: e.world.IXPSites()}
+	if cfg.DisableLastResort {
+		bcfg.LastResort = nil
+	}
+	if cfg.KPaths > 0 {
+		bcfg.K = cfg.KPaths
+	}
+	br := brain.New(bcfg)
+	br.EnableDense()
+	defer br.Close()
+
+	// Per-site stream state and per-link/node load accounting.
+	streams := make([]map[uint32]*lnStream, n)
+	for i := range streams {
+		streams[i] = make(map[uint32]*lnStream)
+	}
+	linkLoad := make(map[int64]int)
+	nodeLoad := make([]int, n)
+	lkey := func(a, b int) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+	// Register all channels: the producer site carries each stream for
+	// the whole run (broadcasters stay live).
+	chans := e.gen.Channels()
+	for rank, ch := range chans {
+		p := e.chProducer[rank]
+		streams[p][ch.StreamID] = &lnStream{upstream: -1, path: []int{p}, downstream: make(map[int]bool)}
+		nodeLoad[p]++
+		br.RegisterStream(ch.StreamID, p)
+	}
+
+	// Global Discovery refresh on the paper's 10-minute routing epoch.
+	perLinkCap := func(a, b int) float64 {
+		c := e.world.Sites[a].CapacityMbps
+		if cb := e.world.Sites[b].CapacityMbps; cb < c {
+			c = cb
+		}
+		return c * 1e6 / 8 // per-link share of site capacity
+	}
+	refresh := func(t time.Duration) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				util := 0.0
+				if !cfg.DisableLoadWeights {
+					util = minf(1, float64(linkLoad[lkey(i, j)])*cfg.StreamBitrate/8/perLinkCap(i, j))
+				}
+				br.ReportLink(i, j, e.world.RTT(i, j), e.linkLoss(i, j, t), util)
+			}
+			util := 0.0
+			if !cfg.DisableLoadWeights {
+				util = minf(1, float64(nodeLoad[i])*cfg.StreamBitrate/(e.world.Sites[i].CapacityMbps*1e6))
+			}
+			br.ReportNodeLoad(i, util)
+			if util >= 0.8 {
+				br.OverloadAlarm(i, util)
+			}
+		}
+		br.AdvanceEpoch()
+		e.sampleLossByHour(t)
+	}
+	refresh(0)
+
+	// teardown cascades an unsubscription up the chain.
+	var teardown func(site int, sid uint32)
+	teardown = func(site int, sid uint32) {
+		st := streams[site][sid]
+		if st == nil || st.viewers > 0 || len(st.downstream) > 0 || st.upstream == -1 {
+			return
+		}
+		delete(streams[site], sid)
+		nodeLoad[site]--
+		up := st.upstream
+		linkLoad[lkey(up, site)]--
+		if upSt := streams[up][sid]; upSt != nil {
+			delete(upSt.downstream, site)
+			teardown(up, sid)
+		}
+	}
+
+	// Process events in time order.
+	nextRefresh := 10 * time.Minute
+	const dayChunk = 24 * time.Hour
+	for chunk := time.Duration(0); chunk < e.horizon; chunk += dayChunk {
+		views := e.gen.Views(chunk, minDur(chunk+dayChunk, e.horizon))
+		for _, v := range views {
+			// Departures and refreshes due before this arrival.
+			for len(e.deps) > 0 && e.deps[0].at <= v.Start {
+				d := heap.Pop(&e.deps).(departure)
+				if st := streams[d.site][d.sid]; st != nil {
+					st.viewers--
+					teardown(d.site, d.sid)
+				}
+				e.active--
+			}
+			for nextRefresh <= v.Start {
+				refresh(nextRefresh)
+				nextRefresh += 10 * time.Minute
+			}
+
+			e.handleLiveNetView(br, streams, linkLoad, nodeLoad, lkey, v, chans)
+
+			e.active++
+			if ds := e.dayStats(v.Start); e.active > ds.PeakConcurrency {
+				ds.PeakConcurrency = e.active
+			}
+			heap.Push(&e.deps, departure{at: v.Start + v.Duration, site: e.world.NearestSite(v.Lat, v.Lon), sid: chans[v.Channel].StreamID})
+		}
+	}
+	e.res.BrainMetrics = br.Metrics()
+	e.foldUniquePaths()
+	return e.res
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// handleLiveNetView runs Algorithm 1 for one viewing session.
+func (e *macroEnv) handleLiveNetView(br *brain.Brain, streams []map[uint32]*lnStream,
+	linkLoad map[int64]int, nodeLoad []int, lkey func(a, b int) int64,
+	v workload.View, chans []workload.Channel) {
+
+	ch := chans[v.Channel]
+	sid := ch.StreamID
+	consumer := e.world.NearestSite(v.Lat, v.Lon)
+	producer := e.chProducer[v.Channel]
+	intl := v.Country != ch.Country
+	cp := e.drawClient()
+	t := v.Start
+
+	st := streams[consumer][sid]
+	prefetched := !e.cfg.DisablePrefetch && ch.Popular
+	localHit := st != nil || prefetched
+
+	var path []int
+	var firstPktMs float64
+	var lastResort, longChain bool
+
+	if st != nil {
+		// Stream already flowing here: serve from the GoP cache.
+		st.viewers++
+		path = st.path
+		firstPktMs = 2 + e.rng.Float64()*6
+		if e.cfg.DisableGoPCache {
+			// Without cached GoPs the viewer waits for the next I frame
+			// (~half a GoP = up to 2 s).
+			firstPktMs += e.rng.Float64() * 2000
+		}
+	} else {
+		respMs := 0.0
+		if !prefetched {
+			respMs = e.sampleRespTime(t)
+			e.res.RespByHour.Add(workload.Hour(t), respMs)
+		}
+		paths, err := br.Lookup(sid, consumer)
+		var best []int
+		if err != nil || len(paths) == 0 {
+			best = []int{producer, consumer} // degraded fallback
+		} else {
+			best = paths[0]
+			if len(best) == 3 && isLastResort(e.world, best[1]) && len(paths) == 1 {
+				lastResort = true
+			}
+		}
+		// Establishment walk: backtrack from the consumer toward the
+		// producer; the first node already carrying the stream grafts us
+		// (cache hit), possibly yielding a longer actual path (§4.4).
+		actual, walkRTTms := graftLiveNet(e, streams, linkLoad, nodeLoad, lkey, sid, best)
+		path = actual
+		if len(actual) > len(best) {
+			longChain = true
+		}
+		st = streams[consumer][sid]
+		st.viewers++
+		burst := 15 + e.rng.Float64()*35
+		firstPktMs = respMs + walkRTTms + burst
+		if e.cfg.DisableGoPCache {
+			firstPktMs += e.rng.Float64() * 2000
+		}
+	}
+
+	cdnMs := e.liveNetPathDelay(path, linkLoad, lkey)
+	stalls := e.stallsFor(SystemLiveNet, v.Duration, path, cp, t)
+	startupMs := cp.rttMs + firstPktMs + 90 + e.rng.Float64()*130 + 20 // request + fill + decode
+	if e.rng.Bernoulli(0.065) {
+		startupMs += 300 + e.rng.Float64()*1400 // slow-device / DNS / access tail
+	}
+	e.recordView(t, path, cdnMs, firstPktMs, localHit, intl, stalls, startupMs, lastResort, longChain)
+	e.notePath(t, path)
+}
+
+// graftLiveNet installs session state along the requested path, grafting
+// onto the first node (from the consumer backwards) that already carries
+// the stream. It returns the actual path and the establishment walk RTT.
+func graftLiveNet(e *macroEnv, streams []map[uint32]*lnStream,
+	linkLoad map[int64]int, nodeLoad []int, lkey func(a, b int) int64,
+	sid uint32, best []int) ([]int, float64) {
+
+	// Find graft point: last index (closest to consumer) whose site has
+	// the stream. The producer always has it.
+	graft := 0
+	for i := len(best) - 1; i >= 0; i-- {
+		if streams[best[i]][sid] != nil {
+			graft = i
+			break
+		}
+	}
+	// Walk cost: subscribe messages travel consumer→…→graft (half RTT per
+	// hop), and the first data flows back down (half RTT per hop): one
+	// full RTT per traversed hop in total.
+	walkMs := 0.0
+	for i := len(best) - 1; i > graft; i-- {
+		walkMs += float64(e.world.RTT(best[i-1], best[i])) / float64(time.Millisecond)
+	}
+	// Install states below the graft point.
+	graftState := streams[best[graft]][sid]
+	for i := graft + 1; i < len(best); i++ {
+		prev := best[i-1]
+		site := best[i]
+		if streams[site][sid] == nil {
+			actual := append(append([]int(nil), streams[prev][sid].path...), site)
+			streams[site][sid] = &lnStream{upstream: prev, path: actual, downstream: make(map[int]bool)}
+			nodeLoad[site]++
+			linkLoad[lkey(prev, site)]++
+			streams[prev][sid].downstream[site] = true
+		}
+	}
+	_ = graftState
+	consumer := best[len(best)-1]
+	return streams[consumer][sid].path, walkMs
+}
+
+// liveNetPathDelay: one-way fast-path delay = Σ (hop RTT/2 + per-hop
+// processing), with a mild queueing term as links load up.
+func (e *macroEnv) liveNetPathDelay(path []int, linkLoad map[int64]int, lkey func(a, b int) int64) float64 {
+	procMs := float64(e.cfg.LiveNetHopProc) / float64(time.Millisecond)
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		rtt := float64(e.world.RTT(path[i], path[i+1])) / float64(time.Millisecond)
+		total += rtt/2 + procMs
+	}
+	if len(path) == 1 {
+		total = procMs // 0-hop: producer == consumer, processing only
+	}
+	return total
+}
+
+// sampleRespTime models the Path Decision response time (§7.1: replicas
+// are widely deployed, so a share of consumers are near one; queueing
+// grows with load, giving Figure 10(a)'s spread).
+func (e *macroEnv) sampleRespTime(t time.Duration) float64 {
+	proc := 2 + e.rng.Float64()*6
+	var rtt float64
+	if e.rng.Bernoulli(0.35) {
+		rtt = e.rng.Float64() * 3 // co-located replica
+	} else {
+		rtt = 10 + e.rng.Float64()*45
+	}
+	load := e.gen.RateAt(t) / e.gen.RateAt(peakTimeOfDay(t))
+	queue := load * load * e.rng.Float64() * 25
+	return proc + rtt + queue
+}
+
+// peakTimeOfDay returns the same day's 21:00 home-market local time.
+func peakTimeOfDay(t time.Duration) time.Duration {
+	day := time.Duration(workload.Day(t)) * 24 * time.Hour
+	// 21:00 local at the home longitude ≈ 13.8h UTC.
+	return day + 13*time.Hour + 48*time.Minute
+}
+
+func isLastResort(w *geo.World, site int) bool {
+	return w.Sites[site].IXP
+}
+
+// notePath tracks unique overlay paths per day (Table 3's observation
+// that unique paths grew ~20% during the festival).
+func (e *macroEnv) notePath(t time.Duration, path []int) {
+	if e.uniquePaths == nil {
+		e.uniquePaths = make(map[int]map[string]struct{})
+	}
+	d := e.day(t)
+	m := e.uniquePaths[d]
+	if m == nil {
+		m = make(map[string]struct{})
+		e.uniquePaths[d] = m
+	}
+	key := make([]byte, 0, len(path)*2)
+	for _, p := range path {
+		key = append(key, byte(p), byte(p>>8))
+	}
+	m[string(key)] = struct{}{}
+}
+
+// foldUniquePaths copies the per-day unique path counts into DayStats.
+func (e *macroEnv) foldUniquePaths() {
+	for d, m := range e.uniquePaths {
+		if ds := e.res.ByDay[d]; ds != nil {
+			ds.UniquePaths = len(m)
+		}
+	}
+}

@@ -1,0 +1,497 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§6) from the macro session simulator and the packet-level
+// cluster, plus the design ablations called out in DESIGN.md. Each
+// experiment renders the same rows/series the paper reports; absolute
+// numbers come from the emulated substrate, so the comparison target is
+// the shape (who wins, by what factor) — see EXPERIMENTS.md.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"livenet/internal/core"
+	"livenet/internal/stats"
+	"livenet/internal/workload"
+)
+
+func double12Flash() workload.FlashEvent { return workload.Double12() }
+
+// Options scales an evaluation run.
+type Options struct {
+	Seed  int64
+	Days  int
+	Sites int
+	// PeakViewsPerSec scales load (default 2 for full runs).
+	PeakViewsPerSec float64
+	Channels        int
+	// Double12 enables the festival flash crowd (Figure 14 / Table 3).
+	Double12 bool
+}
+
+// Full returns the paper-scale configuration: 20 days covering the
+// Double 12 festival.
+func Full() Options {
+	return Options{Seed: 42, Days: 20, Sites: 64, PeakViewsPerSec: 2, Channels: 200, Double12: true}
+}
+
+// Quick returns a scaled-down configuration for benchmarks and CI.
+func Quick() Options {
+	return Options{Seed: 42, Days: 2, Sites: 32, PeakViewsPerSec: 0.5, Channels: 80}
+}
+
+func (o Options) macro(sys core.System) core.MacroConfig {
+	cfg := core.MacroConfig{
+		Seed:   o.Seed,
+		Days:   o.Days,
+		Sites:  o.Sites,
+		System: sys,
+	}
+	cfg.Workload.PeakViewsPerSec = o.PeakViewsPerSec
+	cfg.Workload.Channels = o.Channels
+	if o.Double12 {
+		cfg.Workload.Flash = append(cfg.Workload.Flash, double12Flash())
+	}
+	return cfg
+}
+
+// Results holds one matched pair of runs (same workload seed).
+type Results struct {
+	Opt Options
+	LN  *core.MacroResult
+	HR  *core.MacroResult
+}
+
+// Run executes both systems on the same workload.
+func Run(o Options) *Results {
+	return &Results{
+		Opt: o,
+		LN:  core.RunMacro(o.macro(core.SystemLiveNet)),
+		HR:  core.RunMacro(o.macro(core.SystemHier)),
+	}
+}
+
+// --- Table 1 ---
+
+// Table1 renders the overall performance comparison (Table 1), with
+// Welch t-test p-values for the delay metrics as the paper reports.
+func Table1(r *Results) string {
+	t := &stats.Table{Header: []string{"metric", "LiveNet", "Hier", "impr. %"}}
+	impr := func(ln, hr float64) string {
+		if hr == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", (hr-ln)/hr*100)
+	}
+	t.AddRow("CDN path delay (ms)",
+		fmt.Sprintf("%.0f", r.LN.CDNDelayMs.Median()),
+		fmt.Sprintf("%.0f", r.HR.CDNDelayMs.Median()),
+		impr(r.LN.CDNDelayMs.Median(), r.HR.CDNDelayMs.Median()))
+	t.AddRow("CDN path length",
+		fmt.Sprintf("%.0f", r.LN.PathLen.Median()),
+		fmt.Sprintf("%.0f", r.HR.PathLen.Median()),
+		impr(r.LN.PathLen.Median(), r.HR.PathLen.Median()))
+	t.AddRow("Streaming delay (ms)",
+		fmt.Sprintf("%.0f", r.LN.Streaming.Median()),
+		fmt.Sprintf("%.0f", r.HR.Streaming.Median()),
+		impr(r.LN.Streaming.Median(), r.HR.Streaming.Median()))
+	t.AddRow("0-stall ratio (%)",
+		fmt.Sprintf("%.1f", r.LN.ZeroStall.Percent()),
+		fmt.Sprintf("%.1f", r.HR.ZeroStall.Percent()),
+		fmt.Sprintf("+%.1f pts", r.LN.ZeroStall.Percent()-r.HR.ZeroStall.Percent()))
+	t.AddRow("Fast startup ratio (%)",
+		fmt.Sprintf("%.1f", r.LN.FastStart.Percent()),
+		fmt.Sprintf("%.1f", r.HR.FastStart.Percent()),
+		fmt.Sprintf("+%.1f pts", r.LN.FastStart.Percent()-r.HR.FastStart.Percent()))
+
+	_, _, pCDN := stats.WelchT(r.LN.CDNDelayMs, r.HR.CDNDelayMs)
+	_, _, pStream := stats.WelchT(r.LN.Streaming, r.HR.Streaming)
+	var b strings.Builder
+	b.WriteString("Table 1: Performance comparison of LiveNet and Hier (medians)\n")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "t-test: CDN delay p=%.2g, streaming delay p=%.2g (paper: p<0.001)\n", pCDN, pStream)
+	fmt.Fprintf(&b, "views: %d per system\n", r.LN.Views)
+	return b.String()
+}
+
+// --- Figure 2 ---
+
+// Fig2 renders the per-day median CDN path delay time series for both
+// systems over the first 7 days (Figure 2).
+func Fig2(r *Results) string {
+	t := &stats.Table{Header: []string{"day", "LiveNet (ms)", "Hier (ms)"}}
+	days := sortedDays(r.LN)
+	if len(days) > 7 {
+		days = days[:7]
+	}
+	for _, d := range days {
+		ln, hr := r.LN.ByDay[d], r.HR.ByDay[d]
+		if ln == nil || hr == nil {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", d+1),
+			fmt.Sprintf("%.0f", ln.CDNDelayMs.Median()),
+			fmt.Sprintf("%.0f", hr.CDNDelayMs.Median()))
+	}
+	return "Figure 2: CDN path delay for Hier and LiveNet (per-day medians)\n" + t.String()
+}
+
+// --- Figure 8 ---
+
+// Fig8a renders the streaming-delay CDF for both systems.
+func Fig8a(r *Results) string {
+	points := []float64{500, 600, 700, 800, 900, 1000, 1100, 1200, 1400, 1600, 2000}
+	lnCDF := r.LN.Streaming.CDF(points)
+	hrCDF := r.HR.Streaming.CDF(points)
+	t := &stats.Table{Header: []string{"delay (ms)", "LiveNet CDF", "Hier CDF"}}
+	for i, x := range points {
+		t.AddRow(fmt.Sprintf("%.0f", x),
+			fmt.Sprintf("%.3f", lnCDF[i].F),
+			fmt.Sprintf("%.3f", hrCDF[i].F))
+	}
+	// The paper's headline deltas.
+	gain := improvementAtFraction(r, 0.6)
+	gain80 := improvementAtFraction(r, 0.8)
+	return "Figure 8(a): CDF of streaming delay\n" + t.String() +
+		fmt.Sprintf("delay improvement at 60th pct: %.0f ms; at 80th pct: %.0f ms\n", gain, gain80)
+}
+
+func improvementAtFraction(r *Results, f float64) float64 {
+	return r.HR.Streaming.Percentile(f*100) - r.LN.Streaming.Percentile(f*100)
+}
+
+// Fig8b renders the percentage of views experiencing x stalls.
+func Fig8b(r *Results) string {
+	t := &stats.Table{Header: []string{"stalls", "LiveNet %", "Hier %"}}
+	for x := 1; x <= 5; x++ {
+		label := fmt.Sprintf("%d", x)
+		if x == 5 {
+			label = ">=5"
+		}
+		t.AddRow(label,
+			fmt.Sprintf("%.2f", 100*float64(r.LN.StallCounts[x])/float64(r.LN.Views)),
+			fmt.Sprintf("%.2f", 100*float64(r.HR.StallCounts[x])/float64(r.HR.Views)))
+	}
+	return "Figure 8(b): % of views that experience x stalls\n" + t.String() +
+		fmt.Sprintf("stalled views: LiveNet %.1f%%, Hier %.1f%% (paper: 2%% vs 5%%)\n",
+			100-r.LN.ZeroStall.Percent(), 100-r.HR.ZeroStall.Percent())
+}
+
+// Fig8c renders the daily fast-startup ratio for both systems.
+func Fig8c(r *Results) string {
+	t := &stats.Table{Header: []string{"day", "LiveNet %", "Hier %"}}
+	for _, d := range sortedDays(r.LN) {
+		ln, hr := r.LN.ByDay[d], r.HR.ByDay[d]
+		if ln == nil || hr == nil {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", d+1),
+			fmt.Sprintf("%.1f", ln.FastStart.Percent()),
+			fmt.Sprintf("%.1f", hr.FastStart.Percent()))
+	}
+	return "Figure 8(c): Fast startup ratio per day\n" + t.String()
+}
+
+// --- Figure 9 ---
+
+// Fig9 renders LiveNet's fast-startup ratio by streaming-delay bucket.
+func Fig9(r *Results) string {
+	order := []string{"(0,500]", "(500,700]", "(700,1000]", "(1000,1500]", "(1500,inf]"}
+	t := &stats.Table{Header: []string{"streaming delay (ms)", "fast startup %", "views"}}
+	for _, label := range order {
+		b := r.LN.StartupByDelay[label]
+		if b == nil || b.Total == 0 {
+			continue
+		}
+		t.AddRow(label, fmt.Sprintf("%.1f", b.Percent()), fmt.Sprintf("%d", b.Total))
+	}
+	return "Figure 9: Fast startup ratio of LiveNet vs. streaming delay (GoP cache effect)\n" + t.String()
+}
+
+// --- Figure 10 ---
+
+// Fig10a renders the Path Decision response time by hour (25/50/75th pct).
+func Fig10a(r *Results) string {
+	t := &stats.Table{Header: []string{"hour", "p25 (ms)", "median (ms)", "p75 (ms)"}}
+	for _, h := range r.LN.RespByHour.Buckets() {
+		s := r.LN.RespByHour.Bucket(h)
+		t.AddRow(fmt.Sprintf("%d", h),
+			fmt.Sprintf("%.0f", s.Percentile(25)),
+			fmt.Sprintf("%.0f", s.Median()),
+			fmt.Sprintf("%.0f", s.Percentile(75)))
+	}
+	return "Figure 10(a): Path request response time by hour of day\n" + t.String()
+}
+
+// Fig10b renders the local path hit ratio over the first week, by hour.
+func Fig10b(r *Results) string {
+	t := &stats.Table{Header: []string{"day", "avg hit %", "min %", "max %"}}
+	horizon := r.Opt.Days
+	if horizon > 7 {
+		horizon = 7
+	}
+	for d := 0; d < horizon; d++ {
+		var sum, lo, hi float64
+		lo = 101
+		n := 0
+		for h := d * 24; h < (d+1)*24; h++ {
+			ratio := r.LN.HitByHour[h]
+			if ratio == nil || ratio.Total == 0 {
+				continue
+			}
+			p := ratio.Percent()
+			sum += p
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", d+1),
+			fmt.Sprintf("%.1f", sum/float64(n)),
+			fmt.Sprintf("%.1f", lo), fmt.Sprintf("%.1f", hi))
+	}
+	return "Figure 10(b): Local path hit ratio (diurnal swing over a week)\n" + t.String() +
+		peakTroughHit(r)
+}
+
+func peakTroughHit(r *Results) string {
+	// Pool by hour of day over the run for the diurnal signature.
+	var peak, trough stats.Ratio
+	for h, ratio := range r.LN.HitByHour {
+		hd := h % 24
+		// Home-market evening ≈ 12–16h UTC; trough ≈ 19–23h UTC.
+		if hd >= 12 && hd <= 15 {
+			peak.Hits += ratio.Hits
+			peak.Total += ratio.Total
+		}
+		if hd >= 19 && hd <= 22 {
+			trough.Hits += ratio.Hits
+			trough.Total += ratio.Total
+		}
+	}
+	return fmt.Sprintf("evening-peak hit ratio: %.1f%%, overnight trough: %.1f%% (paper: ~70%% at peak)\n",
+		peak.Percent(), trough.Percent())
+}
+
+// Fig10c renders the hourly average first-packet delay over the first week.
+func Fig10c(r *Results) string {
+	t := &stats.Table{Header: []string{"day", "avg 1st pkt (ms)", "min", "max"}}
+	horizon := r.Opt.Days
+	if horizon > 7 {
+		horizon = 7
+	}
+	for d := 0; d < horizon; d++ {
+		var sum, lo, hi float64
+		lo = 1e18
+		n := 0
+		for h := d * 24; h < (d+1)*24; h++ {
+			s := r.LN.FirstPktByHour.Bucket(h)
+			if s == nil || s.N() == 0 {
+				continue
+			}
+			m := s.Mean()
+			sum += m
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d", d+1),
+			fmt.Sprintf("%.0f", sum/float64(n)),
+			fmt.Sprintf("%.0f", lo), fmt.Sprintf("%.0f", hi))
+	}
+	return "Figure 10(c): First-packet delay (hourly averages; anti-correlated with hit ratio)\n" + t.String()
+}
+
+// --- Table 2 ---
+
+// Table2 renders the CDN path length distribution.
+func Table2(r *Results) string {
+	t := &stats.Table{Header: []string{"", "0", "1", "2", ">=3"}}
+	row := func(name string, counts map[int]int) {
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total == 0 {
+			t.AddRow(name, "-", "-", "-", "-")
+			return
+		}
+		pct := func(k int) string {
+			if k < 3 {
+				return fmt.Sprintf("%.2f%%", 100*float64(counts[k])/float64(total))
+			}
+			sum := 0
+			for l, c := range counts {
+				if l >= 3 {
+					sum += c
+				}
+			}
+			return fmt.Sprintf("%.2f%%", 100*float64(sum)/float64(total))
+		}
+		t.AddRow(name, pct(0), pct(1), pct(2), pct(3))
+	}
+	row("All", r.LN.LenCounts)
+	row("Inter-nation.", r.LN.LenInter)
+	row("Intra-nation.", r.LN.LenIntra)
+	return "Table 2: CDN path length distribution for LiveNet\n" + t.String() +
+		fmt.Sprintf("long chains (actual > requested): %d views\n", r.LN.LongChains)
+}
+
+// --- Figure 11 ---
+
+// Fig11 renders CDN path delay vs path length (box plots) for LiveNet,
+// with Hier's fixed-length-4 box alongside.
+func Fig11(r *Results) string {
+	t := &stats.Table{Header: []string{"system/len", "share", "p20", "p25", "p50", "p75", "p80"}}
+	total := 0
+	for _, c := range r.LN.LenCounts {
+		total += c
+	}
+	lens := make([]int, 0, len(r.LN.DelayByLen))
+	for l := range r.LN.DelayByLen {
+		lens = append(lens, l)
+	}
+	sort.Ints(lens)
+	for _, l := range lens {
+		s := r.LN.DelayByLen[l]
+		box := s.Box()
+		t.AddRow(fmt.Sprintf("LiveNet len=%d", l),
+			fmt.Sprintf("%.2f%%", 100*float64(r.LN.LenCounts[l])/float64(total)),
+			fmt.Sprintf("%.0f", box.P20), fmt.Sprintf("%.0f", box.P25),
+			fmt.Sprintf("%.0f", box.P50), fmt.Sprintf("%.0f", box.P75),
+			fmt.Sprintf("%.0f", box.P80))
+	}
+	hbox := r.HR.CDNDelayMs.Box()
+	t.AddRow("Hier len=4", "100%",
+		fmt.Sprintf("%.0f", hbox.P20), fmt.Sprintf("%.0f", hbox.P25),
+		fmt.Sprintf("%.0f", hbox.P50), fmt.Sprintf("%.0f", hbox.P75),
+		fmt.Sprintf("%.0f", hbox.P80))
+	return "Figure 11: CDN path delay vs path length (box percentiles, ms)\n" + t.String()
+}
+
+// --- Figure 12 ---
+
+// Fig12 renders intra/inter-national path delays for both systems.
+func Fig12(r *Results) string {
+	t := &stats.Table{Header: []string{"type", "p25 (ms)", "median (ms)", "p75 (ms)"}}
+	add := func(name string, s *stats.Sample) {
+		t.AddRow(name,
+			fmt.Sprintf("%.0f", s.Percentile(25)),
+			fmt.Sprintf("%.0f", s.Median()),
+			fmt.Sprintf("%.0f", s.Percentile(75)))
+	}
+	add("LiveNet intra", r.LN.IntraDelay)
+	add("LiveNet inter", r.LN.InterDelay)
+	add("Hier intra", r.HR.IntraDelay)
+	add("Hier inter", r.HR.InterDelay)
+	return "Figure 12: Path delay in inter/intra-national cases\n" + t.String()
+}
+
+// --- Figure 13 ---
+
+// Fig13 renders the hourly average link packet loss rate.
+func Fig13(r *Results) string {
+	t := &stats.Table{Header: []string{"hour", "avg loss %"}}
+	peak := 0.0
+	for _, h := range r.LN.LossByHour.Buckets() {
+		v := r.LN.LossByHour.Bucket(h).Mean()
+		if v > peak {
+			peak = v
+		}
+		t.AddRow(fmt.Sprintf("%d", h), fmt.Sprintf("%.4f", v))
+	}
+	return "Figure 13: Temporal variation of average link packet loss rate (%)\n" + t.String() +
+		fmt.Sprintf("peak: %.4f%% (paper: < 0.175%%)\n", peak)
+}
+
+// --- Figure 14 ---
+
+// Fig14 renders the normalized daily peak concurrency (throughput proxy).
+func Fig14(r *Results) string {
+	days := sortedDays(r.LN)
+	maxPeak := 0
+	for _, d := range days {
+		if p := r.LN.ByDay[d].PeakConcurrency; p > maxPeak {
+			maxPeak = p
+		}
+	}
+	t := &stats.Table{Header: []string{"day", "norm. peak throughput", "unique paths"}}
+	for _, d := range days {
+		ds := r.LN.ByDay[d]
+		t.AddRow(fmt.Sprintf("%d", d+1),
+			fmt.Sprintf("%.2f", float64(ds.PeakConcurrency)/float64(maxPeak)),
+			fmt.Sprintf("%d", ds.UniquePaths))
+	}
+	return "Figure 14: Normalized daily peak throughput (festival days spike to ~1.0)\n" + t.String()
+}
+
+// --- Table 3 ---
+
+// Table3 renders LiveNet's stability across the Double 12 festival
+// (days 10, 11–12, 13 of the 20-day run; day indices are 0-based).
+func Table3(r *Results) string {
+	groups := []struct {
+		name string
+		days []int
+	}{
+		{"Dec 10", []int{9}},
+		{"Dec 11-12", []int{10, 11}},
+		{"Dec 13", []int{12}},
+	}
+	t := &stats.Table{Header: []string{"metric", "Dec 10", "Dec 11-12", "Dec 13"}}
+	get := func(f func(*core.DayStats) float64) []string {
+		out := make([]string, 0, 3)
+		for _, g := range groups {
+			var vals []float64
+			for _, d := range g.days {
+				if ds := r.LN.ByDay[d]; ds != nil {
+					vals = append(vals, f(ds))
+				}
+			}
+			if len(vals) == 0 {
+				out = append(out, "-")
+				continue
+			}
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			out = append(out, fmt.Sprintf("%.1f", sum/float64(len(vals))))
+		}
+		return out
+	}
+	addRow := func(name string, f func(*core.DayStats) float64) {
+		v := get(f)
+		t.AddRow(name, v[0], v[1], v[2])
+	}
+	addRow("CDN path delay (ms)", func(d *core.DayStats) float64 { return d.CDNDelayMs.Median() })
+	addRow("CDN path length", func(d *core.DayStats) float64 { return d.PathLen.Median() })
+	addRow("Streaming delay (ms)", func(d *core.DayStats) float64 { return d.Streaming.Median() })
+	addRow("0-stall ratio (%)", func(d *core.DayStats) float64 { return d.ZeroStall.Percent() })
+	addRow("Fast startup ratio (%)", func(d *core.DayStats) float64 { return d.FastStart.Percent() })
+	addRow("peak concurrency", func(d *core.DayStats) float64 { return float64(d.PeakConcurrency) })
+	return "Table 3: LiveNet's performance during the Double 12 festival\n" + t.String()
+}
+
+func sortedDays(r *core.MacroResult) []int {
+	days := make([]int, 0, len(r.ByDay))
+	for d := range r.ByDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	return days
+}

@@ -1,0 +1,266 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// shared runs the quick pair once for all renderer tests.
+var (
+	sharedOnce sync.Once
+	sharedRes  *Results
+)
+
+func quickResults(t *testing.T) *Results {
+	t.Helper()
+	sharedOnce.Do(func() { sharedRes = Run(Quick()) })
+	return sharedRes
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := quickResults(t)
+	out := Table1(r)
+	for _, want := range []string{"CDN path delay", "Streaming delay", "0-stall", "Fast startup", "t-test"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	// Shape targets.
+	if r.LN.CDNDelayMs.Median() >= r.HR.CDNDelayMs.Median()/1.6 {
+		t.Fatalf("LiveNet should roughly halve CDN delay: %v vs %v",
+			r.LN.CDNDelayMs.Median(), r.HR.CDNDelayMs.Median())
+	}
+	if r.LN.PathLen.Median() != 2 || r.HR.PathLen.Median() != 4 {
+		t.Fatalf("path length medians: %v vs %v", r.LN.PathLen.Median(), r.HR.PathLen.Median())
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := quickResults(t)
+	out := Fig2(r)
+	if !strings.Contains(out, "Figure 2") || strings.Count(out, "\n") < 3 {
+		t.Fatalf("Fig2 too short:\n%s", out)
+	}
+	// Every day LiveNet < Hier.
+	for d, ds := range r.LN.ByDay {
+		if hs := r.HR.ByDay[d]; hs != nil {
+			if ds.CDNDelayMs.Median() >= hs.CDNDelayMs.Median() {
+				t.Fatalf("day %d: LiveNet %v >= Hier %v", d, ds.CDNDelayMs.Median(), hs.CDNDelayMs.Median())
+			}
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	r := quickResults(t)
+	if out := Fig8a(r); !strings.Contains(out, "CDF") {
+		t.Fatalf("Fig8a:\n%s", out)
+	}
+	// LiveNet CDF must dominate (be left of) Hier's at 1000 ms.
+	lnF := r.LN.Streaming.FractionBelow(1000)
+	hrF := r.HR.Streaming.FractionBelow(1000)
+	if lnF <= hrF {
+		t.Fatalf("CDF at 1s: LiveNet %.3f <= Hier %.3f", lnF, hrF)
+	}
+	if out := Fig8b(r); !strings.Contains(out, "stalls") {
+		t.Fatalf("Fig8b:\n%s", out)
+	}
+	if out := Fig8c(r); !strings.Contains(out, "Fast startup") {
+		t.Fatalf("Fig8c:\n%s", out)
+	}
+}
+
+func TestFig9GoPCacheEffect(t *testing.T) {
+	r := quickResults(t)
+	out := Fig9(r)
+	if !strings.Contains(out, "(700,1000]") {
+		t.Fatalf("Fig9 missing buckets:\n%s", out)
+	}
+	// The paper's point: startup stays high even in slower buckets.
+	if b := r.LN.StartupByDelay["(1000,1500]"]; b != nil && b.Total > 100 {
+		if b.Percent() < 75 {
+			t.Fatalf("fast startup in (1000,1500] bucket = %.1f%%, want high (GoP cache)", b.Percent())
+		}
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	r := quickResults(t)
+	if out := Fig10a(r); !strings.Contains(out, "median") {
+		t.Fatalf("Fig10a:\n%s", out)
+	}
+	if out := Fig10b(r); !strings.Contains(out, "hit ratio") {
+		t.Fatalf("Fig10b:\n%s", out)
+	}
+	if out := Fig10c(r); !strings.Contains(out, "First-packet") {
+		t.Fatalf("Fig10c:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := quickResults(t)
+	out := Table2(r)
+	if !strings.Contains(out, "Intra-nation.") {
+		t.Fatalf("Table2:\n%s", out)
+	}
+	// 2-hop dominates; international has more >=3 than intra.
+	total, n2 := 0, r.LN.LenCounts[2]
+	for _, c := range r.LN.LenCounts {
+		total += c
+	}
+	if float64(n2)/float64(total) < 0.5 {
+		t.Fatalf("2-hop share %.2f, want dominant", float64(n2)/float64(total))
+	}
+	interTotal, intraTotal := 0, 0
+	inter3, intra3 := 0, 0
+	for l, c := range r.LN.LenInter {
+		interTotal += c
+		if l >= 3 {
+			inter3 += c
+		}
+	}
+	for l, c := range r.LN.LenIntra {
+		intraTotal += c
+		if l >= 3 {
+			intra3 += c
+		}
+	}
+	if interTotal > 0 && intraTotal > 0 {
+		if float64(inter3)/float64(interTotal) <= float64(intra3)/float64(intraTotal) {
+			t.Fatal("international paths should have a larger >=3-hop share")
+		}
+	}
+}
+
+func TestFig11DelayGrowsWithLength(t *testing.T) {
+	r := quickResults(t)
+	out := Fig11(r)
+	if !strings.Contains(out, "Hier len=4") {
+		t.Fatalf("Fig11:\n%s", out)
+	}
+	d1 := r.LN.DelayByLen[1]
+	d2 := r.LN.DelayByLen[2]
+	if d1 != nil && d2 != nil && d1.N() > 50 && d2.N() > 50 {
+		if d2.Median() <= d1.Median() {
+			t.Fatalf("delay should grow with hops: len1=%v len2=%v", d1.Median(), d2.Median())
+		}
+	}
+	// All LiveNet boxes below Hier's.
+	if r.LN.DelayByLen[2].Median() >= r.HR.CDNDelayMs.Median() {
+		t.Fatal("LiveNet 2-hop delay should beat Hier")
+	}
+}
+
+func TestFig12Ordering(t *testing.T) {
+	r := quickResults(t)
+	out := Fig12(r)
+	if !strings.Contains(out, "LiveNet intra") {
+		t.Fatalf("Fig12:\n%s", out)
+	}
+	if !(r.LN.IntraDelay.Median() < r.LN.InterDelay.Median()) {
+		t.Fatal("intra should beat inter for LiveNet")
+	}
+	if !(r.LN.IntraDelay.Median() < r.HR.IntraDelay.Median()) {
+		t.Fatal("LiveNet intra should beat Hier intra")
+	}
+}
+
+func TestFig13UnderCap(t *testing.T) {
+	r := quickResults(t)
+	out := Fig13(r)
+	if !strings.Contains(out, "peak:") {
+		t.Fatalf("Fig13:\n%s", out)
+	}
+	for _, h := range r.LN.LossByHour.Buckets() {
+		if v := r.LN.LossByHour.Bucket(h).Mean(); v > 0.175 {
+			t.Fatalf("hour %d loss %.4f%% above cap", h, v)
+		}
+	}
+}
+
+func TestFig14AndTable3(t *testing.T) {
+	// Needs the festival: small 12-day run covering Dec 10-13.
+	o := Quick()
+	o.Days = 13
+	o.Double12 = true
+	r := Run(o)
+	out := Fig14(r)
+	if !strings.Contains(out, "norm. peak") {
+		t.Fatalf("Fig14:\n%s", out)
+	}
+	// Festival days (10, 11 zero-based) must be the peak.
+	maxDay, maxPeak := -1, 0
+	for d, ds := range r.LN.ByDay {
+		if ds.PeakConcurrency > maxPeak {
+			maxPeak, maxDay = ds.PeakConcurrency, d
+		}
+	}
+	if maxDay != 10 && maxDay != 11 {
+		t.Fatalf("peak day = %d, want the festival (10/11)", maxDay)
+	}
+	out3 := Table3(r)
+	if !strings.Contains(out3, "Dec 11-12") {
+		t.Fatalf("Table3:\n%s", out3)
+	}
+	// No noticeable degradation during the festival (within a few points).
+	fest := r.LN.ByDay[10]
+	normal := r.LN.ByDay[9]
+	if fest.ZeroStall.Percent() < normal.ZeroStall.Percent()-3 {
+		t.Fatalf("festival 0-stall degraded: %.1f vs %.1f",
+			fest.ZeroStall.Percent(), normal.ZeroStall.Percent())
+	}
+}
+
+func TestAblationFastSlow(t *testing.T) {
+	r := AblationFastSlow(1, 0.01)
+	if r.FastSlowMedianMs <= 0 || r.StoreFwdMedianMs <= 0 {
+		t.Fatalf("no latency measured: %+v", r)
+	}
+	// Fast-slow must beat the full-stack store-and-forward chain.
+	if r.FastSlowMedianMs >= r.StoreFwdMedianMs {
+		t.Fatalf("fast-slow median %v >= store&fwd %v", r.FastSlowMedianMs, r.StoreFwdMedianMs)
+	}
+	if r.FastSlowRecovered == 0 {
+		t.Fatal("1% loss should have triggered retransmissions")
+	}
+	out := FastSlowTable(1, []float64{0, 0.01})
+	if !strings.Contains(out, "store&fwd") {
+		t.Fatalf("table:\n%s", out)
+	}
+}
+
+func TestAblationLinkWeights(t *testing.T) {
+	out := AblationLinkWeights(3)
+	if !strings.Contains(out, "load-aware path") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// The load-aware route must avoid node 1 (the hot relay).
+	lines := strings.Split(out, "\n")
+	var pure, aware string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "pure-RTT path:") {
+			pure = l
+		}
+		if strings.HasPrefix(l, "load-aware path:") {
+			aware = l
+		}
+	}
+	if !strings.Contains(pure, "[0 1 2]") {
+		t.Fatalf("pure-RTT should go through the hot relay: %s", pure)
+	}
+	if strings.Contains(aware, "[0 1 2]") {
+		t.Fatalf("load-aware should avoid the hot relay: %s", aware)
+	}
+}
+
+func TestMacroAblations(t *testing.T) {
+	o := Quick()
+	o.Days = 1
+	out := MacroAblations(o)
+	for _, want := range []string{"baseline", "no GoP cache", "no path prefetch", "k=1", "k=5", "pure-RTT weights"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package gcc implements the Google Congestion Control algorithm the
+// paper's slow path adopts (§5.1, citing Carlucci et al. [13]): a
+// delay-based receiver-side controller (trendline estimator + adaptive
+// over-use detector + AIMD rate control) combined with a loss-based
+// sender-side controller, plus the pacer that executes the resulting rate
+// on the fast path with an I-frame pacing gain of 1.5 and audio
+// prioritization (§5.2).
+package gcc
+
+import (
+	"math"
+	"time"
+)
+
+// Signal is the over-use detector output.
+type Signal int
+
+// Detector signals.
+const (
+	SignalNormal Signal = iota
+	SignalOveruse
+	SignalUnderuse
+)
+
+// String implements fmt.Stringer.
+func (s Signal) String() string {
+	switch s {
+	case SignalNormal:
+		return "normal"
+	case SignalOveruse:
+		return "overuse"
+	case SignalUnderuse:
+		return "underuse"
+	}
+	return "unknown"
+}
+
+// trendline estimator constants (following the WebRTC implementation).
+const (
+	trendlineWindow    = 20
+	smoothingCoef      = 0.9
+	thresholdGain      = 4.0
+	overuseTimeTh      = 10 * time.Millisecond
+	maxAdaptOffsetMs   = 15.0
+	kUp                = 0.0087
+	kDown              = 0.039
+	initialThresholdMs = 12.5
+)
+
+// TrendlineEstimator turns per-packet one-way delay variation samples into
+// Overuse/Normal/Underuse signals. Feed it one sample per packet group via
+// Update.
+type TrendlineEstimator struct {
+	history    []trendSample // ring of recent samples
+	accumDrift float64
+	smoothed   float64
+	firstTime  time.Duration
+	haveFirst  bool
+
+	threshold    float64 // adaptive |gamma| in ms
+	lastUpdate   time.Duration
+	overuseStart time.Duration
+	inOveruse    bool
+	prevTrend    float64
+	signal       Signal
+}
+
+type trendSample struct {
+	t     float64 // arrival time in ms since first sample
+	drift float64 // smoothed accumulated delay in ms
+}
+
+// NewTrendlineEstimator returns a ready estimator.
+func NewTrendlineEstimator() *TrendlineEstimator {
+	return &TrendlineEstimator{threshold: initialThresholdMs, signal: SignalNormal}
+}
+
+// Signal returns the current detector state.
+func (e *TrendlineEstimator) Signal() Signal { return e.signal }
+
+// Update processes one inter-group delay-variation sample: deltaDelay is
+// (arrival spacing − send spacing) for the newest packet group, observed
+// at arrival time now. It returns the (possibly updated) signal.
+func (e *TrendlineEstimator) Update(deltaDelay time.Duration, now time.Duration) Signal {
+	if !e.haveFirst {
+		e.haveFirst = true
+		e.firstTime = now
+	}
+	dMs := float64(deltaDelay) / float64(time.Millisecond)
+	e.accumDrift += dMs
+	e.smoothed = smoothingCoef*e.smoothed + (1-smoothingCoef)*e.accumDrift
+
+	e.history = append(e.history, trendSample{
+		t:     float64(now-e.firstTime) / float64(time.Millisecond),
+		drift: e.smoothed,
+	})
+	if len(e.history) > trendlineWindow {
+		e.history = e.history[1:]
+	}
+	trend := e.prevTrend
+	if len(e.history) >= 2 {
+		trend = slope(e.history)
+	}
+	e.detect(trend, now)
+	return e.signal
+}
+
+// slope is the least-squares slope of drift over time.
+func slope(h []trendSample) float64 {
+	n := float64(len(h))
+	var sumT, sumD float64
+	for _, s := range h {
+		sumT += s.t
+		sumD += s.drift
+	}
+	meanT, meanD := sumT/n, sumD/n
+	var num, den float64
+	for _, s := range h {
+		num += (s.t - meanT) * (s.drift - meanD)
+		den += (s.t - meanT) * (s.t - meanT)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func (e *TrendlineEstimator) detect(trend float64, now time.Duration) {
+	// Scale the trend the way WebRTC does so it is comparable with the
+	// threshold in ms.
+	modified := math.Min(float64(len(e.history))*trendlineWindow, 60) * trend * thresholdGain
+
+	switch {
+	case modified > e.threshold:
+		if !e.inOveruse {
+			e.inOveruse = true
+			e.overuseStart = now
+		}
+		// Require sustained over-use and an increasing trend before
+		// signaling, to filter noise spikes.
+		if now-e.overuseStart >= overuseTimeTh && trend >= e.prevTrend {
+			e.signal = SignalOveruse
+		}
+	case modified < -e.threshold:
+		e.inOveruse = false
+		e.signal = SignalUnderuse
+	default:
+		e.inOveruse = false
+		e.signal = SignalNormal
+	}
+	e.adaptThreshold(modified, now)
+	e.prevTrend = trend
+}
+
+func (e *TrendlineEstimator) adaptThreshold(modified float64, now time.Duration) {
+	if e.lastUpdate == 0 {
+		e.lastUpdate = now
+	}
+	if math.Abs(modified) > e.threshold+maxAdaptOffsetMs {
+		// Ignore spikes far above the threshold (per the algorithm).
+		e.lastUpdate = now
+		return
+	}
+	k := kDown
+	if math.Abs(modified) > e.threshold {
+		k = kUp
+	}
+	dtMs := math.Min(float64(now-e.lastUpdate)/float64(time.Millisecond), 100)
+	e.threshold += k * (math.Abs(modified) - e.threshold) * dtMs
+	e.threshold = math.Max(6, math.Min(600, e.threshold))
+	e.lastUpdate = now
+}
+
+// Threshold exposes the adaptive threshold (for tests and ablations).
+func (e *TrendlineEstimator) Threshold() float64 { return e.threshold }
+
+// InterArrival computes per-group delay-variation samples from packet
+// timestamps: it compares arrival-time spacing with send-time spacing
+// over 5 ms packet groups (burst grouping as in GCC).
+type InterArrival struct {
+	groupSendFirst time.Duration
+	groupSendLast  time.Duration
+	groupArrLast   time.Duration
+	groupSize      int
+	prevSendLast   time.Duration
+	prevArrLast    time.Duration
+	havePrev       bool
+	haveGroup      bool
+}
+
+// groupSpan is the send-time window that defines one packet group.
+const groupSpan = 5 * time.Millisecond
+
+// Add feeds one packet (send timestamp, arrival timestamp). When a packet
+// group completes it returns the delay-variation sample and true.
+func (ia *InterArrival) Add(sendTime, arrTime time.Duration) (time.Duration, bool) {
+	if !ia.haveGroup {
+		ia.startGroup(sendTime, arrTime)
+		return 0, false
+	}
+	if sendTime-ia.groupSendFirst <= groupSpan {
+		// Same group: extend.
+		if sendTime > ia.groupSendLast {
+			ia.groupSendLast = sendTime
+		}
+		if arrTime > ia.groupArrLast {
+			ia.groupArrLast = arrTime
+		}
+		ia.groupSize++
+		return 0, false
+	}
+	// Group completed; compute the sample against the previous group.
+	var sample time.Duration
+	ok := false
+	if ia.havePrev {
+		sendDelta := ia.groupSendLast - ia.prevSendLast
+		arrDelta := ia.groupArrLast - ia.prevArrLast
+		sample = arrDelta - sendDelta
+		ok = true
+	}
+	ia.prevSendLast = ia.groupSendLast
+	ia.prevArrLast = ia.groupArrLast
+	ia.havePrev = true
+	ia.startGroup(sendTime, arrTime)
+	return sample, ok
+}
+
+func (ia *InterArrival) startGroup(sendTime, arrTime time.Duration) {
+	ia.groupSendFirst = sendTime
+	ia.groupSendLast = sendTime
+	ia.groupArrLast = arrTime
+	ia.groupSize = 1
+	ia.haveGroup = true
+}

@@ -1,0 +1,166 @@
+package gcc
+
+import "time"
+
+// Class orders pacer traffic. Lower values drain first: audio beats
+// everything (head-of-line blocking avoidance, §5.2) and retransmissions
+// beat fresh video (§5.1 footnote: "retransmitted packets have a higher
+// sending priority than the packets in the send queue"). Video keeps
+// FIFO order — I frames are not reordered ahead of older packets (that
+// would punch sequence holes at receivers); they get a pacing *gain*
+// instead.
+type Class int
+
+// Pacer traffic classes, highest priority first.
+const (
+	ClassAudio Class = iota
+	ClassRTX
+	ClassVideo
+	numClasses
+)
+
+// IFramePacingGain is the pacing gain applied to I-frame packets: their
+// bytes are charged at 1/1.5 of their size so the large I frames drain
+// the queue quickly without reordering it (§5.2 "Priority-Aware Data
+// Sending", citing WebRTC's pacing gain).
+const IFramePacingGain = 1.5
+
+// Item is one queued packet.
+type Item struct {
+	Class Class
+	Size  int // wire size in bytes
+	// Gain is the pacing gain: the packet is charged Size/Gain against
+	// the budget (0 or 1 = no gain). I frames use IFramePacingGain; GoP
+	// cache primes use a larger catch-up gain so a joining subscriber
+	// receives the backlog quickly without starving live packets behind
+	// a slow drip.
+	Gain float64
+	// Payload is opaque to the pacer (the node stores the marshaled
+	// packet and destination here).
+	Payload any
+}
+
+// Pacer shapes fast-path sending to the rate the slow path's GCC
+// controller decides. It is a pull-based token bucket: the node calls
+// Drain on a timer and sends whatever the budget allows, in class order.
+type Pacer struct {
+	queues     [numClasses][]Item
+	queueBytes int
+
+	rateBps   float64
+	budget    float64 // bytes available to send now
+	lastDrain time.Duration
+	haveDrain bool
+
+	// maxBurst caps accumulated budget so an idle period doesn't produce
+	// a line-rate burst.
+	maxBurst float64
+}
+
+// NewPacer returns a pacer at the given starting rate.
+func NewPacer(rateBps float64) *Pacer {
+	return &Pacer{rateBps: rateBps, maxBurst: 12_000} // ~10 MTUs
+}
+
+// SetRate updates the pacing rate (bps).
+func (p *Pacer) SetRate(bps float64) {
+	if bps < 10_000 {
+		bps = 10_000
+	}
+	p.rateBps = bps
+}
+
+// Rate returns the current pacing rate.
+func (p *Pacer) Rate() float64 { return p.rateBps }
+
+// Push enqueues an item.
+func (p *Pacer) Push(it Item) {
+	p.queues[it.Class] = append(p.queues[it.Class], it)
+	p.queueBytes += it.Size
+}
+
+// QueueBytes returns the total queued bytes (all classes).
+func (p *Pacer) QueueBytes() int { return p.queueBytes }
+
+// QueueLen returns the number of queued items.
+func (p *Pacer) QueueLen() int {
+	n := 0
+	for _, q := range p.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// QueueDelay estimates how long the current queue takes to drain at the
+// current rate — the signal the consumer's proactive frame dropping
+// compares against its threshold (§5.2).
+func (p *Pacer) QueueDelay() time.Duration {
+	if p.rateBps <= 0 {
+		return 0
+	}
+	secs := float64(p.queueBytes*8) / p.rateBps
+	return time.Duration(secs * float64(time.Second))
+}
+
+// DropClass removes all queued items of the given class and returns how
+// many bytes were dropped (used by proactive frame dropping).
+func (p *Pacer) DropClass(c Class) int {
+	dropped := 0
+	for _, it := range p.queues[c] {
+		dropped += it.Size
+	}
+	p.queues[c] = p.queues[c][:0]
+	p.queueBytes -= dropped
+	return dropped
+}
+
+// Drain accrues budget for the elapsed time and emits items in priority
+// order while budget remains. I-frame packets are charged size/1.5
+// (pacing gain). A packet may drive the budget negative; the deficit is
+// paid back before the next send.
+func (p *Pacer) Drain(now time.Duration, emit func(Item)) {
+	if !p.haveDrain {
+		p.haveDrain = true
+		p.lastDrain = now
+		// Allow an initial burst of one MTU so the first packet is not
+		// delayed by budget accrual.
+		p.budget = 1500
+	}
+	elapsed := now - p.lastDrain
+	p.lastDrain = now
+	p.budget += p.rateBps / 8 * elapsed.Seconds()
+	if p.budget > p.maxBurst {
+		p.budget = p.maxBurst
+	}
+	for p.budget > 0 {
+		it, ok := p.pop()
+		if !ok {
+			// An empty queue must not bank budget for a later burst.
+			if p.budget > 1500 {
+				p.budget = 1500
+			}
+			return
+		}
+		charge := float64(it.Size)
+		if it.Gain > 1 {
+			charge /= it.Gain
+		}
+		p.budget -= charge
+		emit(it)
+	}
+}
+
+func (p *Pacer) pop() (Item, bool) {
+	for c := range p.queues {
+		if len(p.queues[c]) > 0 {
+			it := p.queues[c][0]
+			// Shift; amortized fine for short queues, and it keeps slices
+			// reusable.
+			copy(p.queues[c], p.queues[c][1:])
+			p.queues[c] = p.queues[c][:len(p.queues[c])-1]
+			p.queueBytes -= it.Size
+			return it, true
+		}
+	}
+	return Item{}, false
+}

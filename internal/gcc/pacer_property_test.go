@@ -1,0 +1,73 @@
+package gcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPacerConservationProperty: every pushed item is emitted exactly
+// once, classes drain in priority order, FIFO holds within a class, and
+// the byte accounting returns to zero.
+func TestPacerConservationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	check := func(seed uint16) bool {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		p := NewPacer(50e6)
+		type tag struct {
+			class Class
+			seq   int
+		}
+		pushed := 0
+		perClassSeq := map[Class]int{}
+		lastEmitted := map[Class]int{}
+		emittedTotal := 0
+		now := time.Duration(0)
+
+		for step := 0; step < 200; step++ {
+			if rng.Intn(3) > 0 { // push twice as often as we tick
+				class := Class(rng.Intn(int(numClasses)))
+				perClassSeq[class]++
+				p.Push(Item{
+					Class:   class,
+					Size:    100 + rng.Intn(1300),
+					Gain:    []float64{0, 1, 1.5, 4}[rng.Intn(4)],
+					Payload: tag{class: class, seq: perClassSeq[class]},
+				})
+				pushed++
+			}
+			now += time.Duration(rng.Intn(5)+1) * time.Millisecond
+			p.Drain(now, func(it Item) {
+				emittedTotal++
+				tg := it.Payload.(tag)
+				if tg.seq <= lastEmitted[tg.class] {
+					t.Fatalf("FIFO violated in class %d: %d after %d", tg.class, tg.seq, lastEmitted[tg.class])
+				}
+				lastEmitted[tg.class] = tg.seq
+			})
+		}
+		// Drain to empty.
+		for i := 0; i < 1000 && p.QueueLen() > 0; i++ {
+			now += 5 * time.Millisecond
+			p.Drain(now, func(it Item) {
+				emittedTotal++
+				tg := it.Payload.(tag)
+				if tg.seq <= lastEmitted[tg.class] {
+					t.Fatalf("FIFO violated in class %d", tg.class)
+				}
+				lastEmitted[tg.class] = tg.seq
+			})
+		}
+		if emittedTotal != pushed {
+			t.Fatalf("conservation violated: pushed %d, emitted %d", pushed, emittedTotal)
+		}
+		if p.QueueBytes() != 0 {
+			t.Fatalf("queue bytes = %d after draining everything", p.QueueBytes())
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,224 @@
+package gcc
+
+import "time"
+
+// RateMeter measures the received/sent bitrate over a sliding window; the
+// AIMD controller multiplies it by 0.85 on over-use ("decrease to 85% of
+// the incoming rate").
+type RateMeter struct {
+	window  time.Duration
+	samples []rateSample
+	bytes   int64
+}
+
+type rateSample struct {
+	t time.Duration
+	n int
+}
+
+// NewRateMeter returns a meter with the given window (500 ms if zero).
+func NewRateMeter(window time.Duration) *RateMeter {
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	return &RateMeter{window: window}
+}
+
+// Add records n bytes observed at time now.
+func (m *RateMeter) Add(now time.Duration, n int) {
+	m.samples = append(m.samples, rateSample{t: now, n: n})
+	m.bytes += int64(n)
+	m.trim(now)
+}
+
+func (m *RateMeter) trim(now time.Duration) {
+	cut := 0
+	for cut < len(m.samples) && now-m.samples[cut].t > m.window {
+		m.bytes -= int64(m.samples[cut].n)
+		cut++
+	}
+	if cut > 0 {
+		m.samples = m.samples[cut:]
+	}
+}
+
+// BitrateBps returns the current windowed rate in bits per second.
+func (m *RateMeter) BitrateBps(now time.Duration) float64 {
+	m.trim(now)
+	if len(m.samples) == 0 {
+		return 0
+	}
+	span := m.window
+	if got := now - m.samples[0].t; got > 0 && got < span {
+		span = got
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(m.bytes*8) / span.Seconds()
+}
+
+// AIMD is the delay-based rate controller: multiplicative increase while
+// the path is underutilized, additive increase near convergence, and a
+// multiplicative decrease to 85% of the measured incoming rate on
+// over-use.
+type AIMD struct {
+	rate        float64 // current estimate, bps
+	minRate     float64
+	maxRate     float64
+	state       aimdState
+	lastDecRate float64 // incoming rate at last decrease (convergence ref)
+	lastUpdate  time.Duration
+	haveUpdate  bool
+}
+
+type aimdState int
+
+const (
+	stateIncrease aimdState = iota
+	stateHold
+	stateDecrease
+)
+
+// NewAIMD returns a controller starting at startBps bounded to
+// [minBps, maxBps].
+func NewAIMD(startBps, minBps, maxBps float64) *AIMD {
+	return &AIMD{rate: startBps, minRate: minBps, maxRate: maxBps, state: stateIncrease}
+}
+
+// Rate returns the current delay-based estimate in bps.
+func (a *AIMD) Rate() float64 { return a.rate }
+
+// Update advances the controller state machine with the detector signal,
+// the measured incoming bitrate, and the current time; it returns the new
+// rate. The state transitions follow RFC draft / Carlucci et al.:
+//
+//	overuse  → Decrease (always)
+//	underuse → Hold (queues draining; don't push yet)
+//	normal   → Increase
+func (a *AIMD) Update(sig Signal, incomingBps float64, now time.Duration) float64 {
+	if !a.haveUpdate {
+		a.haveUpdate = true
+		a.lastUpdate = now
+	}
+	dt := (now - a.lastUpdate).Seconds()
+	if dt > 1 {
+		dt = 1
+	}
+	a.lastUpdate = now
+
+	switch sig {
+	case SignalOveruse:
+		a.state = stateDecrease
+	case SignalUnderuse:
+		a.state = stateHold
+	case SignalNormal:
+		// From Hold or Decrease, a normal signal resumes increasing.
+		a.state = stateIncrease
+	}
+
+	switch a.state {
+	case stateDecrease:
+		target := 0.85 * incomingBps
+		if target <= 0 || target > a.rate {
+			target = 0.85 * a.rate
+		}
+		a.rate = target
+		a.lastDecRate = incomingBps
+		// After decreasing we hold until the next signal.
+		a.state = stateHold
+	case stateIncrease:
+		nearConvergence := a.lastDecRate > 0 &&
+			incomingBps > 0.95*a.lastDecRate && incomingBps < 1.5*a.lastDecRate
+		if nearConvergence {
+			// Additive: about one packet per response interval.
+			a.rate += 8 * 1200 * dt * 10 // ~96 kbps per second
+		} else {
+			// Multiplicative: 8% per second.
+			a.rate *= 1 + 0.08*dt
+		}
+	case stateHold:
+		// no change
+	}
+
+	// Never run far ahead of what is actually arriving.
+	if incomingBps > 0 && a.rate > 1.5*incomingBps {
+		a.rate = 1.5 * incomingBps
+	}
+	if a.rate < a.minRate {
+		a.rate = a.minRate
+	}
+	if a.rate > a.maxRate {
+		a.rate = a.maxRate
+	}
+	return a.rate
+}
+
+// LossBased is the sender-side loss controller: it reduces the rate when
+// receiver reports show heavy loss and probes upward when loss is rare.
+type LossBased struct {
+	rate    float64
+	minRate float64
+	maxRate float64
+}
+
+// NewLossBased returns a controller starting at startBps.
+func NewLossBased(startBps, minBps, maxBps float64) *LossBased {
+	return &LossBased{rate: startBps, minRate: minBps, maxRate: maxBps}
+}
+
+// Rate returns the current loss-based estimate in bps.
+func (l *LossBased) Rate() float64 { return l.rate }
+
+// OnReport applies one receiver report's fraction-lost (in [0,1]):
+//
+//	loss > 10% → rate *= (1 − 0.5·loss)
+//	loss < 2%  → rate *= 1.05
+//	otherwise  → hold
+func (l *LossBased) OnReport(fractionLost float64) float64 {
+	switch {
+	case fractionLost > 0.10:
+		l.rate *= 1 - 0.5*fractionLost
+	case fractionLost < 0.02:
+		l.rate *= 1.05
+	}
+	if l.rate < l.minRate {
+		l.rate = l.minRate
+	}
+	if l.rate > l.maxRate {
+		l.rate = l.maxRate
+	}
+	return l.rate
+}
+
+// Controller combines the delay-based (receiver, via REMB) and loss-based
+// (sender, via RR) estimates: the pacing rate is their minimum (§5.1:
+// "the sender rate control decides the pacing rate based on both the
+// delay-based receiver-side control and the loss-based sender-side
+// control").
+type Controller struct {
+	Loss       *LossBased
+	remoteREMB float64
+}
+
+// NewController returns a sender-side controller.
+func NewController(startBps, minBps, maxBps float64) *Controller {
+	return &Controller{Loss: NewLossBased(startBps, minBps, maxBps)}
+}
+
+// OnREMB records the receiver's delay-based estimate.
+func (c *Controller) OnREMB(bps float64) { c.remoteREMB = bps }
+
+// OnReceiverReport applies a loss report.
+func (c *Controller) OnReceiverReport(fractionLost float64) {
+	c.Loss.OnReport(fractionLost)
+}
+
+// PacingRate returns the rate the pacer should use.
+func (c *Controller) PacingRate() float64 {
+	r := c.Loss.Rate()
+	if c.remoteREMB > 0 && c.remoteREMB < r {
+		r = c.remoteREMB
+	}
+	return r
+}

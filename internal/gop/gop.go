@@ -1,0 +1,202 @@
+// Package gop implements the Framing Control module and the GoP cache of
+// LiveNet's slow path (§5.1): ordered RTP packets are decoded back into
+// frames and grouped into GoPs (Groups of Pictures), and the most recent
+// GoPs are cached on every node so subsequent viewers of the same stream
+// can start playback immediately from an I frame — the mechanism behind
+// the paper's fast-startup results (Figure 9).
+package gop
+
+import (
+	"livenet/internal/media"
+	"livenet/internal/rtp"
+)
+
+// AssembledFrame is one fully received frame.
+type AssembledFrame struct {
+	Header media.FrameHeader
+	Size   int // payload bytes across all packets (excluding headers)
+}
+
+// Assembler reconstructs frames from a stream of RTP packets (the slow
+// path feeds it packets in order after loss recovery; mild reordering is
+// tolerated). Complete frames are reported through OnFrame.
+type Assembler struct {
+	// OnFrame, if set, is called once per completed frame in completion
+	// order.
+	OnFrame func(AssembledFrame)
+
+	pending map[uint32]*pendingFrame
+	// completedHi tracks the highest completed frame ID for GC.
+	maxPending int
+
+	framesCompleted uint64
+	framesDropped   uint64
+}
+
+type pendingFrame struct {
+	header   media.FrameHeader
+	got      map[uint16]bool
+	size     int
+	firstIDs uint32
+}
+
+// NewAssembler returns an assembler that keeps at most maxPending
+// incomplete frames before dropping the oldest (a frame that can never
+// complete, e.g. unrecovered loss, must not pin memory).
+func NewAssembler(maxPending int) *Assembler {
+	if maxPending <= 0 {
+		maxPending = 32
+	}
+	return &Assembler{
+		pending:    make(map[uint32]*pendingFrame),
+		maxPending: maxPending,
+	}
+}
+
+// FramesCompleted returns the number of frames fully assembled.
+func (a *Assembler) FramesCompleted() uint64 { return a.framesCompleted }
+
+// FramesDropped returns the number of incomplete frames evicted.
+func (a *Assembler) FramesDropped() uint64 { return a.framesDropped }
+
+// Push feeds one RTP packet. Packets that do not carry a parseable frame
+// header are ignored.
+func (a *Assembler) Push(pkt *rtp.Packet) {
+	var h media.FrameHeader
+	if err := h.Unmarshal(pkt.Payload); err != nil {
+		return
+	}
+	pf, ok := a.pending[h.FrameID]
+	if !ok {
+		if len(a.pending) >= a.maxPending {
+			a.evictOldest()
+		}
+		pf = &pendingFrame{header: h, got: make(map[uint16]bool, h.PktCount)}
+		a.pending[h.FrameID] = pf
+	}
+	if pf.got[h.PktIdx] {
+		return // duplicate (e.g. both fast path and a retransmission)
+	}
+	pf.got[h.PktIdx] = true
+	pf.size += len(pkt.Payload) - media.FrameHeaderLen
+	if len(pf.got) == int(h.PktCount) {
+		delete(a.pending, h.FrameID)
+		a.framesCompleted++
+		if a.OnFrame != nil {
+			a.OnFrame(AssembledFrame{Header: pf.header, Size: pf.size})
+		}
+	}
+}
+
+func (a *Assembler) evictOldest() {
+	var oldest uint32
+	first := true
+	for id := range a.pending {
+		if first || id < oldest {
+			oldest = id
+			first = false
+		}
+	}
+	if !first {
+		delete(a.pending, oldest)
+		a.framesDropped++
+	}
+}
+
+// CachedPacket is one RTP packet retained in the GoP cache, stored in
+// marshaled form so it can be replayed to new subscribers byte-for-byte.
+type CachedPacket struct {
+	SeqNum  uint16
+	FrameID uint32
+	Type    media.FrameType
+	Data    []byte
+}
+
+type cachedGoP struct {
+	id      uint32
+	packets []CachedPacket
+	bytes   int
+	hasI    bool
+}
+
+// Cache is the per-stream GoP cache. It keeps the most recent GoPs up to
+// a GoP-count and byte budget, evicting oldest first.
+type Cache struct {
+	maxGoPs  int
+	maxBytes int
+	gops     []*cachedGoP
+	bytes    int
+}
+
+// NewCache returns a cache bounded by maxGoPs GoPs and maxBytes bytes
+// (zero means a default of 3 GoPs / 16 MiB, enough for a couple of
+// seconds of 720p).
+func NewCache(maxGoPs, maxBytes int) *Cache {
+	if maxGoPs <= 0 {
+		maxGoPs = 3
+	}
+	if maxBytes <= 0 {
+		maxBytes = 16 << 20
+	}
+	return &Cache{maxGoPs: maxGoPs, maxBytes: maxBytes}
+}
+
+// Insert stores one packet. data must be the marshaled RTP packet; the
+// cache copies it. Packets must arrive in decode order per GoP (the slow
+// path guarantees this).
+func (c *Cache) Insert(h media.FrameHeader, seq uint16, data []byte) {
+	var g *cachedGoP
+	if n := len(c.gops); n > 0 && c.gops[n-1].id == h.GopID {
+		g = c.gops[n-1]
+	} else if n > 0 && h.GopID < c.gops[n-1].id {
+		return // stale packet from an already-rotated GoP
+	} else {
+		g = &cachedGoP{id: h.GopID}
+		c.gops = append(c.gops, g)
+		c.evict()
+	}
+	cp := CachedPacket{
+		SeqNum:  seq,
+		FrameID: h.FrameID,
+		Type:    h.Type,
+		Data:    append([]byte(nil), data...),
+	}
+	g.packets = append(g.packets, cp)
+	g.bytes += len(data)
+	c.bytes += len(data)
+	if h.Type == media.FrameI {
+		g.hasI = true
+	}
+	c.evict()
+}
+
+func (c *Cache) evict() {
+	for (len(c.gops) > c.maxGoPs || c.bytes > c.maxBytes) && len(c.gops) > 1 {
+		c.bytes -= c.gops[0].bytes
+		c.gops[0] = nil
+		c.gops = c.gops[1:]
+	}
+}
+
+// GoPCount returns the number of cached GoPs.
+func (c *Cache) GoPCount() int { return len(c.gops) }
+
+// Bytes returns the cached byte total.
+func (c *Cache) Bytes() int { return c.bytes }
+
+// StartupPackets returns the packets a new viewer should be primed with:
+// the most recent cached GoP that begins with an I frame (so decode can
+// start immediately), or nil if no such GoP is cached yet. The returned
+// slices alias cache storage; callers must not modify them.
+func (c *Cache) StartupPackets() []CachedPacket {
+	for i := len(c.gops) - 1; i >= 0; i-- {
+		if c.gops[i].hasI {
+			return c.gops[i].packets
+		}
+	}
+	return nil
+}
+
+// HasRecentGoP reports whether a startup-capable GoP is cached — the
+// "recent video frames cached" condition in Algorithm 1 line 1.
+func (c *Cache) HasRecentGoP() bool { return c.StartupPackets() != nil }

@@ -1,0 +1,246 @@
+package gop
+
+import (
+	"testing"
+
+	"livenet/internal/media"
+	"livenet/internal/rtp"
+	"livenet/internal/sim"
+)
+
+// makeStream packetizes n frames from a fresh encoder.
+func makeStream(t *testing.T, n int) []rtp.Packet {
+	t.Helper()
+	rng := sim.NewSource(1).Stream("gop")
+	enc := media.NewEncoder(media.DefaultEncoderConfig(1_500_000), rng)
+	p := media.NewPacketizer(5)
+	var pkts []rtp.Packet
+	for i := 0; i < n; i++ {
+		pkts = p.Packetize(enc.NextFrame(), 0, pkts)
+	}
+	return pkts
+}
+
+func TestAssemblerCompletesFrames(t *testing.T) {
+	pkts := makeStream(t, 50) // one full GoP
+	a := NewAssembler(0)
+	var frames []AssembledFrame
+	a.OnFrame = func(f AssembledFrame) { frames = append(frames, f) }
+	for i := range pkts {
+		a.Push(&pkts[i])
+	}
+	if len(frames) != 50 {
+		t.Fatalf("assembled %d frames, want 50", len(frames))
+	}
+	if frames[0].Header.Type != media.FrameI {
+		t.Fatalf("first frame should be I, got %v", frames[0].Header.Type)
+	}
+	if a.FramesCompleted() != 50 || a.FramesDropped() != 0 {
+		t.Fatalf("counters: completed=%d dropped=%d", a.FramesCompleted(), a.FramesDropped())
+	}
+}
+
+func TestAssemblerIgnoresDuplicates(t *testing.T) {
+	pkts := makeStream(t, 10)
+	a := NewAssembler(0)
+	count := 0
+	a.OnFrame = func(AssembledFrame) { count++ }
+	for i := range pkts {
+		a.Push(&pkts[i])
+		a.Push(&pkts[i]) // duplicate delivery (fast path + retransmission)
+	}
+	if count != 10 {
+		t.Fatalf("duplicates inflated frame count: %d", count)
+	}
+}
+
+func TestAssemblerToleratesReordering(t *testing.T) {
+	pkts := makeStream(t, 5)
+	// Reverse within the stream: frames interleave arbitrarily.
+	a := NewAssembler(0)
+	count := 0
+	a.OnFrame = func(AssembledFrame) { count++ }
+	for i := len(pkts) - 1; i >= 0; i-- {
+		a.Push(&pkts[i])
+	}
+	if count != 5 {
+		t.Fatalf("reordered delivery assembled %d frames, want 5", count)
+	}
+}
+
+func TestAssemblerEvictsStaleIncomplete(t *testing.T) {
+	pkts := makeStream(t, 64)
+	a := NewAssembler(8)
+	completed := 0
+	a.OnFrame = func(AssembledFrame) { completed++ }
+	// Drop the first packet of every even-numbered frame: those frames can
+	// never complete and must eventually be evicted, while odd frames
+	// complete normally.
+	seenFrame := map[uint32]bool{}
+	for i := range pkts {
+		var h media.FrameHeader
+		if err := h.Unmarshal(pkts[i].Payload); err != nil {
+			t.Fatal(err)
+		}
+		if h.FrameID%2 == 0 && !seenFrame[h.FrameID] {
+			seenFrame[h.FrameID] = true
+			continue // drop first packet
+		}
+		seenFrame[h.FrameID] = true
+		a.Push(&pkts[i])
+	}
+	if a.FramesDropped() == 0 {
+		t.Fatal("expected evictions of never-completable frames")
+	}
+	// Undamaged frames still complete.
+	if completed == 0 {
+		t.Fatal("undamaged frames should still complete")
+	}
+}
+
+func TestAssemblerIgnoresGarbage(t *testing.T) {
+	a := NewAssembler(0)
+	pkt := rtp.Packet{Payload: []byte{1, 2}}
+	a.Push(&pkt) // too short for a frame header; must not panic or count
+	if a.FramesCompleted() != 0 {
+		t.Fatal("garbage counted as frame")
+	}
+}
+
+func insertFrame(c *Cache, h media.FrameHeader, seq uint16, size int) {
+	data := make([]byte, size)
+	c.Insert(h, seq, data)
+}
+
+func TestCacheStartupPackets(t *testing.T) {
+	c := NewCache(3, 0)
+	// GoP 0: I + 2 P frames.
+	insertFrame(c, media.FrameHeader{Type: media.FrameI, FrameID: 0, GopID: 0, PktCount: 1}, 0, 1000)
+	insertFrame(c, media.FrameHeader{Type: media.FrameP, FrameID: 1, GopID: 0, PktCount: 1}, 1, 300)
+	insertFrame(c, media.FrameHeader{Type: media.FrameP, FrameID: 2, GopID: 0, PktCount: 1}, 2, 300)
+	got := c.StartupPackets()
+	if len(got) != 3 {
+		t.Fatalf("startup packets = %d, want 3", len(got))
+	}
+	if got[0].Type != media.FrameI {
+		t.Fatal("startup must begin at an I frame")
+	}
+	// GoP 1 arrives: startup should now serve the newer GoP.
+	insertFrame(c, media.FrameHeader{Type: media.FrameI, FrameID: 3, GopID: 1, PktCount: 1}, 3, 1000)
+	got = c.StartupPackets()
+	if len(got) != 1 || got[0].FrameID != 3 {
+		t.Fatalf("should serve newest I-led GoP, got %d packets (first frame %d)", len(got), got[0].FrameID)
+	}
+}
+
+func TestCacheNoIFrameNoStartup(t *testing.T) {
+	c := NewCache(3, 0)
+	insertFrame(c, media.FrameHeader{Type: media.FrameP, FrameID: 1, GopID: 0, PktCount: 1}, 0, 100)
+	if c.HasRecentGoP() {
+		t.Fatal("cache without I frame cannot serve startup")
+	}
+	if c.StartupPackets() != nil {
+		t.Fatal("StartupPackets should be nil without an I frame")
+	}
+}
+
+func TestCacheEvictsByGoPCount(t *testing.T) {
+	c := NewCache(2, 0)
+	for gop := uint32(0); gop < 5; gop++ {
+		insertFrame(c, media.FrameHeader{Type: media.FrameI, FrameID: gop * 10, GopID: gop, PktCount: 1}, uint16(gop), 500)
+	}
+	if c.GoPCount() != 2 {
+		t.Fatalf("cache holds %d GoPs, want 2", c.GoPCount())
+	}
+	got := c.StartupPackets()
+	if got[0].FrameID != 40 {
+		t.Fatalf("latest GoP should be 4, got frame %d", got[0].FrameID)
+	}
+}
+
+func TestCacheEvictsByBytes(t *testing.T) {
+	c := NewCache(100, 3000)
+	for gop := uint32(0); gop < 10; gop++ {
+		insertFrame(c, media.FrameHeader{Type: media.FrameI, FrameID: gop, GopID: gop, PktCount: 1}, uint16(gop), 1000)
+	}
+	if c.Bytes() > 3000+1000 { // one GoP of slack while the newest fills
+		t.Fatalf("cache bytes = %d, budget 3000", c.Bytes())
+	}
+	if c.GoPCount() > 4 {
+		t.Fatalf("too many GoPs retained: %d", c.GoPCount())
+	}
+}
+
+func TestCacheKeepsNewestUnderPressure(t *testing.T) {
+	// Even if one GoP alone exceeds the budget it must be retained
+	// (evict() never drops the last GoP).
+	c := NewCache(3, 100)
+	insertFrame(c, media.FrameHeader{Type: media.FrameI, FrameID: 0, GopID: 0, PktCount: 1}, 0, 5000)
+	if c.GoPCount() != 1 || !c.HasRecentGoP() {
+		t.Fatal("oversized GoP should still be cached")
+	}
+}
+
+func TestCacheIgnoresStaleGoPs(t *testing.T) {
+	c := NewCache(3, 0)
+	insertFrame(c, media.FrameHeader{Type: media.FrameI, FrameID: 10, GopID: 5, PktCount: 1}, 0, 100)
+	insertFrame(c, media.FrameHeader{Type: media.FrameP, FrameID: 3, GopID: 2, PktCount: 1}, 1, 100) // stale
+	if c.GoPCount() != 1 {
+		t.Fatalf("stale GoP was admitted: %d GoPs", c.GoPCount())
+	}
+}
+
+func TestCacheCopiesData(t *testing.T) {
+	c := NewCache(3, 0)
+	data := []byte{1, 2, 3}
+	c.Insert(media.FrameHeader{Type: media.FrameI, GopID: 0, PktCount: 1}, 0, data)
+	data[0] = 99
+	got := c.StartupPackets()
+	if got[0].Data[0] != 1 {
+		t.Fatal("cache must copy packet data")
+	}
+}
+
+func TestEndToEndPacketizeCacheReplay(t *testing.T) {
+	// Full pipeline: encoder -> packetizer -> cache insert -> replay ->
+	// assembler on the replayed bytes.
+	rng := sim.NewSource(9).Stream("e2e")
+	enc := media.NewEncoder(media.DefaultEncoderConfig(1_000_000), rng)
+	pz := media.NewPacketizer(77)
+	c := NewCache(2, 0)
+	for i := 0; i < 100; i++ { // two GoPs
+		for _, pkt := range pz.Packetize(enc.NextFrame(), 0, nil) {
+			var h media.FrameHeader
+			if err := h.Unmarshal(pkt.Payload); err != nil {
+				t.Fatal(err)
+			}
+			c.Insert(h, pkt.SequenceNumber, pkt.Marshal(nil))
+		}
+	}
+	replay := c.StartupPackets()
+	if len(replay) == 0 {
+		t.Fatal("no startup GoP cached")
+	}
+	a := NewAssembler(0)
+	frames := 0
+	sawI := false
+	a.OnFrame = func(f AssembledFrame) {
+		frames++
+		if f.Header.Type == media.FrameI {
+			sawI = true
+		}
+	}
+	var pkt rtp.Packet
+	for _, cp := range replay {
+		if err := pkt.Unmarshal(cp.Data); err != nil {
+			t.Fatal(err)
+		}
+		a.Push(&pkt)
+	}
+	if frames != 50 {
+		t.Fatalf("replayed GoP assembled %d frames, want 50", frames)
+	}
+	if !sawI {
+		t.Fatal("replayed GoP lacks its I frame")
+	}
+}

@@ -1,0 +1,152 @@
+// Package graph models the CDN overlay as a directed weighted graph and
+// implements the paper's link-weight abstraction (§4.3, Eq. 2–3):
+//
+//	W_AB = (ρ·2·RTT_AB + (1−ρ)·RTT_AB) · f(u_AB)
+//	f(u)  = 1/(1+e^{α·(β−u)}) + 1
+//
+// where ρ is the link packet-loss rate and u_AB is the maximum of the link
+// utilization and the two endpoint node utilizations. α=0.5 and β=80 (the
+// sigmoid operates on percentage points — with utilization expressed as a
+// fraction the exponent would be nearly constant over [0,1] and the term
+// would never penalize hot links).
+package graph
+
+import (
+	"math"
+	"time"
+)
+
+// Default hyper-parameters from the paper's implementation.
+const (
+	Alpha = 0.5
+	Beta  = 80.0 // percent
+	// OverloadTarget is the pre-defined utilization target (fraction)
+	// beyond which links/nodes are considered overloaded (§4.2).
+	OverloadTarget = 0.80
+)
+
+// Link holds the Global Discovery metrics for one directed overlay link.
+type Link struct {
+	From, To int
+	RTT      time.Duration
+	Loss     float64 // packet loss rate in [0,1]
+	Util     float64 // link utilization in [0,1]
+}
+
+// Graph is a directed overlay graph over nodes 0..N-1.
+// It is not safe for concurrent mutation.
+type Graph struct {
+	N        int
+	adj      [][]int // adjacency lists (out-neighbors)
+	links    map[int64]*Link
+	nodeUtil []float64 // combined node load metric in [0,1] (§4.2 footnote)
+}
+
+func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+// New returns an empty graph over n nodes.
+func New(n int) *Graph {
+	return &Graph{
+		N:        n,
+		adj:      make([][]int, n),
+		links:    make(map[int64]*Link),
+		nodeUtil: make([]float64, n),
+	}
+}
+
+// SetLink creates or updates the directed link from→to.
+func (g *Graph) SetLink(from, to int, rtt time.Duration, loss, util float64) {
+	k := key(from, to)
+	if l, ok := g.links[k]; ok {
+		l.RTT, l.Loss, l.Util = rtt, loss, util
+		return
+	}
+	g.links[k] = &Link{From: from, To: to, RTT: rtt, Loss: loss, Util: util}
+	g.adj[from] = append(g.adj[from], to)
+}
+
+// Link returns the directed link from→to, or nil.
+func (g *Graph) Link(from, to int) *Link { return g.links[key(from, to)] }
+
+// Neighbors returns the out-neighbors of node id.
+func (g *Graph) Neighbors(id int) []int { return g.adj[id] }
+
+// SetNodeUtil records the combined load metric for a node.
+func (g *Graph) SetNodeUtil(id int, u float64) { g.nodeUtil[id] = u }
+
+// NodeUtil returns the combined load metric for a node.
+func (g *Graph) NodeUtil(id int) float64 { return g.nodeUtil[id] }
+
+// Sigmoid is f(u) from Eq. 3, with u in [0,1] (converted internally to
+// percentage points). It ranges over (1,2): ≈1 for idle links and ≈2 for
+// saturated ones, with the inflection at β=80%.
+func Sigmoid(u float64) float64 {
+	return 1/(1+math.Exp(Alpha*(Beta-u*100))) + 1
+}
+
+// Weight returns W_AB in milliseconds per Eq. 2, or +Inf if the link does
+// not exist. The first factor is the expected RTT assuming a lost packet
+// is recovered on the second attempt.
+func (g *Graph) Weight(from, to int) float64 {
+	l := g.links[key(from, to)]
+	if l == nil {
+		return math.Inf(1)
+	}
+	rttMs := float64(l.RTT) / float64(time.Millisecond)
+	expected := l.Loss*2*rttMs + (1-l.Loss)*rttMs
+	u := math.Max(l.Util, math.Max(g.nodeUtil[from], g.nodeUtil[to]))
+	return expected * Sigmoid(u)
+}
+
+// LinkOverloaded reports whether the from→to link or either endpoint is at
+// or beyond the overload target.
+func (g *Graph) LinkOverloaded(from, to int) bool {
+	l := g.links[key(from, to)]
+	if l == nil {
+		return true
+	}
+	return l.Util >= OverloadTarget ||
+		g.nodeUtil[from] >= OverloadTarget ||
+		g.nodeUtil[to] >= OverloadTarget
+}
+
+// NodeOverloaded reports whether the node is at or beyond the target.
+func (g *Graph) NodeOverloaded(id int) bool { return g.nodeUtil[id] >= OverloadTarget }
+
+// PathOverloaded reports whether any link or node along the path is
+// overloaded. The path is a node sequence including both endpoints.
+func (g *Graph) PathOverloaded(path []int) bool {
+	for i, n := range path {
+		if g.NodeOverloaded(n) {
+			return true
+		}
+		if i+1 < len(path) && g.LinkOverloaded(n, path[i+1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// PathRTT sums the link RTTs along a path (Inf if a link is missing).
+func (g *Graph) PathRTT(path []int) time.Duration {
+	var total time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		l := g.Link(path[i], path[i+1])
+		if l == nil {
+			return time.Duration(math.MaxInt64)
+		}
+		total += l.RTT
+	}
+	return total
+}
+
+// Clone returns a deep copy; the Brain snapshots the global view before
+// each routing round so discovery updates don't race the computation.
+func (g *Graph) Clone() *Graph {
+	c := New(g.N)
+	copy(c.nodeUtil, g.nodeUtil)
+	for _, l := range g.links {
+		c.SetLink(l.From, l.To, l.RTT, l.Loss, l.Util)
+	}
+	return c
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSigmoidRange(t *testing.T) {
+	if err := quick.Check(func(u16 uint16) bool {
+		u := float64(u16%1001) / 1000
+		f := Sigmoid(u)
+		// Mathematically f ∈ (1,2); in float64 the low end rounds to 1.
+		return f >= 1 && f < 2
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidShape(t *testing.T) {
+	// Idle link ≈ 1, saturated ≈ 2, inflection at 80%.
+	if f := Sigmoid(0); f > 1.001 {
+		t.Fatalf("Sigmoid(0) = %v, want ~1", f)
+	}
+	if f := Sigmoid(1); f < 1.99 {
+		t.Fatalf("Sigmoid(1) = %v, want ~2", f)
+	}
+	if f := Sigmoid(0.80); math.Abs(f-1.5) > 1e-9 {
+		t.Fatalf("Sigmoid(0.8) = %v, want 1.5 at inflection", f)
+	}
+	if Sigmoid(0.9) <= Sigmoid(0.7) {
+		t.Fatal("sigmoid should be increasing")
+	}
+}
+
+func TestWeightEq2(t *testing.T) {
+	g := New(2)
+	g.SetLink(0, 1, 100*time.Millisecond, 0, 0)
+	// No loss, idle: weight = RTT * ~1.
+	w := g.Weight(0, 1)
+	if w < 100 || w > 101 {
+		t.Fatalf("idle lossless weight = %v, want ~100 ms", w)
+	}
+	// 100% loss doubles the expected RTT.
+	g.SetLink(0, 1, 100*time.Millisecond, 1, 0)
+	w = g.Weight(0, 1)
+	if w < 200 || w > 202 {
+		t.Fatalf("full-loss weight = %v, want ~200 ms", w)
+	}
+	// 10% loss: 0.1*200 + 0.9*100 = 110 ms.
+	g.SetLink(0, 1, 100*time.Millisecond, 0.1, 0)
+	w = g.Weight(0, 1)
+	if w < 110 || w > 111.2 {
+		t.Fatalf("10%%-loss weight = %v, want ~110 ms", w)
+	}
+}
+
+func TestWeightUsesMaxUtil(t *testing.T) {
+	g := New(2)
+	g.SetLink(0, 1, 100*time.Millisecond, 0, 0.2)
+	idle := g.Weight(0, 1)
+	g.SetNodeUtil(1, 0.95) // endpoint hot even though link is cool
+	hot := g.Weight(0, 1)
+	if hot <= idle*1.5 {
+		t.Fatalf("hot endpoint should dominate: idle=%v hot=%v", idle, hot)
+	}
+}
+
+func TestWeightMissingLink(t *testing.T) {
+	g := New(2)
+	if !math.IsInf(g.Weight(0, 1), 1) {
+		t.Fatal("missing link should weigh +Inf")
+	}
+}
+
+func TestSetLinkUpdatesInPlace(t *testing.T) {
+	g := New(2)
+	g.SetLink(0, 1, 10*time.Millisecond, 0, 0)
+	g.SetLink(0, 1, 20*time.Millisecond, 0.5, 0.5)
+	if len(g.Neighbors(0)) != 1 {
+		t.Fatalf("duplicate adjacency entries: %v", g.Neighbors(0))
+	}
+	if l := g.Link(0, 1); l.RTT != 20*time.Millisecond || l.Loss != 0.5 {
+		t.Fatalf("update lost: %+v", l)
+	}
+}
+
+func TestOverloadChecks(t *testing.T) {
+	g := New(3)
+	g.SetLink(0, 1, time.Millisecond, 0, 0.5)
+	g.SetLink(1, 2, time.Millisecond, 0, 0.85)
+	if g.LinkOverloaded(0, 1) {
+		t.Fatal("0->1 at 50% should not be overloaded")
+	}
+	if !g.LinkOverloaded(1, 2) {
+		t.Fatal("1->2 at 85% should be overloaded")
+	}
+	g.SetNodeUtil(0, 0.9)
+	if !g.LinkOverloaded(0, 1) {
+		t.Fatal("link with hot endpoint should count as overloaded")
+	}
+	if !g.PathOverloaded([]int{0, 1, 2}) {
+		t.Fatal("path through hot node should be overloaded")
+	}
+	if g.PathOverloaded([]int{1, 2}) == false {
+		// 1->2 util 0.85 >= 0.80
+		t.Fatal("path with hot link should be overloaded")
+	}
+	if !g.LinkOverloaded(2, 0) {
+		t.Fatal("missing link should be treated as overloaded")
+	}
+}
+
+func TestPathRTT(t *testing.T) {
+	g := New(3)
+	g.SetLink(0, 1, 10*time.Millisecond, 0, 0)
+	g.SetLink(1, 2, 15*time.Millisecond, 0, 0)
+	if got := g.PathRTT([]int{0, 1, 2}); got != 25*time.Millisecond {
+		t.Fatalf("PathRTT = %v", got)
+	}
+	if got := g.PathRTT([]int{0}); got != 0 {
+		t.Fatalf("single-node path RTT = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(3)
+	g.SetLink(0, 1, 10*time.Millisecond, 0.1, 0.2)
+	g.SetNodeUtil(2, 0.7)
+	c := g.Clone()
+	g.SetLink(0, 1, 99*time.Millisecond, 0.9, 0.9)
+	g.SetNodeUtil(2, 0.99)
+	if c.Link(0, 1).RTT != 10*time.Millisecond {
+		t.Fatal("clone shares link storage with original")
+	}
+	if c.NodeUtil(2) != 0.7 {
+		t.Fatal("clone shares node utils with original")
+	}
+}

@@ -1,0 +1,213 @@
+// Package hier reimplements Alibaba's first-generation hierarchical CDN
+// (§2.2, "Hier"), the baseline LiveNet is evaluated against: a powerful
+// streaming center plus two layers of CDN nodes. All streams climb from
+// the broadcaster's L1 edge through an L2 node to the center (which does
+// the media processing) and descend through an L2 node to each viewer's
+// L1 edge — a fixed path length of 4 overlay hops. A VDN-like centralized
+// controller maps L1 nodes to L2 nodes per stream to avoid congestion.
+package hier
+
+import (
+	"time"
+
+	"livenet/internal/geo"
+)
+
+// Config parameterizes the hierarchy.
+type Config struct {
+	// L2Fraction of sites (by capacity rank) become L2 nodes (default 0.2).
+	L2Fraction float64
+	// CenterProcessing models the streaming center's media-processing
+	// latency contribution (transcode pipeline; default 30 ms).
+	CenterProcessing time.Duration
+	// NodeProcessing is per-node forwarding latency over the full RTMP
+	// application stack (default 10 ms — Hier runs a whole stack per hop,
+	// which is precisely the overhead LiveNet's fast path removes, §3).
+	NodeProcessing time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.L2Fraction <= 0 {
+		c.L2Fraction = 0.2
+	}
+	if c.CenterProcessing <= 0 {
+		c.CenterProcessing = 30 * time.Millisecond
+	}
+	if c.NodeProcessing <= 0 {
+		c.NodeProcessing = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Hier is the hierarchical CDN topology and its VDN-like controller.
+type Hier struct {
+	cfg    Config
+	World  *geo.World
+	Center int
+	L2     []int
+	L1     []int
+	isL2   map[int]bool
+
+	// l2Load tracks per-L2 assigned-stream load for the mapping decision.
+	l2Load map[int]float64
+}
+
+// Build constructs the hierarchy over a world: the best-connected home
+// site becomes the streaming center, the highest-capacity remainder
+// become L2, the rest are L1 edges.
+func Build(w *geo.World, cfg Config) *Hier {
+	cfg = cfg.withDefaults()
+	h := &Hier{
+		cfg:    cfg,
+		World:  w,
+		isL2:   make(map[int]bool),
+		l2Load: make(map[int]float64),
+	}
+	// Center: the highest-capacity site in the home country (first country
+	// in geo.Countries), falling back to global max.
+	home := geo.Countries[0].Name
+	best, bestCap := -1, -1.0
+	for _, s := range w.Sites {
+		if s.Country == home && s.CapacityMbps > bestCap {
+			best, bestCap = s.ID, s.CapacityMbps
+		}
+	}
+	if best == -1 {
+		for _, s := range w.Sites {
+			if s.CapacityMbps > bestCap {
+				best, bestCap = s.ID, s.CapacityMbps
+			}
+		}
+	}
+	h.Center = best
+
+	// L2: top capacity sites (excluding the center).
+	n := len(w.Sites)
+	numL2 := int(cfg.L2Fraction * float64(n))
+	if numL2 < 1 {
+		numL2 = 1
+	}
+	type ranked struct {
+		id  int
+		cap float64
+	}
+	rank := make([]ranked, 0, n-1)
+	for _, s := range w.Sites {
+		if s.ID != h.Center {
+			rank = append(rank, ranked{s.ID, s.CapacityMbps})
+		}
+	}
+	for i := 0; i < len(rank); i++ { // selection sort: n is small
+		max := i
+		for j := i + 1; j < len(rank); j++ {
+			if rank[j].cap > rank[max].cap {
+				max = j
+			}
+		}
+		rank[i], rank[max] = rank[max], rank[i]
+	}
+	for i, r := range rank {
+		if i < numL2 {
+			h.L2 = append(h.L2, r.id)
+			h.isL2[r.id] = true
+		} else {
+			h.L1 = append(h.L1, r.id)
+		}
+	}
+	return h
+}
+
+// EdgeFor maps a client location to its nearest L1 edge (the DNS
+// redirection step).
+func (h *Hier) EdgeFor(lat, lon float64) int {
+	best, bestRTT := h.L1[0], time.Duration(1<<62)
+	for _, id := range h.L1 {
+		s := h.World.Sites[id]
+		// Reuse the world's RTT model via a synthetic probe: distance to
+		// the site's coordinates dominates.
+		d := approxRTT(lat, lon, s.Lat, s.Lon)
+		if d < bestRTT {
+			best, bestRTT = id, d
+		}
+	}
+	return best
+}
+
+func approxRTT(lat1, lon1, lat2, lon2 float64) time.Duration {
+	dlat := lat1 - lat2
+	dlon := lon1 - lon2
+	if dlon > 180 {
+		dlon -= 360
+	}
+	if dlon < -180 {
+		dlon += 360
+	}
+	d2 := dlat*dlat + dlon*dlon
+	return time.Duration(d2 * float64(time.Microsecond) * 50)
+}
+
+// AssignL2 picks the L2 node for an L1's stream leg, VDN-style: minimize
+// RTT(L1→L2)+RTT(L2→center) among L2 nodes under the load target, spread
+// by tracked assignment load. The assignment is remembered as load.
+func (h *Hier) AssignL2(l1 int, streamLoad float64) int {
+	best, bestCost := -1, 0.0
+	for _, l2 := range h.L2 {
+		cost := float64(h.World.RTT(l1, l2)+h.World.RTT(l2, h.Center)) *
+			(1 + h.l2Load[l2]) // load-sensitive, like VDN's utility
+		if best == -1 || cost < bestCost {
+			best, bestCost = l2, cost
+		}
+	}
+	h.l2Load[best] += streamLoad
+	return best
+}
+
+// ReleaseL2 returns an assignment's load (stream ended).
+func (h *Hier) ReleaseL2(l2 int, streamLoad float64) {
+	h.l2Load[l2] -= streamLoad
+	if h.l2Load[l2] < 0 {
+		h.l2Load[l2] = 0
+	}
+}
+
+// L2Load exposes the tracked load (for tests and the harness).
+func (h *Hier) L2Load(l2 int) float64 { return h.l2Load[l2] }
+
+// PathFor returns the fixed hierarchical path for a stream from the
+// broadcaster's L1 edge to a viewer's L1 edge:
+//
+//	uploadL1 → L2(up) → center → L2(down) → downloadL1
+//
+// Even when uploadL1 == downloadL1 the stream traverses the center — the
+// rigidity the paper's §2.3 criticizes. The path length is always 4 hops.
+func (h *Hier) PathFor(uploadL1, downloadL1 int, streamLoad float64) []int {
+	up := h.AssignL2(uploadL1, streamLoad)
+	down := h.AssignL2(downloadL1, streamLoad)
+	return []int{uploadL1, up, h.Center, down, downloadL1}
+}
+
+// PathDelay models the one-way CDN delay along a Hier path: per-hop
+// propagation (RTT/2) with a TCP-like loss recovery penalty (RTMP over
+// TCP: a loss stalls the stream for about one extra RTT), full
+// application-stack processing at each node, and the center's media
+// processing.
+func (h *Hier) PathDelay(path []int, lossOf func(a, b int) float64) time.Duration {
+	var total time.Duration
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		rtt := h.World.RTT(a, b)
+		loss := 0.0
+		if lossOf != nil {
+			loss = lossOf(a, b)
+		}
+		// Expected one-way delay: RTT/2 plus loss-probability-weighted
+		// TCP retransmission stall of ~1.5 RTT.
+		hop := time.Duration(float64(rtt/2) * (1 + 3*loss))
+		total += hop + h.cfg.NodeProcessing
+	}
+	total += h.cfg.CenterProcessing
+	return total
+}
+
+// IsL2 reports whether a site is an L2 node.
+func (h *Hier) IsL2(id int) bool { return h.isL2[id] }

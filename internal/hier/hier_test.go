@@ -1,0 +1,164 @@
+package hier
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/geo"
+	"livenet/internal/sim"
+)
+
+func testWorld(t *testing.T, n int) *geo.World {
+	t.Helper()
+	cfg := geo.DefaultConfig()
+	cfg.NumSites = n
+	return geo.Build(cfg, sim.NewSource(1).Stream("geo"))
+}
+
+func TestBuildPartitions(t *testing.T) {
+	w := testWorld(t, 50)
+	h := Build(w, Config{})
+	if len(h.L2) == 0 || len(h.L1) == 0 {
+		t.Fatalf("L2=%d L1=%d", len(h.L2), len(h.L1))
+	}
+	if 1+len(h.L2)+len(h.L1) != 50 {
+		t.Fatalf("partition doesn't cover all sites: %d", 1+len(h.L2)+len(h.L1))
+	}
+	// Center must be in the home market.
+	if w.Sites[h.Center].Country != geo.Countries[0].Name {
+		t.Fatalf("center in %s", w.Sites[h.Center].Country)
+	}
+	// No overlaps.
+	for _, l2 := range h.L2 {
+		if l2 == h.Center {
+			t.Fatal("center is also L2")
+		}
+		if !h.IsL2(l2) {
+			t.Fatal("IsL2 inconsistent")
+		}
+	}
+	for _, l1 := range h.L1 {
+		if h.IsL2(l1) || l1 == h.Center {
+			t.Fatal("L1 overlaps L2/center")
+		}
+	}
+}
+
+func TestL2HaveHighCapacity(t *testing.T) {
+	w := testWorld(t, 50)
+	h := Build(w, Config{})
+	var minL2, maxL1 float64
+	minL2 = 1e18
+	for _, id := range h.L2 {
+		if c := w.Sites[id].CapacityMbps; c < minL2 {
+			minL2 = c
+		}
+	}
+	for _, id := range h.L1 {
+		if c := w.Sites[id].CapacityMbps; c > maxL1 {
+			maxL1 = c
+		}
+	}
+	if minL2 < maxL1 {
+		t.Fatalf("L2 selection not by capacity: minL2=%v maxL1=%v", minL2, maxL1)
+	}
+}
+
+func TestPathForAlwaysFourHops(t *testing.T) {
+	w := testWorld(t, 40)
+	h := Build(w, Config{})
+	for i := 0; i < 5; i++ {
+		up := h.L1[i%len(h.L1)]
+		down := h.L1[(i*3+1)%len(h.L1)]
+		p := h.PathFor(up, down, 1)
+		if len(p) != 5 {
+			t.Fatalf("path %v has %d nodes, want 5 (4 hops)", p, len(p))
+		}
+		if p[0] != up || p[4] != down || p[2] != h.Center {
+			t.Fatalf("path structure wrong: %v", p)
+		}
+		if !h.IsL2(p[1]) || !h.IsL2(p[3]) {
+			t.Fatalf("middle hops not L2: %v", p)
+		}
+	}
+	// Same edge up and down still transits the center (rigidity).
+	p := h.PathFor(h.L1[0], h.L1[0], 1)
+	if len(p) != 5 || p[2] != h.Center {
+		t.Fatalf("same-edge path should still climb the tree: %v", p)
+	}
+}
+
+func TestAssignL2LoadBalances(t *testing.T) {
+	w := testWorld(t, 40)
+	h := Build(w, Config{})
+	l1 := h.L1[0]
+	first := h.AssignL2(l1, 1)
+	// Pile load onto the first choice; eventually another L2 wins.
+	switched := false
+	for i := 0; i < 50; i++ {
+		if h.AssignL2(l1, 1) != first {
+			switched = true
+			break
+		}
+	}
+	if !switched && len(h.L2) > 1 {
+		t.Fatal("assignment never load-balances away from the hot L2")
+	}
+}
+
+func TestReleaseL2(t *testing.T) {
+	w := testWorld(t, 40)
+	h := Build(w, Config{})
+	l2 := h.AssignL2(h.L1[0], 2)
+	if h.L2Load(l2) != 2 {
+		t.Fatalf("load = %v", h.L2Load(l2))
+	}
+	h.ReleaseL2(l2, 2)
+	if h.L2Load(l2) != 0 {
+		t.Fatalf("load after release = %v", h.L2Load(l2))
+	}
+	h.ReleaseL2(l2, 5)
+	if h.L2Load(l2) != 0 {
+		t.Fatal("load must not go negative")
+	}
+}
+
+func TestPathDelayComposition(t *testing.T) {
+	w := testWorld(t, 40)
+	h := Build(w, Config{NodeProcessing: 10 * time.Millisecond, CenterProcessing: 30 * time.Millisecond})
+	p := h.PathFor(h.L1[0], h.L1[1], 1)
+	noLoss := h.PathDelay(p, nil)
+	// Lower bound: 4 hops × 10 ms processing + 30 ms center.
+	if noLoss < 70*time.Millisecond {
+		t.Fatalf("delay %v below processing floor", noLoss)
+	}
+	lossy := h.PathDelay(p, func(a, b int) float64 { return 0.05 })
+	if lossy <= noLoss {
+		t.Fatal("loss should add TCP recovery penalty")
+	}
+}
+
+func TestEdgeForPrefersNearby(t *testing.T) {
+	w := testWorld(t, 60)
+	h := Build(w, Config{})
+	// A client exactly at an L1 site maps to that site (or a co-located one).
+	id := h.L1[0]
+	s := w.Sites[id]
+	got := h.EdgeFor(s.Lat, s.Lon)
+	gs := w.Sites[got]
+	if approxRTT(s.Lat, s.Lon, gs.Lat, gs.Lon) > approxRTT(s.Lat, s.Lon, w.Sites[h.L1[len(h.L1)-1]].Lat, w.Sites[h.L1[len(h.L1)-1]].Lon)+time.Millisecond {
+		t.Fatalf("EdgeFor picked a distant edge %d for client at site %d", got, id)
+	}
+	if !contains(h.L1, got) {
+		t.Fatal("EdgeFor returned a non-L1 node")
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

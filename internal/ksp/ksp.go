@@ -1,0 +1,209 @@
+// Package ksp implements Dijkstra's shortest path and Yen's K-shortest
+// loopless paths algorithm — the "KSP" step of the Streaming Brain's
+// Global Routing module (§4.3). The Brain computes k=3 candidate paths per
+// node pair and then filters constraint violations.
+package ksp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// WeightFunc returns the weight of the directed edge from→to; it must
+// return +Inf for edges that do not exist (or are masked out).
+type WeightFunc func(from, to int) float64
+
+// AdjFunc returns the out-neighbors of a node.
+type AdjFunc func(id int) []int
+
+// Path is a node sequence (src first, dst last) with its total cost.
+type Path struct {
+	Nodes []int
+	Cost  float64
+}
+
+// Hops returns the number of edges in the path.
+func (p Path) Hops() int {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	return len(p.Nodes) - 1
+}
+
+// Equal reports whether two paths visit the same node sequence.
+func (p Path) Equal(q Path) bool {
+	if len(p.Nodes) != len(q.Nodes) {
+		return false
+	}
+	for i := range p.Nodes {
+		if p.Nodes[i] != q.Nodes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Dijkstra computes shortest distances and predecessors from src over n
+// nodes. Unreachable nodes have dist = +Inf and prev = -1.
+func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int) {
+	dist = make([]float64, n)
+	prev = make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, nb := range adj(it.node) {
+			if done[nb] {
+				continue
+			}
+			wt := w(it.node, nb)
+			if math.IsInf(wt, 1) {
+				continue
+			}
+			if nd := it.dist + wt; nd < dist[nb] {
+				dist[nb] = nd
+				prev[nb] = it.node
+				heap.Push(q, pqItem{node: nb, dist: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// ShortestPath returns the single shortest path src→dst.
+func ShortestPath(n, src, dst int, adj AdjFunc, w WeightFunc) (Path, bool) {
+	dist, prev := Dijkstra(n, src, adj, w)
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, false
+	}
+	var nodes []int
+	for at := dst; at != -1; at = prev[at] {
+		nodes = append(nodes, at)
+	}
+	// Reverse in place.
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	if nodes[0] != src {
+		return Path{}, false
+	}
+	return Path{Nodes: nodes, Cost: dist[dst]}, true
+}
+
+// Yen returns up to k loopless shortest paths src→dst in nondecreasing
+// cost order (Yen's algorithm over a Dijkstra subroutine).
+func Yen(n, src, dst, k int, adj AdjFunc, w WeightFunc) []Path {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first, ok := ShortestPath(n, src, dst, adj, w)
+	if !ok {
+		return nil
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		last := paths[len(paths)-1]
+		// Each node of the previous shortest path except the final one is
+		// a potential spur node.
+		for i := 0; i < len(last.Nodes)-1; i++ {
+			spur := last.Nodes[i]
+			rootNodes := last.Nodes[:i+1]
+
+			// Edges removed for this spur computation: the outgoing edge
+			// used by every accepted path sharing this root.
+			removedEdges := make(map[int64]bool)
+			for _, p := range paths {
+				if len(p.Nodes) > i && equalPrefix(p.Nodes, rootNodes) {
+					removedEdges[edgeKey(p.Nodes[i], p.Nodes[i+1])] = true
+				}
+			}
+			// Nodes of the root (except the spur) are removed to keep
+			// paths loopless.
+			removedNodes := make(map[int]bool, i)
+			for _, rn := range rootNodes[:i] {
+				removedNodes[rn] = true
+			}
+
+			maskedW := func(from, to int) float64 {
+				if removedEdges[edgeKey(from, to)] || removedNodes[to] || removedNodes[from] {
+					return math.Inf(1)
+				}
+				return w(from, to)
+			}
+			spurPath, ok := ShortestPath(n, spur, dst, adj, maskedW)
+			if !ok {
+				continue
+			}
+			total := make([]int, 0, i+len(spurPath.Nodes))
+			total = append(total, rootNodes[:i]...)
+			total = append(total, spurPath.Nodes...)
+			cand := Path{Nodes: total, Cost: pathCost(total, w)}
+			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
+				candidates = append(candidates, cand)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths
+}
+
+func edgeKey(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+func equalPrefix(p, prefix []int) bool {
+	if len(p) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathCost(nodes []int, w WeightFunc) float64 {
+	var c float64
+	for i := 0; i+1 < len(nodes); i++ {
+		c += w(nodes[i], nodes[i+1])
+	}
+	return c
+}
+
+func containsPath(ps []Path, q Path) bool {
+	for _, p := range ps {
+		if p.Equal(q) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,354 @@
+// Package media provides the synthetic video source that substitutes for
+// real broadcaster feeds: a frame generator with GoP structure (I/P/B), a
+// simulcast encoder producing several bitrate renditions in parallel
+// (§5.2 — LiveNet uses simulcast rather than SVC), and an RTP
+// packetizer/depacketizer with a small video payload header carrying the
+// frame metadata the overlay's frame-level controls need (frame type for
+// proactive dropping, GoP boundaries for caching and seamless switching).
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"livenet/internal/rtp"
+	"livenet/internal/sim"
+)
+
+// FrameType classifies frames for priority and drop decisions.
+type FrameType uint8
+
+// Frame types. BUnref marks unreferenced B frames, the first candidates
+// for proactive dropping (§5.2): dropping them causes only short blurring.
+const (
+	FrameI FrameType = iota
+	FrameP
+	FrameB
+	FrameBUnref
+	FrameAudio
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	case FrameBUnref:
+		return "b"
+	case FrameAudio:
+		return "A"
+	}
+	return fmt.Sprintf("FrameType(%d)", uint8(t))
+}
+
+// Frame is one encoded video (or audio) frame.
+type Frame struct {
+	Type  FrameType
+	ID    uint32 // monotonically increasing per stream
+	GopID uint32
+	// PTS is the presentation timestamp relative to stream start.
+	PTS  time.Duration
+	Size int // encoded size in bytes
+}
+
+// IsVideo reports whether the frame carries video.
+func (f Frame) IsVideo() bool { return f.Type != FrameAudio }
+
+// EncoderConfig describes one rendition's encoding parameters.
+type EncoderConfig struct {
+	FPS        int // frames per second
+	GoPFrames  int // frames per GoP (first is the I frame)
+	SubGoP     int // P-frame interval; frames between P frames are B frames
+	BitrateBps int // target video bitrate
+	// IWeight/PWeight/BWeight set relative frame sizes; they are
+	// normalized so the stream averages BitrateBps.
+	IWeight, PWeight, BWeight float64
+	// SizeJitter is the multiplicative stddev of per-frame size noise.
+	SizeJitter float64
+}
+
+// DefaultEncoderConfig returns a 25 fps, 2-second-GoP configuration.
+func DefaultEncoderConfig(bitrateBps int) EncoderConfig {
+	return EncoderConfig{
+		FPS:        25,
+		GoPFrames:  50,
+		SubGoP:     5,
+		BitrateBps: bitrateBps,
+		IWeight:    6.0,
+		PWeight:    1.4,
+		BWeight:    0.55,
+		SizeJitter: 0.15,
+	}
+}
+
+// Encoder produces the deterministic synthetic frame sequence for one
+// rendition of one stream.
+type Encoder struct {
+	cfg     EncoderConfig
+	rng     *sim.Rand
+	nextID  uint32
+	gopID   uint32
+	idx     int // index within current GoP
+	baseP   float64
+	baseI   float64
+	baseB   float64
+	frameIv time.Duration
+	pts     time.Duration
+}
+
+// NewEncoder builds an encoder. The rng stream drives frame-size noise.
+func NewEncoder(cfg EncoderConfig, rng *sim.Rand) *Encoder {
+	if cfg.FPS <= 0 || cfg.GoPFrames <= 1 || cfg.SubGoP <= 0 {
+		panic("media: invalid encoder config")
+	}
+	// Count frame types per GoP to normalize weights to the bitrate.
+	nI, nP, nB := 1, 0, 0
+	for i := 1; i < cfg.GoPFrames; i++ {
+		if i%cfg.SubGoP == 0 {
+			nP++
+		} else {
+			nB++
+		}
+	}
+	weightSum := cfg.IWeight*float64(nI) + cfg.PWeight*float64(nP) + cfg.BWeight*float64(nB)
+	gopBytes := float64(cfg.BitrateBps) / 8 * float64(cfg.GoPFrames) / float64(cfg.FPS)
+	unit := gopBytes / weightSum
+	return &Encoder{
+		cfg:     cfg,
+		rng:     rng,
+		baseI:   unit * cfg.IWeight,
+		baseP:   unit * cfg.PWeight,
+		baseB:   unit * cfg.BWeight,
+		frameIv: time.Second / time.Duration(cfg.FPS),
+	}
+}
+
+// FrameInterval returns the time between consecutive frames.
+func (e *Encoder) FrameInterval() time.Duration { return e.frameIv }
+
+// NextFrame produces the next frame in decode order.
+func (e *Encoder) NextFrame() Frame {
+	var t FrameType
+	var base float64
+	switch {
+	case e.idx == 0:
+		t, base = FrameI, e.baseI
+	case e.idx%e.cfg.SubGoP == 0:
+		t, base = FrameP, e.baseP
+	default:
+		t, base = FrameB, e.baseB
+		// Alternate referenced/unreferenced B frames.
+		if e.idx%2 == 1 {
+			t = FrameBUnref
+		}
+	}
+	size := base
+	if e.cfg.SizeJitter > 0 {
+		size *= 1 + e.rng.Normal(0, e.cfg.SizeJitter)
+	}
+	if size < 64 {
+		size = 64
+	}
+	f := Frame{
+		Type:  t,
+		ID:    e.nextID,
+		GopID: e.gopID,
+		PTS:   e.pts,
+		Size:  int(size),
+	}
+	e.nextID++
+	e.pts += e.frameIv
+	e.idx++
+	if e.idx >= e.cfg.GoPFrames {
+		e.idx = 0
+		e.gopID++
+	}
+	return f
+}
+
+// Rendition is one simulcast quality level. Each rendition of a broadcast
+// is an independent stream with its own stream ID in LiveNet (§5.2).
+type Rendition struct {
+	Name       string
+	BitrateBps int
+}
+
+// DefaultRenditions is the paper's example simulcast ladder (720P+480P),
+// plus a low tier for constrained viewers.
+var DefaultRenditions = []Rendition{
+	{Name: "720p", BitrateBps: 2_500_000},
+	{Name: "480p", BitrateBps: 1_200_000},
+	{Name: "360p", BitrateBps: 600_000},
+}
+
+// Simulcast runs one encoder per rendition in lockstep.
+type Simulcast struct {
+	Renditions []Rendition
+	Encoders   []*Encoder
+}
+
+// NewSimulcast builds encoders for each rendition sharing one rng stream.
+func NewSimulcast(rends []Rendition, rng *sim.Rand) *Simulcast {
+	s := &Simulcast{Renditions: rends}
+	for _, r := range rends {
+		s.Encoders = append(s.Encoders, NewEncoder(DefaultEncoderConfig(r.BitrateBps), rng))
+	}
+	return s
+}
+
+// NextFrames returns the next frame of every rendition (same PTS).
+func (s *Simulcast) NextFrames() []Frame {
+	out := make([]Frame, len(s.Encoders))
+	for i, e := range s.Encoders {
+		out[i] = e.NextFrame()
+	}
+	return out
+}
+
+// --- RTP packetization ---
+
+// PayloadMTU is the maximum RTP payload size per packet. 1200 bytes keeps
+// the full packet under typical path MTUs with headroom for headers.
+const PayloadMTU = 1200
+
+// FrameHeaderLen is the length of the video payload header prefixed to
+// every RTP payload chunk.
+const FrameHeaderLen = 13
+
+// FrameHeader is the per-packet video metadata. It rides at the start of
+// each RTP payload so relays can make frame-granular decisions without
+// reassembling frames.
+type FrameHeader struct {
+	Type     FrameType
+	FrameID  uint32
+	GopID    uint32
+	PktIdx   uint16 // index of this packet within the frame
+	PktCount uint16 // packets in this frame
+}
+
+// ErrShortPayload reports a payload too short to hold a FrameHeader.
+var ErrShortPayload = errors.New("media: payload shorter than frame header")
+
+// Marshal appends the header to buf.
+func (h *FrameHeader) Marshal(buf []byte) []byte {
+	buf = append(buf, byte(h.Type))
+	buf = binary.BigEndian.AppendUint32(buf, h.FrameID)
+	buf = binary.BigEndian.AppendUint32(buf, h.GopID)
+	buf = binary.BigEndian.AppendUint16(buf, h.PktIdx)
+	buf = binary.BigEndian.AppendUint16(buf, h.PktCount)
+	return buf
+}
+
+// Unmarshal decodes the header from the start of payload.
+func (h *FrameHeader) Unmarshal(payload []byte) error {
+	if len(payload) < FrameHeaderLen {
+		return ErrShortPayload
+	}
+	h.Type = FrameType(payload[0])
+	h.FrameID = binary.BigEndian.Uint32(payload[1:])
+	h.GopID = binary.BigEndian.Uint32(payload[5:])
+	h.PktIdx = binary.BigEndian.Uint16(payload[9:])
+	h.PktCount = binary.BigEndian.Uint16(payload[11:])
+	return nil
+}
+
+// Packetizer splits frames into RTP packets for one stream (SSRC).
+type Packetizer struct {
+	SSRC    uint32
+	seq     uint16
+	clockHz uint32
+	filler  []byte
+}
+
+// NewPacketizer returns a packetizer for the given stream ID. The RTP
+// timestamp clock is 90 kHz as usual for video.
+func NewPacketizer(ssrc uint32) *Packetizer {
+	return &Packetizer{SSRC: ssrc, clockHz: 90000, filler: make([]byte, PayloadMTU)}
+}
+
+// NextSeq returns the sequence number the next packet will use.
+func (p *Packetizer) NextSeq() uint16 { return p.seq }
+
+// Packetize splits f into RTP packets appended to out. The last packet of
+// the frame has the marker bit set. Payload bytes beyond the frame header
+// are synthetic filler. The first packet of each I frame carries the delay
+// extension seeded with encodeDelay10us (the broadcaster-side encoding
+// and queueing time, §6.1).
+func (p *Packetizer) Packetize(f Frame, encodeDelay10us uint32, out []rtp.Packet) []rtp.Packet {
+	chunk := PayloadMTU - FrameHeaderLen
+	count := (f.Size + chunk - 1) / chunk
+	if count == 0 {
+		count = 1
+	}
+	if count > 0xFFFF {
+		count = 0xFFFF
+	}
+	ts := uint32(int64(f.PTS) * int64(p.clockHz) / int64(time.Second))
+	remaining := f.Size
+	for i := 0; i < count; i++ {
+		n := chunk
+		if remaining < n {
+			n = remaining
+		}
+		if n < 0 {
+			n = 0
+		}
+		remaining -= n
+		h := FrameHeader{
+			Type:     f.Type,
+			FrameID:  f.ID,
+			GopID:    f.GopID,
+			PktIdx:   uint16(i),
+			PktCount: uint16(count),
+		}
+		payload := h.Marshal(make([]byte, 0, FrameHeaderLen+n))
+		payload = append(payload, p.filler[:n]...)
+		pt := uint8(rtp.PayloadVideo)
+		if f.Type == FrameAudio {
+			pt = rtp.PayloadAudio
+		}
+		pkt := rtp.Packet{
+			Marker:         i == count-1,
+			PayloadType:    pt,
+			SequenceNumber: p.seq,
+			Timestamp:      ts,
+			SSRC:           p.SSRC,
+			Payload:        payload,
+		}
+		if i == 0 && (f.Type == FrameI || f.Type == FrameAudio) {
+			pkt.HasDelayExt = true
+			pkt.DelayAccum10us = encodeDelay10us
+		}
+		out = append(out, pkt)
+		p.seq++
+	}
+	return out
+}
+
+// AudioSource produces a constant-bitrate audio frame stream (20 ms
+// frames at 64 kbps). Audio packets are prioritized over video in the
+// pacer to avoid head-of-line blocking (§5.2).
+type AudioSource struct {
+	nextID uint32
+	pts    time.Duration
+}
+
+// AudioFrameInterval is the audio frame spacing.
+const AudioFrameInterval = 20 * time.Millisecond
+
+// AudioFrameSize is the constant encoded size of one audio frame.
+const AudioFrameSize = 160
+
+// NextFrame produces the next audio frame.
+func (a *AudioSource) NextFrame() Frame {
+	f := Frame{Type: FrameAudio, ID: a.nextID, PTS: a.pts, Size: AudioFrameSize}
+	a.nextID++
+	a.pts += AudioFrameInterval
+	return f
+}

@@ -1,0 +1,305 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"livenet/internal/rtp"
+	"livenet/internal/sim"
+)
+
+func newTestEncoder(t *testing.T, bitrate int) *Encoder {
+	t.Helper()
+	rng := sim.NewSource(1).Stream("enc")
+	return NewEncoder(DefaultEncoderConfig(bitrate), rng)
+}
+
+func TestGoPStructure(t *testing.T) {
+	e := newTestEncoder(t, 2_500_000)
+	cfg := DefaultEncoderConfig(0)
+	for gop := 0; gop < 3; gop++ {
+		for i := 0; i < cfg.GoPFrames; i++ {
+			f := e.NextFrame()
+			if f.GopID != uint32(gop) {
+				t.Fatalf("frame %d: gop = %d, want %d", i, f.GopID, gop)
+			}
+			switch {
+			case i == 0:
+				if f.Type != FrameI {
+					t.Fatalf("frame 0 of gop should be I, got %v", f.Type)
+				}
+			case i%cfg.SubGoP == 0:
+				if f.Type != FrameP {
+					t.Fatalf("frame %d should be P, got %v", i, f.Type)
+				}
+			default:
+				if f.Type != FrameB && f.Type != FrameBUnref {
+					t.Fatalf("frame %d should be B, got %v", i, f.Type)
+				}
+			}
+		}
+	}
+}
+
+func TestFrameIDsMonotonic(t *testing.T) {
+	e := newTestEncoder(t, 1_000_000)
+	prev := e.NextFrame()
+	for i := 0; i < 200; i++ {
+		f := e.NextFrame()
+		if f.ID != prev.ID+1 {
+			t.Fatalf("IDs not sequential: %d then %d", prev.ID, f.ID)
+		}
+		if f.PTS <= prev.PTS {
+			t.Fatalf("PTS not increasing: %v then %v", prev.PTS, f.PTS)
+		}
+		prev = f
+	}
+}
+
+func TestEncoderHitsTargetBitrate(t *testing.T) {
+	const bitrate = 2_500_000
+	e := newTestEncoder(t, bitrate)
+	total := 0
+	const secs = 40
+	n := secs * 25
+	for i := 0; i < n; i++ {
+		total += e.NextFrame().Size
+	}
+	gotBps := float64(total) * 8 / secs
+	if gotBps < bitrate*0.9 || gotBps > bitrate*1.1 {
+		t.Fatalf("measured bitrate %.0f, want ~%d", gotBps, bitrate)
+	}
+}
+
+func TestIFramesLargest(t *testing.T) {
+	e := newTestEncoder(t, 2_500_000)
+	var iSum, pSum, bSum float64
+	var iN, pN, bN int
+	for i := 0; i < 1000; i++ {
+		f := e.NextFrame()
+		switch f.Type {
+		case FrameI:
+			iSum += float64(f.Size)
+			iN++
+		case FrameP:
+			pSum += float64(f.Size)
+			pN++
+		default:
+			bSum += float64(f.Size)
+			bN++
+		}
+	}
+	iAvg, pAvg, bAvg := iSum/float64(iN), pSum/float64(pN), bSum/float64(bN)
+	if iAvg <= 2*pAvg {
+		t.Fatalf("I frames should dwarf P frames: I=%.0f P=%.0f", iAvg, pAvg)
+	}
+	if pAvg <= bAvg {
+		t.Fatalf("P frames should exceed B frames: P=%.0f B=%.0f", pAvg, bAvg)
+	}
+}
+
+func TestSimulcastLockstep(t *testing.T) {
+	rng := sim.NewSource(2).Stream("sc")
+	s := NewSimulcast(DefaultRenditions, rng)
+	frames := s.NextFrames()
+	if len(frames) != 3 {
+		t.Fatalf("got %d renditions", len(frames))
+	}
+	for _, f := range frames {
+		if f.Type != FrameI || f.PTS != 0 {
+			t.Fatalf("first frames should be aligned I frames: %+v", f)
+		}
+	}
+	// Higher renditions must be bigger on average.
+	var sums [3]int
+	for i := 0; i < 500; i++ {
+		fs := s.NextFrames()
+		for j, f := range fs {
+			sums[j] += f.Size
+		}
+	}
+	if !(sums[0] > sums[1] && sums[1] > sums[2]) {
+		t.Fatalf("rendition sizes not ordered: %v", sums)
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	if err := quick.Check(func(ft uint8, fid, gid uint32, idx, cnt uint16) bool {
+		h := FrameHeader{
+			Type:    FrameType(ft % 5),
+			FrameID: fid, GopID: gid, PktIdx: idx, PktCount: cnt,
+		}
+		buf := h.Marshal(nil)
+		if len(buf) != FrameHeaderLen {
+			return false
+		}
+		var g FrameHeader
+		if err := g.Unmarshal(buf); err != nil {
+			return false
+		}
+		return g == h
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameHeaderShort(t *testing.T) {
+	var h FrameHeader
+	if err := h.Unmarshal(make([]byte, 5)); err != ErrShortPayload {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPacketizeReassembles(t *testing.T) {
+	e := newTestEncoder(t, 2_500_000)
+	p := NewPacketizer(42)
+	f := e.NextFrame() // I frame, large
+	pkts := p.Packetize(f, 150, nil)
+	if len(pkts) < 2 {
+		t.Fatalf("I frame should span multiple packets, got %d", len(pkts))
+	}
+	total := 0
+	for i, pkt := range pkts {
+		if pkt.SSRC != 42 {
+			t.Fatalf("ssrc = %d", pkt.SSRC)
+		}
+		var h FrameHeader
+		if err := h.Unmarshal(pkt.Payload); err != nil {
+			t.Fatal(err)
+		}
+		if h.FrameID != f.ID || h.GopID != f.GopID || h.Type != f.Type {
+			t.Fatalf("packet %d header mismatch: %+v vs frame %+v", i, h, f)
+		}
+		if int(h.PktIdx) != i || int(h.PktCount) != len(pkts) {
+			t.Fatalf("packet %d: idx=%d count=%d", i, h.PktIdx, h.PktCount)
+		}
+		if (i == len(pkts)-1) != pkt.Marker {
+			t.Fatalf("marker on wrong packet %d", i)
+		}
+		total += len(pkt.Payload) - FrameHeaderLen
+	}
+	if total != f.Size {
+		t.Fatalf("reassembled %d bytes, frame was %d", total, f.Size)
+	}
+	// First packet of an I frame carries the delay extension.
+	if !pkts[0].HasDelayExt || pkts[0].DelayAccum10us != 150 {
+		t.Fatalf("first I packet should carry delay ext: %+v", pkts[0])
+	}
+	if pkts[1].HasDelayExt {
+		t.Fatal("non-first packets should not carry the delay ext")
+	}
+}
+
+func TestPacketizeSequenceContinuity(t *testing.T) {
+	e := newTestEncoder(t, 1_200_000)
+	p := NewPacketizer(7)
+	var prev uint16
+	first := true
+	for i := 0; i < 100; i++ {
+		for _, pkt := range p.Packetize(e.NextFrame(), 0, nil) {
+			if !first && pkt.SequenceNumber != prev+1 {
+				t.Fatalf("seq gap: %d then %d", prev, pkt.SequenceNumber)
+			}
+			prev = pkt.SequenceNumber
+			first = false
+		}
+	}
+}
+
+func TestPacketizeRespectsMTU(t *testing.T) {
+	e := newTestEncoder(t, 8_000_000) // big frames
+	p := NewPacketizer(1)
+	for i := 0; i < 60; i++ {
+		for _, pkt := range p.Packetize(e.NextFrame(), 0, nil) {
+			if len(pkt.Payload) > PayloadMTU {
+				t.Fatalf("payload %d exceeds MTU %d", len(pkt.Payload), PayloadMTU)
+			}
+			buf := pkt.Marshal(nil)
+			if len(buf) > 1500 {
+				t.Fatalf("wire packet %d exceeds ethernet MTU", len(buf))
+			}
+		}
+	}
+}
+
+func TestAudioSource(t *testing.T) {
+	var a AudioSource
+	p := NewPacketizer(9)
+	for i := 0; i < 50; i++ {
+		f := a.NextFrame()
+		if f.Type != FrameAudio || f.Size != AudioFrameSize {
+			t.Fatalf("audio frame = %+v", f)
+		}
+		if f.PTS != time.Duration(i)*AudioFrameInterval {
+			t.Fatalf("audio PTS = %v", f.PTS)
+		}
+		pkts := p.Packetize(f, 0, nil)
+		if len(pkts) != 1 {
+			t.Fatalf("audio frame should fit one packet, got %d", len(pkts))
+		}
+		if pkts[0].PayloadType != rtp.PayloadAudio {
+			t.Fatalf("audio PT = %d", pkts[0].PayloadType)
+		}
+	}
+}
+
+func TestInvalidEncoderConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for invalid config")
+		}
+	}()
+	NewEncoder(EncoderConfig{FPS: 0, GoPFrames: 10, SubGoP: 3}, sim.NewSource(1).Stream("x"))
+}
+
+func TestPacketizeTinyAndZeroFrames(t *testing.T) {
+	p := NewPacketizer(3)
+	// Zero-size frame still yields exactly one packet (header only).
+	pkts := p.Packetize(Frame{Type: FrameP, ID: 1, Size: 0}, 0, nil)
+	if len(pkts) != 1 {
+		t.Fatalf("zero-size frame -> %d packets", len(pkts))
+	}
+	if len(pkts[0].Payload) != FrameHeaderLen {
+		t.Fatalf("payload = %d bytes", len(pkts[0].Payload))
+	}
+	// A frame exactly at the chunk boundary yields one packet.
+	chunk := PayloadMTU - FrameHeaderLen
+	pkts = p.Packetize(Frame{Type: FrameP, ID: 2, Size: chunk}, 0, nil)
+	if len(pkts) != 1 {
+		t.Fatalf("boundary frame -> %d packets", len(pkts))
+	}
+	// One byte over the boundary yields two.
+	pkts = p.Packetize(Frame{Type: FrameP, ID: 3, Size: chunk + 1}, 0, nil)
+	if len(pkts) != 2 {
+		t.Fatalf("boundary+1 frame -> %d packets", len(pkts))
+	}
+	if len(pkts[1].Payload) != FrameHeaderLen+1 {
+		t.Fatalf("second chunk payload = %d", len(pkts[1].Payload))
+	}
+}
+
+func TestEncoderSizeFloor(t *testing.T) {
+	// Even at absurdly low bitrates, frames never collapse below the
+	// 64-byte floor (a real encoder always emits headers).
+	rng := sim.NewSource(9).Stream("tiny")
+	e := NewEncoder(DefaultEncoderConfig(1000), rng)
+	for i := 0; i < 200; i++ {
+		if f := e.NextFrame(); f.Size < 64 {
+			t.Fatalf("frame size %d below floor", f.Size)
+		}
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	for ft, want := range map[FrameType]string{
+		FrameI: "I", FrameP: "P", FrameB: "B", FrameBUnref: "b", FrameAudio: "A",
+	} {
+		if got := ft.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+	if got := FrameType(99).String(); got == "" {
+		t.Fatal("unknown frame type should still format")
+	}
+}

@@ -1,0 +1,290 @@
+// Package netem is the packet-level network emulator that substitutes for
+// Alibaba's backbone: directed links with propagation delay, jitter,
+// time-varying random loss, token-bucket bandwidth with a bounded queue,
+// and per-link utilization/loss accounting (the statistics overlay nodes
+// report to the Streaming Brain's Global Discovery module, §4.2).
+//
+// The emulator runs on a sim.Loop; Send schedules an asynchronous delivery
+// to the destination's handler at the emulated arrival time.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+// Handler receives delivered packets on a node.
+type Handler func(from int, data []byte)
+
+// LinkConfig describes one directed link.
+type LinkConfig struct {
+	// RTT is the round-trip propagation delay; one-way is RTT/2.
+	RTT time.Duration
+	// Jitter is the stddev of one-way delay noise (truncated at 0).
+	Jitter time.Duration
+	// BandwidthBps is the link capacity in bits per second.
+	BandwidthBps float64
+	// Loss returns the packet loss probability at the given time,
+	// allowing diurnal loss patterns (Figure 13). Nil means no loss.
+	Loss func(now time.Duration) float64
+	// MaxQueue bounds the queueing delay; packets that would wait longer
+	// are dropped (tail drop).
+	MaxQueue time.Duration
+}
+
+// DefaultLinkConfig fills in defaults for zero fields.
+func (c LinkConfig) withDefaults() LinkConfig {
+	if c.BandwidthBps <= 0 {
+		c.BandwidthBps = 1e9
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 200 * time.Millisecond
+	}
+	return c
+}
+
+// Stats is the per-link measurement snapshot a node reports to Global
+// Discovery.
+type Stats struct {
+	RTT         time.Duration // propagation + current queueing
+	LossRate    float64       // observed drop fraction over the last window
+	Utilization float64       // offered load / capacity over the last window
+	SentPackets uint64
+	LostPackets uint64
+}
+
+type link struct {
+	cfg       LinkConfig
+	busyUntil time.Duration
+	// lastArrival enforces FIFO delivery: jitter varies per-packet delay
+	// but real links do not reorder, so arrivals are clamped monotone.
+	lastArrival time.Duration
+
+	// Two-bucket rolling window for rate/loss accounting.
+	windowStart time.Duration
+	curBytes    int64
+	curSent     uint64
+	curLost     uint64
+	prevBytes   int64
+	prevSent    uint64
+	prevLost    uint64
+
+	totalSent uint64
+	totalLost uint64
+}
+
+const statsWindow = time.Second
+
+func (l *link) roll(now time.Duration) {
+	for now-l.windowStart >= statsWindow {
+		l.prevBytes, l.prevSent, l.prevLost = l.curBytes, l.curSent, l.curLost
+		l.curBytes, l.curSent, l.curLost = 0, 0, 0
+		l.windowStart += statsWindow
+		if now-l.windowStart >= 2*statsWindow {
+			// Long idle: fast-forward.
+			l.prevBytes, l.prevSent, l.prevLost = 0, 0, 0
+			l.windowStart = now
+		}
+	}
+}
+
+// Network is the emulated network fabric.
+type Network struct {
+	loop     *sim.Loop
+	rng      *sim.Rand
+	handlers map[int]Handler
+	links    map[int64]*link
+}
+
+func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
+
+// New returns an empty network on the given loop.
+func New(loop *sim.Loop, rng *sim.Rand) *Network {
+	return &Network{
+		loop:     loop,
+		rng:      rng,
+		handlers: make(map[int]Handler),
+		links:    make(map[int64]*link),
+	}
+}
+
+// Handle registers the delivery handler for a node. Registering twice
+// replaces the handler.
+func (n *Network) Handle(node int, h Handler) { n.handlers[node] = h }
+
+// AddLink installs a directed link from→to, replacing any existing one.
+func (n *Network) AddLink(from, to int, cfg LinkConfig) {
+	n.links[key(from, to)] = &link{cfg: cfg.withDefaults(), windowStart: n.loop.Now()}
+}
+
+// AddDuplex installs the link in both directions.
+func (n *Network) AddDuplex(a, b int, cfg LinkConfig) {
+	n.AddLink(a, b, cfg)
+	n.AddLink(b, a, cfg)
+}
+
+// HasLink reports whether a from→to link exists.
+func (n *Network) HasLink(from, to int) bool {
+	_, ok := n.links[key(from, to)]
+	return ok
+}
+
+// Send transmits data from→to. It returns an error if no link exists.
+// The data is copied; the caller may reuse the buffer immediately.
+// Delivery (or silent drop) happens asynchronously on the loop.
+func (n *Network) Send(from, to int, data []byte) error {
+	l := n.links[key(from, to)]
+	if l == nil {
+		return fmt.Errorf("netem: no link %d->%d", from, to)
+	}
+	now := n.loop.Now()
+	l.roll(now)
+	l.totalSent++
+	l.curSent++
+	l.curBytes += int64(len(data))
+
+	// Queueing + serialization.
+	queueWait := l.busyUntil - now
+	if queueWait < 0 {
+		queueWait = 0
+	}
+	if queueWait > l.cfg.MaxQueue {
+		l.totalLost++
+		l.curLost++
+		return nil // tail drop: sender sees nothing, like real UDP
+	}
+	serialization := time.Duration(float64(len(data)*8) / l.cfg.BandwidthBps * float64(time.Second))
+	l.busyUntil = now + queueWait + serialization
+
+	// Random loss.
+	if l.cfg.Loss != nil && n.rng.Bernoulli(l.cfg.Loss(now)) {
+		l.totalLost++
+		l.curLost++
+		return nil
+	}
+
+	oneWay := l.cfg.RTT / 2
+	if l.cfg.Jitter > 0 {
+		j := time.Duration(n.rng.Normal(0, float64(l.cfg.Jitter)))
+		if j < 0 {
+			j = -j / 2 // early arrivals are rarer and smaller than late ones
+		}
+		oneWay += j
+	}
+	arrival := l.busyUntil + oneWay
+	// FIFO: a packet never overtakes its predecessor on the same link.
+	if arrival <= l.lastArrival {
+		arrival = l.lastArrival + time.Microsecond
+	}
+	l.lastArrival = arrival
+	buf := append([]byte(nil), data...)
+	n.loop.At(arrival, func() {
+		if h := n.handlers[to]; h != nil {
+			h(from, buf)
+		}
+	})
+	return nil
+}
+
+// LinkStats returns the measurement snapshot for from→to (zero Stats and
+// false if the link does not exist).
+func (n *Network) LinkStats(from, to int) (Stats, bool) {
+	l := n.links[key(from, to)]
+	if l == nil {
+		return Stats{}, false
+	}
+	now := n.loop.Now()
+	l.roll(now)
+	queue := l.busyUntil - now
+	if queue < 0 {
+		queue = 0
+	}
+	sent := l.prevSent + l.curSent
+	lost := l.prevLost + l.curLost
+	var lossRate float64
+	if sent > 0 {
+		lossRate = float64(lost) / float64(sent)
+	} else if l.cfg.Loss != nil {
+		// Idle link: report the configured loss (the "UDP ping" probe a
+		// node uses when it has not transmitted recently, §4.2).
+		lossRate = l.cfg.Loss(now)
+	}
+	elapsed := (now - l.windowStart) + statsWindow
+	util := 0.0
+	if elapsed > 0 {
+		bits := float64(l.prevBytes+l.curBytes) * 8
+		util = bits / elapsed.Seconds() / l.cfg.BandwidthBps
+	}
+	if util > 1 {
+		util = 1
+	}
+	return Stats{
+		RTT:         l.cfg.RTT + 2*queue,
+		LossRate:    lossRate,
+		Utilization: util,
+		SentPackets: l.totalSent,
+		LostPackets: l.totalLost,
+	}, true
+}
+
+// Ping emulates the UDP ping probe used by Global Discovery for links the
+// node has not recently transmitted over: it returns the link's current
+// RTT (propagation + queueing) without sending data packets.
+func (n *Network) Ping(from, to int) (time.Duration, bool) {
+	s, ok := n.LinkStats(from, to)
+	if !ok {
+		return 0, false
+	}
+	return s.RTT, true
+}
+
+// SetLoss swaps the loss function on an existing link (used by failure
+// injection tests).
+func (n *Network) SetLoss(from, to int, loss func(now time.Duration) float64) bool {
+	l := n.links[key(from, to)]
+	if l == nil {
+		return false
+	}
+	l.cfg.Loss = loss
+	return true
+}
+
+// SetBandwidth changes the capacity of an existing link.
+func (n *Network) SetBandwidth(from, to int, bps float64) bool {
+	l := n.links[key(from, to)]
+	if l == nil || bps <= 0 {
+		return false
+	}
+	l.cfg.BandwidthBps = bps
+	return true
+}
+
+// GilbertElliott returns a bursty-loss function: a two-state Markov chain
+// alternating between a good state (loss pGood) and a bad state (loss
+// pBad), with mean sojourn times goodMean/badMean. Bursty loss stresses
+// recovery differently from Bernoulli loss: consecutive packets vanish
+// together, which is what drains play buffers in practice. The function
+// advances its state based on elapsed time between calls, so it works for
+// any packet rate. Not safe for use on multiple links (state is per
+// closure) — create one per link.
+func GilbertElliott(rng *sim.Rand, pGood, pBad float64, goodMean, badMean time.Duration) func(now time.Duration) float64 {
+	inBad := false
+	var stateUntil time.Duration
+	return func(now time.Duration) float64 {
+		for now >= stateUntil {
+			if inBad {
+				inBad = false
+				stateUntil = now + time.Duration(rng.Exp(float64(goodMean)))
+			} else {
+				inBad = true
+				stateUntil = now + time.Duration(rng.Exp(float64(badMean)))
+			}
+		}
+		if inBad {
+			return pBad
+		}
+		return pGood
+	}
+}

@@ -1,0 +1,347 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+func newNet(seed int64) (*sim.Loop, *Network) {
+	loop := sim.NewLoop(seed)
+	return loop, New(loop, loop.RNG("netem"))
+}
+
+func TestDeliveryAfterPropagation(t *testing.T) {
+	loop, net := newNet(1)
+	net.AddLink(0, 1, LinkConfig{RTT: 40 * time.Millisecond, BandwidthBps: 1e9})
+	var arrived time.Duration
+	net.Handle(1, func(from int, data []byte) {
+		if from != 0 || string(data) != "hi" {
+			t.Fatalf("bad delivery from=%d data=%q", from, data)
+		}
+		arrived = loop.Now()
+	})
+	if err := net.Send(0, 1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	loop.Run()
+	if arrived < 20*time.Millisecond || arrived > 21*time.Millisecond {
+		t.Fatalf("one-way delivery at %v, want ~20ms", arrived)
+	}
+}
+
+func TestNoLinkError(t *testing.T) {
+	_, net := newNet(1)
+	if err := net.Send(0, 1, []byte("x")); err == nil {
+		t.Fatal("want error for missing link")
+	}
+}
+
+func TestDataCopied(t *testing.T) {
+	loop, net := newNet(1)
+	net.AddLink(0, 1, LinkConfig{RTT: 10 * time.Millisecond})
+	got := make(chan byte, 1)
+	net.Handle(1, func(_ int, data []byte) { got <- data[0] })
+	buf := []byte{42}
+	net.Send(0, 1, buf)
+	buf[0] = 99 // mutate after send
+	loop.Run()
+	if b := <-got; b != 42 {
+		t.Fatalf("delivered %d; send must copy", b)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	loop, net := newNet(1)
+	// 1 Mbps link: a 12500-byte packet takes 100 ms to serialize.
+	net.AddLink(0, 1, LinkConfig{RTT: 0, BandwidthBps: 1e6, MaxQueue: time.Hour})
+	var arrived time.Duration
+	net.Handle(1, func(int, []byte) { arrived = loop.Now() })
+	net.Send(0, 1, make([]byte, 12500))
+	loop.Run()
+	if arrived < 99*time.Millisecond || arrived > 101*time.Millisecond {
+		t.Fatalf("arrival %v, want ~100ms serialization", arrived)
+	}
+}
+
+func TestQueueingOrderAndDrop(t *testing.T) {
+	loop, net := newNet(1)
+	// 1 Mbps, 50 ms max queue: each 1250-byte packet serializes in 10 ms,
+	// so at most ~6 packets fit before tail drop.
+	net.AddLink(0, 1, LinkConfig{RTT: 0, BandwidthBps: 1e6, MaxQueue: 50 * time.Millisecond})
+	delivered := 0
+	var last time.Duration
+	net.Handle(1, func(int, []byte) {
+		delivered++
+		if loop.Now() < last {
+			t.Fatal("FIFO violated")
+		}
+		last = loop.Now()
+	})
+	for i := 0; i < 20; i++ {
+		net.Send(0, 1, make([]byte, 1250))
+	}
+	loop.Run()
+	if delivered < 5 || delivered > 7 {
+		t.Fatalf("delivered %d of 20, want ~6 (queue bound)", delivered)
+	}
+	s, _ := net.LinkStats(0, 1)
+	if s.LostPackets != uint64(20-delivered) {
+		t.Fatalf("lost = %d, want %d", s.LostPackets, 20-delivered)
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	loop, net := newNet(2)
+	net.AddLink(0, 1, LinkConfig{RTT: time.Millisecond, Loss: func(time.Duration) float64 { return 0.3 }})
+	delivered := 0
+	net.Handle(1, func(int, []byte) { delivered++ })
+	const n = 2000
+	send := func() {}
+	i := 0
+	send = func() {
+		if i >= n {
+			return
+		}
+		i++
+		net.Send(0, 1, []byte{1})
+		loop.AfterFunc(time.Millisecond, send)
+	}
+	send()
+	loop.Run()
+	frac := float64(delivered) / n
+	if frac < 0.64 || frac > 0.76 {
+		t.Fatalf("delivered fraction %v with 30%% loss", frac)
+	}
+}
+
+func TestTimeVaryingLoss(t *testing.T) {
+	loop, net := newNet(3)
+	// Loss turns on after 1 second.
+	net.AddLink(0, 1, LinkConfig{RTT: time.Millisecond, Loss: func(now time.Duration) float64 {
+		if now > time.Second {
+			return 1.0
+		}
+		return 0
+	}})
+	delivered := 0
+	net.Handle(1, func(int, []byte) { delivered++ })
+	for i := 0; i < 20; i++ {
+		d := time.Duration(i) * 100 * time.Millisecond
+		loop.AfterFunc(d, func() { net.Send(0, 1, []byte{1}) })
+	}
+	loop.Run()
+	if delivered != 11 { // t=0..1000ms inclusive pass, later all dropped
+		t.Fatalf("delivered %d, want 11", delivered)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	loop, net := newNet(4)
+	net.AddLink(0, 1, LinkConfig{RTT: time.Millisecond, BandwidthBps: 8e6, MaxQueue: time.Hour})
+	net.Handle(1, func(int, []byte) {})
+	// Offer 4 Mbps for 3 seconds: 500 B packets every 1 ms.
+	var tick func()
+	i := 0
+	tick = func() {
+		if i >= 3000 {
+			return
+		}
+		i++
+		net.Send(0, 1, make([]byte, 500))
+		loop.AfterFunc(time.Millisecond, tick)
+	}
+	tick()
+	loop.Run()
+	s, ok := net.LinkStats(0, 1)
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if s.Utilization < 0.35 || s.Utilization > 0.65 {
+		t.Fatalf("utilization = %v, want ~0.5", s.Utilization)
+	}
+}
+
+func TestStatsIdleLinkReportsConfiguredLoss(t *testing.T) {
+	_, net := newNet(5)
+	net.AddLink(0, 1, LinkConfig{RTT: 10 * time.Millisecond, Loss: func(time.Duration) float64 { return 0.01 }})
+	s, ok := net.LinkStats(0, 1)
+	if !ok || s.LossRate != 0.01 {
+		t.Fatalf("idle link loss = %v, want configured 0.01", s.LossRate)
+	}
+	if s.RTT != 10*time.Millisecond {
+		t.Fatalf("idle RTT = %v", s.RTT)
+	}
+}
+
+func TestPing(t *testing.T) {
+	_, net := newNet(6)
+	net.AddDuplex(0, 1, LinkConfig{RTT: 30 * time.Millisecond})
+	rtt, ok := net.Ping(0, 1)
+	if !ok || rtt != 30*time.Millisecond {
+		t.Fatalf("ping = %v ok=%v", rtt, ok)
+	}
+	if _, ok := net.Ping(0, 9); ok {
+		t.Fatal("ping over missing link should fail")
+	}
+}
+
+func TestQueueRaisesMeasuredRTT(t *testing.T) {
+	loop, net := newNet(7)
+	net.AddLink(0, 1, LinkConfig{RTT: 10 * time.Millisecond, BandwidthBps: 1e6, MaxQueue: time.Hour})
+	net.Handle(1, func(int, []byte) {})
+	for i := 0; i < 10; i++ {
+		net.Send(0, 1, make([]byte, 1250)) // 10 ms serialization each
+	}
+	s, _ := net.LinkStats(0, 1)
+	if s.RTT <= 10*time.Millisecond {
+		t.Fatalf("queued link should report inflated RTT, got %v", s.RTT)
+	}
+	loop.Run()
+}
+
+func TestSetBandwidthAndLoss(t *testing.T) {
+	loop, net := newNet(8)
+	net.AddLink(0, 1, LinkConfig{RTT: time.Millisecond, BandwidthBps: 1e9})
+	if !net.SetBandwidth(0, 1, 1e6) {
+		t.Fatal("SetBandwidth failed")
+	}
+	if net.SetBandwidth(0, 9, 1e6) {
+		t.Fatal("SetBandwidth on missing link should fail")
+	}
+	if !net.SetLoss(0, 1, func(time.Duration) float64 { return 1 }) {
+		t.Fatal("SetLoss failed")
+	}
+	delivered := 0
+	net.Handle(1, func(int, []byte) { delivered++ })
+	net.Send(0, 1, []byte{1})
+	loop.Run()
+	if delivered != 0 {
+		t.Fatal("100% loss should drop everything")
+	}
+}
+
+func TestDeterministicDeliveries(t *testing.T) {
+	run := func() []time.Duration {
+		loop, net := newNet(42)
+		net.AddLink(0, 1, LinkConfig{
+			RTT: 20 * time.Millisecond, Jitter: 2 * time.Millisecond,
+			BandwidthBps: 5e6, Loss: func(time.Duration) float64 { return 0.05 },
+		})
+		var times []time.Duration
+		net.Handle(1, func(int, []byte) { times = append(times, loop.Now()) })
+		for i := 0; i < 100; i++ {
+			d := time.Duration(i) * 2 * time.Millisecond
+			loop.AfterFunc(d, func() { net.Send(0, 1, make([]byte, 1000)) })
+		}
+		loop.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different delivery times")
+		}
+	}
+}
+
+// TestFIFOProperty: regardless of jitter, packets on one link are never
+// reordered (send order == delivery order).
+func TestFIFOProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		loop, net := newNet(seed)
+		net.AddLink(0, 1, LinkConfig{
+			RTT:          20 * time.Millisecond,
+			Jitter:       8 * time.Millisecond, // aggressive jitter
+			BandwidthBps: 10e6,
+			MaxQueue:     time.Hour,
+		})
+		rng := loop.RNG("fifo")
+		lastSeq := -1
+		net.Handle(1, func(_ int, data []byte) {
+			seq := int(data[0])<<8 | int(data[1])
+			if seq <= lastSeq {
+				t.Fatalf("seed %d: reorder %d after %d", seed, seq, lastSeq)
+			}
+			lastSeq = seq
+		})
+		// Sequence numbers are assigned in actual send order.
+		sendSeq := 0
+		for i := 0; i < 300; i++ {
+			d := time.Duration(rng.Intn(100)) * time.Millisecond
+			loop.AfterFunc(d, func() {
+				net.Send(0, 1, []byte{byte(sendSeq >> 8), byte(sendSeq), 0, 0})
+				sendSeq++
+			})
+		}
+		loop.Run()
+		if lastSeq < 250 {
+			t.Fatalf("seed %d: only %d deliveries", seed, lastSeq)
+		}
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	loop, net := newNet(9)
+	ge := GilbertElliott(loop.RNG("ge"), 0.0, 0.5, 900*time.Millisecond, 100*time.Millisecond)
+	net.AddLink(0, 1, LinkConfig{RTT: time.Millisecond, Loss: ge})
+	var deliveredAt []int // packet index of each delivery
+	idx := 0
+	net.Handle(1, func(int, []byte) { deliveredAt = append(deliveredAt, idx) })
+	var tick func()
+	tick = func() {
+		if idx >= 5000 {
+			return
+		}
+		net.Send(0, 1, []byte{1})
+		idx++
+		loop.AfterFunc(2*time.Millisecond, tick)
+	}
+	tick()
+	loop.Run()
+
+	total := 5000
+	lost := total - len(deliveredAt)
+	// Expected loss ≈ 0.5 * 10% bad-state occupancy = ~5%.
+	if lost < total/50 || lost > total/8 {
+		t.Fatalf("lost %d of %d, want ~5%%", lost, total)
+	}
+	// Burstiness: count loss runs of length >= 3 — Bernoulli at the same
+	// rate would almost never produce them; Gilbert-Elliott must.
+	runs := 0
+	prev := -1
+	runLen := 0
+	for _, d := range deliveredAt {
+		gap := d - prev - 1
+		if gap >= 3 {
+			runs++
+		}
+		prev = d
+		_ = runLen
+	}
+	if runs < 5 {
+		t.Fatalf("only %d loss bursts of length >=3; GE loss should be bursty", runs)
+	}
+}
+
+func TestGilbertElliottStateEvolves(t *testing.T) {
+	loop, _ := newNet(10)
+	ge := GilbertElliott(loop.RNG("ge2"), 0.001, 0.9, time.Second, 200*time.Millisecond)
+	sawGood, sawBad := false, false
+	for tms := 0; tms < 30000; tms += 10 {
+		p := ge(time.Duration(tms) * time.Millisecond)
+		if p == 0.001 {
+			sawGood = true
+		}
+		if p == 0.9 {
+			sawBad = true
+		}
+	}
+	if !sawGood || !sawBad {
+		t.Fatalf("GE chain stuck: good=%v bad=%v", sawGood, sawBad)
+	}
+}

@@ -1,0 +1,275 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/netem"
+	"livenet/internal/rtp"
+	"livenet/internal/wire"
+)
+
+func TestInstallPathsMakesFirstViewerFast(t *testing.T) {
+	h := newHarness(t, 20, []int{0, 1})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(1, viewerBase, 10*time.Millisecond, 0)
+	h.addViewer(viewerBase)
+
+	const sid = 31
+	h.broadcast(sid, 0, 200)
+
+	// The Brain proactively pushes the path before any viewer arrives.
+	h.loop.AfterFunc(time.Second, func() {
+		h.nodes[1].InstallPaths(sid, [][]int{{0, 1}})
+	})
+	// The first viewer arrives later: the stream is already established
+	// and cached, so the request is a local hit.
+	var hit bool
+	h.loop.AfterFunc(4*time.Second, func() {
+		hit = h.nodes[1].AttachViewer(viewerBase, sid)
+	})
+	h.loop.RunUntil(8 * time.Second)
+
+	if !hit {
+		t.Fatal("prefetched path should make the first viewer a local hit")
+	}
+	if h.nodes[1].Metrics().PathLookups != 0 {
+		t.Fatal("prefetch should avoid the Brain lookup entirely")
+	}
+	if len(h.viewerRecv[viewerBase]) == 0 {
+		t.Fatal("viewer got no data")
+	}
+}
+
+func TestMigrateProducerKeepsDownstreamPaths(t *testing.T) {
+	// Broadcaster mobility (§7.1): producer moves 0 -> 3; the old
+	// producer subscribes to the new one; the consumer's subscription is
+	// untouched and data keeps flowing.
+	h := newHarness(t, 21, []int{0, 1, 3})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(broadcasterID+1, 3, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(0, 3, 20*time.Millisecond, 0)
+	h.link(1, viewerBase, 10*time.Millisecond, 0)
+	h.addViewer(viewerBase)
+
+	const sid = 33
+	h.paths[sid] = [][]int{{0, 1}}
+	h.broadcast(sid, 0, 100) // old location, 4 s of video
+
+	h.loop.AfterFunc(time.Second, func() {
+		h.nodes[1].AttachViewer(viewerBase, sid)
+	})
+
+	var framesBefore int
+	h.loop.AfterFunc(5*time.Second, func() {
+		framesBefore = len(h.viewerRecv[viewerBase])
+		// The broadcaster moves: uploads now land on node 3 (same SID).
+		rngStream := h.loop.RNG("media-moved")
+		_ = rngStream
+		h.broadcastFrom(sid, 3, broadcasterID+1, 150)
+		// The Brain instructs the old producer to subscribe to the new one.
+		h.nodes[0].MigrateProducer(sid, []int{3, 0})
+	})
+	h.loop.RunUntil(12 * time.Second)
+
+	framesAfter := len(h.viewerRecv[viewerBase])
+	if framesAfter <= framesBefore+100 {
+		t.Fatalf("no data after producer migration: %d -> %d packets", framesBefore, framesAfter)
+	}
+	// The consumer's upstream is still node 0: downstream paths unchanged.
+	h.nodes[1].mu.Lock()
+	up := h.nodes[1].streams[sid].upstream
+	h.nodes[1].mu.Unlock()
+	if up != 0 {
+		t.Fatalf("consumer upstream changed to %d; should still be the old producer", up)
+	}
+	// The old producer now receives from node 3.
+	h.nodes[0].mu.Lock()
+	s0 := h.nodes[0].streams[sid]
+	oldUp, isProd := s0.upstream, s0.producer
+	h.nodes[0].mu.Unlock()
+	if isProd || oldUp != 3 {
+		t.Fatalf("old producer state: producer=%v upstream=%d, want subscriber of 3", isProd, oldUp)
+	}
+}
+
+// broadcastFrom streams frames from an arbitrary broadcaster endpoint.
+func (h *harness) broadcastFrom(sid uint32, producer, fromID, frames int) {
+	rng := h.loop.RNG("media-b2")
+	enc := mediaEncoder(rng)
+	pz := mediaPacketizer(sid)
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= frames {
+			return
+		}
+		sent++
+		f := enc.NextFrame()
+		now10us := uint32(h.loop.Now() / (10 * time.Microsecond))
+		for _, pkt := range pz.Packetize(f, 200, nil) {
+			frame := wire.FrameRTP(nil, now10us, pkt.Marshal(nil))
+			h.net.Send(fromID, producer, frame)
+		}
+		h.loop.AfterFunc(enc.FrameInterval(), tick)
+	}
+	h.loop.AfterFunc(0, tick)
+}
+
+func TestBitrateDownSwitchUnderPressure(t *testing.T) {
+	h := newHarness(t, 22, []int{0, 1})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(1, viewerBase, 10*time.Millisecond, 0)
+	h.addViewer(viewerBase)
+
+	const hiSID, loSID = 40, 41
+	h.paths[hiSID] = [][]int{{0, 1}}
+	h.paths[loSID] = [][]int{{0, 1}}
+	// Rewire node 1 with the simulcast ladder knowledge.
+	h.nodes[1].cfg.LowerRendition = func(sid uint32) (uint32, bool) {
+		if sid == hiSID {
+			return loSID, true
+		}
+		return 0, false
+	}
+	h.nodes[1].cfg.BitrateSwitchAfter = time.Second
+
+	// Both renditions are broadcast.
+	h.broadcast(hiSID, 0, 400)
+	h.broadcastFrom(loSID, 0, broadcasterID, 400)
+
+	h.loop.AfterFunc(500*time.Millisecond, func() {
+		h.nodes[1].AttachViewer(viewerBase, hiSID)
+	})
+	// The viewer's access collapses: its REMB caps the client pacer far
+	// below the high rendition's rate, so the queue stays pressured.
+	h.loop.AfterFunc(2*time.Second, func() {
+		remb := rtp.MarshalREMB(&rtp.REMB{SenderSSRC: viewerBase, BitrateBps: 200_000, SSRCs: []uint32{hiSID}}, nil)
+		h.net.Send(viewerBase, 1, wire.FrameRTCP(nil, remb))
+	})
+	h.loop.RunUntil(14 * time.Second)
+
+	m := h.nodes[1].Metrics()
+	if m.BitrateSwitches == 0 {
+		t.Fatalf("persistent queue pressure should trigger a bitrate down-switch: %+v", m)
+	}
+	// The viewer must have received packets of the lower rendition.
+	sawLow := false
+	for _, p := range h.viewerRecv[viewerBase] {
+		if p.SSRC == loSID {
+			sawLow = true
+			break
+		}
+	}
+	if !sawLow {
+		t.Fatal("viewer never received the lower rendition after the switch")
+	}
+}
+
+func TestPathSwitchReQueriesWhenBackupsExhausted(t *testing.T) {
+	h := newHarness(t, 23, []int{0, 1})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(1, viewerBase, 10*time.Millisecond, 0)
+	h.addViewer(viewerBase)
+
+	const sid = 45
+	h.paths[sid] = [][]int{{0, 1}} // single path: no backups
+	h.broadcast(sid, 0, 300)
+
+	h.loop.AfterFunc(500*time.Millisecond, func() {
+		h.nodes[1].AttachViewer(viewerBase, sid)
+	})
+	h.loop.AfterFunc(4*time.Second, func() {
+		// Stalls with no backup paths: the consumer must re-query the Brain.
+		h.nodes[1].ReportClientQuality(viewerBase, sid, 5)
+	})
+	h.loop.RunUntil(10 * time.Second)
+
+	m := h.nodes[1].Metrics()
+	if m.PathSwitches != 1 {
+		t.Fatalf("PathSwitches = %d", m.PathSwitches)
+	}
+	if m.PathLookups < 2 {
+		t.Fatalf("exhausted backups should re-query the Brain: lookups = %d", m.PathLookups)
+	}
+	if !h.nodes[1].HasStream(sid) {
+		t.Fatal("stream should be re-established after the re-query")
+	}
+}
+
+func TestMigrateProducerNonProducerNoop(t *testing.T) {
+	h := newHarness(t, 24, []int{0, 1})
+	h.link(0, 1, 20*time.Millisecond, 0)
+	// Node 1 has no stream at all.
+	h.nodes[1].MigrateProducer(99, []int{0, 1})
+	h.loop.RunUntil(time.Second)
+	if h.nodes[1].HasStream(99) {
+		t.Fatal("migrating a non-existent stream should be a no-op")
+	}
+}
+
+func TestProducerStreamGC(t *testing.T) {
+	h := newHarness(t, 25, []int{0})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	const sid = 50
+	var ended []uint32
+	h.nodes[0].cfg.OnStreamEnded = func(id uint32) { ended = append(ended, id) }
+	h.nodes[0].cfg.StreamIdleTimeout = 5 * time.Second
+	h.broadcast(sid, 0, 50) // 2 s of video, then silence
+	h.loop.RunUntil(3 * time.Second)
+	if !h.nodes[0].HasStream(sid) {
+		t.Fatal("stream should exist while broadcasting")
+	}
+	h.loop.RunUntil(10 * time.Second)
+	if h.nodes[0].HasStream(sid) {
+		t.Fatal("idle producer stream should be garbage-collected")
+	}
+	if len(ended) != 1 || ended[0] != sid {
+		t.Fatalf("OnStreamEnded = %v", ended)
+	}
+}
+
+func TestGCCAdaptsToConstrainedOverlayHop(t *testing.T) {
+	// The overlay hop's capacity sits below the pacer's initial rate:
+	// GCC (REMB from the downstream node + RR loss feedback) must settle
+	// the sender's pacing rate near the hop capacity instead of flooding
+	// the bottleneck queue.
+	h := newHarness(t, 30, []int{0, 1})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	// 3 Mbps bottleneck with a short queue: overshoot becomes loss.
+	h.net.AddDuplex(0, 1, netem.LinkConfig{
+		RTT: 30 * time.Millisecond, BandwidthBps: 3e6, MaxQueue: 100 * time.Millisecond,
+	})
+	h.link(1, viewerBase, 10*time.Millisecond, 0)
+	h.addViewer(viewerBase)
+
+	const sid = 60
+	h.paths[sid] = [][]int{{0, 1}}
+	h.broadcast(sid, 0, 700) // 28 s of ~1 Mbps video
+
+	h.loop.AfterFunc(500*time.Millisecond, func() {
+		h.nodes[1].AttachViewer(viewerBase, sid)
+	})
+	h.loop.RunUntil(20 * time.Second)
+
+	rate, _, ok := h.nodes[0].LinkState(1)
+	if !ok {
+		t.Fatal("no link state")
+	}
+	// The pacer must have adapted below its 8 Mbps default and must stay
+	// above the stream rate (otherwise the queue would diverge).
+	if rate >= 8e6 {
+		t.Fatalf("pacer rate %v never adapted to the 3 Mbps bottleneck", rate)
+	}
+	if rate < 900e3 {
+		t.Fatalf("pacer rate %v collapsed below the stream rate", rate)
+	}
+	// Data keeps flowing end to end.
+	if len(h.viewerRecv[viewerBase]) < 1000 {
+		t.Fatalf("viewer received only %d packets", len(h.viewerRecv[viewerBase]))
+	}
+}

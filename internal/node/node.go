@@ -1,0 +1,544 @@
+// Package node implements the LiveNet overlay node: the fast–slow path
+// transmission architecture of §5. A node keeps a Stream FIB mapping each
+// stream to its downstream subscribers; on receiving an RTP packet the
+// fast path immediately forwards it to all subscribers (through a paced
+// sender, with no loss detection or ordering), while a copy enters the
+// slow path for congestion control (GCC), per-hop NACK/retransmission
+// loss recovery, frame assembly and GoP caching.
+//
+// The same node code serves all three roles of the flat CDN — producer,
+// relay, consumer — exactly as the paper's role-flexible design requires:
+// a node becomes a producer when a broadcaster uploads to it, a relay
+// when other nodes subscribe through it, and a consumer when viewers
+// attach to it.
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"livenet/internal/gcc"
+	"livenet/internal/gop"
+	"livenet/internal/media"
+	"livenet/internal/rtp"
+	"livenet/internal/sim"
+	"livenet/internal/wire"
+)
+
+// Sender abstracts the transport (the in-process emulator or real UDP).
+type Sender interface {
+	Send(from, to int, data []byte) error
+}
+
+// PathLookupFunc asks the Streaming Brain's Path Decision module for
+// candidate paths for a stream, consumer pair. Paths are node-ID
+// sequences from producer to consumer (inclusive). The callback may fire
+// asynchronously (it models the RTT to the Path Decision replica).
+type PathLookupFunc func(streamID uint32, consumer int, cb func(paths [][]int, err error))
+
+// Config configures a Node.
+type Config struct {
+	ID    int
+	Clock sim.Clock
+	Net   Sender
+	// LinkRTT estimates the RTT to a neighbor, used for the per-hop delay
+	// extension accounting (processing + RTT/2). May be nil (counts
+	// processing only).
+	LinkRTT func(to int) time.Duration
+	// PathLookup reaches the Streaming Brain. Nil disables consumer-side
+	// establishment (pure relay/producer node).
+	PathLookup PathLookupFunc
+	// OnNewStream fires when a broadcaster starts uploading a new stream
+	// here (producer role); the core wires it to Stream Management.
+	OnNewStream func(streamID uint32)
+	// IsOverlay reports whether an endpoint ID is another overlay node
+	// (as opposed to a broadcaster/viewer client). Packets for unknown
+	// streams from overlay peers are stray (e.g. in flight across a
+	// teardown) and are dropped instead of adopting producership. Nil
+	// treats every sender as a potential broadcaster.
+	IsOverlay func(id int) bool
+	// InitialRateBps seeds per-link pacers and GCC (default 8 Mbps).
+	InitialRateBps float64
+	// MinRateBps / MaxRateBps bound GCC (defaults 100 kbps / 100 Mbps).
+	MinRateBps, MaxRateBps float64
+	// ProcessingDelay is the nominal per-packet processing time added to
+	// the delay extension at each hop (default 1 ms).
+	ProcessingDelay time.Duration
+	// GoPCacheGoPs bounds the per-stream GoP cache (default 3).
+	GoPCacheGoPs int
+	// FrameDropThreshold is the per-client queue delay that triggers
+	// proactive frame dropping (default 350 ms); 2x drops P frames, 3x
+	// whole GoPs.
+	FrameDropThreshold time.Duration
+	// NACKInterval is the slow-path loss scan period (default 50 ms, §5.1).
+	NACKInterval time.Duration
+	// ReportInterval is the RR/REMB feedback period (default 500 ms).
+	ReportInterval time.Duration
+	// MaxNACKRetries bounds recovery attempts per hole (default 8).
+	MaxNACKRetries int
+	// StallSwitchThreshold is the number of client-reported stalls that
+	// triggers a path switch (long-chain mitigation, §4.4; default 2).
+	StallSwitchThreshold int
+	// OnStreamEnded fires when a producer stream is garbage-collected
+	// after its broadcaster stops uploading; the core wires it to Stream
+	// Management (unregister from the SIB).
+	OnStreamEnded func(streamID uint32)
+	// StreamIdleTimeout garbage-collects a producer stream after no
+	// upload packets for this long (default 30 s).
+	StreamIdleTimeout time.Duration
+	// LowerRendition maps a stream to its next-lower simulcast rendition
+	// (§5.2: "the consumer node will request a lower bitrate stream
+	// version if the sending queue is consistently building up"). Nil
+	// disables bitrate down-switching.
+	LowerRendition func(sid uint32) (uint32, bool)
+	// BitrateSwitchAfter is how long a client's queue must stay past the
+	// drop threshold before down-switching (default 3 s).
+	BitrateSwitchAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialRateBps <= 0 {
+		c.InitialRateBps = 8e6
+	}
+	if c.MinRateBps <= 0 {
+		c.MinRateBps = 100e3
+	}
+	if c.MaxRateBps <= 0 {
+		c.MaxRateBps = 100e6
+	}
+	if c.ProcessingDelay <= 0 {
+		c.ProcessingDelay = time.Millisecond
+	}
+	if c.GoPCacheGoPs <= 0 {
+		c.GoPCacheGoPs = 3
+	}
+	if c.FrameDropThreshold <= 0 {
+		c.FrameDropThreshold = 350 * time.Millisecond
+	}
+	if c.NACKInterval <= 0 {
+		c.NACKInterval = 50 * time.Millisecond
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = 500 * time.Millisecond
+	}
+	if c.MaxNACKRetries <= 0 {
+		c.MaxNACKRetries = 8
+	}
+	if c.StallSwitchThreshold <= 0 {
+		c.StallSwitchThreshold = 2
+	}
+	if c.BitrateSwitchAfter <= 0 {
+		c.BitrateSwitchAfter = 3 * time.Second
+	}
+	if c.StreamIdleTimeout <= 0 {
+		c.StreamIdleTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Metrics are the node's cumulative counters; the evaluation harness
+// scrapes them (they correspond to the consumer-node logs of §6.1).
+type Metrics struct {
+	PacketsReceived  uint64
+	PacketsForwarded uint64
+	NACKsSent        uint64
+	NACKsReceived    uint64
+	Retransmits      uint64
+	HolesRecovered   uint64
+	HolesAbandoned   uint64
+	LocalHits        uint64 // Algorithm 1 line 1 taken
+	PathLookups      uint64
+	PathSwitches     uint64
+	DroppedBFrames   uint64
+	DroppedPFrames   uint64
+	DroppedGoPs      uint64
+	CacheHitPrimes   uint64 // subscriptions served from local cache
+	BitrateSwitches  uint64 // clients moved to a lower simulcast rendition
+}
+
+// pacerTick is the pacer drain granularity.
+const pacerTick = 2 * time.Millisecond
+
+// Node is one overlay node.
+type Node struct {
+	mu  sync.Mutex
+	cfg Config
+	id  int
+
+	streams map[uint32]*stream
+	out     map[int]*outLink
+
+	metrics Metrics
+
+	// OnFirstPacket fires when the first data packet is sent to a local
+	// client after AttachViewer (first-packet delay, §6.1).
+	OnFirstPacket func(clientID int, streamID uint32, delay time.Duration)
+	// OnEstablished fires when a consumer-side subscription is acked with
+	// the actual producer→here path.
+	OnEstablished func(streamID uint32, path []int, localHit bool)
+
+	scanTimer sim.Timer
+	closed    bool
+}
+
+// outLink is the paced sender state toward one neighbor (node or client).
+type outLink struct {
+	to            int
+	pacer         *gcc.Pacer
+	ctrl          *gcc.Controller
+	tickScheduled bool
+}
+
+// outPacket is a pacer item payload.
+type outPacket struct {
+	to    int
+	frame []byte // wire-framed MsgRTP with placeholder send time
+}
+
+// stream is the per-stream state (FIB entry + slow path).
+type stream struct {
+	id          uint32
+	producer    bool
+	upstream    int // node we receive from; -1 if none yet; broadcaster client if producer
+	established bool
+	fullPath    []int // actual producer→this-node path (this node last)
+
+	subscribers map[int]bool         // downstream overlay nodes
+	clients     map[int]*clientState // locally attached viewers
+
+	lookupPending  bool
+	backupPaths    [][]int
+	requestedPath  []int
+	establishStart time.Duration
+
+	// pendingSubs are downstream Subscribe requests that arrived before we
+	// ourselves are established; acked when the SubAck comes back.
+	pendingSubs []uint16
+
+	cache *gop.Cache
+	rtx   *rtxRing
+	rx    *recvState
+
+	// lastData is when the last RTP packet for this stream arrived
+	// (drives producer-stream garbage collection).
+	lastData time.Duration
+}
+
+// New creates a node and starts its slow-path timers.
+func New(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		id:      cfg.ID,
+		streams: make(map[uint32]*stream),
+		out:     make(map[int]*outLink),
+	}
+	n.scheduleScan()
+	return n
+}
+
+// ID returns the node's overlay ID.
+func (n *Node) ID() int { return n.id }
+
+// Metrics returns a snapshot of the counters.
+func (n *Node) Metrics() Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metrics
+}
+
+// Close stops timers.
+func (n *Node) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	if n.scanTimer != nil {
+		n.scanTimer.Stop()
+	}
+}
+
+// Streams returns the IDs of streams with state on this node.
+func (n *Node) Streams() []uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]uint32, 0, len(n.streams))
+	for id := range n.streams {
+		out = append(out, id)
+	}
+	return out
+}
+
+// HasStream reports whether the node carries the stream (established).
+func (n *Node) HasStream(sid uint32) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.streams[sid]
+	return s != nil && s.established
+}
+
+// StreamPath returns the actual producer→node path for an established
+// stream (nil otherwise).
+func (n *Node) StreamPath(sid uint32) []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.streams[sid]
+	if s == nil || !s.established {
+		return nil
+	}
+	return append([]int(nil), s.fullPath...)
+}
+
+// Utilization is a pluggable load probe (set by the core to combine CPU,
+// memory and stream counts, per §4.2 footnote 4). The node itself exposes
+// its stream count as a crude default.
+func (n *Node) StreamCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.streams)
+}
+
+// OnMessage is the transport delivery entry point.
+func (n *Node) OnMessage(from int, data []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	switch wire.Kind(data) {
+	case wire.MsgRTP:
+		n.onRTP(from, data)
+	case wire.MsgRTCP:
+		n.onRTCP(from, data[1:])
+	case wire.MsgSubscribe:
+		n.onSubscribe(from, data)
+	case wire.MsgUnsubscribe:
+		n.onUnsubscribe(from, data)
+	case wire.MsgSubAck:
+		n.onSubAck(from, data)
+	}
+}
+
+// onRTP is the fast path (§5.1): FIB lookup, immediate forward to all
+// subscribers, then a copy to the slow path. Called with mu held.
+func (n *Node) onRTP(from int, data []byte) {
+	sendTime10us, rtpData, err := wire.UnframeRTP(data)
+	if err != nil {
+		return
+	}
+	var pkt rtp.Packet
+	if err := pkt.Unmarshal(rtpData); err != nil {
+		return
+	}
+	n.metrics.PacketsReceived++
+	now := n.cfg.Clock.Now()
+
+	fromOverlay := n.cfg.IsOverlay != nil && n.cfg.IsOverlay(from)
+	s := n.streams[pkt.SSRC]
+	switch {
+	case s == nil && !fromOverlay:
+		// Unknown stream from a client: a broadcaster upload makes this
+		// node the stream's producer.
+		s = n.newStream(pkt.SSRC)
+		n.adoptProducerRole(s, from)
+	case s == nil:
+		// Stray packet from an overlay peer (e.g. in flight across a
+		// teardown): drop.
+		return
+	case !s.established && s.upstream == -1 && !s.lookupPending && !fromOverlay:
+		// The stream had parked subscriptions (viewers arrived before the
+		// broadcast began) and the upload is now starting here.
+		n.adoptProducerRole(s, from)
+	}
+	s.lastData = now
+	isRTX := false
+	if s.rx != nil && s.rx.isPendingHole(pkt.SequenceNumber) {
+		isRTX = true
+	}
+
+	// Fast path: forward to every subscribed downstream node. Each
+	// subscriber gets its own framed copy so the per-hop delay extension
+	// can differ per link.
+	class, gain := classify(&pkt)
+	for sub := range s.subscribers {
+		n.forwardTo(sub, rtpData, class, gain, isRTX)
+	}
+	// Local clients (consumer role), with proactive frame dropping.
+	for _, c := range s.clients {
+		n.forwardToClient(s, c, rtpData, &pkt)
+	}
+
+	// Slow path: congestion control, loss recovery, framing, GoP cache.
+	n.slowPathReceive(s, from, sendTime10us, rtpData, &pkt)
+}
+
+// classify maps a packet to a pacer class and pacing gain using the
+// frame header that rides at the start of the payload.
+func classify(pkt *rtp.Packet) (gcc.Class, float64) {
+	if pkt.PayloadType == rtp.PayloadAudio {
+		return gcc.ClassAudio, 0
+	}
+	var h media.FrameHeader
+	if err := h.Unmarshal(pkt.Payload); err == nil && h.Type == media.FrameI {
+		return gcc.ClassVideo, gcc.IFramePacingGain
+	}
+	return gcc.ClassVideo, 0
+}
+
+// forwardTo frames and enqueues rtpData toward a downstream node.
+// Called with mu held.
+func (n *Node) forwardTo(to int, rtpData []byte, class gcc.Class, gain float64, isRTX bool) {
+	frame := wire.FrameRTP(make([]byte, 0, wire.RTPHeaderLen+len(rtpData)), 0, rtpData)
+	// Per-hop delay accounting on the copy only.
+	var half time.Duration
+	if n.cfg.LinkRTT != nil {
+		half = n.cfg.LinkRTT(to) / 2
+	}
+	add := uint32((n.cfg.ProcessingDelay + half) / (10 * time.Microsecond))
+	rtp.PatchDelayExt(frame[wire.RTPHeaderLen:], add)
+	if isRTX {
+		class = gcc.ClassRTX
+	}
+	l := n.link(to)
+	l.pacer.Push(gcc.Item{Class: class, Size: len(frame), Gain: gain, Payload: outPacket{to: to, frame: frame}})
+	n.kickPacer(l)
+}
+
+// link returns (creating if needed) the out-link state for a neighbor.
+// Called with mu held.
+func (n *Node) link(to int) *outLink {
+	l := n.out[to]
+	if l == nil {
+		l = &outLink{
+			to:    to,
+			pacer: gcc.NewPacer(n.cfg.InitialRateBps),
+			ctrl:  gcc.NewController(n.cfg.InitialRateBps, n.cfg.MinRateBps, n.cfg.MaxRateBps),
+		}
+		n.out[to] = l
+	}
+	return l
+}
+
+// kickPacer schedules a drain tick for a link if none is pending.
+// Called with mu held.
+func (n *Node) kickPacer(l *outLink) {
+	if l.tickScheduled {
+		return
+	}
+	l.tickScheduled = true
+	n.cfg.Clock.AfterFunc(pacerTick, func() { n.drainLink(l) })
+}
+
+func (n *Node) drainLink(l *outLink) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	now := n.cfg.Clock.Now()
+	var toSend []outPacket
+	l.pacer.Drain(now, func(it gcc.Item) {
+		toSend = append(toSend, it.Payload.(outPacket))
+	})
+	n.metrics.PacketsForwarded += uint64(len(toSend))
+	l.tickScheduled = l.pacer.QueueLen() > 0
+	if l.tickScheduled {
+		n.cfg.Clock.AfterFunc(pacerTick, func() { n.drainLink(l) })
+	}
+	n.mu.Unlock()
+
+	// Send outside the lock: the transport may deliver synchronously in
+	// degenerate cases and re-enter OnMessage.
+	now10us := uint32(now / (10 * time.Microsecond))
+	for _, p := range toSend {
+		wire.PatchRTPSendTime(p.frame, now10us)
+		if err := n.cfg.Net.Send(n.id, p.to, p.frame); err != nil {
+			// Transport-level failure (no link): nothing to do on the fast
+			// path; the slow path's NACKs will not help either. Counted by
+			// the transport.
+			_ = err
+		}
+	}
+}
+
+// sendControl sends a control message immediately (not paced).
+// Called with mu held or not — it does not touch node state.
+func (n *Node) sendControl(to int, data []byte) {
+	if err := n.cfg.Net.Send(n.id, to, data); err != nil {
+		_ = err
+	}
+}
+
+// adoptProducerRole marks this node as the stream's producer (the
+// broadcaster uploads directly to it) and acks any parked downstream
+// subscriptions. Called with mu held.
+func (n *Node) adoptProducerRole(s *stream, broadcaster int) {
+	s.producer = true
+	s.upstream = broadcaster
+	s.established = true
+	s.fullPath = []int{n.id}
+	n.ackPendingSubsLocked(s)
+	if n.cfg.OnNewStream != nil {
+		sid := s.id
+		cb := n.cfg.OnNewStream
+		n.cfg.Clock.AfterFunc(0, func() { cb(sid) })
+	}
+}
+
+// ackPendingSubsLocked acks downstream subscribers that were waiting for
+// this node to become established.
+func (n *Node) ackPendingSubsLocked(s *stream) {
+	if len(s.pendingSubs) == 0 {
+		return
+	}
+	ackPath := make([]uint16, 0, len(s.fullPath))
+	for _, h := range s.fullPath {
+		ackPath = append(ackPath, uint16(h))
+	}
+	for _, req := range s.pendingSubs {
+		out := wire.SubAck{StreamID: s.id, Path: ackPath}
+		n.sendControl(int(req), out.Marshal(nil))
+	}
+	s.pendingSubs = s.pendingSubs[:0]
+}
+
+// newStream creates stream state. Called with mu held.
+func (n *Node) newStream(sid uint32) *stream {
+	s := &stream{
+		id:          sid,
+		upstream:    -1,
+		subscribers: make(map[int]bool),
+		clients:     make(map[int]*clientState),
+		cache:       gop.NewCache(n.cfg.GoPCacheGoPs, 0),
+		rtx:         newRTXRing(1024),
+	}
+	n.streams[sid] = s
+	return s
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string { return fmt.Sprintf("node(%d)", n.id) }
+
+// LinkState reports the pacing rate and queue depth toward a neighbor
+// (introspection for operations dashboards and tests).
+func (n *Node) LinkState(to int) (rateBps float64, queueBytes int, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.out[to]
+	if l == nil {
+		return 0, 0, false
+	}
+	return l.pacer.Rate(), l.pacer.QueueBytes(), true
+}
+
+// RecvRate reports the receiver-side GCC estimate and measured incoming
+// bitrate for a stream (introspection).
+func (n *Node) RecvRate(sid uint32) (aimdBps, incomingBps float64, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.streams[sid]
+	if s == nil || s.rx == nil {
+		return 0, 0, false
+	}
+	return s.rx.aimd.Rate(), s.rx.meter.BitrateBps(n.cfg.Clock.Now()), true
+}

@@ -1,0 +1,414 @@
+// Package replication implements the Paxos-like consistency scheme the
+// Streaming Brain uses across its geo-replicated deployments (§7.1: "We
+// maintain consistency using a Paxos-like scheme [31]"): a replicated log
+// where each slot is decided by single-decree Paxos (prepare/promise,
+// accept/accepted), with commits broadcast to learners. Replicas apply
+// committed entries in slot order through an OnCommit callback — the core
+// uses it to replicate PIB/SIB updates.
+package replication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgPrepare MsgType = iota + 1
+	MsgPromise
+	MsgReject
+	MsgAccept
+	MsgAccepted
+	MsgCommit
+	// MsgLearn asks a peer to re-send commits from a slot onward
+	// (catch-up after a partition heals).
+	MsgLearn
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPrepare:
+		return "prepare"
+	case MsgPromise:
+		return "promise"
+	case MsgReject:
+		return "reject"
+	case MsgAccept:
+		return "accept"
+	case MsgAccepted:
+		return "accepted"
+	case MsgCommit:
+		return "commit"
+	case MsgLearn:
+		return "learn"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Msg is one protocol message.
+type Msg struct {
+	Type   MsgType
+	Slot   int
+	Ballot uint64
+	// AcceptedBallot/AcceptedValue ride on promises (the highest accepted
+	// proposal the acceptor has seen for the slot, if any).
+	AcceptedBallot uint64
+	Value          []byte
+	From           int
+}
+
+// Transport carries messages between replicas (the test harness and the
+// core provide implementations with realistic delays/partitions).
+type Transport interface {
+	Send(from, to int, m Msg)
+}
+
+// acceptor is per-slot acceptor state.
+type acceptor struct {
+	promised uint64
+	accepted uint64
+	value    []byte
+}
+
+// proposal tracks one in-flight local proposal.
+type proposal struct {
+	slot     int
+	ballot   uint64
+	value    []byte // the value we want
+	promises int
+	// adoptedBallot/adopted hold the highest already-accepted value
+	// reported in promises: Paxos obliges us to propose it instead.
+	adoptedBallot uint64
+	adopted       []byte
+	accepts       int
+	acceptSent    bool
+	committed     bool
+	retryTimer    sim.Timer
+}
+
+// Replica is one Paxos replica (proposer + acceptor + learner).
+type Replica struct {
+	mu    sync.Mutex
+	id    int
+	peers []int // all replica IDs including self
+	net   Transport
+	clock sim.Clock
+
+	ballotSeq uint64
+	acceptors map[int]*acceptor
+	proposals map[int]*proposal
+	chosen    map[int][]byte
+	nextSlot  int
+	applied   int // next slot to apply in order
+
+	// OnCommit is called with each committed entry in slot order.
+	OnCommit func(slot int, value []byte)
+
+	// reproposals holds values displaced by slot collisions, awaiting a
+	// fresh slot.
+	reproposals [][]byte
+
+	// RetryTimeout restarts a stalled proposal with a higher ballot
+	// (default 200 ms).
+	RetryTimeout time.Duration
+	closed       bool
+}
+
+// NewReplica creates a replica. peers must include id.
+func NewReplica(id int, peers []int, net Transport, clock sim.Clock) *Replica {
+	return &Replica{
+		id:           id,
+		peers:        append([]int(nil), peers...),
+		net:          net,
+		clock:        clock,
+		acceptors:    make(map[int]*acceptor),
+		proposals:    make(map[int]*proposal),
+		chosen:       make(map[int][]byte),
+		RetryTimeout: 200 * time.Millisecond,
+	}
+}
+
+// ID returns the replica's ID.
+func (r *Replica) ID() int { return r.id }
+
+// Close stops retry timers.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for _, p := range r.proposals {
+		if p.retryTimer != nil {
+			p.retryTimer.Stop()
+		}
+	}
+}
+
+func (r *Replica) majority() int { return len(r.peers)/2 + 1 }
+
+// nextBallot returns a fresh ballot unique to this replica.
+func (r *Replica) nextBallot() uint64 {
+	r.ballotSeq++
+	return r.ballotSeq<<16 | uint64(uint16(r.id))
+}
+
+// Propose starts consensus on value in the next free slot and returns the
+// slot number. Concurrent proposals from different replicas may collide;
+// losers retry on fresh slots via ProposeAt retries (the committed value
+// of the contested slot may be the rival's — the caller observes actual
+// outcomes via OnCommit).
+func (r *Replica) Propose(value []byte) int {
+	r.mu.Lock()
+	slot := r.nextSlot
+	for {
+		if _, done := r.chosen[slot]; done {
+			slot++
+			continue
+		}
+		if _, busy := r.proposals[slot]; busy {
+			slot++
+			continue
+		}
+		break
+	}
+	r.nextSlot = slot + 1
+	r.mu.Unlock()
+	r.ProposeAt(slot, value)
+	return slot
+}
+
+// ProposeAt runs consensus for a specific slot.
+func (r *Replica) ProposeAt(slot int, value []byte) {
+	r.mu.Lock()
+	if _, done := r.chosen[slot]; done {
+		r.mu.Unlock()
+		return
+	}
+	p := &proposal{slot: slot, ballot: r.nextBallot(), value: value}
+	r.proposals[slot] = p
+	r.armRetryLocked(p)
+	msgs := r.broadcastLocked(Msg{Type: MsgPrepare, Slot: slot, Ballot: p.ballot, From: r.id})
+	r.mu.Unlock()
+	r.deliver(msgs)
+}
+
+type outMsg struct {
+	to int
+	m  Msg
+}
+
+func (r *Replica) broadcastLocked(m Msg) []outMsg {
+	out := make([]outMsg, 0, len(r.peers))
+	for _, p := range r.peers {
+		out = append(out, outMsg{to: p, m: m})
+	}
+	return out
+}
+
+func (r *Replica) deliver(msgs []outMsg) {
+	for _, o := range msgs {
+		r.net.Send(r.id, o.to, o.m)
+	}
+}
+
+func (r *Replica) armRetryLocked(p *proposal) {
+	if r.clock == nil {
+		return
+	}
+	slot := p.slot
+	p.retryTimer = r.clock.AfterFunc(r.RetryTimeout, func() {
+		r.mu.Lock()
+		cur := r.proposals[slot]
+		_, done := r.chosen[slot]
+		if r.closed || done || cur == nil || cur.committed {
+			r.mu.Unlock()
+			return
+		}
+		// Restart with a higher ballot, preserving our desired value.
+		value := cur.value
+		np := &proposal{slot: slot, ballot: r.nextBallot(), value: value}
+		r.proposals[slot] = np
+		r.armRetryLocked(np)
+		msgs := r.broadcastLocked(Msg{Type: MsgPrepare, Slot: slot, Ballot: np.ballot, From: r.id})
+		r.mu.Unlock()
+		r.deliver(msgs)
+	})
+}
+
+// Chosen returns the committed value for a slot.
+func (r *Replica) Chosen(slot int) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.chosen[slot]
+	return v, ok
+}
+
+// CommittedCount returns how many contiguous slots from 0 are applied.
+func (r *Replica) CommittedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// OnMessage is the transport delivery entry point.
+func (r *Replica) OnMessage(from int, m Msg) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	var out []outMsg
+	switch m.Type {
+	case MsgPrepare:
+		a := r.acceptorFor(m.Slot)
+		if m.Ballot > a.promised {
+			a.promised = m.Ballot
+			out = append(out, outMsg{to: from, m: Msg{
+				Type: MsgPromise, Slot: m.Slot, Ballot: m.Ballot,
+				AcceptedBallot: a.accepted, Value: a.value, From: r.id,
+			}})
+		} else {
+			out = append(out, outMsg{to: from, m: Msg{Type: MsgReject, Slot: m.Slot, Ballot: a.promised, From: r.id}})
+		}
+	case MsgPromise:
+		p := r.proposals[m.Slot]
+		if p != nil && !p.acceptSent && m.Ballot == p.ballot {
+			p.promises++
+			if m.AcceptedBallot > p.adoptedBallot {
+				p.adoptedBallot = m.AcceptedBallot
+				p.adopted = m.Value
+			}
+			if p.promises >= r.majority() {
+				p.acceptSent = true
+				v := p.value
+				if p.adopted != nil {
+					v = p.adopted // must re-propose the adopted value
+				}
+				out = append(out, r.broadcastLocked(Msg{
+					Type: MsgAccept, Slot: m.Slot, Ballot: p.ballot, Value: v, From: r.id,
+				})...)
+			}
+		}
+	case MsgAccept:
+		a := r.acceptorFor(m.Slot)
+		if m.Ballot >= a.promised {
+			a.promised = m.Ballot
+			a.accepted = m.Ballot
+			a.value = m.Value
+			out = append(out, outMsg{to: from, m: Msg{
+				Type: MsgAccepted, Slot: m.Slot, Ballot: m.Ballot, Value: m.Value, From: r.id,
+			}})
+		} else {
+			out = append(out, outMsg{to: from, m: Msg{Type: MsgReject, Slot: m.Slot, Ballot: a.promised, From: r.id}})
+		}
+	case MsgAccepted:
+		p := r.proposals[m.Slot]
+		if p != nil && p.acceptSent && !p.committed && m.Ballot == p.ballot {
+			p.accepts++
+			if p.accepts >= r.majority() {
+				p.committed = true
+				if p.retryTimer != nil {
+					p.retryTimer.Stop()
+				}
+				out = append(out, r.broadcastLocked(Msg{
+					Type: MsgCommit, Slot: m.Slot, Ballot: m.Ballot, Value: m.Value, From: r.id,
+				})...)
+			}
+		}
+	case MsgCommit:
+		r.commitLocked(m.Slot, m.Value)
+		// Catch-up: a commit above a gap means we missed earlier slots
+		// (e.g. we were partitioned); ask the committer to re-send.
+		if m.Slot > r.applied {
+			if _, have := r.chosen[r.applied]; !have {
+				out = append(out, outMsg{to: from, m: Msg{Type: MsgLearn, Slot: r.applied, From: r.id}})
+			}
+		}
+	case MsgLearn:
+		for slot := m.Slot; slot < r.nextSlot; slot++ {
+			if v, ok := r.chosen[slot]; ok {
+				out = append(out, outMsg{to: from, m: Msg{Type: MsgCommit, Slot: slot, Value: v, From: r.id}})
+			}
+		}
+	case MsgReject:
+		// The retry timer will rerun with a higher ballot; nothing to do.
+	}
+	cb := r.applyLocked()
+	redo := r.reproposals
+	r.reproposals = nil
+	r.mu.Unlock()
+	r.deliver(out)
+	for _, f := range cb {
+		f()
+	}
+	for _, v := range redo {
+		r.Propose(v)
+	}
+}
+
+func (r *Replica) acceptorFor(slot int) *acceptor {
+	a := r.acceptors[slot]
+	if a == nil {
+		a = &acceptor{}
+		r.acceptors[slot] = a
+	}
+	return a
+}
+
+func (r *Replica) commitLocked(slot int, value []byte) {
+	if _, done := r.chosen[slot]; done {
+		return
+	}
+	r.chosen[slot] = append([]byte(nil), value...)
+	if slot >= r.nextSlot {
+		r.nextSlot = slot + 1
+	}
+	if p := r.proposals[slot]; p != nil {
+		if p.retryTimer != nil {
+			p.retryTimer.Stop()
+		}
+		delete(r.proposals, slot)
+		// Slot collision: if the slot decided on a rival's value, our
+		// value must not be lost — re-propose it on a fresh slot.
+		if !bytesEqual(p.value, value) {
+			v := p.value
+			r.reproposals = append(r.reproposals, v)
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLocked collects in-order commit callbacks to run outside the lock.
+func (r *Replica) applyLocked() []func() {
+	var out []func()
+	for {
+		v, ok := r.chosen[r.applied]
+		if !ok {
+			return out
+		}
+		slot := r.applied
+		r.applied++
+		if r.OnCommit != nil {
+			cb := r.OnCommit
+			val := v
+			out = append(out, func() { cb(slot, val) })
+		}
+	}
+}

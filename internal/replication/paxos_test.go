@@ -1,0 +1,210 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+// cluster wires n replicas over a delayed in-memory transport on a sim
+// loop, with optional partitions and message drops.
+type cluster struct {
+	loop     *sim.Loop
+	replicas []*Replica
+	blocked  map[[2]int]bool // from,to pairs that drop messages
+	delay    time.Duration
+}
+
+func newCluster(t *testing.T, n int, seed int64) *cluster {
+	t.Helper()
+	c := &cluster{
+		loop:    sim.NewLoop(seed),
+		blocked: make(map[[2]int]bool),
+		delay:   5 * time.Millisecond,
+	}
+	peers := make([]int, n)
+	for i := range peers {
+		peers[i] = i
+	}
+	for i := 0; i < n; i++ {
+		r := NewReplica(i, peers, c, c.loop)
+		c.replicas = append(c.replicas, r)
+	}
+	return c
+}
+
+// Send implements Transport with delay and partition support.
+func (c *cluster) Send(from, to int, m Msg) {
+	if c.blocked[[2]int{from, to}] {
+		return
+	}
+	c.loop.AfterFunc(c.delay, func() {
+		if !c.blocked[[2]int{from, to}] {
+			c.replicas[to].OnMessage(from, m)
+		}
+	})
+}
+
+// partition isolates a replica in both directions.
+func (c *cluster) partition(id int) {
+	for i := range c.replicas {
+		if i != id {
+			c.blocked[[2]int{id, i}] = true
+			c.blocked[[2]int{i, id}] = true
+		}
+	}
+}
+
+func (c *cluster) heal() { c.blocked = make(map[[2]int]bool) }
+
+func TestSingleProposalCommits(t *testing.T) {
+	c := newCluster(t, 3, 1)
+	slot := c.replicas[0].Propose([]byte("pib-update-1"))
+	c.loop.RunUntil(time.Second)
+	for i, r := range c.replicas {
+		v, ok := r.Chosen(slot)
+		if !ok || string(v) != "pib-update-1" {
+			t.Fatalf("replica %d: chosen=%q ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestOnCommitOrdered(t *testing.T) {
+	c := newCluster(t, 3, 2)
+	var got [][]string
+	for i := range c.replicas {
+		i := i
+		got = append(got, nil)
+		c.replicas[i].OnCommit = func(slot int, v []byte) {
+			got[i] = append(got[i], fmt.Sprintf("%d:%s", slot, v))
+		}
+	}
+	for k := 0; k < 5; k++ {
+		c.replicas[0].Propose([]byte{byte('a' + k)})
+		c.loop.RunUntil(c.loop.Now() + 200*time.Millisecond)
+	}
+	c.loop.RunUntil(c.loop.Now() + time.Second)
+	want := []string{"0:a", "1:b", "2:c", "3:d", "4:e"}
+	for i := range c.replicas {
+		if len(got[i]) != len(want) {
+			t.Fatalf("replica %d applied %v, want %v", i, got[i], want)
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("replica %d applied %v, want %v", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestConcurrentProposalsConverge(t *testing.T) {
+	c := newCluster(t, 5, 3)
+	// Two replicas propose different values concurrently; both may land
+	// (on different slots) or collide on one slot — but every replica
+	// must agree on the value of every decided slot.
+	c.replicas[0].Propose([]byte("from-0"))
+	c.replicas[1].Propose([]byte("from-1"))
+	c.loop.RunUntil(3 * time.Second)
+	maxSlot := 0
+	for _, r := range c.replicas {
+		if n := r.CommittedCount(); n > maxSlot {
+			maxSlot = n
+		}
+	}
+	if maxSlot == 0 {
+		t.Fatal("nothing committed")
+	}
+	for slot := 0; slot < maxSlot; slot++ {
+		ref, ok := c.replicas[0].Chosen(slot)
+		if !ok {
+			t.Fatalf("replica 0 missing slot %d", slot)
+		}
+		for i, r := range c.replicas[1:] {
+			v, ok := r.Chosen(slot)
+			if !ok || string(v) != string(ref) {
+				t.Fatalf("replica %d disagrees on slot %d: %q vs %q", i+1, slot, v, ref)
+			}
+		}
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	c := newCluster(t, 3, 4)
+	c.partition(0) // replica 0 alone
+	slot := c.replicas[0].Propose([]byte("lonely"))
+	c.loop.RunUntil(2 * time.Second)
+	if _, ok := c.replicas[1].Chosen(slot); ok {
+		t.Fatal("partitioned minority should not commit")
+	}
+	if _, ok := c.replicas[0].Chosen(slot); ok {
+		t.Fatal("isolated proposer should not self-commit")
+	}
+}
+
+func TestHealedPartitionRecovers(t *testing.T) {
+	c := newCluster(t, 3, 5)
+	c.partition(0)
+	slot := c.replicas[0].Propose([]byte("delayed"))
+	c.loop.RunUntil(time.Second)
+	c.heal()
+	// The proposer's retry timer should push the proposal through.
+	c.loop.RunUntil(5 * time.Second)
+	for i, r := range c.replicas {
+		v, ok := r.Chosen(slot)
+		if !ok || string(v) != "delayed" {
+			t.Fatalf("replica %d after heal: %q ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestMajorityCommitsDespiteOneDown(t *testing.T) {
+	c := newCluster(t, 5, 6)
+	c.partition(4)
+	slot := c.replicas[0].Propose([]byte("majority"))
+	c.loop.RunUntil(2 * time.Second)
+	for i := 0; i < 4; i++ {
+		if v, ok := c.replicas[i].Chosen(slot); !ok || string(v) != "majority" {
+			t.Fatalf("replica %d: %q ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := c.replicas[4].Chosen(slot); ok {
+		t.Fatal("partitioned replica should not have learned yet")
+	}
+}
+
+func TestAdoptsPreviouslyAcceptedValue(t *testing.T) {
+	// Safety core: once a value may have been chosen, later ballots must
+	// propose it. Replica 1 proposes after 0's accept phase reached a
+	// majority; slot 0's value must remain replica 0's on all replicas.
+	c := newCluster(t, 3, 7)
+	c.replicas[0].ProposeAt(0, []byte("first"))
+	c.loop.RunUntil(100 * time.Millisecond) // full round completes
+	c.replicas[1].ProposeAt(0, []byte("second"))
+	c.loop.RunUntil(2 * time.Second)
+	for i, r := range c.replicas {
+		v, ok := r.Chosen(0)
+		if !ok {
+			t.Fatalf("replica %d: slot 0 undecided", i)
+		}
+		if string(v) != "first" {
+			t.Fatalf("replica %d: slot 0 = %q, want the already-chosen value", i, v)
+		}
+	}
+}
+
+func TestBallotsMonotonePerReplica(t *testing.T) {
+	r := NewReplica(2, []int{0, 1, 2}, nil, nil)
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		b := r.nextBallot()
+		if b <= prev {
+			t.Fatalf("ballot not increasing: %d then %d", prev, b)
+		}
+		if uint16(b) != 2 {
+			t.Fatalf("ballot id bits wrong: %d", b)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,203 @@
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// RTCP packet types used by the slow path.
+const (
+	rtcpTypeRR    = 201 // receiver report
+	rtcpTypeRTPFB = 205 // transport-layer feedback (Generic NACK, FMT=1)
+	rtcpTypePSFB  = 206 // payload-specific feedback (REMB, FMT=15)
+
+	fmtNACK = 1
+	fmtREMB = 15
+)
+
+// ErrBadRTCP reports an undecodable RTCP packet.
+var ErrBadRTCP = errors.New("rtp: bad rtcp packet")
+
+// NACK requests retransmission of lost packets on one stream. Every 50 ms
+// the slow path scans for sequence holes and NACKs the upstream node (§5.1).
+type NACK struct {
+	SenderSSRC uint32
+	MediaSSRC  uint32 // the stream the losses belong to
+	Lost       []uint16
+}
+
+// ReceiverReport carries the per-hop reception statistics the slow path
+// feeds into GCC's loss-based controller.
+type ReceiverReport struct {
+	SenderSSRC     uint32
+	MediaSSRC      uint32
+	FractionLost   uint8 // fraction of packets lost since last RR, in 1/256
+	CumulativeLost uint32
+	HighestSeq     uint32
+	Jitter         uint32
+}
+
+// REMB carries the receiver-side GCC bandwidth estimate upstream.
+type REMB struct {
+	SenderSSRC uint32
+	BitrateBps uint64
+	SSRCs      []uint32
+}
+
+// MarshalNACK encodes a Generic NACK (RFC 4585) into buf. Lost sequence
+// numbers are packed into PID/BLP pairs.
+func MarshalNACK(n *NACK, buf []byte) []byte {
+	// Build PID/BLP pairs first.
+	type fci struct {
+		pid uint16
+		blp uint16
+	}
+	var fcis []fci
+	for _, seq := range n.Lost {
+		placed := false
+		for i := range fcis {
+			d := SeqDiff(fcis[i].pid, seq)
+			if d > 0 && d <= 16 {
+				fcis[i].blp |= 1 << (d - 1)
+				placed = true
+				break
+			}
+			if d == 0 {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			fcis = append(fcis, fci{pid: seq})
+		}
+	}
+	length := 2 + len(fcis) // in 32-bit words, minus one, excluding header word
+	buf = append(buf, 0x80|fmtNACK, rtcpTypeRTPFB)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(length))
+	buf = binary.BigEndian.AppendUint32(buf, n.SenderSSRC)
+	buf = binary.BigEndian.AppendUint32(buf, n.MediaSSRC)
+	for _, f := range fcis {
+		buf = binary.BigEndian.AppendUint16(buf, f.pid)
+		buf = binary.BigEndian.AppendUint16(buf, f.blp)
+	}
+	return buf
+}
+
+// UnmarshalNACK decodes a Generic NACK. The Lost slice is appended to
+// n.Lost (reset it before reuse).
+func UnmarshalNACK(n *NACK, data []byte) error {
+	if len(data) < 12 || data[0]&0x1F != fmtNACK || data[1] != rtcpTypeRTPFB {
+		return ErrBadRTCP
+	}
+	words := int(binary.BigEndian.Uint16(data[2:]))
+	want := (words + 1) * 4
+	if len(data) < want {
+		return ErrBadRTCP
+	}
+	n.SenderSSRC = binary.BigEndian.Uint32(data[4:])
+	n.MediaSSRC = binary.BigEndian.Uint32(data[8:])
+	n.Lost = n.Lost[:0]
+	for off := 12; off+4 <= want; off += 4 {
+		pid := binary.BigEndian.Uint16(data[off:])
+		blp := binary.BigEndian.Uint16(data[off+2:])
+		n.Lost = append(n.Lost, pid)
+		for bit := 0; bit < 16; bit++ {
+			if blp&(1<<bit) != 0 {
+				n.Lost = append(n.Lost, pid+uint16(bit)+1)
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalRR encodes a single-block receiver report.
+func MarshalRR(r *ReceiverReport, buf []byte) []byte {
+	buf = append(buf, 0x80|1, rtcpTypeRR) // RC=1
+	buf = binary.BigEndian.AppendUint16(buf, 7)
+	buf = binary.BigEndian.AppendUint32(buf, r.SenderSSRC)
+	buf = binary.BigEndian.AppendUint32(buf, r.MediaSSRC)
+	cum := r.CumulativeLost & 0x00FFFFFF
+	buf = binary.BigEndian.AppendUint32(buf, uint32(r.FractionLost)<<24|cum)
+	buf = binary.BigEndian.AppendUint32(buf, r.HighestSeq)
+	buf = binary.BigEndian.AppendUint32(buf, r.Jitter)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // LSR
+	buf = binary.BigEndian.AppendUint32(buf, 0) // DLSR
+	return buf
+}
+
+// UnmarshalRR decodes a single-block receiver report.
+func UnmarshalRR(r *ReceiverReport, data []byte) error {
+	if len(data) < 32 || data[1] != rtcpTypeRR || data[0]&0x1F != 1 {
+		return ErrBadRTCP
+	}
+	r.SenderSSRC = binary.BigEndian.Uint32(data[4:])
+	r.MediaSSRC = binary.BigEndian.Uint32(data[8:])
+	w := binary.BigEndian.Uint32(data[12:])
+	r.FractionLost = uint8(w >> 24)
+	r.CumulativeLost = w & 0x00FFFFFF
+	r.HighestSeq = binary.BigEndian.Uint32(data[16:])
+	r.Jitter = binary.BigEndian.Uint32(data[20:])
+	return nil
+}
+
+// MarshalREMB encodes a REMB message (draft-alvestrand-rmcat-remb).
+func MarshalREMB(r *REMB, buf []byte) []byte {
+	words := 2 + 2 + len(r.SSRCs) // sender+media, "REMB"+exp/mantissa+count word, ssrcs
+	buf = append(buf, 0x80|fmtREMB, rtcpTypePSFB)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(words+1))
+	buf = binary.BigEndian.AppendUint32(buf, r.SenderSSRC)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // media SSRC: always 0 in REMB
+	buf = append(buf, 'R', 'E', 'M', 'B')
+	// 6-bit exponent, 18-bit mantissa.
+	exp := 0
+	mant := r.BitrateBps
+	for mant >= 1<<18 {
+		mant >>= 1
+		exp++
+	}
+	buf = append(buf, byte(len(r.SSRCs)))
+	buf = append(buf, byte(exp<<2|int(mant>>16)), byte(mant>>8), byte(mant))
+	for _, s := range r.SSRCs {
+		buf = binary.BigEndian.AppendUint32(buf, s)
+	}
+	return buf
+}
+
+// UnmarshalREMB decodes a REMB message.
+func UnmarshalREMB(r *REMB, data []byte) error {
+	if len(data) < 20 || data[1] != rtcpTypePSFB || data[0]&0x1F != fmtREMB {
+		return ErrBadRTCP
+	}
+	if string(data[12:16]) != "REMB" {
+		return ErrBadRTCP
+	}
+	r.SenderSSRC = binary.BigEndian.Uint32(data[4:])
+	count := int(data[16])
+	exp := int(data[17] >> 2)
+	mant := uint64(data[17]&0x03)<<16 | uint64(data[18])<<8 | uint64(data[19])
+	r.BitrateBps = mant << exp
+	r.SSRCs = r.SSRCs[:0]
+	for i := 0; i < count && 20+i*4+4 <= len(data); i++ {
+		r.SSRCs = append(r.SSRCs, binary.BigEndian.Uint32(data[20+i*4:]))
+	}
+	return nil
+}
+
+// RTCPKind classifies an RTCP packet buffer; returns the packet type and
+// feedback format (0 when not applicable).
+func RTCPKind(data []byte) (pt uint8, fmtField uint8) {
+	if len(data) < 2 {
+		return 0, 0
+	}
+	return data[1], data[0] & 0x1F
+}
+
+// IsRTCP distinguishes RTCP from RTP by the packet-type byte range
+// (RFC 5761 demultiplexing).
+func IsRTCP(data []byte) bool {
+	if len(data) < 2 {
+		return false
+	}
+	pt := data[1]
+	return pt >= 192 && pt <= 223
+}

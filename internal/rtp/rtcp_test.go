@@ -1,0 +1,181 @@
+package rtp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNACKRoundTrip(t *testing.T) {
+	n := &NACK{SenderSSRC: 1, MediaSSRC: 2, Lost: []uint16{100, 101, 105, 116, 400}}
+	buf := MarshalNACK(n, nil)
+	var m NACK
+	if err := UnmarshalNACK(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.SenderSSRC != 1 || m.MediaSSRC != 2 {
+		t.Fatalf("ssrc mismatch: %+v", m)
+	}
+	sort.Slice(m.Lost, func(i, j int) bool { return m.Lost[i] < m.Lost[j] })
+	want := []uint16{100, 101, 105, 116, 400}
+	if len(m.Lost) != len(want) {
+		t.Fatalf("lost = %v, want %v", m.Lost, want)
+	}
+	for i := range want {
+		if m.Lost[i] != want[i] {
+			t.Fatalf("lost = %v, want %v", m.Lost, want)
+		}
+	}
+}
+
+func TestNACKWraparound(t *testing.T) {
+	n := &NACK{Lost: []uint16{65534, 65535, 0, 1}}
+	buf := MarshalNACK(n, nil)
+	var m NACK
+	if err := UnmarshalNACK(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint16]bool{}
+	for _, s := range m.Lost {
+		got[s] = true
+	}
+	for _, want := range []uint16{65534, 65535, 0, 1} {
+		if !got[want] {
+			t.Fatalf("seq %d missing from %v", want, m.Lost)
+		}
+	}
+}
+
+func TestNACKQuickRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seqs []uint16) bool {
+		if len(seqs) > 50 {
+			seqs = seqs[:50]
+		}
+		// Deduplicate: NACK semantics are set-like.
+		set := map[uint16]bool{}
+		for _, s := range seqs {
+			set[s] = true
+		}
+		n := &NACK{SenderSSRC: 9, MediaSSRC: 8}
+		for s := range set {
+			n.Lost = append(n.Lost, s)
+		}
+		buf := MarshalNACK(n, nil)
+		var m NACK
+		if err := UnmarshalNACK(&m, buf); err != nil {
+			return false
+		}
+		back := map[uint16]bool{}
+		for _, s := range m.Lost {
+			back[s] = true
+		}
+		if len(back) != len(set) {
+			return false
+		}
+		for s := range set {
+			if !back[s] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNACKBadInput(t *testing.T) {
+	var m NACK
+	if err := UnmarshalNACK(&m, []byte{1, 2, 3}); err != ErrBadRTCP {
+		t.Fatalf("short: %v", err)
+	}
+	good := MarshalNACK(&NACK{Lost: []uint16{1}}, nil)
+	good[1] = rtcpTypeRR // wrong PT
+	if err := UnmarshalNACK(&m, good); err != ErrBadRTCP {
+		t.Fatalf("wrong pt: %v", err)
+	}
+}
+
+func TestRRRoundTrip(t *testing.T) {
+	r := &ReceiverReport{
+		SenderSSRC: 10, MediaSSRC: 20,
+		FractionLost: 64, CumulativeLost: 1234,
+		HighestSeq: 99999, Jitter: 42,
+	}
+	buf := MarshalRR(r, nil)
+	var m ReceiverReport
+	if err := UnmarshalRR(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m != *r {
+		t.Fatalf("round trip: %+v vs %+v", m, *r)
+	}
+}
+
+func TestRRCumulativeLost24Bit(t *testing.T) {
+	r := &ReceiverReport{CumulativeLost: 0x01FFFFFF} // exceeds 24 bits
+	buf := MarshalRR(r, nil)
+	var m ReceiverReport
+	if err := UnmarshalRR(&m, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.CumulativeLost != 0x00FFFFFF {
+		t.Fatalf("cumulative lost should be masked to 24 bits, got %x", m.CumulativeLost)
+	}
+}
+
+func TestREMBRoundTrip(t *testing.T) {
+	for _, bps := range []uint64{1000, 250_000, 2_500_000, 1 << 30} {
+		r := &REMB{SenderSSRC: 3, BitrateBps: bps, SSRCs: []uint32{7, 8}}
+		buf := MarshalREMB(r, nil)
+		var m REMB
+		if err := UnmarshalREMB(&m, buf); err != nil {
+			t.Fatal(err)
+		}
+		// Exp/mantissa encoding may round down slightly for large rates.
+		if m.BitrateBps > bps || m.BitrateBps < bps-(bps>>10) {
+			t.Fatalf("bitrate %d decoded as %d", bps, m.BitrateBps)
+		}
+		if len(m.SSRCs) != 2 || m.SSRCs[0] != 7 || m.SSRCs[1] != 8 {
+			t.Fatalf("ssrcs = %v", m.SSRCs)
+		}
+	}
+}
+
+func TestREMBBadMagic(t *testing.T) {
+	r := &REMB{BitrateBps: 1000}
+	buf := MarshalREMB(r, nil)
+	buf[12] = 'X'
+	var m REMB
+	if err := UnmarshalREMB(&m, buf); err != ErrBadRTCP {
+		t.Fatalf("want ErrBadRTCP, got %v", err)
+	}
+}
+
+func TestIsRTCPDemux(t *testing.T) {
+	rtcp := MarshalNACK(&NACK{Lost: []uint16{1}}, nil)
+	if !IsRTCP(rtcp) {
+		t.Fatal("NACK not classified as RTCP")
+	}
+	rr := MarshalRR(&ReceiverReport{}, nil)
+	if !IsRTCP(rr) {
+		t.Fatal("RR not classified as RTCP")
+	}
+	p := Packet{PayloadType: PayloadVideo}
+	if IsRTCP(p.Marshal(nil)) {
+		t.Fatal("RTP misclassified as RTCP")
+	}
+	if IsRTCP(nil) {
+		t.Fatal("nil misclassified")
+	}
+}
+
+func TestRTCPKind(t *testing.T) {
+	pt, f := RTCPKind(MarshalNACK(&NACK{Lost: []uint16{1}}, nil))
+	if pt != rtcpTypeRTPFB || f != fmtNACK {
+		t.Fatalf("kind = %d/%d", pt, f)
+	}
+	pt, f = RTCPKind(MarshalREMB(&REMB{BitrateBps: 1}, nil))
+	if pt != rtcpTypePSFB || f != fmtREMB {
+		t.Fatalf("kind = %d/%d", pt, f)
+	}
+}

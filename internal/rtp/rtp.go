@@ -1,0 +1,274 @@
+// Package rtp implements the RTP and RTCP wire formats LiveNet's data
+// plane uses: RTP packets with the paper's per-hop delay header extension
+// (§6.1), and the RTCP feedback messages the slow path needs — Generic
+// NACK for per-hop retransmission (§5.1), Receiver Reports, and REMB for
+// the GCC bandwidth estimate.
+//
+// Following the gopacket DecodingLayerParser idiom, Unmarshal decodes into
+// a caller-owned Packet without allocating: the payload and extension
+// sub-slices alias the input buffer.
+package rtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Version is the RTP version (always 2).
+const Version = 2
+
+// Payload types used by LiveNet's overlay transport.
+const (
+	PayloadVideo = 96
+	PayloadAudio = 97
+	PayloadRTX   = 98 // retransmissions (slow-path recovery)
+)
+
+// Errors returned by the decoders.
+var (
+	ErrShort      = errors.New("rtp: packet too short")
+	ErrVersion    = errors.New("rtp: unsupported version")
+	ErrBadPadding = errors.New("rtp: bad padding")
+)
+
+// DelayExtProfile identifies LiveNet's header-extension profile carrying
+// the accumulated one-way delay estimate (RFC 8285 one-byte form uses
+// 0xBEDE; we use it with extension ID 1).
+const (
+	extProfileOneByte = 0xBEDE
+	DelayExtID        = 1
+	// delayExtLen is the payload length of the delay extension element:
+	// 4 bytes of accumulated delay (in 10 µs units) + 1 byte hop count.
+	delayExtLen = 5
+)
+
+// Packet is one RTP packet. After Unmarshal, Payload and rawExt alias the
+// input buffer; copy them if the buffer will be reused.
+type Packet struct {
+	Marker         bool
+	PayloadType    uint8
+	SequenceNumber uint16
+	Timestamp      uint32
+	SSRC           uint32
+
+	// HasDelayExt indicates the LiveNet delay extension is present.
+	// DelayAccum10us accumulates encoding + queueing + per-hop transit
+	// time in 10 µs units; HopCount counts overlay hops traversed.
+	HasDelayExt    bool
+	DelayAccum10us uint32
+	HopCount       uint8
+
+	Payload []byte
+}
+
+// headerLen is the fixed RTP header length (no CSRC support: LiveNet
+// never mixes sources).
+const headerLen = 12
+
+// extWords returns the length of the extension block in 32-bit words
+// (excluding the 4-byte extension header).
+func extWords() int {
+	// 1 byte element header + 5 bytes payload = 6, padded to 8.
+	return 2
+}
+
+// MarshalSize returns the number of bytes Marshal will write.
+func (p *Packet) MarshalSize() int {
+	n := headerLen + len(p.Payload)
+	if p.HasDelayExt {
+		n += 4 + extWords()*4
+	}
+	return n
+}
+
+// Marshal appends the wire form of p to buf and returns the extended
+// slice. It never fails; invalid field values are masked to their field
+// widths.
+func (p *Packet) Marshal(buf []byte) []byte {
+	b0 := byte(Version << 6)
+	if p.HasDelayExt {
+		b0 |= 1 << 4 // X bit
+	}
+	b1 := p.PayloadType & 0x7F
+	if p.Marker {
+		b1 |= 0x80
+	}
+	buf = append(buf, b0, b1)
+	buf = binary.BigEndian.AppendUint16(buf, p.SequenceNumber)
+	buf = binary.BigEndian.AppendUint32(buf, p.Timestamp)
+	buf = binary.BigEndian.AppendUint32(buf, p.SSRC)
+	if p.HasDelayExt {
+		buf = binary.BigEndian.AppendUint16(buf, extProfileOneByte)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(extWords()))
+		// One-byte element header: ID in high nibble, length-1 in low.
+		buf = append(buf, byte(DelayExtID<<4|(delayExtLen-1)))
+		buf = binary.BigEndian.AppendUint32(buf, p.DelayAccum10us)
+		buf = append(buf, p.HopCount)
+		// Pad to the 8-byte (2-word) extension block.
+		buf = append(buf, 0, 0)
+	}
+	return append(buf, p.Payload...)
+}
+
+// Unmarshal decodes data into p without copying the payload.
+func (p *Packet) Unmarshal(data []byte) error {
+	if len(data) < headerLen {
+		return ErrShort
+	}
+	if data[0]>>6 != Version {
+		return ErrVersion
+	}
+	hasExt := data[0]&0x10 != 0
+	cc := int(data[0] & 0x0F)
+	padding := data[0]&0x20 != 0
+	p.Marker = data[1]&0x80 != 0
+	p.PayloadType = data[1] & 0x7F
+	p.SequenceNumber = binary.BigEndian.Uint16(data[2:])
+	p.Timestamp = binary.BigEndian.Uint32(data[4:])
+	p.SSRC = binary.BigEndian.Uint32(data[8:])
+
+	off := headerLen + cc*4
+	if len(data) < off {
+		return ErrShort
+	}
+	p.HasDelayExt = false
+	p.DelayAccum10us = 0
+	p.HopCount = 0
+	if hasExt {
+		if len(data) < off+4 {
+			return ErrShort
+		}
+		profile := binary.BigEndian.Uint16(data[off:])
+		words := int(binary.BigEndian.Uint16(data[off+2:]))
+		extStart := off + 4
+		extEnd := extStart + words*4
+		if len(data) < extEnd {
+			return ErrShort
+		}
+		if profile == extProfileOneByte {
+			p.parseOneByteExt(data[extStart:extEnd])
+		}
+		off = extEnd
+	}
+	end := len(data)
+	if padding {
+		if end == off {
+			return ErrBadPadding
+		}
+		pad := int(data[end-1])
+		if pad == 0 || end-pad < off {
+			return ErrBadPadding
+		}
+		end -= pad
+	}
+	p.Payload = data[off:end]
+	return nil
+}
+
+func (p *Packet) parseOneByteExt(ext []byte) {
+	for i := 0; i < len(ext); {
+		h := ext[i]
+		if h == 0 { // padding byte
+			i++
+			continue
+		}
+		id := h >> 4
+		elen := int(h&0x0F) + 1
+		i++
+		if i+elen > len(ext) {
+			return
+		}
+		if id == DelayExtID && elen == delayExtLen {
+			p.DelayAccum10us = binary.BigEndian.Uint32(ext[i:])
+			p.HopCount = ext[i+4]
+			p.HasDelayExt = true
+		}
+		i += elen
+	}
+}
+
+// AddDelay adds d (in 10 µs units) to the accumulated delay, saturating,
+// and bumps the hop count. Intermediate nodes call this with their
+// processing time plus half the next hop's RTT (§6.1).
+func (p *Packet) AddDelay(d10us uint32) {
+	if p.DelayAccum10us > ^uint32(0)-d10us {
+		p.DelayAccum10us = ^uint32(0)
+	} else {
+		p.DelayAccum10us += d10us
+	}
+	if p.HopCount < 255 {
+		p.HopCount++
+	}
+	p.HasDelayExt = true
+}
+
+// PatchDelayExt adds d10us to the delay extension of a marshaled RTP
+// packet in place and bumps the hop count, without re-encoding. It
+// reports whether the packet carried the extension. This is the fast
+// path's per-hop delay accounting (§6.1): intermediate nodes add their
+// processing time plus half the next hop's RTT.
+func PatchDelayExt(data []byte, d10us uint32) bool {
+	if len(data) < headerLen || data[0]>>6 != Version || data[0]&0x10 == 0 {
+		return false
+	}
+	cc := int(data[0] & 0x0F)
+	off := headerLen + cc*4
+	if len(data) < off+4 || binary.BigEndian.Uint16(data[off:]) != extProfileOneByte {
+		return false
+	}
+	words := int(binary.BigEndian.Uint16(data[off+2:]))
+	ext := off + 4
+	end := ext + words*4
+	if len(data) < end {
+		return false
+	}
+	for i := ext; i < end; {
+		h := data[i]
+		if h == 0 {
+			i++
+			continue
+		}
+		id := h >> 4
+		elen := int(h&0x0F) + 1
+		i++
+		if i+elen > end {
+			return false
+		}
+		if id == DelayExtID && elen == delayExtLen {
+			cur := binary.BigEndian.Uint32(data[i:])
+			if cur > ^uint32(0)-d10us {
+				cur = ^uint32(0)
+			} else {
+				cur += d10us
+			}
+			binary.BigEndian.PutUint32(data[i:], cur)
+			if data[i+4] < 255 {
+				data[i+4]++
+			}
+			return true
+		}
+		i += elen
+	}
+	return false
+}
+
+// SeqLess reports whether sequence number a is before b in RFC 3550
+// wraparound arithmetic.
+func SeqLess(a, b uint16) bool {
+	return a != b && b-a < 0x8000
+}
+
+// SeqDiff returns the forward distance from a to b (how many packets b is
+// ahead of a), interpreting wraparound.
+func SeqDiff(a, b uint16) int {
+	d := int16(b - a)
+	return int(d)
+}
+
+// String implements fmt.Stringer for debugging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("RTP{pt=%d seq=%d ts=%d ssrc=%d m=%v len=%d delay=%dx10us hops=%d}",
+		p.PayloadType, p.SequenceNumber, p.Timestamp, p.SSRC, p.Marker, len(p.Payload),
+		p.DelayAccum10us, p.HopCount)
+}

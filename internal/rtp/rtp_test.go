@@ -1,0 +1,231 @@
+package rtp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := Packet{
+		Marker:         true,
+		PayloadType:    PayloadVideo,
+		SequenceNumber: 4242,
+		Timestamp:      90000,
+		SSRC:           77,
+		Payload:        []byte("hello frame data"),
+	}
+	buf := p.Marshal(nil)
+	if len(buf) != p.MarshalSize() {
+		t.Fatalf("MarshalSize = %d, wrote %d", p.MarshalSize(), len(buf))
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.Marker != p.Marker || q.PayloadType != p.PayloadType ||
+		q.SequenceNumber != p.SequenceNumber || q.Timestamp != p.Timestamp ||
+		q.SSRC != p.SSRC || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", p, q)
+	}
+	if q.HasDelayExt {
+		t.Fatal("no extension was marshaled")
+	}
+}
+
+func TestDelayExtensionRoundTrip(t *testing.T) {
+	p := Packet{
+		PayloadType:    PayloadVideo,
+		SequenceNumber: 1,
+		SSRC:           5,
+		HasDelayExt:    true,
+		DelayAccum10us: 123456,
+		HopCount:       3,
+		Payload:        []byte{1, 2, 3},
+	}
+	buf := p.Marshal(nil)
+	if len(buf) != p.MarshalSize() {
+		t.Fatalf("size mismatch: %d vs %d", p.MarshalSize(), len(buf))
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasDelayExt || q.DelayAccum10us != 123456 || q.HopCount != 3 {
+		t.Fatalf("extension lost: %+v", q)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("payload corrupted by extension: %v", q.Payload)
+	}
+}
+
+func TestUnmarshalZeroCopy(t *testing.T) {
+	p := Packet{PayloadType: PayloadVideo, Payload: []byte("zero-copy")}
+	buf := p.Marshal(nil)
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the buffer must show through the payload (alias, not copy).
+	buf[len(buf)-1] = 'X'
+	if q.Payload[len(q.Payload)-1] != 'X' {
+		t.Fatal("payload was copied; want aliasing for the zero-alloc path")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var p Packet
+	if err := p.Unmarshal(nil); err != ErrShort {
+		t.Fatalf("nil: %v", err)
+	}
+	if err := p.Unmarshal(make([]byte, 5)); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	bad := make([]byte, 12)
+	bad[0] = 0x00 // version 0
+	if err := p.Unmarshal(bad); err != ErrVersion {
+		t.Fatalf("version: %v", err)
+	}
+	// Extension header promised but truncated.
+	good := (&Packet{HasDelayExt: true, Payload: []byte{9}}).Marshal(nil)
+	if err := p.Unmarshal(good[:14]); err != ErrShort {
+		t.Fatalf("truncated ext: %v", err)
+	}
+}
+
+func TestPaddingHandling(t *testing.T) {
+	p := Packet{PayloadType: 96, Payload: []byte{1, 2, 3, 4}}
+	buf := p.Marshal(nil)
+	// Add RFC 3550 padding manually: 3 pad bytes, last byte = count.
+	buf[0] |= 0x20
+	buf = append(buf, 0, 0, 3)
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(q.Payload, []byte{1, 2, 3, 4}) {
+		t.Fatalf("padding not stripped: %v", q.Payload)
+	}
+	// Corrupt pad count larger than payload.
+	buf[len(buf)-1] = 200
+	if err := q.Unmarshal(buf); err != ErrBadPadding {
+		t.Fatalf("want ErrBadPadding, got %v", err)
+	}
+}
+
+func TestAddDelaySaturates(t *testing.T) {
+	p := Packet{DelayAccum10us: ^uint32(0) - 5, HopCount: 254}
+	p.AddDelay(100)
+	if p.DelayAccum10us != ^uint32(0) {
+		t.Fatalf("delay did not saturate: %d", p.DelayAccum10us)
+	}
+	if p.HopCount != 255 {
+		t.Fatalf("hop = %d", p.HopCount)
+	}
+	p.AddDelay(1)
+	if p.HopCount != 255 {
+		t.Fatal("hop count overflowed")
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	if !SeqLess(65535, 0) {
+		t.Fatal("wraparound: 65535 < 0")
+	}
+	if SeqLess(0, 65535) {
+		t.Fatal("0 should not be < 65535")
+	}
+	if SeqLess(5, 5) {
+		t.Fatal("equal seqs")
+	}
+	if d := SeqDiff(65534, 2); d != 4 {
+		t.Fatalf("SeqDiff(65534,2) = %d, want 4", d)
+	}
+	if d := SeqDiff(2, 65534); d != -4 {
+		t.Fatalf("SeqDiff(2,65534) = %d, want -4", d)
+	}
+}
+
+func TestMarshalRoundTripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if err := quick.Check(func(seq uint16, ts, ssrc uint32, marker bool, delay uint32, hop uint8, n uint8) bool {
+		payload := make([]byte, int(n))
+		r.Read(payload)
+		p := Packet{
+			Marker: marker, PayloadType: PayloadVideo,
+			SequenceNumber: seq, Timestamp: ts, SSRC: ssrc,
+			HasDelayExt: true, DelayAccum10us: delay, HopCount: hop,
+			Payload: payload,
+		}
+		var q Packet
+		if err := q.Unmarshal(p.Marshal(nil)); err != nil {
+			return false
+		}
+		return q.SequenceNumber == seq && q.Timestamp == ts && q.SSRC == ssrc &&
+			q.Marker == marker && q.DelayAccum10us == delay && q.HopCount == hop &&
+			bytes.Equal(q.Payload, payload)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalNoAlloc(t *testing.T) {
+	p := Packet{PayloadType: 96, HasDelayExt: true, Payload: make([]byte, 1200)}
+	buf := make([]byte, 0, 1500)
+	var q Packet
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.Marshal(buf[:0])
+		if err := q.Unmarshal(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("marshal+unmarshal allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestPatchDelayExt(t *testing.T) {
+	p := Packet{
+		PayloadType: PayloadVideo, HasDelayExt: true,
+		DelayAccum10us: 100, HopCount: 1, Payload: []byte{1, 2, 3},
+	}
+	buf := p.Marshal(nil)
+	if !PatchDelayExt(buf, 50) {
+		t.Fatal("patch failed on packet with extension")
+	}
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.DelayAccum10us != 150 || q.HopCount != 2 {
+		t.Fatalf("patched: delay=%d hops=%d", q.DelayAccum10us, q.HopCount)
+	}
+	if !bytes.Equal(q.Payload, []byte{1, 2, 3}) {
+		t.Fatal("payload corrupted by patch")
+	}
+}
+
+func TestPatchDelayExtAbsent(t *testing.T) {
+	p := Packet{PayloadType: PayloadVideo, Payload: []byte{1}}
+	buf := p.Marshal(nil)
+	if PatchDelayExt(buf, 50) {
+		t.Fatal("patch should fail without extension")
+	}
+	if PatchDelayExt(nil, 1) {
+		t.Fatal("patch should fail on empty buffer")
+	}
+}
+
+func TestPatchDelayExtSaturates(t *testing.T) {
+	p := Packet{HasDelayExt: true, DelayAccum10us: ^uint32(0) - 1, Payload: []byte{1}}
+	buf := p.Marshal(nil)
+	PatchDelayExt(buf, 1000)
+	var q Packet
+	if err := q.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if q.DelayAccum10us != ^uint32(0) {
+		t.Fatalf("no saturation: %d", q.DelayAccum10us)
+	}
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source derives independent, label-addressed deterministic random streams
+// from one master seed. Requesting the same label twice returns the same
+// stream object; requesting streams in a different order does not change
+// any stream's sequence, which keeps simulations reproducible as code
+// evolves.
+type Source struct {
+	seed    int64
+	streams map[string]*Rand
+}
+
+// NewSource returns a stream source rooted at seed.
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, streams: make(map[string]*Rand)}
+}
+
+// Stream returns the stream for label, creating it on first use.
+func (s *Source) Stream(label string) *Rand {
+	if r, ok := s.streams[label]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	const golden = int64(0x9E3779B97F4A7C15 >> 1)
+	derived := int64(h.Sum64()) ^ (s.seed * golden)
+	r := &Rand{Rand: rand.New(rand.NewSource(derived))}
+	s.streams[label] = r
+	return r
+}
+
+// Rand wraps math/rand.Rand with the distributions the simulation needs.
+type Rand struct {
+	*rand.Rand
+}
+
+// Bernoulli reports true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Normal returns a normally distributed value.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return r.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns a log-normally distributed value parameterized by the
+// mean and stddev of the underlying normal.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Pareto returns a bounded Pareto sample with the given minimum and shape
+// alpha (> 0). Heavy-tailed; used for view durations.
+func (r *Rand) Pareto(xmin, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xmin / math.Pow(u, 1/alpha)
+}
+
+// Zipf draws ranks in [0, n) with exponent s (classic Zipf popularity:
+// rank 0 is most popular). It uses inverse-CDF sampling over the
+// precomputed harmonic weights for determinism and O(log n) draws.
+type Zipf struct {
+	cdf []float64
+	r   *Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

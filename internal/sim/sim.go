@@ -1,0 +1,196 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, a timer heap, and seeded random-number streams.
+//
+// All LiveNet components are written against the Clock interface so the
+// same code runs under the simulator (fast, reproducible — used by tests
+// and benchmarks) and under the real-time clock (used by the cmd/ binaries).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the callback was
+	// prevented from running (false if it already ran or was stopped).
+	Stop() bool
+}
+
+// Clock abstracts time so components run on both virtual and real time.
+type Clock interface {
+	// Now returns the time elapsed since the clock's epoch.
+	Now() time.Duration
+	// AfterFunc schedules fn to run at Now()+d. fn runs on the clock's
+	// event goroutine (the Loop goroutine for virtual clocks).
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// event is one scheduled callback in the loop.
+type event struct {
+	at    time.Duration
+	seq   uint64 // tiebreaker: FIFO among events at the same instant
+	fn    func()
+	index int // heap index; -1 once popped or stopped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a single-threaded discrete-event loop with a virtual clock.
+// The zero value is not usable; call NewLoop.
+//
+// Loop is not safe for concurrent use: all callbacks run on the goroutine
+// that calls Run/RunUntil/Step, and scheduling must happen from that
+// goroutine (i.e. from inside callbacks or before Run).
+type Loop struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	steps  uint64
+	rng    *Source
+}
+
+// NewLoop returns a loop whose clock starts at 0 and whose random streams
+// all derive from seed.
+func NewLoop(seed int64) *Loop {
+	l := &Loop{}
+	l.rng = NewSource(seed)
+	return l
+}
+
+// Now returns the current virtual time.
+func (l *Loop) Now() time.Duration { return l.now }
+
+// Steps returns the number of events executed so far.
+func (l *Loop) Steps() uint64 { return l.steps }
+
+// RNG returns a derived deterministic random stream for the given label.
+// The same (seed, label) pair always yields the same stream, independent
+// of the order streams are requested in.
+func (l *Loop) RNG(label string) *Rand { return l.rng.Stream(label) }
+
+type loopTimer struct {
+	l *Loop
+	e *event
+}
+
+func (t *loopTimer) Stop() bool {
+	if t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.l.events, t.e.index)
+	t.e.index = -1
+	t.e.fn = nil
+	return true
+}
+
+// AfterFunc schedules fn at Now()+d. Negative d is treated as 0.
+func (l *Loop) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it indicates a logic error in the caller.
+func (l *Loop) At(t time.Duration, fn func()) Timer {
+	if t < l.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
+	}
+	e := &event{at: t, seq: l.seq, fn: fn}
+	l.seq++
+	heap.Push(&l.events, e)
+	return &loopTimer{l: l, e: e}
+}
+
+// Step executes the next event, advancing the clock to its deadline.
+// It reports whether an event was executed.
+func (l *Loop) Step() bool {
+	if len(l.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&l.events).(*event)
+	l.now = e.at
+	l.steps++
+	fn := e.fn
+	e.fn = nil
+	fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (l *Loop) Run() {
+	for l.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines <= t, then advances the clock
+// to exactly t (even if no event fired at t).
+func (l *Loop) RunUntil(t time.Duration) {
+	for len(l.events) > 0 && l.events[0].at <= t {
+		l.Step()
+	}
+	if t > l.now {
+		l.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (l *Loop) Pending() int { return len(l.events) }
+
+var _ Clock = (*Loop)(nil)
+
+// RealClock implements Clock on top of the wall clock. Its epoch is the
+// time it was created. Callbacks run on their own goroutines (per
+// time.AfterFunc), so components used with RealClock must be safe for
+// the concurrency they create.
+type RealClock struct {
+	epoch time.Time
+}
+
+// NewRealClock returns a Clock backed by the wall clock.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now returns the time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) Stop() bool { return t.t.Stop() }
+
+// AfterFunc schedules fn on the wall clock.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+var _ Clock = (*RealClock)(nil)

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLoopOrdering(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	l.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	l.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	l.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	l.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if l.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", l.Now())
+	}
+}
+
+func TestLoopFIFOAtSameInstant(t *testing.T) {
+	l := NewLoop(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.AfterFunc(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	l.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestLoopNestedScheduling(t *testing.T) {
+	l := NewLoop(1)
+	var fired []time.Duration
+	l.AfterFunc(10*time.Millisecond, func() {
+		fired = append(fired, l.Now())
+		l.AfterFunc(15*time.Millisecond, func() {
+			fired = append(fired, l.Now())
+		})
+	})
+	l.Run()
+	if len(fired) != 2 || fired[0] != 10*time.Millisecond || fired[1] != 25*time.Millisecond {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := NewLoop(1)
+	ran := false
+	tm := l.AfterFunc(10*time.Millisecond, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	l.Run()
+	if ran {
+		t.Fatal("stopped timer ran")
+	}
+	if l.Pending() != 0 {
+		t.Fatalf("pending = %d after stop", l.Pending())
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	l := NewLoop(1)
+	tm := l.AfterFunc(0, func() {})
+	l.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after fire should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		l.AfterFunc(time.Duration(i)*time.Second, func() { count++ })
+	}
+	l.RunUntil(3 * time.Second)
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if l.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", l.Now())
+	}
+	l.RunUntil(10 * time.Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if l.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s (clock advances past last event)", l.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	l := NewLoop(1)
+	l.AfterFunc(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic scheduling in the past")
+			}
+		}()
+		l.At(0, func() {})
+	})
+	l.Run()
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	l := NewLoop(1)
+	ran := false
+	l.AfterFunc(-time.Second, func() { ran = true })
+	l.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+}
+
+func TestRNGDeterministicAcrossOrder(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	// Request in different orders; streams must match anyway.
+	a1 := a.Stream("alpha")
+	_ = a.Stream("beta")
+	_ = b.Stream("beta")
+	b1 := b.Stream("alpha")
+	for i := 0; i < 100; i++ {
+		if a1.Int63() != b1.Int63() {
+			t.Fatal("streams diverge for identical (seed,label)")
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	s := NewSource(7)
+	x := s.Stream("x").Int63()
+	y := s.Stream("y").Int63()
+	if x == y {
+		t.Fatal("different labels produced identical first draw (suspicious)")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewSource(1).Stream("b")
+	if r.Bernoulli(0) {
+		t.Fatal("p=0 fired")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("p=1 did not fire")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewSource(3).Stream("zipf")
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[500] {
+		t.Fatalf("zipf not skewed: top=%d mid=%d tail=%d", counts[0], counts[10], counts[500])
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	r := NewSource(4).Stream("zipf2")
+	if err := quick.Check(func(n uint8) bool {
+		size := int(n%100) + 1
+		z := NewZipf(r, size, 1.2)
+		for i := 0; i < 50; i++ {
+			d := z.Draw()
+			if d < 0 || d >= size {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParetoAtLeastMin(t *testing.T) {
+	r := NewSource(5).Stream("pareto")
+	if err := quick.Check(func(seedUnused uint16) bool {
+		v := r.Pareto(30, 1.5)
+		return v >= 30
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	if b := c.Now(); b <= a {
+		t.Fatalf("real clock not advancing: %v then %v", a, b)
+	}
+}
+
+func TestRealClockAfterFunc(t *testing.T) {
+	c := NewRealClock()
+	done := make(chan struct{})
+	c.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("real AfterFunc never fired")
+	}
+}
+
+func TestLoopDeterminism(t *testing.T) {
+	run := func() []int64 {
+		l := NewLoop(99)
+		r := l.RNG("load")
+		var out []int64
+		var tick func()
+		tick = func() {
+			out = append(out, r.Int63n(1000))
+			if len(out) < 50 {
+				l.AfterFunc(time.Duration(r.Int63n(int64(time.Second))), tick)
+			}
+		}
+		l.AfterFunc(0, tick)
+		l.Run()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("identical seeds produced different runs")
+		}
+	}
+}

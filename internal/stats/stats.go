@@ -1,0 +1,401 @@
+// Package stats provides the statistical tooling the evaluation harness
+// needs: streaming samples, percentiles, CDFs, box-plot summaries,
+// histograms, hour-bucketed time series, and Welch's t-test (the paper
+// reports p-values < 0.001 for its Table 1 comparison).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations.
+// The zero value is ready to use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+	sumSq  float64
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs ...float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Variance() float64 {
+	n := float64(len(s.xs))
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	// Two-pass is more stable than the shortcut formula for large means.
+	var acc float64
+	for _, x := range s.xs {
+		d := x - mean
+		acc += d * d
+	}
+	return acc / (n - 1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks. Empty samples return 0.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Min returns the smallest observation (0 if empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 if empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// BoxPlot summarizes a sample the way the paper's Figure 11 does:
+// 20th, 25th, 50th, 75th, and 80th percentiles.
+type BoxPlot struct {
+	P20, P25, P50, P75, P80 float64
+	N                       int
+}
+
+// Box returns the box-plot summary of the sample.
+func (s *Sample) Box() BoxPlot {
+	return BoxPlot{
+		P20: s.Percentile(20),
+		P25: s.Percentile(25),
+		P50: s.Percentile(50),
+		P75: s.Percentile(75),
+		P80: s.Percentile(80),
+		N:   s.N(),
+	}
+}
+
+// String renders the box plot compactly.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("[p20=%.1f p25=%.1f p50=%.1f p75=%.1f p80=%.1f n=%d]",
+		b.P20, b.P25, b.P50, b.P75, b.P80, b.N)
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	F float64 // cumulative fraction in [0,1]
+}
+
+// CDF returns the empirical CDF evaluated at the given points
+// (F(x) = fraction of observations <= x).
+func (s *Sample) CDF(points []float64) []CDFPoint {
+	s.sort()
+	out := make([]CDFPoint, len(points))
+	for i, x := range points {
+		idx := sort.SearchFloat64s(s.xs, x)
+		// Move past duplicates equal to x.
+		for idx < len(s.xs) && s.xs[idx] <= x {
+			idx++
+		}
+		f := 0.0
+		if len(s.xs) > 0 {
+			f = float64(idx) / float64(len(s.xs))
+		}
+		out[i] = CDFPoint{X: x, F: f}
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of observations <= x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.CDF([]float64{x})[0].F
+}
+
+// WelchT performs Welch's unequal-variance t-test on two samples and
+// returns the t statistic, the Welch–Satterthwaite degrees of freedom,
+// and a two-sided p-value.
+func WelchT(a, b *Sample) (t, df, p float64) {
+	na, nb := float64(a.N()), float64(b.N())
+	if na < 2 || nb < 2 {
+		return 0, 0, 1
+	}
+	va, vb := a.Variance()/na, b.Variance()/nb
+	se := math.Sqrt(va + vb)
+	if se == 0 {
+		if a.Mean() == b.Mean() {
+			return 0, na + nb - 2, 1
+		}
+		return math.Inf(1), na + nb - 2, 0
+	}
+	t = (a.Mean() - b.Mean()) / se
+	df = (va + vb) * (va + vb) / (va*va/(na-1) + vb*vb/(nb-1))
+	p = 2 * studentTSF(math.Abs(t), df)
+	return t, df, p
+}
+
+// studentTSF returns P(T > t) for Student's t with df degrees of freedom,
+// via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	// Lentz's algorithm for the continued fraction.
+	const tiny = 1e-30
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		m := i / 2
+		var num float64
+		switch {
+		case i == 0:
+			num = 1
+		case i%2 == 0:
+			num = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			num = -(a + float64(m)) * (a + b + float64(m)) * x / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < 1e-12 {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Ratio counts successes over trials (e.g. the 0-stall ratio).
+// The zero value is ready to use.
+type Ratio struct {
+	Hits, Total int
+}
+
+// Observe records one trial.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns Hits/Total (0 if no trials).
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Percent returns the ratio as a percentage.
+func (r *Ratio) Percent() float64 { return r.Value() * 100 }
+
+// Histogram counts observations into [edges[i], edges[i+1]) buckets, with
+// an implicit overflow bucket at the end.
+type Histogram struct {
+	Edges  []float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with the given ascending bucket edges.
+func NewHistogram(edges ...float64) *Histogram {
+	if !sort.Float64sAreSorted(edges) {
+		panic("stats: histogram edges must be sorted")
+	}
+	return &Histogram{Edges: edges, Counts: make([]int, len(edges)+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := sort.SearchFloat64s(h.Edges, x)
+	// SearchFloat64s returns the first edge >= x; values equal to an edge
+	// belong to the bucket starting at that edge.
+	if i < len(h.Edges) && h.Edges[i] == x {
+		i++
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Fraction returns the fraction of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// TimeSeries buckets observations by integer period index (e.g. hour of
+// day, day of run) and exposes per-bucket samples.
+type TimeSeries struct {
+	buckets map[int]*Sample
+}
+
+// NewTimeSeries returns an empty time series.
+func NewTimeSeries() *TimeSeries {
+	return &TimeSeries{buckets: make(map[int]*Sample)}
+}
+
+// Add records x in bucket i.
+func (ts *TimeSeries) Add(i int, x float64) {
+	s, ok := ts.buckets[i]
+	if !ok {
+		s = &Sample{}
+		ts.buckets[i] = s
+	}
+	s.Add(x)
+}
+
+// Bucket returns the sample for bucket i (nil if empty).
+func (ts *TimeSeries) Bucket(i int) *Sample { return ts.buckets[i] }
+
+// Buckets returns the sorted bucket indices present.
+func (ts *TimeSeries) Buckets() []int {
+	out := make([]int, 0, len(ts.buckets))
+	for i := range ts.buckets {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Table renders rows of labeled values in aligned columns; the evaluation
+// harness uses it to print paper-style tables.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for pad := len(c); pad < widths[i]; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

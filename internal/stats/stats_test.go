@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPercentileBasics(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); !almost(got, 50.5, 1e-9) {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Percentile(25); !almost(got, 25.75, 1e-9) {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	for _, p := range []float64{0, 25, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("p%v of singleton = %v", p, got)
+		}
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	if s.Median() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should return zeros")
+	}
+	if f := s.FractionBelow(10); f != 0 {
+		t.Fatalf("FractionBelow on empty = %v", f)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if !almost(s.Mean(), 5, 1e-9) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if !almost(s.Variance(), 32.0/7.0, 1e-9) {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if err := quick.Check(func(n uint8) bool {
+		var s Sample
+		for i := 0; i < int(n)+2; i++ {
+			s.Add(r.Float64() * 1000)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if err := quick.Check(func(n uint8, p uint8) bool {
+		var s Sample
+		for i := 0; i < int(n)+1; i++ {
+			s.Add(r.NormFloat64() * 100)
+		}
+		v := s.Percentile(float64(p % 101))
+		return v >= s.Min() && v <= s.Max()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3, 4)
+	pts := s.CDF([]float64{0, 1, 2.5, 4, 9})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i, p := range pts {
+		if !almost(p.F, want[i], 1e-9) {
+			t.Fatalf("CDF(%v) = %v, want %v", p.X, p.F, want[i])
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if err := quick.Check(func(n uint8) bool {
+		var s Sample
+		for i := 0; i < int(n)+1; i++ {
+			s.Add(r.Float64() * 50)
+		}
+		xs := []float64{0, 10, 20, 30, 40, 50}
+		pts := s.CDF(xs)
+		prev := 0.0
+		for _, p := range pts {
+			if p.F < prev || p.F > 1 {
+				return false
+			}
+			prev = p.F
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTSignificant(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var a, b Sample
+	for i := 0; i < 500; i++ {
+		a.Add(188 + r.NormFloat64()*40)
+		b.Add(393 + r.NormFloat64()*60)
+	}
+	_, _, p := WelchT(&a, &b)
+	if p >= 0.001 {
+		t.Fatalf("p = %v, want < 0.001 for clearly separated samples", p)
+	}
+}
+
+func TestWelchTInsignificant(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var a, b Sample
+	for i := 0; i < 200; i++ {
+		a.Add(100 + r.NormFloat64()*30)
+		b.Add(100 + r.NormFloat64()*30)
+	}
+	_, _, p := WelchT(&a, &b)
+	if p < 0.01 {
+		t.Fatalf("p = %v unexpectedly significant for identical distributions", p)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	var a, b Sample
+	a.AddAll(1, 1, 1)
+	b.AddAll(1, 1, 1)
+	if _, _, p := WelchT(&a, &b); p != 1 {
+		t.Fatalf("identical constant samples: p = %v, want 1", p)
+	}
+	var c Sample
+	c.AddAll(2, 2, 2)
+	if _, _, p := WelchT(&a, &c); p != 0 {
+		t.Fatalf("distinct constant samples: p = %v, want 0", p)
+	}
+}
+
+func TestWelchTTooSmall(t *testing.T) {
+	var a, b Sample
+	a.Add(1)
+	b.AddAll(1, 2, 3)
+	if _, _, p := WelchT(&a, &b); p != 1 {
+		t.Fatalf("n<2 should be inconclusive, p = %v", p)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-9) {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_0.5(a,a) = 0.5 by symmetry.
+	if got := regIncBeta(3, 3, 0.5); !almost(got, 0.5, 1e-9) {
+		t.Fatalf("I_.5(3,3) = %v", got)
+	}
+}
+
+func TestStudentTKnownValue(t *testing.T) {
+	// For df=10, P(T > 2.228) ~= 0.025 (classic two-sided 95% critical value).
+	if got := studentTSF(2.228, 10); !almost(got, 0.025, 0.001) {
+		t.Fatalf("studentTSF(2.228,10) = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	for i := 0; i < 98; i++ {
+		r.Observe(true)
+	}
+	r.Observe(false)
+	r.Observe(false)
+	if !almost(r.Percent(), 98, 1e-9) {
+		t.Fatalf("percent = %v", r.Percent())
+	}
+	var empty Ratio
+	if empty.Value() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(500, 700, 1000, 1500)
+	h.Add(100)  // bucket 0: (-inf,500)
+	h.Add(500)  // bucket 1: [500,700)
+	h.Add(699)  // bucket 1
+	h.Add(1200) // bucket 3
+	h.Add(99999)
+	want := []int{1, 2, 0, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if !almost(h.Fraction(1), 0.4, 1e-9) {
+		t.Fatalf("fraction = %v", h.Fraction(1))
+	}
+}
+
+func TestHistogramEdgesSorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unsorted edges")
+		}
+	}()
+	NewHistogram(3, 1, 2)
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Add(3, 1)
+	ts.Add(1, 2)
+	ts.Add(3, 5)
+	got := ts.Buckets()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("buckets = %v", got)
+	}
+	if ts.Bucket(3).N() != 2 {
+		t.Fatal("bucket 3 should have 2 samples")
+	}
+	if ts.Bucket(9) != nil {
+		t.Fatal("missing bucket should be nil")
+	}
+}
+
+func TestBoxPlotOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Add(r.ExpFloat64() * 100)
+	}
+	b := s.Box()
+	vals := []float64{b.P20, b.P25, b.P50, b.P75, b.P80}
+	if !sort.Float64sAreSorted(vals) {
+		t.Fatalf("box percentiles out of order: %+v", b)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"metric", "LiveNet", "Hier"}}
+	tb.AddRow("CDN path delay (ms)", "188", "393")
+	out := tb.String()
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatal("table should end with newline")
+	}
+	if got := len([]rune(out)); got < 20 {
+		t.Fatalf("table suspiciously short: %q", out)
+	}
+}

@@ -1,0 +1,357 @@
+// Package udprun runs LiveNet components over real UDP sockets — the
+// multi-node deployment mode used by cmd/livenet-node, cmd/livenet-brain
+// and cmd/livenet-demo. Each overlay endpoint (node, client, Brain) owns
+// one socket; datagrams are prefixed with the sender's overlay ID so the
+// node code stays addressed by integer IDs exactly as on the emulator.
+package udprun
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"livenet/internal/brain"
+	"livenet/internal/node"
+	"livenet/internal/wire"
+)
+
+// headerLen is the datagram prefix: sender overlay ID.
+const headerLen = 4
+
+// ErrUnknownPeer is returned when sending to an unregistered ID.
+var ErrUnknownPeer = errors.New("udprun: unknown peer id")
+
+// Endpoint is one UDP-backed overlay endpoint. It implements node.Sender
+// (and client.Sender, which has the same shape).
+type Endpoint struct {
+	id   int
+	conn *net.UDPConn
+
+	mu    sync.RWMutex
+	peers map[int]*net.UDPAddr
+
+	handler func(from int, data []byte)
+	done    chan struct{}
+	once    sync.Once
+}
+
+var _ node.Sender = (*Endpoint)(nil)
+
+// Listen binds an endpoint with overlay ID id on addr (e.g. "127.0.0.1:0").
+func Listen(id int, addr string) (*Endpoint, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udprun: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("udprun: %w", err)
+	}
+	return &Endpoint{
+		id:    id,
+		conn:  conn,
+		peers: make(map[int]*net.UDPAddr),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// ID returns the endpoint's overlay ID.
+func (e *Endpoint) ID() int { return e.id }
+
+// Addr returns the bound UDP address.
+func (e *Endpoint) Addr() string { return e.conn.LocalAddr().String() }
+
+// AddPeer registers the address of another overlay endpoint.
+func (e *Endpoint) AddPeer(id int, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("udprun: %w", err)
+	}
+	e.mu.Lock()
+	e.peers[id] = ua
+	e.mu.Unlock()
+	return nil
+}
+
+// Send implements node.Sender. from is ignored (the socket's own ID is
+// stamped) but kept for interface compatibility.
+func (e *Endpoint) Send(from, to int, data []byte) error {
+	e.mu.RLock()
+	addr := e.peers[to]
+	e.mu.RUnlock()
+	if addr == nil {
+		return ErrUnknownPeer
+	}
+	buf := make([]byte, headerLen+len(data))
+	binary.BigEndian.PutUint32(buf, uint32(e.id))
+	copy(buf[headerLen:], data)
+	_, err := e.conn.WriteToUDP(buf, addr)
+	return err
+}
+
+// Serve starts the read loop, delivering datagrams to handler. The
+// handler owns the data slice. Peers are auto-registered from incoming
+// datagrams, so static peer lists only need to cover first contact.
+func (e *Endpoint) Serve(handler func(from int, data []byte)) {
+	e.handler = handler
+	go e.readLoop()
+}
+
+func (e *Endpoint) readLoop() {
+	buf := make([]byte, 64*1024)
+	for {
+		n, raddr, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+				continue
+			}
+		}
+		if n < headerLen {
+			continue
+		}
+		from := int(binary.BigEndian.Uint32(buf))
+		// Auto-register the sender's address (NAT-style learning).
+		e.mu.Lock()
+		if _, ok := e.peers[from]; !ok {
+			e.peers[from] = raddr
+		}
+		e.mu.Unlock()
+		data := make([]byte, n-headerLen)
+		copy(data, buf[headerLen:n])
+		if e.handler != nil {
+			e.handler(from, data)
+		}
+	}
+}
+
+// Close shuts the socket down.
+func (e *Endpoint) Close() error {
+	var err error
+	e.once.Do(func() {
+		close(e.done)
+		err = e.conn.Close()
+	})
+	return err
+}
+
+// BrainServer exposes a Streaming Brain over UDP: it answers PathRequest
+// RPCs, accepts stream registrations and Global Discovery reports.
+type BrainServer struct {
+	Brain *brain.Brain
+	ep    *Endpoint
+}
+
+// BrainID is the well-known overlay ID of the Brain endpoint.
+const BrainID = 1 << 20
+
+// NewBrainServer wraps a Brain behind a UDP endpoint.
+func NewBrainServer(b *brain.Brain, addr string) (*BrainServer, error) {
+	ep, err := Listen(BrainID, addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &BrainServer{Brain: b, ep: ep}
+	ep.Serve(s.onMessage)
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *BrainServer) Addr() string { return s.ep.Addr() }
+
+// Close shuts the server down.
+func (s *BrainServer) Close() error { return s.ep.Close() }
+
+func (s *BrainServer) onMessage(from int, data []byte) {
+	switch wire.Kind(data) {
+	case wire.MsgPathRequest:
+		var req wire.PathRequest
+		if err := req.Unmarshal(data); err != nil {
+			return
+		}
+		paths, err := s.Brain.Lookup(req.StreamID, int(req.Consumer))
+		resp := wire.PathResponse{StreamID: req.StreamID, Token: req.Token, OK: err == nil}
+		for _, p := range paths {
+			wp := make([]uint16, len(p))
+			for i, h := range p {
+				wp[i] = uint16(h)
+			}
+			resp.Paths = append(resp.Paths, wp)
+		}
+		s.ep.Send(BrainID, from, resp.Marshal(nil))
+	case wire.MsgRegisterStream:
+		var reg wire.RegisterStream
+		if err := reg.Unmarshal(data); err != nil {
+			return
+		}
+		s.Brain.RegisterStream(reg.StreamID, int(reg.Producer))
+	case wire.MsgNodeReport:
+		var rep wire.NodeReport
+		if err := rep.Unmarshal(data); err != nil {
+			return
+		}
+		s.Brain.ReportLink(int(rep.From), int(rep.To),
+			time.Duration(rep.RTTMicros)*time.Microsecond, float64(rep.LossPPM)/1e6, float64(rep.UtilPercent)/1e4)
+		s.Brain.ReportNodeLoad(int(rep.From), float64(rep.NodeUtil)/1e4)
+	}
+}
+
+// BrainClient is the node-side stub for the Brain RPC: it provides a
+// node.PathLookupFunc and forwards registrations/reports.
+type BrainClient struct {
+	ep *Endpoint
+
+	mu      sync.Mutex
+	token   uint32
+	pending map[uint32]func([][]int, error)
+}
+
+// NewBrainClient builds a client on an existing endpoint. It must be
+// installed before the endpoint's Serve handler via WrapHandler.
+func NewBrainClient(ep *Endpoint, brainAddr string) (*BrainClient, error) {
+	if err := ep.AddPeer(BrainID, brainAddr); err != nil {
+		return nil, err
+	}
+	return &BrainClient{ep: ep, pending: make(map[uint32]func([][]int, error))}, nil
+}
+
+// WrapHandler returns a handler that intercepts Brain RPC responses and
+// passes everything else to next.
+func (c *BrainClient) WrapHandler(next func(from int, data []byte)) func(from int, data []byte) {
+	return func(from int, data []byte) {
+		if wire.Kind(data) == wire.MsgPathResponse {
+			var resp wire.PathResponse
+			if err := resp.Unmarshal(data); err != nil {
+				return
+			}
+			c.mu.Lock()
+			cb := c.pending[resp.Token]
+			delete(c.pending, resp.Token)
+			c.mu.Unlock()
+			if cb != nil {
+				if !resp.OK {
+					cb(nil, brain.ErrUnknownStream)
+					return
+				}
+				paths := make([][]int, 0, len(resp.Paths))
+				for _, p := range resp.Paths {
+					ip := make([]int, len(p))
+					for i, h := range p {
+						ip[i] = int(h)
+					}
+					paths = append(paths, ip)
+				}
+				cb(paths, nil)
+			}
+			return
+		}
+		next(from, data)
+	}
+}
+
+// Lookup implements node.PathLookupFunc over the RPC.
+func (c *BrainClient) Lookup(sid uint32, consumer int, cb func([][]int, error)) {
+	c.mu.Lock()
+	c.token++
+	tok := c.token
+	c.pending[tok] = cb
+	c.mu.Unlock()
+	req := wire.PathRequest{StreamID: sid, Consumer: uint16(consumer), Token: tok}
+	if err := c.ep.Send(c.ep.id, BrainID, req.Marshal(nil)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, tok)
+		c.mu.Unlock()
+		cb(nil, err)
+	}
+}
+
+// RegisterStream forwards a stream registration.
+func (c *BrainClient) RegisterStream(sid uint32, producer int) {
+	reg := wire.RegisterStream{StreamID: sid, Producer: uint16(producer)}
+	c.ep.Send(c.ep.id, BrainID, reg.Marshal(nil))
+}
+
+// Report forwards one Global Discovery measurement.
+func (c *BrainClient) Report(rep wire.NodeReport) {
+	c.ep.Send(c.ep.id, BrainID, rep.Marshal(nil))
+}
+
+// Prober implements the UDP ping utility of §4.2 over an endpoint: nodes
+// that have not transmitted over a link recently actively measure its RTT
+// with a few small probes.
+type Prober struct {
+	ep *Endpoint
+
+	mu      sync.Mutex
+	token   uint32
+	pending map[uint32]pendingPing
+}
+
+type pendingPing struct {
+	sentAt time.Time
+	cb     func(rtt time.Duration, ok bool)
+}
+
+// NewProber builds a prober on an endpoint; install it with WrapHandler
+// (composable with BrainClient.WrapHandler).
+func NewProber(ep *Endpoint) *Prober {
+	return &Prober{ep: ep, pending: make(map[uint32]pendingPing)}
+}
+
+// WrapHandler intercepts pings (replying immediately) and pongs
+// (resolving pending probes), passing everything else to next.
+func (p *Prober) WrapHandler(next func(from int, data []byte)) func(from int, data []byte) {
+	return func(from int, data []byte) {
+		switch wire.Kind(data) {
+		case wire.MsgPing:
+			var pr wire.Probe
+			if pr.Unmarshal(data) == nil {
+				p.ep.Send(p.ep.id, from, pr.MarshalPong(nil))
+			}
+		case wire.MsgPong:
+			var pr wire.Probe
+			if pr.Unmarshal(data) != nil {
+				return
+			}
+			p.mu.Lock()
+			pend, ok := p.pending[pr.Token]
+			delete(p.pending, pr.Token)
+			p.mu.Unlock()
+			if ok {
+				pend.cb(time.Since(pend.sentAt), true)
+			}
+		default:
+			next(from, data)
+		}
+	}
+}
+
+// Ping measures the RTT to a peer; cb fires with ok=false on timeout.
+func (p *Prober) Ping(to int, timeout time.Duration, cb func(rtt time.Duration, ok bool)) {
+	p.mu.Lock()
+	p.token++
+	tok := p.token
+	p.pending[tok] = pendingPing{sentAt: time.Now(), cb: cb}
+	p.mu.Unlock()
+	pr := wire.Probe{Token: tok}
+	if err := p.ep.Send(p.ep.id, to, pr.MarshalPing(nil)); err != nil {
+		p.expire(tok)
+		return
+	}
+	time.AfterFunc(timeout, func() { p.expire(tok) })
+}
+
+func (p *Prober) expire(tok uint32) {
+	p.mu.Lock()
+	pend, ok := p.pending[tok]
+	delete(p.pending, tok)
+	p.mu.Unlock()
+	if ok {
+		pend.cb(0, false)
+	}
+}

@@ -1,0 +1,194 @@
+package wire
+
+import "encoding/binary"
+
+// Control-plane RPC tags (consumer node ⇄ Streaming Brain).
+const (
+	// MsgPathRequest asks the Path Decision module for candidate paths.
+	MsgPathRequest byte = 6
+	// MsgPathResponse returns up to k candidate paths.
+	MsgPathResponse byte = 7
+	// MsgRegisterStream announces a new stream's producer to Stream
+	// Management.
+	MsgRegisterStream byte = 8
+	// MsgNodeReport carries one link measurement to Global Discovery.
+	MsgNodeReport byte = 9
+)
+
+// PathRequest is a Path Decision lookup.
+type PathRequest struct {
+	StreamID uint32
+	Consumer uint16
+	// Token correlates the response with the request.
+	Token uint32
+}
+
+// Marshal appends the wire form.
+func (r *PathRequest) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgPathRequest)
+	buf = binary.BigEndian.AppendUint32(buf, r.StreamID)
+	buf = binary.BigEndian.AppendUint16(buf, r.Consumer)
+	return binary.BigEndian.AppendUint32(buf, r.Token)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (r *PathRequest) Unmarshal(data []byte) error {
+	if len(data) < 11 || data[0] != MsgPathRequest {
+		return ErrBadMessage
+	}
+	r.StreamID = binary.BigEndian.Uint32(data[1:])
+	r.Consumer = binary.BigEndian.Uint16(data[5:])
+	r.Token = binary.BigEndian.Uint32(data[7:])
+	return nil
+}
+
+// PathResponse carries the candidate paths (producer→consumer node
+// sequences), ordered by preference.
+type PathResponse struct {
+	StreamID uint32
+	Token    uint32
+	// OK is false when the stream is unknown.
+	OK    bool
+	Paths [][]uint16
+}
+
+// Marshal appends the wire form.
+func (r *PathResponse) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgPathResponse)
+	buf = binary.BigEndian.AppendUint32(buf, r.StreamID)
+	buf = binary.BigEndian.AppendUint32(buf, r.Token)
+	ok := byte(0)
+	if r.OK {
+		ok = 1
+	}
+	buf = append(buf, ok, byte(len(r.Paths)))
+	for _, p := range r.Paths {
+		buf = append(buf, byte(len(p)))
+		for _, h := range p {
+			buf = binary.BigEndian.AppendUint16(buf, h)
+		}
+	}
+	return buf
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (r *PathResponse) Unmarshal(data []byte) error {
+	if len(data) < 11 || data[0] != MsgPathResponse {
+		return ErrBadMessage
+	}
+	r.StreamID = binary.BigEndian.Uint32(data[1:])
+	r.Token = binary.BigEndian.Uint32(data[5:])
+	r.OK = data[9] != 0
+	n := int(data[10])
+	r.Paths = r.Paths[:0]
+	off := 11
+	for i := 0; i < n; i++ {
+		if len(data) < off+1 {
+			return ErrBadMessage
+		}
+		m := int(data[off])
+		off++
+		if len(data) < off+2*m {
+			return ErrBadMessage
+		}
+		p := make([]uint16, m)
+		for j := 0; j < m; j++ {
+			p[j] = binary.BigEndian.Uint16(data[off+2*j:])
+		}
+		off += 2 * m
+		r.Paths = append(r.Paths, p)
+	}
+	return nil
+}
+
+// RegisterStream announces a producer for a stream.
+type RegisterStream struct {
+	StreamID uint32
+	Producer uint16
+}
+
+// Marshal appends the wire form.
+func (r *RegisterStream) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgRegisterStream)
+	buf = binary.BigEndian.AppendUint32(buf, r.StreamID)
+	return binary.BigEndian.AppendUint16(buf, r.Producer)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (r *RegisterStream) Unmarshal(data []byte) error {
+	if len(data) < 7 || data[0] != MsgRegisterStream {
+		return ErrBadMessage
+	}
+	r.StreamID = binary.BigEndian.Uint32(data[1:])
+	r.Producer = binary.BigEndian.Uint16(data[5:])
+	return nil
+}
+
+// NodeReport is one link measurement for Global Discovery.
+type NodeReport struct {
+	From, To    uint16
+	RTTMicros   uint32
+	LossPPM     uint32 // loss rate in parts per million
+	UtilPercent uint16 // utilization ×100 (0..10000)
+	NodeUtil    uint16 // reporter's node utilization ×100
+}
+
+// Marshal appends the wire form.
+func (r *NodeReport) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgNodeReport)
+	buf = binary.BigEndian.AppendUint16(buf, r.From)
+	buf = binary.BigEndian.AppendUint16(buf, r.To)
+	buf = binary.BigEndian.AppendUint32(buf, r.RTTMicros)
+	buf = binary.BigEndian.AppendUint32(buf, r.LossPPM)
+	buf = binary.BigEndian.AppendUint16(buf, r.UtilPercent)
+	return binary.BigEndian.AppendUint16(buf, r.NodeUtil)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (r *NodeReport) Unmarshal(data []byte) error {
+	if len(data) < 17 || data[0] != MsgNodeReport {
+		return ErrBadMessage
+	}
+	r.From = binary.BigEndian.Uint16(data[1:])
+	r.To = binary.BigEndian.Uint16(data[3:])
+	r.RTTMicros = binary.BigEndian.Uint32(data[5:])
+	r.LossPPM = binary.BigEndian.Uint32(data[9:])
+	r.UtilPercent = binary.BigEndian.Uint16(data[13:])
+	r.NodeUtil = binary.BigEndian.Uint16(data[15:])
+	return nil
+}
+
+// Probe tags implement the UDP ping utility of §4.2: a node that has not
+// transmitted over a link recently actively measures its RTT.
+const (
+	// MsgPing requests an immediate echo.
+	MsgPing byte = 10
+	// MsgPong is the echo reply.
+	MsgPong byte = 11
+)
+
+// Probe is a ping or pong carrying a correlation token.
+type Probe struct {
+	Token uint32
+}
+
+// MarshalPing appends the ping wire form.
+func (p *Probe) MarshalPing(buf []byte) []byte {
+	buf = append(buf, MsgPing)
+	return binary.BigEndian.AppendUint32(buf, p.Token)
+}
+
+// MarshalPong appends the pong wire form.
+func (p *Probe) MarshalPong(buf []byte) []byte {
+	buf = append(buf, MsgPong)
+	return binary.BigEndian.AppendUint32(buf, p.Token)
+}
+
+// Unmarshal decodes either form.
+func (p *Probe) Unmarshal(data []byte) error {
+	if len(data) < 5 || (data[0] != MsgPing && data[0] != MsgPong) {
+		return ErrBadMessage
+	}
+	p.Token = binary.BigEndian.Uint32(data[1:])
+	return nil
+}

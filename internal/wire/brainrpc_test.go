@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPathRequestRoundTrip(t *testing.T) {
+	if err := quick.Check(func(sid uint32, consumer uint16, token uint32) bool {
+		r := PathRequest{StreamID: sid, Consumer: consumer, Token: token}
+		var g PathRequest
+		if err := g.Unmarshal(r.Marshal(nil)); err != nil {
+			return false
+		}
+		return g == r
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathRequestErrors(t *testing.T) {
+	var g PathRequest
+	if err := g.Unmarshal([]byte{MsgPathRequest, 1}); err != ErrBadMessage {
+		t.Fatalf("short: %v", err)
+	}
+	good := (&PathRequest{}).Marshal(nil)
+	good[0] = MsgSubscribe
+	if err := g.Unmarshal(good); err != ErrBadMessage {
+		t.Fatalf("wrong tag: %v", err)
+	}
+}
+
+func TestPathResponseRoundTrip(t *testing.T) {
+	r := PathResponse{
+		StreamID: 7, Token: 99, OK: true,
+		Paths: [][]uint16{{0, 3, 9}, {0, 9}, {0, 1, 2, 9}},
+	}
+	var g PathResponse
+	if err := g.Unmarshal(r.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if g.StreamID != 7 || g.Token != 99 || !g.OK || len(g.Paths) != 3 {
+		t.Fatalf("%+v", g)
+	}
+	for i := range r.Paths {
+		if len(g.Paths[i]) != len(r.Paths[i]) {
+			t.Fatalf("path %d: %v vs %v", i, g.Paths[i], r.Paths[i])
+		}
+		for j := range r.Paths[i] {
+			if g.Paths[i][j] != r.Paths[i][j] {
+				t.Fatalf("path %d: %v vs %v", i, g.Paths[i], r.Paths[i])
+			}
+		}
+	}
+}
+
+func TestPathResponseNotOK(t *testing.T) {
+	r := PathResponse{StreamID: 1, Token: 2, OK: false}
+	var g PathResponse
+	if err := g.Unmarshal(r.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if g.OK || len(g.Paths) != 0 {
+		t.Fatalf("%+v", g)
+	}
+}
+
+func TestPathResponseTruncated(t *testing.T) {
+	r := PathResponse{StreamID: 1, OK: true, Paths: [][]uint16{{0, 1, 2}}}
+	buf := r.Marshal(nil)
+	var g PathResponse
+	for cut := 1; cut < 5; cut++ {
+		if err := g.Unmarshal(buf[:len(buf)-cut]); err != ErrBadMessage {
+			t.Fatalf("cut %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestRegisterStreamRoundTrip(t *testing.T) {
+	if err := quick.Check(func(sid uint32, producer uint16) bool {
+		r := RegisterStream{StreamID: sid, Producer: producer}
+		var g RegisterStream
+		if err := g.Unmarshal(r.Marshal(nil)); err != nil {
+			return false
+		}
+		return g == r
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var g RegisterStream
+	if err := g.Unmarshal([]byte{MsgRegisterStream}); err != ErrBadMessage {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestNodeReportRoundTrip(t *testing.T) {
+	if err := quick.Check(func(from, to uint16, rtt, loss uint32, util, nodeUtil uint16) bool {
+		r := NodeReport{From: from, To: to, RTTMicros: rtt, LossPPM: loss, UtilPercent: util, NodeUtil: nodeUtil}
+		var g NodeReport
+		if err := g.Unmarshal(r.Marshal(nil)); err != nil {
+			return false
+		}
+		return g == r
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var g NodeReport
+	if err := g.Unmarshal(make([]byte, 10)); err != ErrBadMessage {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestBrainRPCTagsDistinct(t *testing.T) {
+	tags := []byte{MsgRTP, MsgRTCP, MsgSubscribe, MsgUnsubscribe, MsgSubAck,
+		MsgPathRequest, MsgPathResponse, MsgRegisterStream, MsgNodeReport}
+	seen := map[byte]bool{}
+	for _, tg := range tags {
+		if seen[tg] {
+			t.Fatalf("duplicate wire tag %d", tg)
+		}
+		seen[tg] = true
+	}
+}

@@ -1,0 +1,178 @@
+// Package wire defines LiveNet's overlay wire protocol: a one-byte
+// message-type tag followed by the message body. Data messages carry RTP
+// (prefixed with a send timestamp for GCC's inter-arrival filter) and
+// RTCP; control messages implement the subscription protocol that
+// establishes overlay paths hop by hop (§4.4 "Overlay Path Establishment").
+//
+// The same framing is used over the in-process emulator and over real UDP
+// sockets, so the node code is transport-agnostic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Message type tags.
+const (
+	// MsgRTP frames [tag][sendTime uint32, 10 µs units][RTP packet].
+	MsgRTP byte = 1
+	// MsgRTCP frames [tag][RTCP packet].
+	MsgRTCP byte = 2
+	// MsgSubscribe frames a Subscribe control message.
+	MsgSubscribe byte = 3
+	// MsgUnsubscribe frames an Unsubscribe control message.
+	MsgUnsubscribe byte = 4
+	// MsgSubAck frames a SubAck control message.
+	MsgSubAck byte = 5
+)
+
+// ErrBadMessage reports an undecodable control message.
+var ErrBadMessage = errors.New("wire: bad message")
+
+// RTPHeaderLen is the framing overhead for MsgRTP: tag + send time.
+const RTPHeaderLen = 5
+
+// FrameRTP wraps a marshaled RTP packet with the MsgRTP tag and the send
+// timestamp (10 µs units), appending to buf.
+func FrameRTP(buf []byte, sendTime10us uint32, rtpData []byte) []byte {
+	buf = append(buf, MsgRTP)
+	buf = binary.BigEndian.AppendUint32(buf, sendTime10us)
+	return append(buf, rtpData...)
+}
+
+// PatchRTPSendTime rewrites the send timestamp in an already-framed MsgRTP
+// buffer (the pacer stamps packets when they actually leave the queue).
+func PatchRTPSendTime(frame []byte, sendTime10us uint32) bool {
+	if len(frame) < RTPHeaderLen || frame[0] != MsgRTP {
+		return false
+	}
+	binary.BigEndian.PutUint32(frame[1:], sendTime10us)
+	return true
+}
+
+// UnframeRTP splits a MsgRTP frame into the send timestamp and the RTP
+// bytes (aliasing the input).
+func UnframeRTP(frame []byte) (sendTime10us uint32, rtpData []byte, err error) {
+	if len(frame) < RTPHeaderLen || frame[0] != MsgRTP {
+		return 0, nil, ErrBadMessage
+	}
+	return binary.BigEndian.Uint32(frame[1:]), frame[RTPHeaderLen:], nil
+}
+
+// FrameRTCP wraps a marshaled RTCP packet.
+func FrameRTCP(buf []byte, rtcpData []byte) []byte {
+	buf = append(buf, MsgRTCP)
+	return append(buf, rtcpData...)
+}
+
+// Subscribe asks the next node on the reverse path to add the requester
+// to its Stream FIB and, if it does not already carry the stream, to keep
+// backtracking toward the producer.
+type Subscribe struct {
+	StreamID  uint32
+	Requester uint16 // node that wants the stream from the receiver
+	// Path is the remaining reverse route toward the producer, starting
+	// with the node after the receiver (empty when the receiver is the
+	// producer hop).
+	Path []uint16
+}
+
+// Marshal appends the wire form.
+func (s *Subscribe) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgSubscribe)
+	buf = binary.BigEndian.AppendUint32(buf, s.StreamID)
+	buf = binary.BigEndian.AppendUint16(buf, s.Requester)
+	buf = append(buf, byte(len(s.Path)))
+	for _, h := range s.Path {
+		buf = binary.BigEndian.AppendUint16(buf, h)
+	}
+	return buf
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (s *Subscribe) Unmarshal(data []byte) error {
+	if len(data) < 8 || data[0] != MsgSubscribe {
+		return ErrBadMessage
+	}
+	s.StreamID = binary.BigEndian.Uint32(data[1:])
+	s.Requester = binary.BigEndian.Uint16(data[5:])
+	n := int(data[7])
+	if len(data) < 8+2*n {
+		return ErrBadMessage
+	}
+	s.Path = s.Path[:0]
+	for i := 0; i < n; i++ {
+		s.Path = append(s.Path, binary.BigEndian.Uint16(data[8+2*i:]))
+	}
+	return nil
+}
+
+// Unsubscribe removes the requester from the receiver's FIB for a stream.
+type Unsubscribe struct {
+	StreamID  uint32
+	Requester uint16
+}
+
+// Marshal appends the wire form.
+func (u *Unsubscribe) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgUnsubscribe)
+	buf = binary.BigEndian.AppendUint32(buf, u.StreamID)
+	return binary.BigEndian.AppendUint16(buf, u.Requester)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (u *Unsubscribe) Unmarshal(data []byte) error {
+	if len(data) < 7 || data[0] != MsgUnsubscribe {
+		return ErrBadMessage
+	}
+	u.StreamID = binary.BigEndian.Uint32(data[1:])
+	u.Requester = binary.BigEndian.Uint16(data[5:])
+	return nil
+}
+
+// SubAck confirms a subscription back down the chain. Path is the full
+// node path from the producer to the acking node; each hop appends itself
+// before relaying, so the consumer learns the *actual* path — which may be
+// longer than requested when a cache hit grafted it onto an existing tree
+// (the long-chain problem, §4.4 / Figure 5).
+type SubAck struct {
+	StreamID uint32
+	Path     []uint16
+}
+
+// Marshal appends the wire form.
+func (a *SubAck) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgSubAck)
+	buf = binary.BigEndian.AppendUint32(buf, a.StreamID)
+	buf = append(buf, byte(len(a.Path)))
+	for _, h := range a.Path {
+		buf = binary.BigEndian.AppendUint16(buf, h)
+	}
+	return buf
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (a *SubAck) Unmarshal(data []byte) error {
+	if len(data) < 6 || data[0] != MsgSubAck {
+		return ErrBadMessage
+	}
+	a.StreamID = binary.BigEndian.Uint32(data[1:])
+	n := int(data[5])
+	if len(data) < 6+2*n {
+		return ErrBadMessage
+	}
+	a.Path = a.Path[:0]
+	for i := 0; i < n; i++ {
+		a.Path = append(a.Path, binary.BigEndian.Uint16(data[6+2*i:]))
+	}
+	return nil
+}
+
+// Kind returns the message tag (0 for empty buffers).
+func Kind(data []byte) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[0]
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRTPRoundTrip(t *testing.T) {
+	rtpData := []byte{0x80, 96, 0, 1, 0, 0, 0, 0, 0, 0, 0, 5, 0xAA}
+	frame := FrameRTP(nil, 123456, rtpData)
+	if Kind(frame) != MsgRTP {
+		t.Fatalf("kind = %d", Kind(frame))
+	}
+	st, data, err := UnframeRTP(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 123456 || !bytes.Equal(data, rtpData) {
+		t.Fatalf("st=%d data=%v", st, data)
+	}
+}
+
+func TestPatchRTPSendTime(t *testing.T) {
+	frame := FrameRTP(nil, 1, []byte{1, 2, 3, 4})
+	if !PatchRTPSendTime(frame, 999) {
+		t.Fatal("patch failed")
+	}
+	st, _, _ := UnframeRTP(frame)
+	if st != 999 {
+		t.Fatalf("st = %d", st)
+	}
+	if PatchRTPSendTime([]byte{MsgRTCP, 0, 0, 0, 0}, 1) {
+		t.Fatal("patch should reject non-RTP frames")
+	}
+	if PatchRTPSendTime(nil, 1) {
+		t.Fatal("patch should reject empty frames")
+	}
+}
+
+func TestUnframeRTPErrors(t *testing.T) {
+	if _, _, err := UnframeRTP([]byte{MsgRTP, 1}); err != ErrBadMessage {
+		t.Fatalf("short: %v", err)
+	}
+	if _, _, err := UnframeRTP([]byte{MsgSubscribe, 0, 0, 0, 0, 0}); err != ErrBadMessage {
+		t.Fatalf("wrong tag: %v", err)
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(sid uint32, req uint16, hops []uint16) bool {
+		if len(hops) > 200 {
+			hops = hops[:200]
+		}
+		s := Subscribe{StreamID: sid, Requester: req, Path: hops}
+		buf := s.Marshal(nil)
+		var g Subscribe
+		if err := g.Unmarshal(buf); err != nil {
+			return false
+		}
+		if g.StreamID != sid || g.Requester != req || len(g.Path) != len(hops) {
+			return false
+		}
+		for i := range hops {
+			if g.Path[i] != hops[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscribeTruncated(t *testing.T) {
+	s := Subscribe{StreamID: 7, Requester: 3, Path: []uint16{1, 2, 3}}
+	buf := s.Marshal(nil)
+	var g Subscribe
+	if err := g.Unmarshal(buf[:len(buf)-1]); err != ErrBadMessage {
+		t.Fatalf("truncated path: %v", err)
+	}
+}
+
+func TestUnsubscribeRoundTrip(t *testing.T) {
+	u := Unsubscribe{StreamID: 99, Requester: 12}
+	buf := u.Marshal(nil)
+	var g Unsubscribe
+	if err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if g != u {
+		t.Fatalf("%+v != %+v", g, u)
+	}
+}
+
+func TestSubAckRoundTrip(t *testing.T) {
+	a := SubAck{StreamID: 42, Path: []uint16{0, 3, 9, 12}}
+	buf := a.Marshal(nil)
+	if Kind(buf) != MsgSubAck {
+		t.Fatalf("kind = %d", Kind(buf))
+	}
+	var g SubAck
+	if err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if g.StreamID != 42 || len(g.Path) != 4 || g.Path[3] != 12 {
+		t.Fatalf("%+v", g)
+	}
+}
+
+func TestSubAckEmptyPath(t *testing.T) {
+	a := SubAck{StreamID: 1}
+	var g SubAck
+	if err := g.Unmarshal(a.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Path) != 0 {
+		t.Fatalf("path = %v", g.Path)
+	}
+}
+
+func TestFrameRTCP(t *testing.T) {
+	frame := FrameRTCP(nil, []byte{0x81, 205, 0, 2})
+	if Kind(frame) != MsgRTCP {
+		t.Fatalf("kind = %d", Kind(frame))
+	}
+	if !bytes.Equal(frame[1:], []byte{0x81, 205, 0, 2}) {
+		t.Fatal("rtcp body corrupted")
+	}
+}
+
+func TestKindEmpty(t *testing.T) {
+	if Kind(nil) != 0 {
+		t.Fatal("empty kind should be 0")
+	}
+}
+
+func TestUnmarshalReusesSlices(t *testing.T) {
+	s := Subscribe{StreamID: 1, Path: []uint16{1, 2, 3, 4, 5}}
+	buf := s.Marshal(nil)
+	g := Subscribe{Path: make([]uint16, 0, 16)}
+	base := &g.Path[:1][0]
+	_ = base
+	if err := g.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := Subscribe{StreamID: 2, Path: []uint16{9}}
+	if err := g.Unmarshal(s2.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Path) != 1 || g.Path[0] != 9 {
+		t.Fatalf("reuse failed: %v", g.Path)
+	}
+}

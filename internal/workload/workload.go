@@ -1,0 +1,204 @@
+// Package workload generates the synthetic Taobao-Live-like traffic that
+// substitutes for the paper's 20-day production trace (§6.1): Zipf
+// channel popularity, diurnal viewing intensity peaking between 8 pm and
+// 11 pm local time, heavy-tailed view durations, and flash-crowd events
+// (the Double 12 festival roughly doubles peak throughput, Figure 14).
+package workload
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"livenet/internal/geo"
+	"livenet/internal/sim"
+)
+
+// Channel is one live broadcast channel.
+type Channel struct {
+	Rank int // popularity rank (0 = most popular)
+	// StreamID is the channel's primary video stream.
+	StreamID uint32
+	// Lat/Lon/Country locate the broadcaster.
+	Lat, Lon float64
+	Country  string
+	// Popular marks head-of-Zipf channels that get proactive path
+	// prefetching (§4.4).
+	Popular bool
+}
+
+// View is one viewing session.
+type View struct {
+	Start    time.Duration
+	Duration time.Duration
+	Channel  int // channel rank
+	Lat, Lon float64
+	Country  string
+}
+
+// FlashEvent is a load spike window (e.g. Double 12).
+type FlashEvent struct {
+	Start, End time.Duration
+	Multiplier float64
+}
+
+// Config parameterizes generation.
+type Config struct {
+	Channels int
+	// ZipfS is the popularity exponent (default 0.9).
+	ZipfS float64
+	// PeakViewsPerSec is the global arrival rate at the diurnal peak
+	// before flash multipliers.
+	PeakViewsPerSec float64
+	// MeanViewSecs / ViewAlpha shape the bounded-Pareto view duration
+	// (defaults 90 s mean behaviour via xmin=20, alpha=1.3).
+	ViewMinSecs float64
+	ViewAlpha   float64
+	ViewMaxSecs float64
+	// PopularFraction of channels (by rank) count as popular (default 2%).
+	PopularFraction float64
+	Flash           []FlashEvent
+}
+
+func (c Config) withDefaults() Config {
+	if c.Channels <= 0 {
+		c.Channels = 200
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 0.9
+	}
+	if c.PeakViewsPerSec <= 0 {
+		c.PeakViewsPerSec = 10
+	}
+	if c.ViewMinSecs <= 0 {
+		c.ViewMinSecs = 20
+	}
+	if c.ViewAlpha <= 0 {
+		c.ViewAlpha = 1.3
+	}
+	if c.ViewMaxSecs <= 0 {
+		c.ViewMaxSecs = 3600
+	}
+	if c.PopularFraction <= 0 {
+		c.PopularFraction = 0.02
+	}
+	return c
+}
+
+// Generator produces channels and view arrivals deterministically.
+type Generator struct {
+	cfg  Config
+	rng  *sim.Rand
+	zipf *sim.Zipf
+	chs  []Channel
+}
+
+// NewGenerator builds a generator; channels are placed like viewers
+// (mostly the home market).
+func NewGenerator(cfg Config, rng *sim.Rand) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, rng: rng, zipf: sim.NewZipf(rng, cfg.Channels, cfg.ZipfS)}
+	popular := int(math.Ceil(cfg.PopularFraction * float64(cfg.Channels)))
+	for i := 0; i < cfg.Channels; i++ {
+		lat, lon, country := geo.ViewerOrigin(rng)
+		g.chs = append(g.chs, Channel{
+			Rank:     i,
+			StreamID: uint32(1000 + i*10),
+			Lat:      lat, Lon: lon, Country: country,
+			Popular: i < popular,
+		})
+	}
+	return g
+}
+
+// Channels returns the channel set.
+func (g *Generator) Channels() []Channel { return g.chs }
+
+// RateAt returns the instantaneous global view arrival rate (views/sec)
+// at simulation time t: the peak rate scaled by the home market's
+// diurnal factor and any flash event.
+func (g *Generator) RateAt(t time.Duration) float64 {
+	// The audience is dominated by the home market, so its local-time
+	// diurnal factor drives the aggregate (Figure 10(b)'s 8–11 pm peak).
+	home := geo.Countries[0]
+	rate := g.cfg.PeakViewsPerSec * geo.DiurnalFactor(geo.LocalHour(t, home.Lon))
+	for _, f := range g.cfg.Flash {
+		if t >= f.Start && t < f.End {
+			rate *= f.Multiplier
+		}
+	}
+	return rate
+}
+
+// Views generates all view arrivals in [from, to), sorted by start time.
+// Arrivals follow an inhomogeneous Poisson process thinned per 1-minute
+// bucket.
+func (g *Generator) Views(from, to time.Duration) []View {
+	var out []View
+	const bucket = time.Minute
+	for t := from; t < to; t += bucket {
+		lambda := g.RateAt(t+bucket/2) * bucket.Seconds()
+		n := g.poisson(lambda)
+		for i := 0; i < n; i++ {
+			start := t + time.Duration(g.rng.Float64()*float64(bucket))
+			if start >= to {
+				continue
+			}
+			lat, lon, country := geo.ViewerOrigin(g.rng)
+			durSecs := g.rng.Pareto(g.cfg.ViewMinSecs, g.cfg.ViewAlpha)
+			if durSecs > g.cfg.ViewMaxSecs {
+				durSecs = g.cfg.ViewMaxSecs
+			}
+			out = append(out, View{
+				Start:    start,
+				Duration: time.Duration(durSecs * float64(time.Second)),
+				Channel:  g.zipf.Draw(),
+				Lat:      lat, Lon: lon, Country: country,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// poisson draws a Poisson variate (Knuth for small lambda, normal
+// approximation for large).
+func (g *Generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 50 {
+		n := int(g.rng.Normal(lambda, math.Sqrt(lambda)) + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// Day returns which simulation day (0-based) a time falls in.
+func Day(t time.Duration) int { return int(t / (24 * time.Hour)) }
+
+// Hour returns the UTC hour-of-day of a time.
+func Hour(t time.Duration) int { return int(t/time.Hour) % 24 }
+
+// Double12 returns the flash event of the paper's case study on a 20-day
+// horizon beginning Dec 1: the festival runs 20:00 Dec 11 → 23:59 Dec 12
+// (days are 0-based, so Dec 1 is day 0).
+func Double12() FlashEvent {
+	start := 10*24*time.Hour + 20*time.Hour             // Dec 11, 20:00
+	end := 11*24*time.Hour + 24*time.Hour - time.Minute // Dec 12, 23:59
+	return FlashEvent{Start: start, End: end, Multiplier: 2.0}
+}

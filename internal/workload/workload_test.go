@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+func gen(seed int64, cfg Config) *Generator {
+	return NewGenerator(cfg, sim.NewSource(seed).Stream("wl"))
+}
+
+func TestChannelsGenerated(t *testing.T) {
+	g := gen(1, Config{Channels: 100})
+	chs := g.Channels()
+	if len(chs) != 100 {
+		t.Fatalf("channels = %d", len(chs))
+	}
+	popular := 0
+	seen := map[uint32]bool{}
+	for i, c := range chs {
+		if c.Rank != i {
+			t.Fatalf("rank %d at index %d", c.Rank, i)
+		}
+		if seen[c.StreamID] {
+			t.Fatalf("duplicate stream ID %d", c.StreamID)
+		}
+		seen[c.StreamID] = true
+		if c.Popular {
+			popular++
+		}
+	}
+	if popular < 1 || popular > 5 {
+		t.Fatalf("popular channels = %d, want ~2%%", popular)
+	}
+}
+
+func TestDiurnalRateShape(t *testing.T) {
+	g := gen(2, Config{PeakViewsPerSec: 10})
+	// Home market is CN (UTC+~7.2): local 21:00 ≈ 13:48 UTC.
+	peak := g.RateAt(13*time.Hour + 48*time.Minute)
+	trough := g.RateAt(21 * time.Hour) // ≈ 4:12 am local
+	if peak <= 2*trough {
+		t.Fatalf("peak %v should dwarf trough %v", peak, trough)
+	}
+	if peak > 10.001 {
+		t.Fatalf("rate exceeds configured peak: %v", peak)
+	}
+}
+
+func TestFlashMultiplier(t *testing.T) {
+	ev := FlashEvent{Start: 10 * time.Hour, End: 12 * time.Hour, Multiplier: 2}
+	g := gen(3, Config{PeakViewsPerSec: 10, Flash: []FlashEvent{ev}})
+	in := g.RateAt(11 * time.Hour)
+	g2 := gen(3, Config{PeakViewsPerSec: 10})
+	base := g2.RateAt(11 * time.Hour)
+	if in < base*1.9 || in > base*2.1 {
+		t.Fatalf("flash rate %v, want 2x of %v", in, base)
+	}
+}
+
+func TestViewsSortedAndInRange(t *testing.T) {
+	g := gen(4, Config{Channels: 50, PeakViewsPerSec: 5})
+	from, to := 6*time.Hour, 8*time.Hour
+	views := g.Views(from, to)
+	if len(views) == 0 {
+		t.Fatal("no views generated")
+	}
+	prev := time.Duration(-1)
+	for _, v := range views {
+		if v.Start < from || v.Start >= to {
+			t.Fatalf("view start %v outside [%v,%v)", v.Start, from, to)
+		}
+		if v.Start < prev {
+			t.Fatal("views not sorted")
+		}
+		prev = v.Start
+		if v.Duration < 20*time.Second || v.Duration > time.Hour {
+			t.Fatalf("duration %v outside bounds", v.Duration)
+		}
+		if v.Channel < 0 || v.Channel >= 50 {
+			t.Fatalf("channel %d out of range", v.Channel)
+		}
+	}
+}
+
+func TestViewsFollowDiurnalVolume(t *testing.T) {
+	g := gen(5, Config{Channels: 50, PeakViewsPerSec: 8})
+	// CN evening (UTC ~13-15h) vs CN night (UTC ~20-22h).
+	evening := len(g.Views(13*time.Hour, 15*time.Hour))
+	night := len(g.Views(20*time.Hour, 22*time.Hour))
+	if evening <= night*2 {
+		t.Fatalf("evening views %d should far exceed night %d", evening, night)
+	}
+}
+
+func TestZipfPopularityInViews(t *testing.T) {
+	g := gen(6, Config{Channels: 100, PeakViewsPerSec: 20})
+	views := g.Views(12*time.Hour, 16*time.Hour)
+	counts := make([]int, 100)
+	for _, v := range views {
+		counts[v.Channel]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d views) should beat rank 50 (%d)", counts[0], counts[50])
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := gen(7, Config{Channels: 30, PeakViewsPerSec: 5}).Views(0, 2*time.Hour)
+	b := gen(7, Config{Channels: 30, PeakViewsPerSec: 5}).Views(0, 2*time.Hour)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different views")
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := gen(8, Config{})
+	for _, lambda := range []float64{0.5, 5, 200} {
+		sum := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			sum += g.poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if mean < lambda*0.9 || mean > lambda*1.1 {
+			t.Fatalf("poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if g.poisson(0) != 0 || g.poisson(-1) != 0 {
+		t.Fatal("nonpositive lambda should yield 0")
+	}
+}
+
+func TestDayHourHelpers(t *testing.T) {
+	if Day(0) != 0 || Day(25*time.Hour) != 1 || Day(49*time.Hour) != 2 {
+		t.Fatal("Day wrong")
+	}
+	if Hour(0) != 0 || Hour(23*time.Hour) != 23 || Hour(25*time.Hour) != 1 {
+		t.Fatal("Hour wrong")
+	}
+}
+
+func TestDouble12Window(t *testing.T) {
+	ev := Double12()
+	if Day(ev.Start) != 10 {
+		t.Fatalf("Double 12 starts day %d, want 10 (Dec 11)", Day(ev.Start))
+	}
+	if Day(ev.End) != 11 {
+		t.Fatalf("Double 12 ends day %d, want 11 (Dec 12)", Day(ev.End))
+	}
+	if ev.Multiplier != 2.0 {
+		t.Fatalf("multiplier = %v", ev.Multiplier)
+	}
+	if Hour(ev.Start) != 20 {
+		t.Fatalf("starts at hour %d, want 20:00", Hour(ev.Start))
+	}
+}

@@ -1,0 +1,77 @@
+// Package livenet is a from-scratch Go implementation of LiveNet
+// (Li et al., SIGCOMM 2022): Alibaba's low-latency video transport
+// network for large-scale live streaming, built on a flat CDN overlay
+// with a centralized controller (the Streaming Brain) and a fast–slow
+// path per-node forwarding architecture.
+//
+// The package exposes two entry points:
+//
+//   - NewCluster builds a packet-level deployment on an in-process
+//     network emulator: real overlay nodes running the fast–slow path,
+//     a real Streaming Brain, and real broadcaster/viewer endpoints.
+//     Use it to stream actual (synthetic) video end to end.
+//
+//   - RunEvaluation executes the session-level simulator that
+//     regenerates the paper's 20-day evaluation (Tables 1–3,
+//     Figures 2 and 8–14) for either LiveNet or the hierarchical-CDN
+//     baseline (Hier).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The cmd/ directory has runnable
+// binaries (including real-UDP multi-node deployment) and examples/
+// has quickstart programs.
+package livenet
+
+import (
+	"livenet/internal/client"
+	"livenet/internal/core"
+	"livenet/internal/media"
+)
+
+// ClusterConfig parameterizes a packet-level deployment
+// (see core.ClusterConfig for field documentation).
+type ClusterConfig = core.ClusterConfig
+
+// Cluster is a packet-level LiveNet deployment: world + emulated
+// network + overlay nodes + Streaming Brain.
+type Cluster = core.Cluster
+
+// Broadcast is a broadcaster client bound to its producer node.
+type Broadcast = core.Broadcast
+
+// Viewing is a viewer client bound to its consumer node.
+type Viewing = core.Viewing
+
+// ViewStats are per-view QoE metrics (startup delay, stalls, streaming
+// delay).
+type ViewStats = client.ViewStats
+
+// Rendition is one simulcast quality level.
+type Rendition = media.Rendition
+
+// DefaultRenditions is the default simulcast ladder (720p/480p/360p).
+var DefaultRenditions = media.DefaultRenditions
+
+// NewCluster builds a packet-level LiveNet deployment.
+func NewCluster(cfg ClusterConfig) *Cluster { return core.NewCluster(cfg) }
+
+// System selects the transport network an evaluation run models.
+type System = core.System
+
+// Evaluated systems.
+const (
+	SystemLiveNet = core.SystemLiveNet
+	SystemHier    = core.SystemHier
+)
+
+// EvalConfig parameterizes a session-level evaluation run
+// (see core.MacroConfig for field documentation, including the
+// ablation toggles).
+type EvalConfig = core.MacroConfig
+
+// EvalResult aggregates an evaluation run's metrics.
+type EvalResult = core.MacroResult
+
+// RunEvaluation executes the session-level simulator for one system over
+// the configured horizon and returns the aggregated metrics.
+func RunEvaluation(cfg EvalConfig) *EvalResult { return core.RunMacro(cfg) }

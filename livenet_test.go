@@ -1,0 +1,53 @@
+package livenet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPIQuickstart exercises the public facade end to end: a
+// packet-level cluster streaming real (synthetic) video.
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster := NewCluster(ClusterConfig{Seed: 1, Sites: 10})
+	defer cluster.Close()
+
+	bc := cluster.NewBroadcasterAt(31.2, 121.5, 100, DefaultRenditions[2:])
+	bc.Start()
+	cluster.Run(2 * time.Second)
+
+	v := cluster.NewViewerAt(39.9, 116.4, bc.StreamID(0))
+	cluster.Run(6 * time.Second)
+
+	s := v.Stats()
+	if !s.Started {
+		t.Fatal("playback never started through the public API")
+	}
+	if s.FramesPlayed < 50 {
+		t.Fatalf("frames played = %d", s.FramesPlayed)
+	}
+	if !s.FastStartup() {
+		t.Fatalf("startup = %v, want < 1s", s.StartupDelay)
+	}
+}
+
+// TestPublicAPIEvaluation exercises RunEvaluation for both systems and
+// checks the headline comparison.
+func TestPublicAPIEvaluation(t *testing.T) {
+	mk := func(sys System) *EvalResult {
+		cfg := EvalConfig{Seed: 5, Days: 1, Sites: 24, System: sys}
+		cfg.Workload.PeakViewsPerSec = 0.5
+		cfg.Workload.Channels = 60
+		return RunEvaluation(cfg)
+	}
+	ln := mk(SystemLiveNet)
+	hr := mk(SystemHier)
+	if ln.Views == 0 || ln.Views != hr.Views {
+		t.Fatalf("views: %d vs %d", ln.Views, hr.Views)
+	}
+	if ln.CDNDelayMs.Median() >= hr.CDNDelayMs.Median() {
+		t.Fatal("LiveNet should beat Hier on CDN delay")
+	}
+	if ln.PathLen.Median() != 2 || hr.PathLen.Median() != 4 {
+		t.Fatalf("path medians %v vs %v", ln.PathLen.Median(), hr.PathLen.Median())
+	}
+}
