@@ -1,0 +1,37 @@
+# LiveNet reproduction — build/test/bench entry points.
+#
+#   make ci      # what a PR must pass: vet + build + race-enabled tests
+#   make test    # plain test run (fastest)
+#   make bench   # allocation + throughput benchmark smoke (short benchtime)
+#   make quick   # scaled-down end-to-end evaluation report
+
+GO ?= go
+
+.PHONY: all ci vet build test race bench quick
+
+all: ci
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel run scheduler and the eval session memo are exercised
+# concurrently here; the race detector is the determinism harness's
+# second line of defense after the byte-identical-output tests.
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: the allocation-diet trio plus the transport
+# micro-benchmarks, short benchtime so CI stays fast.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkBrainLookup|BenchmarkRTP|BenchmarkNetemThroughput' -benchtime 0.2s .
+
+quick:
+	$(GO) run ./cmd/livenet-bench -quick

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"livenet/internal/brain"
 	"livenet/internal/core"
 	"livenet/internal/eval"
 	"livenet/internal/gcc"
@@ -377,6 +378,65 @@ func BenchmarkClusterSecondOfVideo(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Run(time.Second)
+	}
+}
+
+// --- Allocation diet (event loop, netem, Brain weight cache) ---
+
+// BenchmarkLoopSchedule measures the steady-state cost of the event
+// loop's schedule→fire cycle: with the free list, a drained loop should
+// recycle event structs instead of allocating per event.
+func BenchmarkLoopSchedule(b *testing.B) {
+	loop := sim.NewLoop(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loop.At(loop.Now()+time.Microsecond, fn)
+		loop.Step()
+	}
+}
+
+// BenchmarkNetemSend measures the per-packet cost of the emulator's send
+// path (closure-free AtMsg delivery), draining every packet so the event
+// free list reaches steady state.
+func BenchmarkNetemSend(b *testing.B) {
+	loop := sim.NewLoop(1)
+	net := netem.New(loop, loop.RNG("n"))
+	net.AddLink(0, 1, netem.LinkConfig{RTT: time.Millisecond, BandwidthBps: 1e9})
+	net.Handle(1, func(int, []byte) {})
+	data := make([]byte, 1200)
+	b.ReportAllocs()
+	b.SetBytes(1200)
+	for i := 0; i < b.N; i++ {
+		net.Send(0, 1, data)
+		for loop.Step() {
+		}
+	}
+}
+
+// BenchmarkBrainLookup measures a full Global Routing recompute per
+// lookup (epoch advanced each iteration so the PIB entry is stale): KSP
+// over the cached per-neighbor weight rows instead of per-edge map
+// probes and closures.
+func BenchmarkBrainLookup(b *testing.B) {
+	const n = 32
+	br := brain.New(brain.Config{N: n})
+	rng := sim.NewSource(1).Stream("bench")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				br.ReportLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
+			}
+		}
+	}
+	br.RegisterStream(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.AdvanceEpoch()
+		if _, err := br.Lookup(1, 1+i%(n-1)); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

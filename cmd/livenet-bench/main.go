@@ -3,9 +3,16 @@
 // row/series structure the paper reports. Use -quick for a scaled-down
 // run; the default reproduces the 20-day, 64-site configuration.
 //
-//	livenet-bench            # full 20-day evaluation (minutes)
-//	livenet-bench -quick     # 2-day smoke run (seconds)
-//	livenet-bench -out FILE  # additionally write the report to FILE
+// Independent simulation runs (the two systems, ablation variants, loss
+// sweep points, and extra seeds) fan out across CPU cores; results are
+// bit-identical to -parallel=false because every run owns a private
+// event loop and seeded RNG.
+//
+//	livenet-bench                 # full 20-day evaluation (minutes)
+//	livenet-bench -quick          # 2-day smoke run (seconds)
+//	livenet-bench -seeds 5        # 5 workload seeds, mean ± 95% CI table
+//	livenet-bench -parallel=false # serial reference schedule
+//	livenet-bench -out FILE       # additionally write the report to FILE
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"livenet/internal/eval"
+	"livenet/internal/runner"
 )
 
 func main() {
@@ -24,6 +32,9 @@ func main() {
 	days := flag.Int("days", 0, "override the number of simulated days")
 	sites := flag.Int("sites", 0, "override the number of CDN sites")
 	seed := flag.Int64("seed", 42, "simulation seed")
+	seeds := flag.Int("seeds", 1, "workload seeds per system (N>1 adds a mean ± 95% CI table)")
+	parallel := flag.Bool("parallel", true, "fan independent runs out across CPU cores")
+	workers := flag.Int("workers", 0, "worker cap for -parallel (0 = GOMAXPROCS)")
 	outFile := flag.String("out", "", "also write the report to this file")
 	skipAblations := flag.Bool("no-ablations", false, "skip the ablation studies")
 	flag.Parse()
@@ -40,6 +51,15 @@ func main() {
 	}
 	o.Seed = *seed
 
+	opts := runner.Parallel()
+	if !*parallel {
+		opts = runner.Serial()
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+	session := eval.NewSession(opts)
+
 	var out io.Writer = os.Stdout
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -54,7 +74,7 @@ func main() {
 	fmt.Fprintf(out, "LiveNet evaluation — %d days, %d sites, peak %.1f views/s, seed %d\n",
 		o.Days, o.Sites, o.PeakViewsPerSec, o.Seed)
 	start := time.Now()
-	r := eval.Run(o)
+	r := session.Run(o)
 	fmt.Fprintf(out, "simulated %d views per system in %v\n\n", r.LN.Views, time.Since(start).Round(time.Millisecond))
 
 	sections := []string{
@@ -83,16 +103,33 @@ func main() {
 		fmt.Fprintln(out, s)
 	}
 
+	if *seeds > 1 {
+		fmt.Fprintln(out, strings.Repeat("-", 60))
+		m := session.RunSeeds(o, *seeds)
+		fmt.Fprintln(out, eval.SeedTable(m))
+	}
+
 	if !*skipAblations {
 		fmt.Fprintln(out, strings.Repeat("-", 60))
-		fmt.Fprintln(out, eval.FastSlowTable(o.Seed, []float64{0, 0.005, 0.01, 0.02}))
+		fmt.Fprintln(out, session.FastSlowTable(o.Seed, []float64{0, 0.005, 0.01, 0.02}))
 		fmt.Fprintln(out, eval.AblationLinkWeights(o.Seed))
 		ablOpt := o
 		ablOpt.Days = min(o.Days, 2)
 		ablOpt.Double12 = false
-		fmt.Fprintln(out, eval.MacroAblations(ablOpt))
+		fmt.Fprintln(out, session.MacroAblations(ablOpt))
 	}
-	fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+
+	rep := session.Report()
+	wall := time.Since(start).Round(time.Millisecond)
+	fmt.Fprintf(out, "total wall time: %v\n", wall)
+	if rep.Jobs > 0 {
+		fmt.Fprintf(out, "scheduler: %d runs, serial-equivalent %v, batch wall %v, speedup %.2fx",
+			rep.Jobs, rep.Serial.Round(time.Millisecond), rep.Wall.Round(time.Millisecond), rep.Speedup())
+		if hits := session.MemoHits(); hits > 0 {
+			fmt.Fprintf(out, ", %d runs served from memo", hits)
+		}
+		fmt.Fprintln(out)
+	}
 }
 
 func min(a, b int) int {

@@ -305,9 +305,9 @@ func (b *Brain) computePaths(src, dst int) []ksp.Path {
 	if b.dense {
 		return b.computePathsDense(src, dst)
 	}
-	adj := b.view.Neighbors
-	w := b.view.Weight
-	paths := ksp.Yen(b.cfg.N, src, dst, b.cfg.K, adj, w)
+	// The per-neighbor weight cache persists across lookups within an
+	// epoch, so Yen's Dijkstra probes skip the per-edge map lookups.
+	paths := ksp.YenNW(b.cfg.N, src, dst, b.cfg.K, b.view.NeighborWeights)
 	out := paths[:0]
 	for _, p := range paths {
 		if p.Hops() <= b.cfg.MaxHops {

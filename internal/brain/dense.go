@@ -38,12 +38,18 @@ func (b *Brain) denseWeightsLocked() []float64 {
 		b.denseW = make([]float64, n*n)
 	}
 	b.denseW = b.denseW[:n*n]
+	inf := math.Inf(1)
+	for i := range b.denseW {
+		b.denseW[i] = inf
+	}
+	// Scatter from the graph's per-neighbor weight cache: no per-cell map
+	// lookup, and absent edges stay +Inf.
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				b.denseW[i*n+j] = math.Inf(1)
-			} else {
-				b.denseW[i*n+j] = b.view.Weight(i, j)
+		row := b.denseW[i*n : (i+1)*n]
+		nbrs, ws := b.view.NeighborWeights(i)
+		for idx, nb := range nbrs {
+			if nb != i {
+				row[nb] = ws[idx]
 			}
 		}
 	}

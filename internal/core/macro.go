@@ -184,6 +184,14 @@ func (h depHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *depHeap) Push(x any)        { *h = append(*h, x.(departure)) }
 func (h *depHeap) Pop() any          { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
 
+// Fingerprint returns a canonical string identity for the run this
+// config describes: two configs with equal fingerprints produce
+// bit-identical MacroResults (runs are deterministic in the config), so
+// the eval session memoizes RunMacro by this key.
+func (c MacroConfig) Fingerprint() string {
+	return fmt.Sprintf("%+v", c.withDefaults())
+}
+
 // RunMacro executes a session-level evaluation run.
 func RunMacro(cfg MacroConfig) *MacroResult {
 	cfg = cfg.withDefaults()

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"livenet/internal/core"
+	"livenet/internal/runner"
 	"livenet/internal/stats"
 	"livenet/internal/workload"
 )
@@ -63,13 +64,18 @@ type Results struct {
 	HR  *core.MacroResult
 }
 
-// Run executes both systems on the same workload.
+// Run executes both systems on the same workload, fanning the two
+// independent runs out across CPUs (results are bit-identical to serial;
+// see RunSerial for the reference schedule).
 func Run(o Options) *Results {
-	return &Results{
-		Opt: o,
-		LN:  core.RunMacro(o.macro(core.SystemLiveNet)),
-		HR:  core.RunMacro(o.macro(core.SystemHier)),
-	}
+	return NewSession(runner.Parallel()).Run(o)
+}
+
+// RunSerial executes both systems strictly serially on the calling
+// goroutine — the reference schedule the determinism regression tests
+// compare the parallel runner against.
+func RunSerial(o Options) *Results {
+	return NewSession(runner.Serial()).Run(o)
 }
 
 // --- Table 1 ---

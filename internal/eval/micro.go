@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"livenet/internal/brain"
-	"livenet/internal/core"
 	"livenet/internal/gop"
 	"livenet/internal/graph"
 	"livenet/internal/ksp"
@@ -13,6 +12,7 @@ import (
 	"livenet/internal/netem"
 	"livenet/internal/node"
 	"livenet/internal/rtp"
+	"livenet/internal/runner"
 	"livenet/internal/sim"
 	"livenet/internal/stats"
 	"livenet/internal/wire"
@@ -210,18 +210,10 @@ func AblationFastSlow(seed int64, loss float64) FastSlowResult {
 	}
 }
 
-// FastSlowTable renders the ablation across a loss sweep.
+// FastSlowTable renders the ablation across a loss sweep (loss points
+// are independent simulations and run in parallel).
 func FastSlowTable(seed int64, losses []float64) string {
-	t := &stats.Table{Header: []string{"loss", "fast-slow p50/p95 (ms)", "delivered", "store&fwd p50/p95 (ms)", "delivered"}}
-	for _, l := range losses {
-		r := AblationFastSlow(seed, l)
-		t.AddRow(fmt.Sprintf("%.2f%%", l*100),
-			fmt.Sprintf("%.0f / %.0f", r.FastSlowMedianMs, r.FastSlowP95Ms),
-			fmt.Sprintf("%.1f%%", 100*r.FastSlowDelivered),
-			fmt.Sprintf("%.0f / %.0f", r.StoreFwdMedianMs, r.StoreFwdP95Ms),
-			fmt.Sprintf("%.1f%%", 100*r.StoreFwdDelivered))
-	}
-	return "Ablation: fast-slow path vs store-and-forward relay (frame delivery latency)\n" + t.String()
+	return NewSession(runner.Parallel()).FastSlowTable(seed, losses)
 }
 
 // --- Ablation: Eq. 2–3 load-aware weights vs pure-RTT routing ---
@@ -290,53 +282,10 @@ load-aware path:  %v  effective delay %.0f ms
 // --- Macro ablations (GoP cache, prefetch, last resort, k) ---
 
 // MacroAblations runs the LiveNet engine with each feature disabled and
-// reports the deltas against the baseline.
+// reports the deltas against the baseline. The seven configurations
+// (including the k-sensitivity points) are independent runs and fan out
+// in parallel; callers that already hold a Session should use its method
+// instead so the baseline is shared with the main evaluation pair.
 func MacroAblations(o Options) string {
-	base := o.macro(core.SystemLiveNet)
-	baseline := core.RunMacro(base)
-
-	t := &stats.Table{Header: []string{"configuration", "fast startup %", "hit ratio %", "last-resort %", "median CDN ms"}}
-	add := func(name string, r *core.MacroResult) {
-		hits, total := 0, 0
-		for _, h := range r.HitByHour {
-			hits += h.Hits
-			total += h.Total
-		}
-		hr := 0.0
-		if total > 0 {
-			hr = 100 * float64(hits) / float64(total)
-		}
-		t.AddRow(name,
-			fmt.Sprintf("%.1f", r.FastStart.Percent()),
-			fmt.Sprintf("%.1f", hr),
-			fmt.Sprintf("%.2f", r.LastResort.Percent()),
-			fmt.Sprintf("%.0f", r.CDNDelayMs.Median()))
-	}
-	add("baseline (paper config)", baseline)
-
-	noCache := base
-	noCache.DisableGoPCache = true
-	add("no GoP cache", core.RunMacro(noCache))
-
-	noPrefetch := base
-	noPrefetch.DisablePrefetch = true
-	add("no path prefetch", core.RunMacro(noPrefetch))
-
-	noLR := base
-	noLR.DisableLastResort = true
-	add("no last-resort paths", core.RunMacro(noLR))
-
-	noLoad := base
-	noLoad.DisableLoadWeights = true
-	add("pure-RTT weights", core.RunMacro(noLoad))
-
-	k1 := base
-	k1.KPaths = 1
-	add("k=1 paths", core.RunMacro(k1))
-
-	k5 := base
-	k5.KPaths = 5
-	add("k=5 paths", core.RunMacro(k5))
-
-	return "Macro ablations (LiveNet engine)\n" + t.String()
+	return NewSession(runner.Parallel()).MacroAblations(o)
 }

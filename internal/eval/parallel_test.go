@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"testing"
+
+	"livenet/internal/core"
+	"livenet/internal/runner"
+)
+
+// TestParallelMatchesSerial is the determinism regression test for the
+// parallel harness: the same seed must produce byte-identical rendered
+// output whether the two systems run serially or fan out across workers,
+// and two parallel runs must agree with each other. Each run owns a
+// private sim.Loop, RNG source, and world, so worker scheduling cannot
+// leak into results.
+func TestParallelMatchesSerial(t *testing.T) {
+	o := Quick()
+	serial := NewSession(runner.Serial()).Run(o)
+	par1 := NewSession(runner.Parallel()).Run(o)
+	par2 := NewSession(runner.Parallel()).Run(o)
+
+	if got, want := Table1(par1), Table1(serial); got != want {
+		t.Fatalf("Table1 parallel != serial\nparallel:\n%s\nserial:\n%s", got, want)
+	}
+	if got, want := Fig2(par1), Fig2(serial); got != want {
+		t.Fatalf("Fig2 parallel != serial\nparallel:\n%s\nserial:\n%s", got, want)
+	}
+	if got, want := Table1(par2), Table1(par1); got != want {
+		t.Fatalf("Table1 differs between two parallel runs\nrun2:\n%s\nrun1:\n%s", got, want)
+	}
+	if got, want := Fig2(par2), Fig2(par1); got != want {
+		t.Fatalf("Fig2 differs between two parallel runs\nrun2:\n%s\nrun1:\n%s", got, want)
+	}
+}
+
+// TestSessionMemoization verifies that a session computes each macro
+// config at most once: after Run, the baseline LiveNet config must be a
+// memo hit (this is what stops MacroAblations re-running the baseline).
+func TestSessionMemoization(t *testing.T) {
+	o := Quick()
+	s := NewSession(runner.Parallel())
+	res := s.Run(o)
+	if s.MemoHits() != 0 {
+		t.Fatalf("fresh session reported %d memo hits before any repeat", s.MemoHits())
+	}
+	again := s.RunMacro(o.macro(core.SystemLiveNet))
+	if again != res.LN {
+		t.Fatal("memoized RunMacro returned a different result pointer for the same config")
+	}
+	if s.MemoHits() != 1 {
+		t.Fatalf("expected 1 memo hit, got %d", s.MemoHits())
+	}
+}
+
+// TestRunSeedsDistinct checks multi-seed mode runs genuinely different
+// workload seeds and keeps the pairing seed-aligned.
+func TestRunSeedsDistinct(t *testing.T) {
+	o := Quick()
+	s := NewSession(runner.Parallel())
+	m := s.RunSeeds(o, 3)
+	if len(m.Runs) != 3 || len(m.Seeds) != 3 {
+		t.Fatalf("want 3 runs/seeds, got %d/%d", len(m.Runs), len(m.Seeds))
+	}
+	for i, seed := range m.Seeds {
+		if want := o.Seed + int64(i); seed != want {
+			t.Fatalf("seed[%d] = %d, want %d", i, seed, want)
+		}
+		if m.Runs[i].Opt.Seed != seed {
+			t.Fatalf("run %d options seed %d != %d", i, m.Runs[i].Opt.Seed, seed)
+		}
+	}
+	if m.Runs[0].LN == m.Runs[1].LN {
+		t.Fatal("different seeds returned the same memoized result")
+	}
+	if tbl := SeedTable(m); tbl == "" {
+		t.Fatal("empty seed table")
+	}
+	// Per-seed runs must themselves be memo-consistent: re-running seed 0
+	// serves from the memo.
+	if r := s.RunMacro(m.Runs[0].Opt.macro(core.SystemLiveNet)); r != m.Runs[0].LN {
+		t.Fatal("seed-0 re-run not served from memo")
+	}
+}

@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"livenet/internal/core"
+	"livenet/internal/runner"
+	"livenet/internal/stats"
+)
+
+// Session runs evaluation experiments on the parallel run scheduler and
+// memoizes macro results by config fingerprint: every table, figure, and
+// ablation that needs the same (deterministic) run shares one execution,
+// and independent runs fan out across workers. A Session is safe for
+// concurrent use; results are bit-identical to serial execution because
+// each run owns its private sim.Loop, seeded RNG streams, and world.
+type Session struct {
+	opts runner.Options
+
+	mu     sync.Mutex
+	memo   map[string]*memoEntry
+	report runner.Report
+	hits   int
+}
+
+type memoEntry struct {
+	once sync.Once
+	res  *core.MacroResult
+}
+
+// NewSession returns a session executing with the given scheduler options
+// (runner.Parallel() for one worker per CPU, runner.Serial() for the
+// serial reference schedule).
+func NewSession(opts runner.Options) *Session {
+	return &Session{opts: opts, memo: make(map[string]*memoEntry)}
+}
+
+// RunMacro returns the macro result for cfg, computing it at most once
+// per session (config fingerprints key the memo).
+func (s *Session) RunMacro(cfg core.MacroConfig) *core.MacroResult {
+	key := cfg.Fingerprint()
+	s.mu.Lock()
+	e := s.memo[key]
+	if e == nil {
+		e = &memoEntry{}
+		s.memo[key] = e
+	} else {
+		s.hits++
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.res = core.RunMacro(cfg) })
+	return e.res
+}
+
+// MemoHits reports how many RunMacro calls were served from the memo.
+func (s *Session) MemoHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Report returns the accumulated batch accounting: total wall-clock spent
+// in fan-outs and the serial-equivalent time (sum of per-run durations),
+// from which the harness reports its speedup vs serial execution.
+func (s *Session) Report() runner.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+func (s *Session) addReport(r runner.Report) {
+	s.mu.Lock()
+	s.report.Merge(r)
+	s.mu.Unlock()
+}
+
+// Run executes both systems on the same workload, fanning the two
+// independent simulations out across workers.
+func (s *Session) Run(o Options) *Results {
+	var ln, hr *core.MacroResult
+	rep := runner.Do(s.opts,
+		func() { ln = s.RunMacro(o.macro(core.SystemLiveNet)) },
+		func() { hr = s.RunMacro(o.macro(core.SystemHier)) },
+	)
+	s.addReport(rep)
+	return &Results{Opt: o, LN: ln, HR: hr}
+}
+
+// MacroAblations runs the LiveNet engine with each feature disabled and
+// reports the deltas against the baseline. All configurations (including
+// the k-sensitivity points) are independent runs and execute in parallel;
+// the baseline is shared with any earlier Run of the same Options via the
+// session memo instead of being recomputed.
+func (s *Session) MacroAblations(o Options) string {
+	base := o.macro(core.SystemLiveNet)
+
+	noCache := base
+	noCache.DisableGoPCache = true
+	noPrefetch := base
+	noPrefetch.DisablePrefetch = true
+	noLR := base
+	noLR.DisableLastResort = true
+	noLoad := base
+	noLoad.DisableLoadWeights = true
+	k1 := base
+	k1.KPaths = 1
+	k5 := base
+	k5.KPaths = 5
+
+	type variant struct {
+		name string
+		cfg  core.MacroConfig
+	}
+	variants := []variant{
+		{"baseline (paper config)", base},
+		{"no GoP cache", noCache},
+		{"no path prefetch", noPrefetch},
+		{"no last-resort paths", noLR},
+		{"pure-RTT weights", noLoad},
+		{"k=1 paths", k1},
+		{"k=5 paths", k5},
+	}
+
+	results, rep := runner.Map(s.opts, variants, func(v variant) *core.MacroResult {
+		return s.RunMacro(v.cfg)
+	})
+	s.addReport(rep)
+
+	t := &stats.Table{Header: []string{"configuration", "fast startup %", "hit ratio %", "last-resort %", "median CDN ms"}}
+	for i, v := range variants {
+		r := results[i]
+		hits, total := 0, 0
+		for _, h := range r.HitByHour {
+			hits += h.Hits
+			total += h.Total
+		}
+		hr := 0.0
+		if total > 0 {
+			hr = 100 * float64(hits) / float64(total)
+		}
+		t.AddRow(v.name,
+			fmt.Sprintf("%.1f", r.FastStart.Percent()),
+			fmt.Sprintf("%.1f", hr),
+			fmt.Sprintf("%.2f", r.LastResort.Percent()),
+			fmt.Sprintf("%.0f", r.CDNDelayMs.Median()))
+	}
+	return "Macro ablations (LiveNet engine)\n" + t.String()
+}
+
+// FastSlowTable renders the fast-slow vs store-and-forward ablation
+// across a loss sweep, one independent packet-level pair per loss point,
+// fanned out across workers.
+func (s *Session) FastSlowTable(seed int64, losses []float64) string {
+	results, rep := runner.Map(s.opts, losses, func(l float64) FastSlowResult {
+		return AblationFastSlow(seed, l)
+	})
+	s.addReport(rep)
+	t := &stats.Table{Header: []string{"loss", "fast-slow p50/p95 (ms)", "delivered", "store&fwd p50/p95 (ms)", "delivered"}}
+	for _, r := range results {
+		t.AddRow(fmt.Sprintf("%.2f%%", r.Loss*100),
+			fmt.Sprintf("%.0f / %.0f", r.FastSlowMedianMs, r.FastSlowP95Ms),
+			fmt.Sprintf("%.1f%%", 100*r.FastSlowDelivered),
+			fmt.Sprintf("%.0f / %.0f", r.StoreFwdMedianMs, r.StoreFwdP95Ms),
+			fmt.Sprintf("%.1f%%", 100*r.StoreFwdDelivered))
+	}
+	return "Ablation: fast-slow path vs store-and-forward relay (frame delivery latency)\n" + t.String()
+}
+
+// --- multi-seed evaluation ---
+
+// MultiResults holds matched evaluation pairs across several workload
+// seeds (the serial harness made this unaffordable; the parallel runner
+// makes N seeds roughly as cheap as one on N cores).
+type MultiResults struct {
+	Opt   Options
+	Seeds []int64
+	Runs  []*Results // Runs[i] pairs both systems on Seeds[i]
+}
+
+// RunSeeds evaluates n seeds per system (seeds o.Seed, o.Seed+1, ...) and
+// returns the per-seed pairs; all 2n simulations fan out together.
+func (s *Session) RunSeeds(o Options, n int) *MultiResults {
+	if n < 1 {
+		n = 1
+	}
+	m := &MultiResults{Opt: o}
+	type job struct {
+		opt Options
+		sys core.System
+	}
+	jobs := make([]job, 0, 2*n)
+	for i := 0; i < n; i++ {
+		so := o
+		so.Seed = o.Seed + int64(i)
+		m.Seeds = append(m.Seeds, so.Seed)
+		jobs = append(jobs, job{so, core.SystemLiveNet}, job{so, core.SystemHier})
+	}
+	results, rep := runner.Map(s.opts, jobs, func(j job) *core.MacroResult {
+		return s.RunMacro(j.opt.macro(j.sys))
+	})
+	s.addReport(rep)
+	for i := 0; i < n; i++ {
+		so := o
+		so.Seed = m.Seeds[i]
+		m.Runs = append(m.Runs, &Results{Opt: so, LN: results[2*i], HR: results[2*i+1]})
+	}
+	return m
+}
+
+// SeedTable renders headline metrics as mean ± 95% CI across seeds.
+func SeedTable(m *MultiResults) string {
+	collect := func(f func(*Results) float64) (string, string) {
+		ln := make([]float64, 0, len(m.Runs))
+		for _, r := range m.Runs {
+			ln = append(ln, f(r))
+		}
+		mean, half := stats.MeanCI95(ln)
+		if half == 0 {
+			return fmt.Sprintf("%.1f", mean), ""
+		}
+		return fmt.Sprintf("%.1f", mean), fmt.Sprintf("±%.1f", half)
+	}
+	t := &stats.Table{Header: []string{"metric", "mean", "95% CI"}}
+	add := func(name string, f func(*Results) float64) {
+		mean, ci := collect(f)
+		t.AddRow(name, mean, ci)
+	}
+	add("LiveNet CDN delay (ms, median)", func(r *Results) float64 { return r.LN.CDNDelayMs.Median() })
+	add("Hier CDN delay (ms, median)", func(r *Results) float64 { return r.HR.CDNDelayMs.Median() })
+	add("LiveNet streaming delay (ms, median)", func(r *Results) float64 { return r.LN.Streaming.Median() })
+	add("Hier streaming delay (ms, median)", func(r *Results) float64 { return r.HR.Streaming.Median() })
+	add("LiveNet 0-stall ratio (%)", func(r *Results) float64 { return r.LN.ZeroStall.Percent() })
+	add("Hier 0-stall ratio (%)", func(r *Results) float64 { return r.HR.ZeroStall.Percent() })
+	add("LiveNet fast startup (%)", func(r *Results) float64 { return r.LN.FastStart.Percent() })
+	add("Hier fast startup (%)", func(r *Results) float64 { return r.HR.FastStart.Percent() })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-seed stability: %d seeds (%d..%d)\n",
+		len(m.Seeds), m.Seeds[0], m.Seeds[len(m.Seeds)-1])
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -40,6 +40,15 @@ type Graph struct {
 	adj      [][]int // adjacency lists (out-neighbors)
 	links    map[int64]*Link
 	nodeUtil []float64 // combined node load metric in [0,1] (§4.2 footnote)
+
+	// Per-neighbor weight cache: wNbrs[id][i] is Weight(id, adj[id][i]),
+	// rebuilt lazily per version (the Brain mutates the view only between
+	// routing epochs, so rows survive a whole epoch of Dijkstra probes
+	// that would otherwise each pay a map lookup).
+	version uint64
+	wNbrs   [][]float64
+	wStamp  []uint64
+	lNbrs   [][]*Link // link pointers parallel to adj, for row rebuilds
 }
 
 func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
@@ -51,18 +60,25 @@ func New(n int) *Graph {
 		adj:      make([][]int, n),
 		links:    make(map[int64]*Link),
 		nodeUtil: make([]float64, n),
+		version:  1,
+		wNbrs:    make([][]float64, n),
+		wStamp:   make([]uint64, n),
+		lNbrs:    make([][]*Link, n),
 	}
 }
 
 // SetLink creates or updates the directed link from→to.
 func (g *Graph) SetLink(from, to int, rtt time.Duration, loss, util float64) {
+	g.version++
 	k := key(from, to)
 	if l, ok := g.links[k]; ok {
 		l.RTT, l.Loss, l.Util = rtt, loss, util
 		return
 	}
-	g.links[k] = &Link{From: from, To: to, RTT: rtt, Loss: loss, Util: util}
+	l := &Link{From: from, To: to, RTT: rtt, Loss: loss, Util: util}
+	g.links[k] = l
 	g.adj[from] = append(g.adj[from], to)
+	g.lNbrs[from] = append(g.lNbrs[from], l)
 }
 
 // Link returns the directed link from→to, or nil.
@@ -72,7 +88,12 @@ func (g *Graph) Link(from, to int) *Link { return g.links[key(from, to)] }
 func (g *Graph) Neighbors(id int) []int { return g.adj[id] }
 
 // SetNodeUtil records the combined load metric for a node.
-func (g *Graph) SetNodeUtil(id int, u float64) { g.nodeUtil[id] = u }
+func (g *Graph) SetNodeUtil(id int, u float64) {
+	if g.nodeUtil[id] != u {
+		g.version++
+	}
+	g.nodeUtil[id] = u
+}
 
 // NodeUtil returns the combined load metric for a node.
 func (g *Graph) NodeUtil(id int) float64 { return g.nodeUtil[id] }
@@ -92,10 +113,35 @@ func (g *Graph) Weight(from, to int) float64 {
 	if l == nil {
 		return math.Inf(1)
 	}
+	return g.linkWeight(l)
+}
+
+func (g *Graph) linkWeight(l *Link) float64 {
 	rttMs := float64(l.RTT) / float64(time.Millisecond)
 	expected := l.Loss*2*rttMs + (1-l.Loss)*rttMs
-	u := math.Max(l.Util, math.Max(g.nodeUtil[from], g.nodeUtil[to]))
+	u := math.Max(l.Util, math.Max(g.nodeUtil[l.From], g.nodeUtil[l.To]))
 	return expected * Sigmoid(u)
+}
+
+// NeighborWeights returns id's out-neighbors and their Eq. 2 weights from
+// the per-node cache, rebuilding the row if the graph changed since it
+// was last computed. The returned slices are owned by the graph and valid
+// until the next mutation; callers must not retain or modify them.
+func (g *Graph) NeighborWeights(id int) ([]int, []float64) {
+	if g.wStamp[id] != g.version {
+		row := g.wNbrs[id]
+		lnks := g.lNbrs[id]
+		if cap(row) < len(lnks) {
+			row = make([]float64, len(lnks))
+		}
+		row = row[:len(lnks)]
+		for i, l := range lnks {
+			row[i] = g.linkWeight(l)
+		}
+		g.wNbrs[id] = row
+		g.wStamp[id] = g.version
+	}
+	return g.adj[id], g.wNbrs[id]
 }
 
 // LinkOverloaded reports whether the from→to link or either endpoint is at

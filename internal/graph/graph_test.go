@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"livenet/internal/sim"
 )
 
 func TestSigmoidRange(t *testing.T) {
@@ -136,5 +138,56 @@ func TestClone(t *testing.T) {
 	}
 	if c.NodeUtil(2) != 0.7 {
 		t.Fatal("clone shares node utils with original")
+	}
+}
+
+func TestNeighborWeightsMatchesWeight(t *testing.T) {
+	g := New(8)
+	rng := sim.NewSource(11).Stream("gw")
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j && rng.Bernoulli(0.7) {
+				g.SetLink(i, j, time.Duration(5+rng.Intn(80))*time.Millisecond,
+					rng.Float64()*0.01, rng.Float64())
+			}
+		}
+		g.SetNodeUtil(i, rng.Float64())
+	}
+	for i := 0; i < 8; i++ {
+		nbrs, ws := g.NeighborWeights(i)
+		if len(nbrs) != len(g.Neighbors(i)) {
+			t.Fatalf("node %d: %d cached neighbors, want %d", i, len(nbrs), len(g.Neighbors(i)))
+		}
+		for idx, nb := range nbrs {
+			if want := g.Weight(i, nb); ws[idx] != want {
+				t.Fatalf("cached weight %d->%d = %v, want %v", i, nb, ws[idx], want)
+			}
+		}
+	}
+}
+
+func TestNeighborWeightsInvalidation(t *testing.T) {
+	g := New(3)
+	g.SetLink(0, 1, 10*time.Millisecond, 0, 0)
+	_, ws := g.NeighborWeights(0)
+	before := ws[0]
+
+	// Link update must invalidate the cached row.
+	g.SetLink(0, 1, 40*time.Millisecond, 0, 0)
+	_, ws = g.NeighborWeights(0)
+	if ws[0] == before || ws[0] != g.Weight(0, 1) {
+		t.Fatalf("row not rebuilt after SetLink: %v (want %v)", ws[0], g.Weight(0, 1))
+	}
+
+	// Node-utilization change affects other nodes' rows too (u is the max
+	// of link and endpoint utilizations).
+	before = ws[0]
+	g.SetNodeUtil(1, 0.95)
+	_, ws = g.NeighborWeights(0)
+	if ws[0] <= before {
+		t.Fatalf("endpoint util=0.95 should raise 0->1 weight: %v vs %v", ws[0], before)
+	}
+	if ws[0] != g.Weight(0, 1) {
+		t.Fatalf("cache disagrees with Weight after SetNodeUtil")
 	}
 }

@@ -17,6 +17,31 @@ type WeightFunc func(from, to int) float64
 // AdjFunc returns the out-neighbors of a node.
 type AdjFunc func(id int) []int
 
+// NeighborWeightsFunc returns a node's out-neighbors together with the
+// weight of each outgoing edge (w[i] is the weight to nbrs[i]). This is
+// the allocation-free expansion interface the Dijkstra core runs on:
+// graph.Graph serves it from per-neighbor weight slices cached per Brain
+// epoch, so the inner loop pays no per-edge map lookup. The returned
+// slices are only valid until the next call.
+type NeighborWeightsFunc func(id int) (nbrs []int, w []float64)
+
+// adaptNW bridges the classic (AdjFunc, WeightFunc) pair onto the
+// neighbor-weights core, reusing one scratch row across expansions.
+func adaptNW(adj AdjFunc, w WeightFunc) NeighborWeightsFunc {
+	var buf []float64
+	return func(id int) ([]int, []float64) {
+		nbrs := adj(id)
+		if cap(buf) < len(nbrs) {
+			buf = make([]float64, len(nbrs))
+		}
+		buf = buf[:len(nbrs)]
+		for i, nb := range nbrs {
+			buf[i] = w(id, nb)
+		}
+		return nbrs, buf
+	}
+}
+
 // Path is a node sequence (src first, dst last) with its total cost.
 type Path struct {
 	Nodes []int
@@ -60,6 +85,12 @@ func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q =
 // Dijkstra computes shortest distances and predecessors from src over n
 // nodes. Unreachable nodes have dist = +Inf and prev = -1.
 func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int) {
+	return DijkstraNW(n, src, adaptNW(adj, w))
+}
+
+// DijkstraNW is the Dijkstra core over the neighbor-weights expansion
+// interface. Unreachable nodes have dist = +Inf and prev = -1.
+func DijkstraNW(n, src int, nw NeighborWeightsFunc) (dist []float64, prev []int) {
 	dist = make([]float64, n)
 	prev = make([]int, n)
 	done := make([]bool, n)
@@ -75,11 +106,12 @@ func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int
 			continue
 		}
 		done[it.node] = true
-		for _, nb := range adj(it.node) {
+		nbrs, ws := nw(it.node)
+		for i, nb := range nbrs {
 			if done[nb] {
 				continue
 			}
-			wt := w(it.node, nb)
+			wt := ws[i]
 			if math.IsInf(wt, 1) {
 				continue
 			}
@@ -95,7 +127,12 @@ func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int
 
 // ShortestPath returns the single shortest path src→dst.
 func ShortestPath(n, src, dst int, adj AdjFunc, w WeightFunc) (Path, bool) {
-	dist, prev := Dijkstra(n, src, adj, w)
+	return ShortestPathNW(n, src, dst, adaptNW(adj, w))
+}
+
+// ShortestPathNW is ShortestPath over the neighbor-weights interface.
+func ShortestPathNW(n, src, dst int, nw NeighborWeightsFunc) (Path, bool) {
+	dist, prev := DijkstraNW(n, src, nw)
 	if math.IsInf(dist[dst], 1) {
 		return Path{}, false
 	}
@@ -116,15 +153,21 @@ func ShortestPath(n, src, dst int, adj AdjFunc, w WeightFunc) (Path, bool) {
 // Yen returns up to k loopless shortest paths src→dst in nondecreasing
 // cost order (Yen's algorithm over a Dijkstra subroutine).
 func Yen(n, src, dst, k int, adj AdjFunc, w WeightFunc) []Path {
+	return YenNW(n, src, dst, k, adaptNW(adj, w))
+}
+
+// YenNW is Yen's algorithm over the neighbor-weights interface.
+func YenNW(n, src, dst, k int, nw NeighborWeightsFunc) []Path {
 	if k <= 0 || src == dst {
 		return nil
 	}
-	first, ok := ShortestPath(n, src, dst, adj, w)
+	first, ok := ShortestPathNW(n, src, dst, nw)
 	if !ok {
 		return nil
 	}
 	paths := []Path{first}
 	var candidates []Path
+	var mbuf []float64 // scratch row for the masked expansion
 
 	for len(paths) < k {
 		last := paths[len(paths)-1]
@@ -149,20 +192,30 @@ func Yen(n, src, dst, k int, adj AdjFunc, w WeightFunc) []Path {
 				removedNodes[rn] = true
 			}
 
-			maskedW := func(from, to int) float64 {
-				if removedEdges[edgeKey(from, to)] || removedNodes[to] || removedNodes[from] {
-					return math.Inf(1)
+			maskedNW := func(id int) ([]int, []float64) {
+				nbrs, ws := nw(id)
+				if cap(mbuf) < len(nbrs) {
+					mbuf = make([]float64, len(nbrs))
 				}
-				return w(from, to)
+				mbuf = mbuf[:len(nbrs)]
+				fromRemoved := removedNodes[id]
+				for j, nb := range nbrs {
+					wt := ws[j]
+					if fromRemoved || removedNodes[nb] || removedEdges[edgeKey(id, nb)] {
+						wt = math.Inf(1)
+					}
+					mbuf[j] = wt
+				}
+				return nbrs, mbuf
 			}
-			spurPath, ok := ShortestPath(n, spur, dst, adj, maskedW)
+			spurPath, ok := ShortestPathNW(n, spur, dst, maskedNW)
 			if !ok {
 				continue
 			}
 			total := make([]int, 0, i+len(spurPath.Nodes))
 			total = append(total, rootNodes[:i]...)
 			total = append(total, spurPath.Nodes...)
-			cand := Path{Nodes: total, Cost: pathCost(total, w)}
+			cand := Path{Nodes: total, Cost: pathCostNW(total, nw)}
 			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
 				candidates = append(candidates, cand)
 			}
@@ -195,6 +248,23 @@ func pathCost(nodes []int, w WeightFunc) float64 {
 	var c float64
 	for i := 0; i+1 < len(nodes); i++ {
 		c += w(nodes[i], nodes[i+1])
+	}
+	return c
+}
+
+// pathCostNW sums edge weights along nodes via the expansion interface.
+func pathCostNW(nodes []int, nw NeighborWeightsFunc) float64 {
+	var c float64
+	for i := 0; i+1 < len(nodes); i++ {
+		nbrs, ws := nw(nodes[i])
+		wt := math.Inf(1)
+		for j, nb := range nbrs {
+			if nb == nodes[i+1] {
+				wt = ws[j]
+				break
+			}
+		}
+		c += wt
 	}
 	return c
 }

@@ -222,3 +222,67 @@ func TestPathEqual(t *testing.T) {
 		t.Fatal("Equal misbehaves")
 	}
 }
+
+// randomNW builds a random weighted digraph and returns both the classic
+// (adj, w) pair and the neighbor-weights form backed by the same edges.
+func randomNW(n int, seed int64) (AdjFunc, WeightFunc, NeighborWeightsFunc) {
+	rng := sim.NewSource(seed).Stream("kspnw")
+	adj := make([][]int, n)
+	w := make(map[[2]int]float64)
+	ws := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Bernoulli(0.6) {
+				wt := 1 + rng.Float64()*99
+				adj[i] = append(adj[i], j)
+				ws[i] = append(ws[i], wt)
+				w[[2]int{i, j}] = wt
+			}
+		}
+	}
+	adjF := func(id int) []int { return adj[id] }
+	wF := func(from, to int) float64 {
+		if wt, ok := w[[2]int{from, to}]; ok {
+			return wt
+		}
+		return math.Inf(1)
+	}
+	nwF := func(id int) ([]int, []float64) { return adj[id], ws[id] }
+	return adjF, wF, nwF
+}
+
+func TestDijkstraNWMatchesClassic(t *testing.T) {
+	const n = 24
+	for seed := int64(1); seed <= 5; seed++ {
+		adj, w, nw := randomNW(n, seed)
+		for src := 0; src < n; src += 7 {
+			d1, p1 := Dijkstra(n, src, adj, w)
+			d2, p2 := DijkstraNW(n, src, nw)
+			for i := 0; i < n; i++ {
+				if d1[i] != d2[i] || p1[i] != p2[i] {
+					t.Fatalf("seed %d src %d node %d: classic (%v,%d) vs NW (%v,%d)",
+						seed, src, i, d1[i], p1[i], d2[i], p2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestYenNWMatchesClassic(t *testing.T) {
+	const n = 16
+	for seed := int64(1); seed <= 5; seed++ {
+		adj, w, nw := randomNW(n, seed)
+		for _, pair := range [][2]int{{0, 5}, {3, 12}, {7, 1}} {
+			a := Yen(n, pair[0], pair[1], 4, adj, w)
+			b := YenNW(n, pair[0], pair[1], 4, nw)
+			if len(a) != len(b) {
+				t.Fatalf("seed %d %v: %d vs %d paths", seed, pair, len(a), len(b))
+			}
+			for i := range a {
+				if !a[i].Equal(b[i]) || a[i].Cost != b[i].Cost {
+					t.Fatalf("seed %d %v path %d: %+v vs %+v", seed, pair, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -96,17 +96,30 @@ type Network struct {
 	rng      *sim.Rand
 	handlers map[int]Handler
 	links    map[int64]*link
+	// dispatch is the delivery callback bound once at construction, so
+	// Send schedules deliveries without allocating a closure per packet.
+	dispatch sim.MsgFunc
 }
 
 func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
 
 // New returns an empty network on the given loop.
 func New(loop *sim.Loop, rng *sim.Rand) *Network {
-	return &Network{
+	n := &Network{
 		loop:     loop,
 		rng:      rng,
 		handlers: make(map[int]Handler),
 		links:    make(map[int64]*link),
+	}
+	n.dispatch = n.deliver
+	return n
+}
+
+// deliver hands a packet to the destination handler (looked up at
+// delivery time, preserving Handle-replacement semantics).
+func (n *Network) deliver(from, to int, data []byte) {
+	if h := n.handlers[to]; h != nil {
+		h(from, data)
 	}
 }
 
@@ -180,11 +193,7 @@ func (n *Network) Send(from, to int, data []byte) error {
 	}
 	l.lastArrival = arrival
 	buf := append([]byte(nil), data...)
-	n.loop.At(arrival, func() {
-		if h := n.handlers[to]; h != nil {
-			h(from, buf)
-		}
-	})
+	n.loop.AtMsg(arrival, n.dispatch, from, to, buf)
 	return nil
 }
 

@@ -1,0 +1,129 @@
+// Package runner is the parallel run scheduler for the evaluation
+// harness: it fans independent, deterministic simulation runs out across
+// GOMAXPROCS worker goroutines. Each job owns its private sim.Loop, seed,
+// and world, so results are bit-identical to serial execution — the only
+// thing that changes is wall-clock. Results are returned in submission
+// order regardless of completion order.
+//
+// The pool also accounts per-job durations, so callers can report the
+// serial-equivalent time alongside the parallel wall-clock (the speedup
+// cmd/livenet-bench prints).
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a batch.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS(0).
+	Workers int
+	// Serial forces in-place serial execution on the calling goroutine
+	// (the reference schedule for determinism regression tests).
+	Serial bool
+}
+
+// Parallel returns the default options: one worker per available CPU.
+func Parallel() Options { return Options{} }
+
+// Serial returns options that run every job on the calling goroutine.
+func Serial() Options { return Options{Serial: true} }
+
+func (o Options) workers() int {
+	if o.Serial {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Report summarizes a batch: the wall-clock the batch took and the
+// serial-equivalent time (sum of per-job durations). Speedup is their
+// ratio — ~1.0 when serial or on one core, approaching the worker count
+// for embarrassingly parallel batches.
+type Report struct {
+	Jobs   int
+	Wall   time.Duration
+	Serial time.Duration // sum of per-job durations
+}
+
+// Speedup returns Serial/Wall (1 when the batch is empty or instant).
+func (r Report) Speedup() float64 {
+	if r.Wall <= 0 || r.Serial <= 0 {
+		return 1
+	}
+	return float64(r.Serial) / float64(r.Wall)
+}
+
+// Merge accumulates another batch's counters into r.
+func (r *Report) Merge(o Report) {
+	r.Jobs += o.Jobs
+	r.Wall += o.Wall
+	r.Serial += o.Serial
+}
+
+// Map runs f over every item on a worker pool and returns the results in
+// item order. f must be safe to call concurrently (each evaluation run
+// builds its own private state, so simulation jobs are).
+func Map[T, R any](opts Options, items []T, f func(T) R) ([]R, Report) {
+	out := make([]R, len(items))
+	rep := run(opts, len(items), func(i int) { out[i] = f(items[i]) })
+	return out, rep
+}
+
+// Do runs the given thunks, returning the batch report.
+func Do(opts Options, jobs ...func()) Report {
+	return run(opts, len(jobs), func(i int) { jobs[i]() })
+}
+
+// run executes job(0..n-1) on the pool. Work is handed out through an
+// atomic counter, so idle workers steal the next index as soon as they
+// finish — no pre-partitioning imbalance when job costs differ (a 20-day
+// LiveNet run next to a 1-day ablation).
+func run(opts Options, n int, job func(i int)) Report {
+	if n == 0 {
+		return Report{}
+	}
+	start := time.Now()
+	var serial atomic.Int64
+
+	timed := func(i int) {
+		js := time.Now()
+		job(i)
+		serial.Add(int64(time.Since(js)))
+	}
+
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	if opts.Serial || workers == 1 {
+		for i := 0; i < n; i++ {
+			timed(i)
+		}
+		return Report{Jobs: n, Wall: time.Since(start), Serial: time.Duration(serial.Load())}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				timed(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return Report{Jobs: n, Wall: time.Since(start), Serial: time.Duration(serial.Load())}
+}

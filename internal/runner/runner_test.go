@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, opts := range []Options{Serial(), Parallel(), {Workers: 3}} {
+		out, rep := Map(opts, items, func(x int) int { return x * x })
+		if len(out) != len(items) {
+			t.Fatalf("len(out) = %d, want %d", len(out), len(items))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("out[%d] = %d, want %d (opts %+v)", i, v, i*i, opts)
+			}
+		}
+		if rep.Jobs != len(items) {
+			t.Fatalf("report jobs = %d, want %d", rep.Jobs, len(items))
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	items := []int{5, 3, 9, 1, 7, 2}
+	f := func(x int) int { return x*31 + 7 }
+	serialOut, _ := Map(Serial(), items, f)
+	parOut, _ := Map(Options{Workers: 4}, items, f)
+	for i := range serialOut {
+		if serialOut[i] != parOut[i] {
+			t.Fatalf("parallel diverges from serial at %d: %d vs %d", i, parOut[i], serialOut[i])
+		}
+	}
+}
+
+func TestDoRunsEveryJob(t *testing.T) {
+	var ran [8]atomic.Int32
+	jobs := make([]func(), len(ran))
+	for i := range jobs {
+		i := i
+		jobs[i] = func() { ran[i].Add(1) }
+	}
+	rep := Do(Options{Workers: 4}, jobs...)
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+	if rep.Jobs != len(jobs) {
+		t.Fatalf("report jobs = %d", rep.Jobs)
+	}
+}
+
+func TestWorkerCap(t *testing.T) {
+	// With Workers=2, at most 2 jobs may be in flight at once.
+	var inFlight, peak atomic.Int32
+	jobs := make([]func(), 16)
+	for i := range jobs {
+		jobs[i] = func() {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+		}
+	}
+	Do(Options{Workers: 2}, jobs...)
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds worker cap 2", p)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	out, rep := Map(Parallel(), nil, func(x int) int { return x })
+	if len(out) != 0 || rep.Jobs != 0 {
+		t.Fatalf("empty batch: out=%v rep=%+v", out, rep)
+	}
+	if rep.Speedup() != 1 {
+		t.Fatalf("empty speedup = %v, want 1", rep.Speedup())
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	jobs := make([]func(), 4)
+	for i := range jobs {
+		jobs[i] = func() { time.Sleep(5 * time.Millisecond) }
+	}
+	rep := Do(Serial(), jobs...)
+	if rep.Serial < 20*time.Millisecond {
+		t.Fatalf("serial-equivalent %v, want >= 20ms", rep.Serial)
+	}
+	if rep.Wall < rep.Serial {
+		t.Fatalf("serial batch wall %v < serial-equivalent %v", rep.Wall, rep.Serial)
+	}
+	var merged Report
+	merged.Merge(rep)
+	merged.Merge(rep)
+	if merged.Jobs != 8 || merged.Serial != 2*rep.Serial {
+		t.Fatalf("merge: %+v", merged)
+	}
+}

@@ -28,12 +28,26 @@ type Clock interface {
 	AfterFunc(d time.Duration, fn func()) Timer
 }
 
-// event is one scheduled callback in the loop.
+// MsgFunc is a pre-bound message-delivery callback: AtMsg events carry
+// their arguments in the event itself, so hot paths (one event per
+// emulated packet) schedule without allocating a closure per call.
+type MsgFunc func(a, b int, data []byte)
+
+// event is one scheduled callback in the loop. Events are recycled
+// through a free list (millions are scheduled per macro run); gen
+// distinguishes incarnations so a stale Timer handle cannot cancel the
+// event's next occupant.
 type event struct {
-	at    time.Duration
-	seq   uint64 // tiebreaker: FIFO among events at the same instant
-	fn    func()
-	index int // heap index; -1 once popped or stopped
+	at  time.Duration
+	seq uint64 // tiebreaker: FIFO among events at the same instant
+	fn  func()
+	// Message-delivery variant (used when fn is nil).
+	msg  MsgFunc
+	a, b int
+	data []byte
+
+	index int    // heap index; -1 once popped or stopped
+	gen   uint64 // incarnation counter, bumped on recycle
 }
 
 type eventHeap []*event
@@ -75,6 +89,7 @@ type Loop struct {
 	now    time.Duration
 	seq    uint64
 	events eventHeap
+	free   []*event // recycled events (allocation diet for the hot path)
 	steps  uint64
 	rng    *Source
 }
@@ -98,19 +113,49 @@ func (l *Loop) Steps() uint64 { return l.steps }
 // of the order streams are requested in.
 func (l *Loop) RNG(label string) *Rand { return l.rng.Stream(label) }
 
+// loopTimer is a Timer handle; gen pins the event incarnation it was
+// issued for, so a handle kept past the event's firing (and the event's
+// recycling) becomes inert instead of cancelling an unrelated event.
 type loopTimer struct {
-	l *Loop
-	e *event
+	l   *Loop
+	e   *event
+	gen uint64
 }
 
-func (t *loopTimer) Stop() bool {
-	if t.e.index < 0 {
+func (t loopTimer) Stop() bool {
+	if t.e.gen != t.gen || t.e.index < 0 {
 		return false
 	}
 	heap.Remove(&t.l.events, t.e.index)
-	t.e.index = -1
-	t.e.fn = nil
+	t.l.recycle(t.e)
 	return true
+}
+
+// alloc takes an event from the free list (or the heap allocator).
+func (l *Loop) alloc(t time.Duration) *event {
+	var e *event
+	if n := len(l.free); n > 0 {
+		e = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at = t
+	e.seq = l.seq
+	l.seq++
+	return e
+}
+
+// recycle clears an event's payload and returns it to the free list.
+// The gen bump invalidates outstanding Timer handles.
+func (l *Loop) recycle(e *event) {
+	e.fn = nil
+	e.msg = nil
+	e.data = nil
+	e.index = -1
+	e.gen++
+	l.free = append(l.free, e)
 }
 
 // AfterFunc schedules fn at Now()+d. Negative d is treated as 0.
@@ -124,13 +169,26 @@ func (l *Loop) AfterFunc(d time.Duration, fn func()) Timer {
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it indicates a logic error in the caller.
 func (l *Loop) At(t time.Duration, fn func()) Timer {
+	e := l.schedule(t)
+	e.fn = fn
+	return loopTimer{l: l, e: e, gen: e.gen}
+}
+
+// AtMsg schedules h(a, b, data) at absolute virtual time t without a
+// Timer handle and without a per-call closure: the arguments ride in the
+// (recycled) event. This is the per-packet path of the network emulator.
+func (l *Loop) AtMsg(t time.Duration, h MsgFunc, a, b int, data []byte) {
+	e := l.schedule(t)
+	e.msg, e.a, e.b, e.data = h, a, b, data
+}
+
+func (l *Loop) schedule(t time.Duration) *event {
 	if t < l.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, l.now))
 	}
-	e := &event{at: t, seq: l.seq, fn: fn}
-	l.seq++
+	e := l.alloc(t)
 	heap.Push(&l.events, e)
-	return &loopTimer{l: l, e: e}
+	return e
 }
 
 // Step executes the next event, advancing the clock to its deadline.
@@ -142,9 +200,15 @@ func (l *Loop) Step() bool {
 	e := heap.Pop(&l.events).(*event)
 	l.now = e.at
 	l.steps++
-	fn := e.fn
-	e.fn = nil
-	fn()
+	fn, msg, a, b, data := e.fn, e.msg, e.a, e.b, e.data
+	// Recycle before invoking so the callback can immediately reuse the
+	// slot for events it schedules.
+	l.recycle(e)
+	if fn != nil {
+		fn()
+	} else if msg != nil {
+		msg(a, b, data)
+	}
 	return true
 }
 

@@ -1,0 +1,41 @@
+package stats
+
+import "math"
+
+// tCrit975 holds two-sided 95% Student-t critical values t_{0.975,df} for
+// df = 1..30; larger df falls back to the normal 1.96. Used for the
+// multi-seed confidence intervals the parallel harness makes affordable.
+var tCrit975 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval (Student t for n <= 31, normal beyond). The half
+// width is 0 when n < 2.
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	df := n - 1
+	crit := 1.96
+	if df <= len(tCrit975) {
+		crit = tCrit975[df-1]
+	}
+	return mean, crit * sd / math.Sqrt(float64(n))
+}
