@@ -1,17 +1,18 @@
 # LiveNet reproduction — build/test/bench entry points.
 #
-#   make ci      # what a PR must pass: vet + build + race-enabled tests
+#   make ci      # what a PR must pass: vet + build + race-enabled tests + chaos smoke
 #   make test    # plain test run (fastest)
 #   make bench   # allocation + throughput benchmark smoke (short benchtime)
 #   make quick   # scaled-down end-to-end evaluation report
+#   make chaos   # fault-tolerance evaluation (deterministic fault injection)
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench quick
+.PHONY: all ci vet build test race bench quick chaos
 
 all: ci
 
-ci: vet build race
+ci: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -35,3 +36,10 @@ bench:
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick
+
+# Fault-tolerance smoke: runs the three chaos experiments (relay crash,
+# Brain-unreachable cache fallback, Brain-replica outage) end to end; the
+# byte-identical replay of the same scenarios is asserted in
+# internal/eval/fault_test.go.
+chaos:
+	$(GO) run ./cmd/livenet-bench -chaos

@@ -37,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker cap for -parallel (0 = GOMAXPROCS)")
 	outFile := flag.String("out", "", "also write the report to this file")
 	skipAblations := flag.Bool("no-ablations", false, "skip the ablation studies")
+	chaosOnly := flag.Bool("chaos", false, "run only the fault-tolerance experiments")
 	flag.Parse()
 
 	o := eval.Full()
@@ -69,6 +70,14 @@ func main() {
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *chaosOnly {
+		fmt.Fprintf(out, "LiveNet fault-tolerance evaluation — seed %d\n\n", o.Seed)
+		start := time.Now()
+		fmt.Fprintln(out, eval.FaultReport(o.Seed))
+		fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	fmt.Fprintf(out, "LiveNet evaluation — %d days, %d sites, peak %.1f views/s, seed %d\n",
@@ -119,6 +128,9 @@ func main() {
 		fmt.Fprintln(out, session.MacroAblations(ablOpt))
 	}
 
+	fmt.Fprintln(out, strings.Repeat("-", 60))
+	fmt.Fprintln(out, eval.FaultReport(o.Seed))
+
 	rep := session.Report()
 	wall := time.Since(start).Round(time.Millisecond)
 	fmt.Fprintf(out, "total wall time: %v\n", wall)
@@ -130,11 +142,4 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -58,6 +58,11 @@ type Config struct {
 	// Clock drives epoch advancement; nil means epochs advance only via
 	// AdvanceEpoch (useful in unit tests).
 	Clock sim.Clock
+	// StaleAfter ages out link/node entries that Global Discovery has not
+	// refreshed within this window: they are marked down so routing avoids
+	// elements whose owner stopped reporting (a crashed node cannot report
+	// its own failure). Zero disables aging; it needs Clock to run.
+	StaleAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +108,12 @@ type Brain struct {
 
 	metrics Metrics
 	timer   sim.Timer
+	ageTick sim.Timer
 	closed  bool
+
+	// Staleness stamps for Global Discovery aging (nil when disabled).
+	linkSeen map[pairKey]time.Duration
+	nodeSeen []time.Duration
 
 	// Dense-mesh fast path (see dense.go).
 	dense      bool
@@ -123,7 +133,58 @@ func New(cfg Config) *Brain {
 	if cfg.Clock != nil {
 		b.scheduleEpoch()
 	}
+	if cfg.Clock != nil && cfg.StaleAfter > 0 {
+		// Grace-stamp every node at creation so a node is only aged out
+		// after it has had a full window to produce its first report.
+		now := cfg.Clock.Now()
+		b.linkSeen = make(map[pairKey]time.Duration)
+		b.nodeSeen = make([]time.Duration, cfg.N)
+		for i := range b.nodeSeen {
+			b.nodeSeen[i] = now
+		}
+		b.scheduleAge()
+	}
 	return b
+}
+
+func (b *Brain) scheduleAge() {
+	b.ageTick = b.cfg.Clock.AfterFunc(b.cfg.StaleAfter/2, func() {
+		b.sweepStale()
+		b.mu.Lock()
+		if !b.closed {
+			b.scheduleAge()
+		}
+		b.mu.Unlock()
+	})
+}
+
+// sweepStale marks links and nodes whose reports aged past StaleAfter as
+// down (and revives ones that resumed reporting — SetLink already clears
+// link state on a fresh report). Any change invalidates the PIB so the
+// next lookup routes around the failed elements.
+func (b *Brain) sweepStale() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Clock.Now()
+	changed := false
+	for k, seen := range b.linkSeen {
+		if now-seen > b.cfg.StaleAfter {
+			if l := b.view.Link(k.src, k.dst); l != nil && !l.Down {
+				b.view.SetLinkDown(k.src, k.dst, true)
+				changed = true
+			}
+		}
+	}
+	for id, seen := range b.nodeSeen {
+		stale := now-seen > b.cfg.StaleAfter
+		if stale != b.view.NodeDown(id) {
+			b.view.SetNodeDown(id, stale)
+			changed = true
+		}
+	}
+	if changed {
+		b.epoch++
+	}
 }
 
 func (b *Brain) scheduleEpoch() {
@@ -144,6 +205,9 @@ func (b *Brain) Close() {
 	b.closed = true
 	if b.timer != nil {
 		b.timer.Stop()
+	}
+	if b.ageTick != nil {
+		b.ageTick.Stop()
 	}
 }
 
@@ -167,10 +231,47 @@ func (b *Brain) AdvanceEpoch() {
 // --- Global Discovery ---
 
 // ReportLink ingests one link measurement from a node's periodic report.
+// A report on a previously-down link revives it (and invalidates the PIB
+// so recomputed paths may use it again).
 func (b *Brain) ReportLink(from, to int, rtt time.Duration, loss, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	wasDown := false
+	if l := b.view.Link(from, to); l != nil {
+		wasDown = l.Down
+	}
 	b.view.SetLink(from, to, rtt, loss, util)
+	if wasDown {
+		b.epoch++
+	}
+	if b.linkSeen != nil {
+		now := b.cfg.Clock.Now()
+		b.linkSeen[pairKey{from, to}] = now
+		// A node that reports a link is alive, whatever its load says.
+		b.nodeSeen[from] = now
+	}
+}
+
+// ReportLinkDown ingests an immediate link-failure report (a neighbor's
+// probes time out, §4.2): the link is excluded from routing at once.
+func (b *Brain) ReportLinkDown(from, to int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l := b.view.Link(from, to); l != nil && !l.Down {
+		b.view.SetLinkDown(from, to, true)
+		b.epoch++
+	}
+}
+
+// ReportNodeDown ingests an immediate node-failure report; ReportNodeLoad
+// (or staleness recovery) revives the node.
+func (b *Brain) ReportNodeDown(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.view.NodeDown(id) {
+		b.view.SetNodeDown(id, true)
+		b.epoch++
+	}
 }
 
 // ReportNodeLoad ingests a node's combined load metric (§4.2 footnote 4).
@@ -178,6 +279,13 @@ func (b *Brain) ReportNodeLoad(id int, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.view.SetNodeUtil(id, util)
+	if b.view.NodeDown(id) {
+		b.view.SetNodeDown(id, false)
+		b.epoch++
+	}
+	if b.nodeSeen != nil {
+		b.nodeSeen[id] = b.cfg.Clock.Now()
+	}
 }
 
 // OverloadAlarm handles a real-time alarm: the node's paths must be
@@ -325,6 +433,18 @@ func (b *Brain) lastResortLocked(producer, consumer int) []int {
 	var best []int
 	for _, lr := range b.cfg.LastResort {
 		if lr == producer || lr == consumer {
+			continue
+		}
+		// Skip relays known to be failed. Legs that merely lack
+		// measurements (Inf weight at bootstrap) stay eligible — the Brain
+		// must answer before the first discovery reports arrive.
+		if b.view.NodeDown(lr) {
+			continue
+		}
+		if l := b.view.Link(producer, lr); l != nil && l.Down {
+			continue
+		}
+		if l := b.view.Link(lr, consumer); l != nil && l.Down {
 			continue
 		}
 		w1 := b.view.Weight(producer, lr)

@@ -174,6 +174,100 @@ func TestEpochTimerAdvances(t *testing.T) {
 	}
 }
 
+func TestStaleNodeAgedOutAndRevived(t *testing.T) {
+	// Global Discovery aging: a crashed node cannot report its own
+	// failure, so the Brain marks nodes (and links) whose reports age past
+	// StaleAfter as down, and revives them when reports resume.
+	loop := sim.NewLoop(3)
+	const n = 4
+	b := New(Config{N: n, Clock: loop, StaleAfter: 2 * time.Second})
+	defer b.Close()
+	report := func(skip int) {
+		for i := 0; i < n; i++ {
+			if i == skip {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i != j {
+					b.ReportLink(i, j, 20*time.Millisecond, 0, 0.1)
+				}
+			}
+		}
+	}
+	b.RegisterStream(1, 0)
+	routesVia := func(hop int) bool {
+		paths, err := b.Lookup(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			for _, h := range p {
+				if h == hop {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Everyone reports every 500 ms; node 1 falls silent after t=1s.
+	var tick func()
+	tick = func() {
+		skip := -1
+		if loop.Now() >= time.Second {
+			skip = 1
+		}
+		report(skip)
+		loop.AfterFunc(500*time.Millisecond, tick)
+	}
+	tick()
+
+	loop.RunUntil(900 * time.Millisecond)
+	if !routesVia(1) {
+		t.Fatal("healthy 4-mesh should offer the relay path via node 1")
+	}
+	loop.RunUntil(6 * time.Second)
+	if routesVia(1) {
+		t.Fatal("node 1 stopped reporting 5 s ago; routing must avoid it")
+	}
+	// Node 1 resumes reporting: the next sweep revives it.
+	report(-1)
+	loop.RunUntil(8 * time.Second)
+	if !routesVia(1) {
+		t.Fatal("revived node 1 should be routable again")
+	}
+}
+
+func TestReportLinkDownExcludesImmediately(t *testing.T) {
+	b, _ := fullMesh(t, 16, nil)
+	b.RegisterStream(1, 2)
+	b.ReportLinkDown(2, 11)
+	b.ReportLinkDown(11, 2)
+	paths, err := b.Lookup(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] == 2 && p[i+1] == 11 {
+				t.Fatalf("dead direct link still used: %v", p)
+			}
+		}
+	}
+	// A fresh measurement report revives the link.
+	b.ReportLink(2, 11, 10*time.Millisecond, 0, 0.1)
+	paths, _ = b.Lookup(1, 11)
+	direct := false
+	for _, p := range paths {
+		if len(p) == 2 {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatal("revived direct link should be routable again")
+	}
+}
+
 func TestRegisterUnregister(t *testing.T) {
 	b, _ := fullMesh(t, 6, nil)
 	b.RegisterStream(7, 2)

@@ -1,0 +1,319 @@
+// Package chaos is LiveNet's deterministic fault-injection plane: a
+// seeded fault-schedule engine that compiles a scenario — node crashes
+// and restarts, link cuts, flaps and partitions, bursty-loss episodes,
+// Brain-replica outages, last-mile degradation — into simulator events
+// against the same virtual clock the system under test runs on.
+//
+// Faults act only on the "physical" layer (the emulated network and
+// process lifecycle); every recovery behaviour they exercise — dead-link
+// discovery reports, Brain staleness aging, node fast path switching,
+// replica failover, local path-cache fallback — must flow through the
+// system itself. The engine records a timeline of the faults it applied;
+// with a fixed seed the timeline (and therefore the run) replays
+// byte-identically.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"livenet/internal/netem"
+	"livenet/internal/sim"
+)
+
+// Kind enumerates fault types.
+type Kind int
+
+const (
+	// NodeCrash fail-stops an overlay node at At; if Until is set the
+	// node restarts (with empty state) at Until.
+	NodeCrash Kind = iota
+	// NodeRestart brings a crashed node back at At.
+	NodeRestart
+	// LinkDown cuts the duplex overlay link A–B at At; if Until is set
+	// the link comes back at Until.
+	LinkDown
+	// LinkUp restores the duplex overlay link A–B at At.
+	LinkUp
+	// LinkFlap toggles the A–B link down/up every Period from At,
+	// finishing up at Until.
+	LinkFlap
+	// Partition cuts every link between the node sets Group and Peers at
+	// At (a network partition); if Until is set it heals at Until.
+	Partition
+	// BurstStart installs a Gilbert–Elliott bursty-loss episode on the
+	// A–B link at At (config Burst); if Until is set it clears at Until.
+	BurstStart
+	// BurstEnd clears the bursty-loss episode on A–B at At.
+	BurstEnd
+	// ReplicaKill takes Brain replica Replica down at At; if Until is
+	// set it restarts at Until.
+	ReplicaKill
+	// ReplicaRestart brings Brain replica Replica back at At.
+	ReplicaRestart
+	// LastMileDegrade sets the access links of Node's attached clients
+	// to loss rate Loss at At; if Until is set they are restored at Until.
+	LastMileDegrade
+	// LastMileRestore reinstates Node's original access-link loss at At.
+	LastMileRestore
+)
+
+var kindNames = map[Kind]string{
+	NodeCrash:       "node-crash",
+	NodeRestart:     "node-restart",
+	LinkDown:        "link-down",
+	LinkUp:          "link-up",
+	LinkFlap:        "link-flap",
+	Partition:       "partition",
+	BurstStart:      "burst-start",
+	BurstEnd:        "burst-end",
+	ReplicaKill:     "replica-kill",
+	ReplicaRestart:  "replica-restart",
+	LastMileDegrade: "lastmile-degrade",
+	LastMileRestore: "lastmile-restore",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled fault. Which fields matter depends on Kind.
+type Fault struct {
+	Kind  Kind
+	At    time.Duration
+	Until time.Duration // optional automatic inverse action
+	// Period is the LinkFlap half-period (time spent in each state).
+	Period time.Duration
+
+	Node         int   // NodeCrash/NodeRestart/LastMile*
+	A, B         int   // Link*/Burst*
+	Group, Peers []int // Partition sides
+	Replica      int   // Replica*
+
+	Loss  float64            // LastMileDegrade
+	Burst *netem.BurstConfig // BurstStart
+}
+
+// Scenario is a named, ordered fault schedule.
+type Scenario struct {
+	Name   string
+	Faults []Fault
+}
+
+// Injector is the fault surface the engine drives. core.Cluster
+// implements it; tests may substitute a recorder.
+type Injector interface {
+	CrashNode(id int)
+	RestartNode(id int)
+	SetOverlayLink(a, b int, up bool)
+	SetOverlayBurst(a, b int, cfg *netem.BurstConfig)
+	DegradeLastMile(nodeID int, loss float64) int
+	RestoreLastMile(nodeID int)
+	KillReplica(i int)
+	RestartReplica(i int)
+}
+
+// Event is one applied fault action, as recorded in the timeline.
+type Event struct {
+	At   time.Duration
+	Desc string
+}
+
+// Engine compiles scenarios into clock events and records the timeline.
+type Engine struct {
+	clock sim.Clock
+	inj   Injector
+
+	timeline []Event
+}
+
+// NewEngine binds an engine to the system's clock and fault surface.
+func NewEngine(clock sim.Clock, inj Injector) *Engine {
+	return &Engine{clock: clock, inj: inj}
+}
+
+// Install compiles a scenario's faults into scheduled actions. Faults
+// whose At already passed fire immediately (in schedule order).
+func (e *Engine) Install(sc Scenario) {
+	for _, f := range sc.Faults {
+		e.installFault(f)
+	}
+}
+
+// at schedules one action and its timeline record.
+func (e *Engine) at(t time.Duration, desc string, apply func()) {
+	now := e.clock.Now()
+	d := t - now
+	if d < 0 {
+		d = 0
+	}
+	e.clock.AfterFunc(d, func() {
+		e.timeline = append(e.timeline, Event{At: e.clock.Now(), Desc: desc})
+		apply()
+	})
+}
+
+func (e *Engine) installFault(f Fault) {
+	switch f.Kind {
+	case NodeCrash:
+		id := f.Node
+		e.at(f.At, fmt.Sprintf("node-crash node=%d", id), func() { e.inj.CrashNode(id) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("node-restart node=%d", id), func() { e.inj.RestartNode(id) })
+		}
+	case NodeRestart:
+		id := f.Node
+		e.at(f.At, fmt.Sprintf("node-restart node=%d", id), func() { e.inj.RestartNode(id) })
+	case LinkDown:
+		a, b := f.A, f.B
+		e.at(f.At, fmt.Sprintf("link-down link=%d-%d", a, b), func() { e.inj.SetOverlayLink(a, b, false) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("link-up link=%d-%d", a, b), func() { e.inj.SetOverlayLink(a, b, true) })
+		}
+	case LinkUp:
+		a, b := f.A, f.B
+		e.at(f.At, fmt.Sprintf("link-up link=%d-%d", a, b), func() { e.inj.SetOverlayLink(a, b, true) })
+	case LinkFlap:
+		a, b := f.A, f.B
+		if f.Period <= 0 || f.Until <= f.At {
+			return
+		}
+		down := true
+		for t := f.At; t < f.Until; t += f.Period {
+			up := !down
+			state := "link-down"
+			if up {
+				state = "link-up"
+			}
+			e.at(t, fmt.Sprintf("%s link=%d-%d flap", state, a, b), func() { e.inj.SetOverlayLink(a, b, up) })
+			down = !down
+		}
+		e.at(f.Until, fmt.Sprintf("link-up link=%d-%d flap-end", a, b), func() { e.inj.SetOverlayLink(a, b, true) })
+	case Partition:
+		group := append([]int(nil), f.Group...)
+		peers := append([]int(nil), f.Peers...)
+		set := func(up bool) {
+			for _, a := range group {
+				for _, b := range peers {
+					e.inj.SetOverlayLink(a, b, up)
+				}
+			}
+		}
+		e.at(f.At, fmt.Sprintf("partition groups=%v|%v", group, peers), func() { set(false) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("partition-heal groups=%v|%v", group, peers), func() { set(true) })
+		}
+	case BurstStart:
+		a, b, cfg := f.A, f.B, f.Burst
+		e.at(f.At, fmt.Sprintf("burst-start link=%d-%d", a, b), func() { e.inj.SetOverlayBurst(a, b, cfg) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("burst-end link=%d-%d", a, b), func() { e.inj.SetOverlayBurst(a, b, nil) })
+		}
+	case BurstEnd:
+		a, b := f.A, f.B
+		e.at(f.At, fmt.Sprintf("burst-end link=%d-%d", a, b), func() { e.inj.SetOverlayBurst(a, b, nil) })
+	case ReplicaKill:
+		r := f.Replica
+		e.at(f.At, fmt.Sprintf("replica-kill replica=%d", r), func() { e.inj.KillReplica(r) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("replica-restart replica=%d", r), func() { e.inj.RestartReplica(r) })
+		}
+	case ReplicaRestart:
+		r := f.Replica
+		e.at(f.At, fmt.Sprintf("replica-restart replica=%d", r), func() { e.inj.RestartReplica(r) })
+	case LastMileDegrade:
+		id, loss := f.Node, f.Loss
+		e.at(f.At, fmt.Sprintf("lastmile-degrade node=%d loss=%.4f", id, loss), func() { e.inj.DegradeLastMile(id, loss) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("lastmile-restore node=%d", id), func() { e.inj.RestoreLastMile(id) })
+		}
+	case LastMileRestore:
+		id := f.Node
+		e.at(f.At, fmt.Sprintf("lastmile-restore node=%d", id), func() { e.inj.RestoreLastMile(id) })
+	}
+}
+
+// Timeline returns the applied-fault record so far, in application order.
+func (e *Engine) Timeline() []Event {
+	return append([]Event(nil), e.timeline...)
+}
+
+// TimelineString renders the timeline one event per line — the replay
+// artifact compared byte-for-byte by the determinism regression tests.
+func (e *Engine) TimelineString() string {
+	var b strings.Builder
+	for _, ev := range e.timeline {
+		fmt.Fprintf(&b, "t=%-10s %s\n", ev.At, ev.Desc)
+	}
+	return b.String()
+}
+
+// GenerateConfig bounds the random scenario generator.
+type GenerateConfig struct {
+	// Nodes is the overlay size faults are drawn over.
+	Nodes int
+	// Horizon is the time window faults land in.
+	Horizon time.Duration
+	// Crashes, LinkCuts, Bursts are how many of each to schedule.
+	Crashes, LinkCuts, Bursts int
+	// Replicas, ReplicaKills drive Brain-replica outages (0 disables).
+	Replicas, ReplicaKills int
+}
+
+// Generate builds a random fault schedule from a seed: the same seed and
+// config always produce the identical scenario (the seeded RNG stream is
+// independent of the simulation's own streams). Faults are sorted by At
+// so install order equals fire order.
+func Generate(seed int64, cfg GenerateConfig) Scenario {
+	rng := sim.NewSource(seed).Stream("chaos")
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = time.Minute
+	}
+	at := func() time.Duration {
+		// Land inside the middle 80% of the horizon so recovery windows
+		// fit before the run ends.
+		lo := horizon / 10
+		return lo + time.Duration(rng.Int63n(int64(horizon-2*lo)))
+	}
+	var faults []Fault
+	for i := 0; i < cfg.Crashes && cfg.Nodes > 0; i++ {
+		t := at()
+		faults = append(faults, Fault{
+			Kind: NodeCrash, At: t, Until: t + horizon/5,
+			Node: rng.Intn(cfg.Nodes),
+		})
+	}
+	for i := 0; i < cfg.LinkCuts && cfg.Nodes > 1; i++ {
+		a := rng.Intn(cfg.Nodes)
+		b := rng.Intn(cfg.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		t := at()
+		faults = append(faults, Fault{Kind: LinkDown, At: t, Until: t + horizon/6, A: a, B: b})
+	}
+	for i := 0; i < cfg.Bursts && cfg.Nodes > 1; i++ {
+		a := rng.Intn(cfg.Nodes)
+		b := rng.Intn(cfg.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		t := at()
+		faults = append(faults, Fault{
+			Kind: BurstStart, At: t, Until: t + horizon/6, A: a, B: b,
+			Burst: &netem.BurstConfig{PGood: 0.001, PBad: 0.15, GoodMean: 5 * time.Second, BadMean: time.Second},
+		})
+	}
+	for i := 0; i < cfg.ReplicaKills && cfg.Replicas > 0; i++ {
+		t := at()
+		faults = append(faults, Fault{Kind: ReplicaKill, At: t, Until: t + horizon/4, Replica: rng.Intn(cfg.Replicas)})
+	}
+	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
+	return Scenario{Name: fmt.Sprintf("generated(seed=%d)", seed), Faults: faults}
+}

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"livenet/internal/netem"
+	"livenet/internal/sim"
+)
+
+// recorder is an Injector that logs calls (no system under test).
+type recorder struct{ calls []string }
+
+func (r *recorder) CrashNode(id int)   { r.calls = append(r.calls, fmt.Sprintf("crash %d", id)) }
+func (r *recorder) RestartNode(id int) { r.calls = append(r.calls, fmt.Sprintf("restart %d", id)) }
+func (r *recorder) SetOverlayLink(a, b int, up bool) {
+	r.calls = append(r.calls, fmt.Sprintf("link %d-%d up=%v", a, b, up))
+}
+func (r *recorder) SetOverlayBurst(a, b int, cfg *netem.BurstConfig) {
+	r.calls = append(r.calls, fmt.Sprintf("burst %d-%d set=%v", a, b, cfg != nil))
+}
+func (r *recorder) DegradeLastMile(id int, loss float64) int {
+	r.calls = append(r.calls, fmt.Sprintf("degrade %d %.3f", id, loss))
+	return 1
+}
+func (r *recorder) RestoreLastMile(id int) {
+	r.calls = append(r.calls, fmt.Sprintf("restore %d", id))
+}
+func (r *recorder) KillReplica(i int) { r.calls = append(r.calls, fmt.Sprintf("kill-replica %d", i)) }
+func (r *recorder) RestartReplica(i int) {
+	r.calls = append(r.calls, fmt.Sprintf("restart-replica %d", i))
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := GenerateConfig{Nodes: 12, Horizon: time.Minute, Crashes: 2, LinkCuts: 3, Bursts: 2, Replicas: 3, ReplicaKills: 1}
+	a := Generate(99, cfg)
+	b := Generate(99, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scenarios:\n%v\n%v", a, b)
+	}
+	c := Generate(100, cfg)
+	if reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+	if len(a.Faults) != 2+3+2+1 {
+		t.Fatalf("fault count = %d", len(a.Faults))
+	}
+	for i := 1; i < len(a.Faults); i++ {
+		if a.Faults[i].At < a.Faults[i-1].At {
+			t.Fatal("faults not sorted by At")
+		}
+	}
+}
+
+// run executes a scenario against a recorder and returns the rendered
+// timeline plus the raw injector call log.
+func run(sc Scenario, until time.Duration) (string, []string) {
+	loop := sim.NewLoop(1)
+	rec := &recorder{}
+	eng := NewEngine(loop, rec)
+	eng.Install(sc)
+	loop.RunUntil(until)
+	return eng.TimelineString(), rec.calls
+}
+
+func TestEngineReplaysByteIdentically(t *testing.T) {
+	sc := Generate(7, GenerateConfig{Nodes: 8, Horizon: 30 * time.Second, Crashes: 1, LinkCuts: 2, Bursts: 1})
+	tl1, calls1 := run(sc, time.Minute)
+	tl2, calls2 := run(sc, time.Minute)
+	if tl1 != tl2 {
+		t.Fatalf("timelines differ:\n%s\n---\n%s", tl1, tl2)
+	}
+	if !reflect.DeepEqual(calls1, calls2) {
+		t.Fatalf("injector call sequences differ:\n%v\n%v", calls1, calls2)
+	}
+	if len(tl1) == 0 || len(calls1) == 0 {
+		t.Fatal("scenario applied nothing")
+	}
+}
+
+func TestFlapAlternatesAndEndsUp(t *testing.T) {
+	sc := Scenario{Faults: []Fault{{
+		Kind: LinkFlap, At: time.Second, Until: 5 * time.Second, Period: time.Second, A: 1, B: 2,
+	}}}
+	_, calls := run(sc, 10*time.Second)
+	want := []string{
+		"link 1-2 up=false", "link 1-2 up=true",
+		"link 1-2 up=false", "link 1-2 up=true",
+		"link 1-2 up=true", // flap-end safety
+	}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("flap calls = %v, want %v", calls, want)
+	}
+}
+
+func TestPartitionCutsAndHeals(t *testing.T) {
+	sc := Scenario{Faults: []Fault{{
+		Kind: Partition, At: time.Second, Until: 2 * time.Second,
+		Group: []int{0, 1}, Peers: []int{2},
+	}}}
+	_, calls := run(sc, 3*time.Second)
+	want := []string{
+		"link 0-2 up=false", "link 1-2 up=false",
+		"link 0-2 up=true", "link 1-2 up=true",
+	}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("partition calls = %v, want %v", calls, want)
+	}
+}
+
+func TestNodeCrashWithAutoRestart(t *testing.T) {
+	sc := Scenario{Faults: []Fault{
+		{Kind: NodeCrash, At: time.Second, Until: 3 * time.Second, Node: 4},
+		{Kind: ReplicaKill, At: 2 * time.Second, Replica: 1},
+	}}
+	tl, calls := run(sc, 5*time.Second)
+	want := []string{"crash 4", "kill-replica 1", "restart 4"}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	if tl == "" {
+		t.Fatal("empty timeline")
+	}
+}

@@ -7,6 +7,7 @@
 package client
 
 import (
+	"slices"
 	"sync"
 	"time"
 
@@ -438,6 +439,7 @@ func (v *Viewer) scanLoop() {
 		}
 		var msg []byte
 		if len(lost) > 0 {
+			slices.Sort(lost) // holes is a map; canonicalize the NACK order
 			nack := rtp.MarshalNACK(&rtp.NACK{SenderSSRC: uint32(v.ID), MediaSSRC: v.StreamID, Lost: lost}, nil)
 			msg = wire.FrameRTCP(nil, nack)
 		}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"livenet/internal/brain"
@@ -21,9 +22,15 @@ import (
 	"livenet/internal/media"
 	"livenet/internal/netem"
 	"livenet/internal/node"
+	"livenet/internal/replication"
 	"livenet/internal/sim"
 	"livenet/internal/stats"
 )
+
+// ErrBrainUnreachable is reported to a consumer node when every Brain
+// replica failed to answer its path lookup; the node falls back to its
+// local path cache (§4.3).
+var ErrBrainUnreachable = errors.New("core: no Brain replica reachable")
 
 // ClusterConfig parameterizes a packet-level deployment.
 type ClusterConfig struct {
@@ -37,8 +44,19 @@ type ClusterConfig struct {
 	LossScale float64
 	// DiurnalLoss applies the Figure 13 diurnal pattern to link loss.
 	DiurnalLoss bool
+	// BurstLoss layers per-link Gilbert–Elliott bursty episodes on top of
+	// the base (or diurnal) loss, so loss arrives in bursts rather than as
+	// independent drops (each link keeps its own Markov chain).
+	BurstLoss bool
 	// DiscoveryInterval is the node metrics reporting period (default 1 m).
 	DiscoveryInterval time.Duration
+	// Replicas geo-replicates the Streaming Brain over this many Paxos
+	// replicas (§7.1); 0 or 1 keeps a single instance. Consumers query
+	// their home replica and fail over to the next live one on timeout.
+	Replicas int
+	// NodeUpstreamTimeout overrides the nodes' upstream-silence detection
+	// window (0 keeps the node default).
+	NodeUpstreamTimeout time.Duration
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -72,6 +90,16 @@ type Cluster struct {
 	Brain *brain.Brain
 	Nodes []*node.Node
 
+	// Replicas holds the geo-replicated Brain group when
+	// ClusterConfig.Replicas > 1 (Brain then aliases Replicas[0].Local).
+	Replicas    []*brain.ReplicatedBrain
+	replicaDown []bool
+	// BrainFailovers counts lookups that timed out on a dead replica and
+	// moved to the next; BrainLookupFailures counts lookups that exhausted
+	// every replica (the consumer node then uses its local path cache).
+	BrainFailovers      uint64
+	BrainLookupFailures uint64
+
 	// RespTimes collects Path Decision response times (Figure 10(a)).
 	RespTimes *stats.Sample
 
@@ -79,6 +107,14 @@ type Cluster struct {
 	// rendition (filled as broadcasters are created); consumer nodes use
 	// it for bitrate down-switching (§5.2).
 	lowerRendition map[uint32]uint32
+
+	// crashed marks overlay nodes taken down by the fault plane.
+	crashed []bool
+	// lastMileClients maps a node to its attached client endpoints and
+	// lastMileLoss remembers each access link's original loss function
+	// (for last-mile degradation and restoration).
+	lastMileClients map[int][]int
+	lastMileLoss    map[int]func(time.Duration) float64
 
 	nextClient int
 	closed     bool
@@ -95,13 +131,16 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	net := netem.New(loop, loop.RNG("netem"))
 
 	c := &Cluster{
-		cfg:            cfg,
-		Loop:           loop,
-		World:          world,
-		Net:            net,
-		RespTimes:      &stats.Sample{},
-		lowerRendition: make(map[uint32]uint32),
-		nextClient:     clientIDBase,
+		cfg:             cfg,
+		Loop:            loop,
+		World:           world,
+		Net:             net,
+		RespTimes:       &stats.Sample{},
+		lowerRendition:  make(map[uint32]uint32),
+		crashed:         make([]bool, cfg.Sites),
+		lastMileClients: make(map[int][]int),
+		lastMileLoss:    make(map[int]func(time.Duration) float64),
+		nextClient:      clientIDBase,
 	}
 
 	// Full-mesh overlay links with geo RTT and near-lossless base loss.
@@ -119,47 +158,143 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 				mid := (world.Sites[i].Lon + world.Sites[j].Lon) / 2
 				return base * (0.4 + 1.8*geo.DiurnalFactor(geo.LocalHour(now, mid)))
 			}
-			net.AddLink(i, j, netem.LinkConfig{
+			lc := netem.LinkConfig{
 				RTT:          world.RTT(i, j),
 				Jitter:       1500 * time.Microsecond,
 				BandwidthBps: cfg.OverlayBandwidthBps,
 				Loss:         lossFn,
-			})
+			}
+			if cfg.BurstLoss {
+				// Bursty episodes scaled off the base loss: mostly quiet,
+				// with short bad states that dominate the long-run rate.
+				lc.Burst = &netem.BurstConfig{
+					PGood:    base * 0.25,
+					PBad:     min(0.2, 30*base),
+					GoodMean: 20 * time.Second,
+					BadMean:  1500 * time.Millisecond,
+				}
+			}
+			net.AddLink(i, j, lc)
 		}
 	}
 
-	c.Brain = brain.New(brain.Config{
+	// Streaming Brain: single instance, or a Paxos-replicated group with
+	// the SIB kept consistent across replicas (§7.1). Aging is enabled so
+	// elements whose owner stops reporting are routed around.
+	bcfg := brain.Config{
 		N:          cfg.Sites,
 		LastResort: world.IXPSites(),
 		Clock:      loop,
-	})
-	c.Brain.EnableDense()
+		StaleAfter: 3 * cfg.DiscoveryInterval,
+	}
+	if cfg.Replicas > 1 {
+		peers := make([]int, cfg.Replicas)
+		for i := range peers {
+			peers[i] = i
+		}
+		c.replicaDown = make([]bool, cfg.Replicas)
+		tr := &paxosTransport{c: c}
+		for i := 0; i < cfg.Replicas; i++ {
+			local := brain.New(bcfg)
+			local.EnableDense()
+			c.Replicas = append(c.Replicas, brain.NewReplicated(local, i, peers, tr, loop))
+		}
+		c.Brain = c.Replicas[0].Local
+	} else {
+		c.Brain = brain.New(bcfg)
+		c.Brain.EnableDense()
+	}
 
 	// Overlay nodes wired to the Brain.
 	for id := 0; id < cfg.Sites; id++ {
-		id := id
-		n := node.New(node.Config{
-			ID:         id,
-			Clock:      loop,
-			Net:        net,
-			LinkRTT:    func(to int) time.Duration { return c.linkRTT(id, to) },
-			PathLookup: c.pathLookup,
-			OnNewStream: func(producer int) func(uint32) {
-				return func(sid uint32) { c.Brain.RegisterStream(sid, producer) }
-			}(id),
-			OnStreamEnded: func(sid uint32) { c.Brain.UnregisterStream(sid) },
-			IsOverlay:     func(id int) bool { return id < clientIDBase },
-			LowerRendition: func(sid uint32) (uint32, bool) {
-				lower, ok := c.lowerRendition[sid]
-				return lower, ok
-			},
-		})
+		n := c.buildNode(id)
 		c.Nodes = append(c.Nodes, n)
 		net.Handle(id, n.OnMessage)
 	}
 
 	c.discoveryLoop()
 	return c
+}
+
+// buildNode constructs one overlay node's instance (also used to bring a
+// crashed node back).
+func (c *Cluster) buildNode(id int) *node.Node {
+	return node.New(node.Config{
+		ID:              id,
+		Clock:           c.Loop,
+		Net:             c.Net,
+		LinkRTT:         func(to int) time.Duration { return c.linkRTT(id, to) },
+		PathLookup:      c.pathLookup,
+		OnNewStream:     func(sid uint32) { c.registerStream(sid, id) },
+		OnStreamEnded:   func(sid uint32) { c.unregisterStream(sid) },
+		IsOverlay:       func(id int) bool { return id < clientIDBase },
+		UpstreamTimeout: c.cfg.NodeUpstreamTimeout,
+		LowerRendition: func(sid uint32) (uint32, bool) {
+			lower, ok := c.lowerRendition[sid]
+			return lower, ok
+		},
+	})
+}
+
+// registerStream records a stream's producer in the SIB: directly on a
+// single Brain, or proposed through the first live replica's Paxos group.
+func (c *Cluster) registerStream(sid uint32, producer int) {
+	if len(c.Replicas) == 0 {
+		c.Brain.RegisterStream(sid, producer)
+		return
+	}
+	for t := 0; t < len(c.Replicas); t++ {
+		if idx := (producer + t) % len(c.Replicas); !c.replicaDown[idx] {
+			c.Replicas[idx].RegisterStream(sid, producer)
+			return
+		}
+	}
+}
+
+func (c *Cluster) unregisterStream(sid uint32) {
+	if len(c.Replicas) == 0 {
+		c.Brain.UnregisterStream(sid)
+		return
+	}
+	for t := 0; t < len(c.Replicas); t++ {
+		if idx := t % len(c.Replicas); !c.replicaDown[idx] {
+			c.Replicas[idx].UnregisterStream(sid)
+			return
+		}
+	}
+}
+
+// eachBrain applies fn to every live Brain instance (Global Discovery
+// reports reach all replicas' local views; dead replicas miss them and
+// catch up from later reports after a restart).
+func (c *Cluster) eachBrain(fn func(*brain.Brain)) {
+	if len(c.Replicas) == 0 {
+		fn(c.Brain)
+		return
+	}
+	for i, rb := range c.Replicas {
+		if !c.replicaDown[i] {
+			fn(rb.Local)
+		}
+	}
+}
+
+// paxosTransport carries replica-to-replica consensus traffic with a
+// modeled inter-DC delay; messages to or from a killed replica vanish.
+type paxosTransport struct{ c *Cluster }
+
+func (t *paxosTransport) Send(from, to int, m replication.Msg) {
+	c := t.c
+	if c.replicaDown[from] || c.replicaDown[to] {
+		return
+	}
+	rng := c.Loop.RNG("paxos")
+	delay := time.Duration(5+rng.Intn(10)) * time.Millisecond
+	c.Loop.AfterFunc(delay, func() {
+		if !c.replicaDown[to] {
+			c.Replicas[to].OnMessage(from, m)
+		}
+	})
 }
 
 // linkRTT is the per-hop RTT estimate a node uses for the delay-extension
@@ -172,9 +307,17 @@ func (c *Cluster) linkRTT(from, to int) time.Duration {
 	return c.World.RTT(from, to)
 }
 
+// replicaTimeout is how long a consumer waits on a Brain replica before
+// failing over to the next one.
+const replicaTimeout = 250 * time.Millisecond
+
 // pathLookup reaches the Brain's Path Decision module with a modeled
 // replica round trip: some consumers are co-located with a replica
-// (§7.1: the Path Decision module is replicated widely).
+// (§7.1: the Path Decision module is replicated widely). With a
+// replicated Brain, the consumer's home replica is consumer mod R; a
+// dead replica times out and the lookup fails over to the next, and when
+// every replica is exhausted the node hears ErrBrainUnreachable and
+// serves from its local path cache.
 func (c *Cluster) pathLookup(sid uint32, consumer int, cb func([][]int, error)) {
 	rng := c.Loop.RNG("brainrtt")
 	var rtt time.Duration
@@ -185,9 +328,36 @@ func (c *Cluster) pathLookup(sid uint32, consumer int, cb func([][]int, error)) 
 	}
 	proc := time.Duration(2+rng.Intn(6)) * time.Millisecond
 	total := rtt + proc
-	c.RespTimes.Add(float64(total) / float64(time.Millisecond))
-	c.Loop.AfterFunc(total, func() {
-		paths, err := c.Brain.Lookup(sid, consumer)
+	if len(c.Replicas) == 0 {
+		c.RespTimes.Add(float64(total) / float64(time.Millisecond))
+		c.Loop.AfterFunc(total, func() {
+			paths, err := c.Brain.Lookup(sid, consumer)
+			cb(paths, err)
+		})
+		return
+	}
+	c.lookupReplica(sid, consumer, consumer%len(c.Replicas), 0, total, cb)
+}
+
+// lookupReplica tries replica (home+tried) mod R, walking the ring until
+// one answers or all have timed out.
+func (c *Cluster) lookupReplica(sid uint32, consumer, home, tried int, rtt time.Duration, cb func([][]int, error)) {
+	if tried >= len(c.Replicas) {
+		c.BrainLookupFailures++
+		c.Loop.AfterFunc(replicaTimeout, func() { cb(nil, ErrBrainUnreachable) })
+		return
+	}
+	idx := (home + tried) % len(c.Replicas)
+	if c.replicaDown[idx] {
+		c.Loop.AfterFunc(replicaTimeout, func() {
+			c.BrainFailovers++
+			c.lookupReplica(sid, consumer, home, tried+1, rtt, cb)
+		})
+		return
+	}
+	c.RespTimes.Add(float64(time.Duration(tried)*replicaTimeout+rtt) / float64(time.Millisecond))
+	c.Loop.AfterFunc(rtt, func() {
+		paths, err := c.Replicas[idx].Lookup(sid, consumer)
 		cb(paths, err)
 	})
 }
@@ -202,6 +372,9 @@ func (c *Cluster) discoveryLoop() {
 		}
 		n := c.cfg.Sites
 		for i := 0; i < n; i++ {
+			if c.crashed[i] {
+				continue // a crashed node cannot report anything
+			}
 			maxUtil := 0.0
 			for j := 0; j < n; j++ {
 				if i == j {
@@ -211,29 +384,32 @@ func (c *Cluster) discoveryLoop() {
 				if !ok {
 					continue
 				}
-				c.Brain.ReportLink(i, j, s.RTT, s.LossRate, s.Utilization)
+				if !c.Net.LinkUp(i, j) {
+					// The node's probes over a dead link time out: report
+					// the failure instead of stale metrics (§4.2).
+					c.eachBrain(func(b *brain.Brain) { b.ReportLinkDown(i, j) })
+					continue
+				}
+				c.eachBrain(func(b *brain.Brain) {
+					b.ReportLink(i, j, s.RTT, s.LossRate, s.Utilization)
+					if s.Utilization >= 0.8 {
+						b.LinkOverloadAlarm(i, j, s.Utilization)
+					}
+				})
 				if s.Utilization > maxUtil {
 					maxUtil = s.Utilization
 				}
-				if s.Utilization >= 0.8 {
-					c.Brain.LinkOverloadAlarm(i, j, s.Utilization)
+			}
+			load := 0.7*maxUtil + 0.3*min(1, float64(c.Nodes[i].StreamCount())/64)
+			c.eachBrain(func(b *brain.Brain) {
+				b.ReportNodeLoad(i, load)
+				if load >= 0.8 {
+					b.OverloadAlarm(i, load)
 				}
-			}
-			load := 0.7*maxUtil + 0.3*minf(1, float64(c.Nodes[i].StreamCount())/64)
-			c.Brain.ReportNodeLoad(i, load)
-			if load >= 0.8 {
-				c.Brain.OverloadAlarm(i, load)
-			}
+			})
 		}
 		c.discoveryLoop()
 	})
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // allocClientID reserves a fresh client endpoint ID.
@@ -254,6 +430,8 @@ func (c *Cluster) lastMile(clientID, nodeID int, rtt time.Duration, loss float64
 		cfg.Loss = func(time.Duration) float64 { return loss }
 	}
 	c.Net.AddDuplex(clientID, nodeID, cfg)
+	c.lastMileClients[nodeID] = append(c.lastMileClients[nodeID], clientID)
+	c.lastMileLoss[clientID] = cfg.Loss
 }
 
 // NewBroadcasterAt creates a broadcaster at the given location, mapped by
@@ -336,10 +514,120 @@ func (c *Cluster) Run(d time.Duration) {
 	c.Loop.RunUntil(c.Loop.Now() + d)
 }
 
+// --- Fault-injection surface (driven by internal/chaos) ---
+
+// CrashNode fail-stops an overlay node: its process dies (handler gone,
+// timers stopped) and every incident link goes dark. Recovery flows
+// through the system itself — neighbors report dead links, the Brain
+// ages the node out, downstream nodes fast-switch.
+func (c *Cluster) CrashNode(id int) {
+	if id < 0 || id >= c.cfg.Sites || c.crashed[id] {
+		return
+	}
+	c.crashed[id] = true
+	c.Nodes[id].Close()
+	c.Net.Handle(id, nil)
+	for j := 0; j < c.cfg.Sites; j++ {
+		if j != id {
+			c.Net.SetLinkUp(id, j, false)
+			c.Net.SetLinkUp(j, id, false)
+		}
+	}
+	for _, cl := range c.lastMileClients[id] {
+		c.Net.SetLinkUp(id, cl, false)
+		c.Net.SetLinkUp(cl, id, false)
+	}
+}
+
+// RestartNode brings a crashed node back with empty state (a fresh
+// process): its links come up and it resumes reporting; streams reappear
+// only as downstream subscriptions re-establish through it.
+func (c *Cluster) RestartNode(id int) {
+	if id < 0 || id >= c.cfg.Sites || !c.crashed[id] {
+		return
+	}
+	c.crashed[id] = false
+	n := c.buildNode(id)
+	c.Nodes[id] = n
+	c.Net.Handle(id, n.OnMessage)
+	for j := 0; j < c.cfg.Sites; j++ {
+		if j != id && !c.crashed[j] {
+			c.Net.SetLinkUp(id, j, true)
+			c.Net.SetLinkUp(j, id, true)
+		}
+	}
+	for _, cl := range c.lastMileClients[id] {
+		c.Net.SetLinkUp(id, cl, true)
+		c.Net.SetLinkUp(cl, id, true)
+	}
+}
+
+// NodeCrashed reports whether a node is currently failed.
+func (c *Cluster) NodeCrashed(id int) bool {
+	return id >= 0 && id < len(c.crashed) && c.crashed[id]
+}
+
+// SetOverlayLink cuts or restores the duplex overlay link between two
+// sites (a "fiber cut", distinct from congestion).
+func (c *Cluster) SetOverlayLink(a, b int, up bool) {
+	c.Net.SetLinkUp(a, b, up)
+	c.Net.SetLinkUp(b, a, up)
+}
+
+// SetOverlayBurst installs (or clears, with nil) a bursty-loss episode
+// generator on the duplex overlay link between two sites.
+func (c *Cluster) SetOverlayBurst(a, b int, cfg *netem.BurstConfig) {
+	c.Net.SetBurst(a, b, cfg)
+	c.Net.SetBurst(b, a, cfg)
+}
+
+// DegradeLastMile sets every access link of a node's attached clients to
+// the given loss rate; it returns how many clients were affected.
+func (c *Cluster) DegradeLastMile(nodeID int, loss float64) int {
+	fn := func(time.Duration) float64 { return loss }
+	for _, cl := range c.lastMileClients[nodeID] {
+		c.Net.SetLoss(nodeID, cl, fn)
+		c.Net.SetLoss(cl, nodeID, fn)
+	}
+	return len(c.lastMileClients[nodeID])
+}
+
+// RestoreLastMile reinstates the original loss on a node's access links.
+func (c *Cluster) RestoreLastMile(nodeID int) {
+	for _, cl := range c.lastMileClients[nodeID] {
+		fn := c.lastMileLoss[cl]
+		c.Net.SetLoss(nodeID, cl, fn)
+		c.Net.SetLoss(cl, nodeID, fn)
+	}
+}
+
+// KillReplica takes a Brain replica down: it stops answering lookups and
+// drops out of the consensus group (no-op without a replicated Brain).
+func (c *Cluster) KillReplica(i int) {
+	if i >= 0 && i < len(c.replicaDown) {
+		c.replicaDown[i] = true
+	}
+}
+
+// RestartReplica brings a Brain replica back; it catches up on SIB state
+// from subsequent consensus traffic and on view state from the next
+// discovery reports.
+func (c *Cluster) RestartReplica(i int) {
+	if i >= 0 && i < len(c.replicaDown) {
+		c.replicaDown[i] = false
+	}
+}
+
 // Close stops timers.
 func (c *Cluster) Close() {
 	c.closed = true
-	c.Brain.Close()
+	if len(c.Replicas) > 0 {
+		for _, rb := range c.Replicas {
+			rb.Close()
+		}
+	} else {
+		c.Brain.Close()
+	}
 	for _, n := range c.Nodes {
 		n.Close()
 	}

@@ -312,7 +312,7 @@ func (e *macroEnv) stallsFor(sys System, dur time.Duration, path []int, cp clien
 		} else {
 			// RTMP/TCP: every loss head-of-line-blocks the hop for
 			// ~1.5 RTT; long-RTT hops drain the 300 ms buffer.
-			perPkt += rho * minf(1, 1.5*rttMs/300) * 0.001
+			perPkt += rho * min(1, 1.5*rttMs/300) * 0.001
 		}
 	}
 	// Last mile: NACK from the consumer (LiveNet) / TCP from the edge

@@ -50,7 +50,7 @@ func runMacroHier(cfg MacroConfig) *MacroResult {
 	nextLossSample := time.Duration(0)
 	const dayChunk = 24 * time.Hour
 	for chunk := time.Duration(0); chunk < e.horizon; chunk += dayChunk {
-		views := e.gen.Views(chunk, minDur(chunk+dayChunk, e.horizon))
+		views := e.gen.Views(chunk, min(chunk+dayChunk, e.horizon))
 		for _, v := range views {
 			for len(e.deps) > 0 && e.deps[0].at <= v.Start {
 				d := heap.Pop(&e.deps).(departure)

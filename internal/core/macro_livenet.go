@@ -73,13 +73,13 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 				}
 				util := 0.0
 				if !cfg.DisableLoadWeights {
-					util = minf(1, float64(linkLoad[lkey(i, j)])*cfg.StreamBitrate/8/perLinkCap(i, j))
+					util = min(1, float64(linkLoad[lkey(i, j)])*cfg.StreamBitrate/8/perLinkCap(i, j))
 				}
 				br.ReportLink(i, j, e.world.RTT(i, j), e.linkLoss(i, j, t), util)
 			}
 			util := 0.0
 			if !cfg.DisableLoadWeights {
-				util = minf(1, float64(nodeLoad[i])*cfg.StreamBitrate/(e.world.Sites[i].CapacityMbps*1e6))
+				util = min(1, float64(nodeLoad[i])*cfg.StreamBitrate/(e.world.Sites[i].CapacityMbps*1e6))
 			}
 			br.ReportNodeLoad(i, util)
 			if util >= 0.8 {
@@ -112,7 +112,7 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 	nextRefresh := 10 * time.Minute
 	const dayChunk = 24 * time.Hour
 	for chunk := time.Duration(0); chunk < e.horizon; chunk += dayChunk {
-		views := e.gen.Views(chunk, minDur(chunk+dayChunk, e.horizon))
+		views := e.gen.Views(chunk, min(chunk+dayChunk, e.horizon))
 		for _, v := range views {
 			// Departures and refreshes due before this arrival.
 			for len(e.deps) > 0 && e.deps[0].at <= v.Start {
@@ -140,13 +140,6 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 	e.res.BrainMetrics = br.Metrics()
 	e.foldUniquePaths()
 	return e.res
-}
-
-func minDur(a, b time.Duration) time.Duration {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // handleLiveNetView runs Algorithm 1 for one viewing session.

@@ -1,0 +1,83 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultReportReplaysByteIdentically is the chaos-plane analogue of
+// TestParallelMatchesSerial: a fixed seed must replay the fault timeline
+// and the rendered recovery report byte-for-byte.
+func TestFaultReportReplaysByteIdentically(t *testing.T) {
+	a := FaultReport(42)
+	b := FaultReport(42)
+	if a != b {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty report")
+	}
+	for _, want := range []string{"node-crash", "replica-kill", "fault schedule:"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestRelayCrashPaperShape pins the paper-shaped result: LiveNet's
+// silence detection + pre-delivered backups recover an order of
+// magnitude faster than the centralized baseline.
+func TestRelayCrashPaperShape(t *testing.T) {
+	ln, hr := RelayCrashCompare(42)
+	if ln.FastSwitches < 1 {
+		t.Fatalf("LiveNet never fast-switched: %+v", ln)
+	}
+	if ln.RecoveredAfterMs <= 0 || hr.RecoveredAfterMs <= 0 {
+		t.Fatalf("missing recovery edge: ln=%.0f hr=%.0f", ln.RecoveredAfterMs, hr.RecoveredAfterMs)
+	}
+	if ln.RecoveredAfterMs >= hr.RecoveredAfterMs/4 {
+		t.Fatalf("LiveNet recovery %.0f ms not clearly faster than Hier %.0f ms",
+			ln.RecoveredAfterMs, hr.RecoveredAfterMs)
+	}
+	// The switch must complete within ~2x the 300 ms detection window.
+	if ln.OutageMs > 2*ln.DetectionMs+100 {
+		t.Fatalf("LiveNet viewer outage %.0f ms exceeds the detection budget", ln.OutageMs)
+	}
+	if ln.FramesPlayed <= hr.FramesPlayed {
+		t.Fatalf("LiveNet should play more frames through the fault: %d vs %d",
+			ln.FramesPlayed, hr.FramesPlayed)
+	}
+}
+
+// TestCacheFallbackRecoversWithoutBrain pins §4.4's node-local path
+// cache: with the Brain unreachable and both relays dead, the consumer
+// cycles its cached paths and resumes as soon as a relay returns.
+func TestCacheFallbackRecoversWithoutBrain(t *testing.T) {
+	cf := CacheFallback(42)
+	if cf.CacheFallbacks < 1 {
+		t.Fatalf("local path cache never used: %+v", cf)
+	}
+	if cf.RecoveredAfterMs <= 0 {
+		t.Fatal("playback never resumed after the double crash")
+	}
+	// Relay 1 restarts 2 s after the crash; recovery should follow within
+	// a couple of retry windows, not wait out the run.
+	if cf.RecoveredAfterMs > 4500 {
+		t.Fatalf("recovered %.0f ms after crash, want shortly after the 2 s restart", cf.RecoveredAfterMs)
+	}
+}
+
+// TestBrainOutageNoRoutingLoss pins replica failover: killing one of
+// three Paxos replicas mid-run loses no lookup and starts every viewer.
+func TestBrainOutageNoRoutingLoss(t *testing.T) {
+	bo := BrainOutage(42)
+	if bo.Failovers < 1 {
+		t.Fatalf("no lookup ever homed to the dead replica: %+v", bo)
+	}
+	if bo.LookupFailures != 0 {
+		t.Fatalf("%d lookups failed during the replica outage", bo.LookupFailures)
+	}
+	if bo.Started != bo.Viewers {
+		t.Fatalf("only %d/%d viewers started", bo.Started, bo.Viewers)
+	}
+}

@@ -31,6 +31,10 @@ type Link struct {
 	RTT      time.Duration
 	Loss     float64 // packet loss rate in [0,1]
 	Util     float64 // link utilization in [0,1]
+	// Down marks a failed link: its weight is +Inf (so KSP never routes
+	// through it) and the validity filter treats it like an overloaded
+	// link. A fresh SetLink measurement clears it.
+	Down bool
 }
 
 // Graph is a directed overlay graph over nodes 0..N-1.
@@ -40,6 +44,7 @@ type Graph struct {
 	adj      [][]int // adjacency lists (out-neighbors)
 	links    map[int64]*Link
 	nodeUtil []float64 // combined node load metric in [0,1] (§4.2 footnote)
+	nodeDown []bool    // failed nodes: every incident link weighs +Inf
 
 	// Per-neighbor weight cache: wNbrs[id][i] is Weight(id, adj[id][i]),
 	// rebuilt lazily per version (the Brain mutates the view only between
@@ -60,6 +65,7 @@ func New(n int) *Graph {
 		adj:      make([][]int, n),
 		links:    make(map[int64]*Link),
 		nodeUtil: make([]float64, n),
+		nodeDown: make([]bool, n),
 		version:  1,
 		wNbrs:    make([][]float64, n),
 		wStamp:   make([]uint64, n),
@@ -67,12 +73,14 @@ func New(n int) *Graph {
 	}
 }
 
-// SetLink creates or updates the directed link from→to.
+// SetLink creates or updates the directed link from→to. A fresh
+// measurement proves the link carries traffic, so it also clears Down.
 func (g *Graph) SetLink(from, to int, rtt time.Duration, loss, util float64) {
 	g.version++
 	k := key(from, to)
 	if l, ok := g.links[k]; ok {
 		l.RTT, l.Loss, l.Util = rtt, loss, util
+		l.Down = false
 		return
 	}
 	l := &Link{From: from, To: to, RTT: rtt, Loss: loss, Util: util}
@@ -98,6 +106,29 @@ func (g *Graph) SetNodeUtil(id int, u float64) {
 // NodeUtil returns the combined load metric for a node.
 func (g *Graph) NodeUtil(id int) float64 { return g.nodeUtil[id] }
 
+// SetLinkDown marks/clears failure state on the directed link from→to.
+func (g *Graph) SetLinkDown(from, to int, down bool) {
+	l := g.links[key(from, to)]
+	if l == nil || l.Down == down {
+		return
+	}
+	g.version++
+	l.Down = down
+}
+
+// SetNodeDown marks/clears failure state on a node; while down, every
+// link incident to it weighs +Inf and the validity filter rejects it.
+func (g *Graph) SetNodeDown(id int, down bool) {
+	if g.nodeDown[id] == down {
+		return
+	}
+	g.version++
+	g.nodeDown[id] = down
+}
+
+// NodeDown reports a node's failure state.
+func (g *Graph) NodeDown(id int) bool { return g.nodeDown[id] }
+
 // Sigmoid is f(u) from Eq. 3, with u in [0,1] (converted internally to
 // percentage points). It ranges over (1,2): ≈1 for idle links and ≈2 for
 // saturated ones, with the inflection at β=80%.
@@ -117,6 +148,9 @@ func (g *Graph) Weight(from, to int) float64 {
 }
 
 func (g *Graph) linkWeight(l *Link) float64 {
+	if l.Down || g.nodeDown[l.From] || g.nodeDown[l.To] {
+		return math.Inf(1)
+	}
 	rttMs := float64(l.RTT) / float64(time.Millisecond)
 	expected := l.Loss*2*rttMs + (1-l.Loss)*rttMs
 	u := math.Max(l.Util, math.Max(g.nodeUtil[l.From], g.nodeUtil[l.To]))
@@ -148,7 +182,7 @@ func (g *Graph) NeighborWeights(id int) ([]int, []float64) {
 // or beyond the overload target.
 func (g *Graph) LinkOverloaded(from, to int) bool {
 	l := g.links[key(from, to)]
-	if l == nil {
+	if l == nil || l.Down {
 		return true
 	}
 	return l.Util >= OverloadTarget ||
@@ -157,7 +191,10 @@ func (g *Graph) LinkOverloaded(from, to int) bool {
 }
 
 // NodeOverloaded reports whether the node is at or beyond the target.
-func (g *Graph) NodeOverloaded(id int) bool { return g.nodeUtil[id] >= OverloadTarget }
+// A down node is unusable a fortiori.
+func (g *Graph) NodeOverloaded(id int) bool {
+	return g.nodeDown[id] || g.nodeUtil[id] >= OverloadTarget
+}
 
 // PathOverloaded reports whether any link or node along the path is
 // overloaded. The path is a node sequence including both endpoints.
@@ -191,8 +228,12 @@ func (g *Graph) PathRTT(path []int) time.Duration {
 func (g *Graph) Clone() *Graph {
 	c := New(g.N)
 	copy(c.nodeUtil, g.nodeUtil)
+	copy(c.nodeDown, g.nodeDown)
 	for _, l := range g.links {
 		c.SetLink(l.From, l.To, l.RTT, l.Loss, l.Util)
+		if l.Down {
+			c.SetLinkDown(l.From, l.To, true)
+		}
 	}
 	return c
 }

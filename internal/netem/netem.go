@@ -29,9 +29,46 @@ type LinkConfig struct {
 	// Loss returns the packet loss probability at the given time,
 	// allowing diurnal loss patterns (Figure 13). Nil means no loss.
 	Loss func(now time.Duration) float64
+	// Burst layers per-link Gilbert-Elliott bursty loss on top of Loss.
+	// Unlike a shared GilbertElliott closure, the Markov state lives in
+	// the link itself, so one config value can safely parameterize many
+	// links (each advances independently). Nil means no bursty episode.
+	Burst *BurstConfig
 	// MaxQueue bounds the queueing delay; packets that would wait longer
 	// are dropped (tail drop).
 	MaxQueue time.Duration
+}
+
+// BurstConfig parameterizes two-state Gilbert-Elliott bursty loss: the
+// link alternates between a good state (loss PGood) and a bad state
+// (loss PBad) with mean sojourn times GoodMean/BadMean.
+type BurstConfig struct {
+	PGood, PBad       float64
+	GoodMean, BadMean time.Duration
+}
+
+// burstState is the per-link Markov chain for BurstConfig.
+type burstState struct {
+	cfg        BurstConfig
+	inBad      bool
+	stateUntil time.Duration
+}
+
+// loss advances the chain to now and returns the current state's loss.
+func (b *burstState) loss(now time.Duration, rng *sim.Rand) float64 {
+	for now >= b.stateUntil {
+		if b.inBad {
+			b.inBad = false
+			b.stateUntil = now + time.Duration(rng.Exp(float64(b.cfg.GoodMean)))
+		} else {
+			b.inBad = true
+			b.stateUntil = now + time.Duration(rng.Exp(float64(b.cfg.BadMean)))
+		}
+	}
+	if b.inBad {
+		return b.cfg.PBad
+	}
+	return b.cfg.PGood
 }
 
 // DefaultLinkConfig fills in defaults for zero fields.
@@ -56,7 +93,11 @@ type Stats struct {
 }
 
 type link struct {
-	cfg       LinkConfig
+	cfg LinkConfig
+	// down is first-class link failure state: a down link swallows every
+	// packet (a cut fiber, not a congested one) until SetLinkUp restores it.
+	down      bool
+	burst     *burstState
 	busyUntil time.Duration
 	// lastArrival enforces FIFO delivery: jitter varies per-packet delay
 	// but real links do not reorder, so arrivals are clamped monotone.
@@ -129,7 +170,11 @@ func (n *Network) Handle(node int, h Handler) { n.handlers[node] = h }
 
 // AddLink installs a directed link from→to, replacing any existing one.
 func (n *Network) AddLink(from, to int, cfg LinkConfig) {
-	n.links[key(from, to)] = &link{cfg: cfg.withDefaults(), windowStart: n.loop.Now()}
+	l := &link{cfg: cfg.withDefaults(), windowStart: n.loop.Now()}
+	if l.cfg.Burst != nil {
+		l.burst = &burstState{cfg: *l.cfg.Burst}
+	}
+	n.links[key(from, to)] = l
 }
 
 // AddDuplex installs the link in both directions.
@@ -158,6 +203,14 @@ func (n *Network) Send(from, to int, data []byte) error {
 	l.curSent++
 	l.curBytes += int64(len(data))
 
+	// A down link swallows everything (cut fiber semantics): the sender
+	// sees nothing, exactly like UDP into a black hole.
+	if l.down {
+		l.totalLost++
+		l.curLost++
+		return nil
+	}
+
 	// Queueing + serialization.
 	queueWait := l.busyUntil - now
 	if queueWait < 0 {
@@ -171,8 +224,18 @@ func (n *Network) Send(from, to int, data []byte) error {
 	serialization := time.Duration(float64(len(data)*8) / l.cfg.BandwidthBps * float64(time.Second))
 	l.busyUntil = now + queueWait + serialization
 
-	// Random loss.
-	if l.cfg.Loss != nil && n.rng.Bernoulli(l.cfg.Loss(now)) {
+	// Random loss: the base (possibly diurnal) rate, raised to the bursty
+	// episode's state loss when a Gilbert-Elliott chain is attached.
+	p := 0.0
+	if l.cfg.Loss != nil {
+		p = l.cfg.Loss(now)
+	}
+	if l.burst != nil {
+		if bp := l.burst.loss(now, n.rng); bp > p {
+			p = bp
+		}
+	}
+	if p > 0 && n.rng.Bernoulli(p) {
 		l.totalLost++
 		l.curLost++
 		return nil
@@ -240,13 +303,51 @@ func (n *Network) LinkStats(from, to int) (Stats, bool) {
 
 // Ping emulates the UDP ping probe used by Global Discovery for links the
 // node has not recently transmitted over: it returns the link's current
-// RTT (propagation + queueing) without sending data packets.
+// RTT (propagation + queueing) without sending data packets. A down link
+// does not answer pings.
 func (n *Network) Ping(from, to int) (time.Duration, bool) {
+	if l := n.links[key(from, to)]; l == nil || l.down {
+		return 0, false
+	}
 	s, ok := n.LinkStats(from, to)
 	if !ok {
 		return 0, false
 	}
 	return s.RTT, true
+}
+
+// SetLinkUp flips the first-class up/down state of an existing link.
+// Packets already in flight are unaffected (they left before the cut);
+// packets sent while down are swallowed. Returns false if no such link.
+func (n *Network) SetLinkUp(from, to int, up bool) bool {
+	l := n.links[key(from, to)]
+	if l == nil {
+		return false
+	}
+	l.down = !up
+	return true
+}
+
+// LinkUp reports whether the from→to link exists and is up.
+func (n *Network) LinkUp(from, to int) bool {
+	l := n.links[key(from, to)]
+	return l != nil && !l.down
+}
+
+// SetBurst attaches (or, with nil, clears) a Gilbert-Elliott bursty-loss
+// chain on an existing link. The chain's state is per link; installing the
+// same config on many links gives each an independent chain.
+func (n *Network) SetBurst(from, to int, cfg *BurstConfig) bool {
+	l := n.links[key(from, to)]
+	if l == nil {
+		return false
+	}
+	if cfg == nil {
+		l.burst = nil
+	} else {
+		l.burst = &burstState{cfg: *cfg}
+	}
+	return true
 }
 
 // SetLoss swaps the loss function on an existing link (used by failure
@@ -277,7 +378,8 @@ func (n *Network) SetBandwidth(from, to int, bps float64) bool {
 // together, which is what drains play buffers in practice. The function
 // advances its state based on elapsed time between calls, so it works for
 // any packet rate. Not safe for use on multiple links (state is per
-// closure) — create one per link.
+// closure) — create one per link, or prefer LinkConfig.Burst / SetBurst,
+// which keep an independent chain inside each link.
 func GilbertElliott(rng *sim.Rand, pGood, pBad float64, goodMean, badMean time.Duration) func(now time.Duration) float64 {
 	inBad := false
 	var stateUntil time.Duration

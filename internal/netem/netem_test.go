@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -325,6 +326,129 @@ func TestGilbertElliottBurstiness(t *testing.T) {
 	}
 	if runs < 5 {
 		t.Fatalf("only %d loss bursts of length >=3; GE loss should be bursty", runs)
+	}
+}
+
+func TestSetLinkUpDown(t *testing.T) {
+	loop, net := newNet(11)
+	net.AddLink(0, 1, LinkConfig{RTT: 40 * time.Millisecond, BandwidthBps: 1e9})
+	delivered := 0
+	net.Handle(1, func(int, []byte) { delivered++ })
+
+	net.Send(0, 1, []byte{1}) // in flight before the cut
+	if !net.SetLinkUp(0, 1, false) {
+		t.Fatal("SetLinkUp failed")
+	}
+	if net.LinkUp(0, 1) {
+		t.Fatal("link should report down")
+	}
+	net.Send(0, 1, []byte{2}) // swallowed by the cut fiber
+	if _, ok := net.Ping(0, 1); ok {
+		t.Fatal("a down link must not answer pings")
+	}
+	loop.AfterFunc(time.Second, func() {
+		net.SetLinkUp(0, 1, true)
+		net.Send(0, 1, []byte{3})
+	})
+	loop.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered %d, want 2: the in-flight packet left before the cut, the post-restore one after", delivered)
+	}
+	s, _ := net.LinkStats(0, 1)
+	if s.LostPackets != 1 {
+		t.Fatalf("lost = %d, want the one swallowed packet", s.LostPackets)
+	}
+	if net.SetLinkUp(0, 9, false) {
+		t.Fatal("SetLinkUp on missing link should fail")
+	}
+}
+
+func TestSetLossMidRunSparesInFlight(t *testing.T) {
+	loop, net := newNet(12)
+	net.AddLink(0, 1, LinkConfig{RTT: 40 * time.Millisecond, BandwidthBps: 1e9})
+	delivered := 0
+	net.Handle(1, func(int, []byte) { delivered++ })
+	net.Send(0, 1, []byte{1})
+	// Flip to 100% loss while the first packet is still in flight.
+	net.SetLoss(0, 1, func(time.Duration) float64 { return 1 })
+	loop.AfterFunc(100*time.Millisecond, func() { net.Send(0, 1, []byte{2}) })
+	loop.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1: loss rolls at send time, so in-flight packets keep their fate", delivered)
+	}
+}
+
+func TestSetBandwidthMidRunSparesInFlight(t *testing.T) {
+	loop, net := newNet(13)
+	net.AddLink(0, 1, LinkConfig{RTT: time.Millisecond, BandwidthBps: 1e8, MaxQueue: time.Hour})
+	var arrivals []time.Duration
+	net.Handle(1, func(int, []byte) { arrivals = append(arrivals, loop.Now()) })
+	pkt := make([]byte, 12500) // 1 ms serialization at 100 Mbps, 1 s at 100 kbps
+	net.Send(0, 1, pkt)
+	net.SetBandwidth(0, 1, 1e5)
+	loop.AfterFunc(10*time.Millisecond, func() { net.Send(0, 1, pkt) })
+	loop.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v, want 2", arrivals)
+	}
+	if arrivals[0] > 10*time.Millisecond {
+		t.Fatalf("in-flight packet must keep the old capacity's service time, arrived %v", arrivals[0])
+	}
+	if arrivals[1] < time.Second {
+		t.Fatalf("post-change packet must see the new capacity, arrived %v", arrivals[1])
+	}
+}
+
+func TestBurstPerLinkIndependentChains(t *testing.T) {
+	// One BurstConfig value parameterizes two links: each link advances
+	// its own Markov chain (the closure-state footgun GilbertElliott has),
+	// so the two loss patterns differ, yet the whole thing replays
+	// identically for a fixed seed.
+	run := func() (lostA, lostB map[int]bool) {
+		loop, net := newNet(14)
+		burst := &BurstConfig{PGood: 0, PBad: 1, GoodMean: 300 * time.Millisecond, BadMean: 100 * time.Millisecond}
+		cfg := LinkConfig{RTT: time.Millisecond, BandwidthBps: 1e9, Burst: burst}
+		net.AddLink(0, 1, cfg)
+		net.AddLink(0, 2, cfg)
+		got := map[int]map[int]bool{1: {}, 2: {}}
+		for _, to := range []int{1, 2} {
+			to := to
+			net.Handle(to, func(_ int, data []byte) {
+				got[to][int(data[0])<<8|int(data[1])] = true
+			})
+		}
+		for i := 0; i < 2000; i++ {
+			i := i
+			loop.AfterFunc(time.Duration(i)*2*time.Millisecond, func() {
+				pkt := []byte{byte(i >> 8), byte(i)}
+				net.Send(0, 1, pkt)
+				net.Send(0, 2, pkt)
+			})
+		}
+		loop.Run()
+		lostA, lostB = map[int]bool{}, map[int]bool{}
+		for i := 0; i < 2000; i++ {
+			if !got[1][i] {
+				lostA[i] = true
+			}
+			if !got[2][i] {
+				lostB[i] = true
+			}
+		}
+		return lostA, lostB
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(b1, b2) {
+		t.Fatal("same seed produced different bursty-loss patterns")
+	}
+	if len(a1) == 0 || len(b1) == 0 {
+		t.Fatal("bursty loss never fired")
+	}
+	// Independent chains: identical send schedules through a shared chain
+	// would lose identical packet sets on both links.
+	if reflect.DeepEqual(a1, b1) {
+		t.Fatalf("both links lost the same %d packets; chains look shared", len(a1))
 	}
 }
 

@@ -56,7 +56,7 @@ func (n *Node) AttachViewer(clientID int, sid uint32) bool {
 	s := n.streams[sid]
 	if s != nil && s.established && s.cache.HasRecentGoP() {
 		// Algorithm 1 lines 1–3: local hit.
-		s.clients[clientID] = c
+		s.addClient(c)
 		n.metrics.LocalHits++
 		replay := s.cache.StartupPackets()
 		n.mu.Unlock()
@@ -67,7 +67,7 @@ func (n *Node) AttachViewer(clientID int, sid uint32) bool {
 	if s == nil {
 		s = n.newStream(sid)
 	}
-	s.clients[clientID] = c
+	s.addClient(c)
 	n.ensureSubscribedLocked(s)
 	n.mu.Unlock()
 	return false
@@ -117,7 +117,7 @@ func (n *Node) DetachViewer(clientID int, sid uint32) {
 	if s == nil {
 		return
 	}
-	delete(s.clients, clientID)
+	s.dropClient(clientID)
 	n.maybeTeardownLocked(s)
 }
 
@@ -174,10 +174,22 @@ func (n *Node) onPaths(sid uint32, paths [][]int, err error) {
 		return
 	}
 	if err != nil || len(paths) == 0 {
-		return // viewers stay parked; a retry can come from re-attach
+		// Brain unreachable or answerless: serve from the node-local path
+		// cache (§4.3). With nothing cached the viewers stay parked and the
+		// slow-path scan retries after EstablishTimeout.
+		if len(s.cachedPaths) > 0 {
+			n.metrics.CacheFallbacks++
+			best := s.cachedPaths[0]
+			s.backupPaths = append(s.backupPaths[:0], s.cachedPaths[1:]...)
+			n.establishLocked(s, best)
+			return
+		}
+		s.retryAt = n.cfg.Clock.Now() + n.cfg.EstablishTimeout
+		return
 	}
 	best := paths[0]
 	s.backupPaths = paths[1:]
+	s.cachedPaths = append(s.cachedPaths[:0], paths...)
 	n.establishLocked(s, best)
 }
 
@@ -192,8 +204,11 @@ func (n *Node) establishLocked(s *stream, path []int) {
 	// Reverse route: previous hop first, then the rest toward the producer.
 	if len(path) == 1 {
 		// Single-node path: we are (or will be) the producer; nothing to do.
+		s.retryAt = 0
 		return
 	}
+	// Re-arm in case the Subscribe (or its ack) is lost to a failure.
+	s.retryAt = n.cfg.Clock.Now() + n.cfg.EstablishTimeout
 	prevHop := path[len(path)-2]
 	rest := make([]uint16, 0, len(path)-2)
 	for i := len(path) - 3; i >= 0; i-- {
@@ -215,7 +230,7 @@ func (n *Node) onSubscribe(from int, data []byte) {
 		// requester to the FIB, prime it from the GoP cache, and ack with
 		// our actual upstream path so the requester learns the real
 		// (possibly long-chain) path.
-		s.subscribers[int(sub.Requester)] = true
+		s.addSubscriber(int(sub.Requester))
 		n.metrics.CacheHitPrimes++
 		for _, cp := range s.cache.StartupPackets() {
 			class := gcc.ClassVideo
@@ -237,7 +252,7 @@ func (n *Node) onSubscribe(from int, data []byte) {
 	if s == nil {
 		s = n.newStream(sub.StreamID)
 	}
-	s.subscribers[int(sub.Requester)] = true
+	s.addSubscriber(int(sub.Requester))
 	s.pendingSubs = append(s.pendingSubs, sub.Requester)
 	if s.lookupPending {
 		return // establishment already under way
@@ -266,9 +281,13 @@ func (n *Node) onSubAck(from int, data []byte) {
 		return
 	}
 	s.lookupPending = false
+	s.retryAt = 0
 	wasEstablished := s.established
 	s.established = true
 	s.upstream = from
+	// Establishment counts as liveness: the silence detector starts its
+	// window here, so a path that acks but never delivers is also caught.
+	s.lastData = n.cfg.Clock.Now()
 	s.fullPath = s.fullPath[:0]
 	for _, h := range ack.Path {
 		s.fullPath = append(s.fullPath, int(h))
@@ -296,7 +315,7 @@ func (n *Node) onUnsubscribe(from int, data []byte) {
 	if s == nil {
 		return
 	}
-	delete(s.subscribers, int(u.Requester))
+	s.dropSubscriber(int(u.Requester))
 	n.maybeTeardownLocked(s)
 }
 
@@ -437,6 +456,34 @@ func (n *Node) ReportClientQuality(clientID int, sid uint32, stalls int) {
 	n.mu.Unlock()
 }
 
+// switchPathLocked moves a stream to its next backup path, re-querying
+// the Brain when backups are exhausted (the fast path switch of §4.3;
+// the same ladder as ReportClientQuality but driven by upstream silence
+// or a stuck establishment instead of viewer stall reports).
+func (n *Node) switchPathLocked(s *stream) {
+	if s.upstream < 0 && len(s.requestedPath) >= 2 {
+		// A Subscribe may still be parked at the silent previous hop;
+		// withdraw it so we do not remain in its FIB.
+		u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
+		n.sendControl(s.requestedPath[len(s.requestedPath)-2], u.Marshal(nil))
+	}
+	if len(s.backupPaths) > 0 {
+		next := s.backupPaths[0]
+		s.backupPaths = s.backupPaths[1:]
+		n.resubscribeLocked(s, next)
+		return
+	}
+	if s.upstream >= 0 {
+		u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
+		n.sendControl(s.upstream, u.Marshal(nil))
+	}
+	s.established = false
+	s.upstream = -1
+	s.rx = nil
+	s.lookupPending = false
+	n.ensureSubscribedLocked(s)
+}
+
 // resubscribeLocked tears down the current upstream and establishes path.
 func (n *Node) resubscribeLocked(s *stream, path []int) {
 	if s.upstream >= 0 {
@@ -498,7 +545,7 @@ func (n *Node) SwitchClientStream(clientID int, oldSID, newSID uint32) <-chan st
 			var c *clientState
 			if os != nil {
 				c = os.clients[clientID]
-				delete(os.clients, clientID)
+				os.dropClient(clientID)
 				n.maybeTeardownLocked(os)
 			}
 			if c == nil {
@@ -506,7 +553,7 @@ func (n *Node) SwitchClientStream(clientID int, oldSID, newSID uint32) <-chan st
 			}
 			c.streamID = newSID
 			c.firstSent = true // not a fresh startup; no first-packet event
-			ns.clients[clientID] = c
+			ns.addClient(c)
 			replay := ns.cache.StartupPackets()
 			n.mu.Unlock()
 			n.primeClient(c, replay)

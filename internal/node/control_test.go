@@ -201,6 +201,73 @@ func TestPathSwitchReQueriesWhenBackupsExhausted(t *testing.T) {
 	}
 }
 
+func TestFastSwitchOnUpstreamSilence(t *testing.T) {
+	// Failure detection (§4.3): the relay on the primary path fail-stops;
+	// the consumer notices upstream silence within UpstreamTimeout and
+	// adopts the pre-delivered backup path without consulting the Brain.
+	h := newHarness(t, 26, []int{0, 1, 2})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 2, 20*time.Millisecond, 0)
+	h.link(2, 1, 20*time.Millisecond, 0)
+	h.link(0, 1, 30*time.Millisecond, 0)
+	h.link(1, viewerBase, 10*time.Millisecond, 0)
+	var arrivals []time.Duration
+	h.net.Handle(viewerBase, func(_ int, data []byte) {
+		if wire.Kind(data) == wire.MsgRTP {
+			arrivals = append(arrivals, h.loop.Now())
+		}
+	})
+
+	const sid = 70
+	h.paths[sid] = [][]int{{0, 2, 1}, {0, 1}} // primary via relay 2, direct backup
+	h.nodes[1].cfg.UpstreamTimeout = 500 * time.Millisecond
+	h.broadcast(sid, 0, 300) // 12 s of video
+
+	h.loop.AfterFunc(500*time.Millisecond, func() {
+		h.nodes[1].AttachViewer(viewerBase, sid)
+	})
+	const crashAt = 4 * time.Second
+	h.loop.AfterFunc(crashAt, func() {
+		// Relay 2 fail-stops: its links go dark, it handles nothing.
+		h.net.Handle(2, nil)
+		for _, p := range []int{0, 1} {
+			h.net.SetLinkUp(2, p, false)
+			h.net.SetLinkUp(p, 2, false)
+		}
+	})
+	h.loop.RunUntil(12 * time.Second)
+
+	m := h.nodes[1].Metrics()
+	if m.UpstreamTimeouts == 0 || m.FastSwitches == 0 {
+		t.Fatalf("upstream silence never detected: %+v", m)
+	}
+	if m.PathLookups != 1 {
+		t.Fatalf("fast switch must use the pre-delivered backup, not re-query: lookups = %d", m.PathLookups)
+	}
+	h.nodes[1].mu.Lock()
+	up := h.nodes[1].streams[sid].upstream
+	h.nodes[1].mu.Unlock()
+	if up != 0 {
+		t.Fatalf("upstream = %d after the switch, want the backup path's node 0", up)
+	}
+	// Exactly one viewer-visible interruption, bounded by the detection
+	// window plus the switch round trip — nowhere near a 3 s re-resolve.
+	var gaps []time.Duration
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] >= crashAt && arrivals[i] <= crashAt+3*time.Second {
+			if g := arrivals[i] - arrivals[i-1]; g >= 300*time.Millisecond {
+				gaps = append(gaps, g)
+			}
+		}
+	}
+	if len(gaps) != 1 {
+		t.Fatalf("want exactly one stall at the viewer, got gaps %v", gaps)
+	}
+	if gaps[0] > 1200*time.Millisecond {
+		t.Fatalf("switch took %v, want within ~2x the 500 ms detection window", gaps[0])
+	}
+}
+
 func TestMigrateProducerNonProducerNoop(t *testing.T) {
 	h := newHarness(t, 24, []int{0, 1})
 	h.link(0, 1, 20*time.Millisecond, 0)

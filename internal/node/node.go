@@ -15,6 +15,7 @@ package node
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -87,6 +88,15 @@ type Config struct {
 	// StreamIdleTimeout garbage-collects a producer stream after no
 	// upload packets for this long (default 30 s).
 	StreamIdleTimeout time.Duration
+	// UpstreamTimeout is the upstream-silence detection window (§4.3): an
+	// established non-producer stream with consumers that has received no
+	// data for this long fast-switches to a backup path (re-querying the
+	// Brain when backups are exhausted). Default 3 s; <0 disables.
+	UpstreamTimeout time.Duration
+	// EstablishTimeout re-arms a subscription that is stuck: a Subscribe
+	// sent but never acked, or a failed path lookup, is retried after this
+	// long (next backup first, then a fresh Brain query). Default 3 s.
+	EstablishTimeout time.Duration
 	// LowerRendition maps a stream to its next-lower simulcast rendition
 	// (§5.2: "the consumer node will request a lower bitrate stream
 	// version if the sending queue is consistently building up"). Nil
@@ -134,6 +144,12 @@ func (c Config) withDefaults() Config {
 	if c.StreamIdleTimeout <= 0 {
 		c.StreamIdleTimeout = 30 * time.Second
 	}
+	if c.UpstreamTimeout == 0 {
+		c.UpstreamTimeout = 3 * time.Second
+	}
+	if c.EstablishTimeout <= 0 {
+		c.EstablishTimeout = 3 * time.Second
+	}
 	return c
 }
 
@@ -155,6 +171,9 @@ type Metrics struct {
 	DroppedGoPs      uint64
 	CacheHitPrimes   uint64 // subscriptions served from local cache
 	BitrateSwitches  uint64 // clients moved to a lower simulcast rendition
+	UpstreamTimeouts uint64 // silence windows that triggered failure detection
+	FastSwitches     uint64 // path switches triggered by upstream silence
+	CacheFallbacks   uint64 // Brain unreachable, local path cache used instead
 }
 
 // pacerTick is the pacer drain granularity.
@@ -179,6 +198,7 @@ type Node struct {
 	OnEstablished func(streamID uint32, path []int, localHit bool)
 
 	scanTimer sim.Timer
+	scanSIDs  []uint32 // reusable sorted-iteration scratch for scan()
 	closed    bool
 }
 
@@ -206,11 +226,24 @@ type stream struct {
 
 	subscribers map[int]bool         // downstream overlay nodes
 	clients     map[int]*clientState // locally attached viewers
+	// subOrder/clientOrder mirror the FIB maps in insertion order: the
+	// fast path fans out along these slices so packet emission order (and
+	// with it the whole simulation) is deterministic — map iteration
+	// order is not.
+	subOrder    []int
+	clientOrder []int
 
 	lookupPending  bool
 	backupPaths    [][]int
 	requestedPath  []int
 	establishStart time.Duration
+
+	// cachedPaths is the node-local path cache (§4.3): the last successful
+	// Brain answer, used when the Brain itself is unreachable.
+	cachedPaths [][]int
+	// retryAt re-arms a stuck establishment (Subscribe never acked, or a
+	// failed lookup with nothing cached); 0 when disarmed.
+	retryAt time.Duration
 
 	// pendingSubs are downstream Subscribe requests that arrived before we
 	// ourselves are established; acked when the SubAck comes back.
@@ -266,6 +299,7 @@ func (n *Node) Streams() []uint32 {
 	for id := range n.streams {
 		out = append(out, id)
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -360,12 +394,12 @@ func (n *Node) onRTP(from int, data []byte) {
 	// subscriber gets its own framed copy so the per-hop delay extension
 	// can differ per link.
 	class, gain := classify(&pkt)
-	for sub := range s.subscribers {
+	for _, sub := range s.subOrder {
 		n.forwardTo(sub, rtpData, class, gain, isRTX)
 	}
 	// Local clients (consumer role), with proactive frame dropping.
-	for _, c := range s.clients {
-		n.forwardToClient(s, c, rtpData, &pkt)
+	for _, id := range s.clientOrder {
+		n.forwardToClient(s, s.clients[id], rtpData, &pkt)
 	}
 
 	// Slow path: congestion control, loss recovery, framing, GoP cache.
@@ -476,6 +510,7 @@ func (n *Node) adoptProducerRole(s *stream, broadcaster int) {
 	s.producer = true
 	s.upstream = broadcaster
 	s.established = true
+	s.retryAt = 0
 	s.fullPath = []int{n.id}
 	n.ackPendingSubsLocked(s)
 	if n.cfg.OnNewStream != nil {
@@ -514,6 +549,45 @@ func (n *Node) newStream(sid uint32) *stream {
 	}
 	n.streams[sid] = s
 	return s
+}
+
+// addSubscriber/dropSubscriber and addClient/dropClient keep the ordered
+// mirrors in sync with the FIB maps.
+func (s *stream) addSubscriber(id int) {
+	if !s.subscribers[id] {
+		s.subscribers[id] = true
+		s.subOrder = append(s.subOrder, id)
+	}
+}
+
+func (s *stream) dropSubscriber(id int) {
+	if s.subscribers[id] {
+		delete(s.subscribers, id)
+		s.subOrder = removeID(s.subOrder, id)
+	}
+}
+
+func (s *stream) addClient(c *clientState) {
+	if s.clients[c.id] == nil {
+		s.clientOrder = append(s.clientOrder, c.id)
+	}
+	s.clients[c.id] = c
+}
+
+func (s *stream) dropClient(id int) {
+	if s.clients[id] != nil {
+		delete(s.clients, id)
+		s.clientOrder = removeID(s.clientOrder, id)
+	}
+}
+
+func removeID(xs []int, id int) []int {
+	for i, x := range xs {
+		if x == id {
+			return append(xs[:i], xs[i+1:]...)
+		}
+	}
+	return xs
 }
 
 // String implements fmt.Stringer.

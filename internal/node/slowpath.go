@@ -1,6 +1,7 @@
 package node
 
 import (
+	"slices"
 	"time"
 
 	"livenet/internal/gcc"
@@ -225,7 +226,17 @@ func (n *Node) scan() {
 		data []byte
 	}
 	var nacks []nackOut
-	for _, s := range n.streams {
+	// Scan streams in sorted-ID order: the control traffic emitted below
+	// feeds the packet schedule, and map iteration order would make the
+	// whole simulation nondeterministic.
+	sids := n.scanSIDs[:0]
+	for sid := range n.streams {
+		sids = append(sids, sid)
+	}
+	slices.Sort(sids)
+	n.scanSIDs = sids
+	for _, sid := range sids {
+		s := n.streams[sid]
 		r := s.rx
 		if r == nil {
 			continue
@@ -251,6 +262,7 @@ func (n *Node) scan() {
 			}
 		}
 		if len(lost) > 0 {
+			slices.Sort(lost) // holes is a map; canonicalize the NACK order
 			msg := rtp.MarshalNACK(&rtp.NACK{
 				SenderSSRC: uint32(n.id),
 				MediaSSRC:  s.id,
@@ -268,11 +280,34 @@ func (n *Node) scan() {
 			nacks = append(nacks, nackOut{to: r.upstream, data: n.buildFeedback(s, r, now)})
 		}
 	}
+	// Failure detection (§4.3): an established stream that has gone silent
+	// past UpstreamTimeout fast-switches to a backup path (re-querying the
+	// Brain when exhausted); a stuck establishment past its retry deadline
+	// is re-driven the same way.
+	for _, sid := range sids {
+		s := n.streams[sid]
+		if s.producer || (len(s.clients) == 0 && len(s.subscribers) == 0 && len(s.pendingSubs) == 0) {
+			continue
+		}
+		switch {
+		case s.established && n.cfg.UpstreamTimeout > 0 && s.lastData > 0 &&
+			now-s.lastData > n.cfg.UpstreamTimeout:
+			n.metrics.UpstreamTimeouts++
+			n.metrics.FastSwitches++
+			n.metrics.PathSwitches++
+			s.lastData = now // re-arm the detector across the switch
+			n.switchPathLocked(s)
+		case !s.established && !s.lookupPending && s.retryAt > 0 && now >= s.retryAt:
+			s.retryAt = 0
+			n.switchPathLocked(s)
+		}
+	}
 	// Garbage-collect producer streams whose broadcaster went silent: the
 	// stream ends, downstream nodes are left to tear down via their own
 	// idle paths, and Stream Management is told to drop the SIB entry.
 	var ended []uint32
-	for sid, s := range n.streams {
+	for _, sid := range sids {
+		s := n.streams[sid]
 		if s.producer && s.lastData > 0 && now-s.lastData > n.cfg.StreamIdleTimeout {
 			delete(n.streams, sid)
 			ended = append(ended, sid)
