@@ -1,18 +1,20 @@
 # LiveNet reproduction — build/test/bench entry points.
 #
-#   make ci      # what a PR must pass: vet + build + race-enabled tests + chaos smoke
-#   make test    # plain test run (fastest)
-#   make bench   # allocation + throughput benchmark smoke (short benchtime)
-#   make quick   # scaled-down end-to-end evaluation report
-#   make chaos   # fault-tolerance evaluation (deterministic fault injection)
+#   make ci         # what a PR must pass: vet + build + race-enabled tests + chaos smoke + docs gate
+#   make test       # plain test run (fastest)
+#   make bench      # allocation + throughput benchmark smoke (short benchtime)
+#   make quick      # scaled-down end-to-end evaluation report
+#   make chaos      # fault-tolerance evaluation (deterministic fault injection)
+#   make telemetry  # observability report: journey waterfalls + Brain GlobalView
+#   make docs       # docs-freshness gate: every registered metric documented
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench quick chaos
+.PHONY: all ci vet build test race bench quick chaos telemetry docs
 
 all: ci
 
-ci: vet build race chaos
+ci: vet build race chaos docs
 
 vet:
 	$(GO) vet ./...
@@ -29,10 +31,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmark smoke: the allocation-diet trio plus the transport
-# micro-benchmarks, short benchtime so CI stays fast.
+# Benchmark smoke: the allocation-diet trio, the transport
+# micro-benchmarks, and the telemetry zero-overhead proof (forward path
+# allocs/op must not change with the registry enabled).
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkBrainLookup|BenchmarkRTP|BenchmarkNetemThroughput' -benchtime 0.2s .
+	$(GO) test -run xxx -bench 'BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkBrainLookup|BenchmarkRTP|BenchmarkNetemThroughput|BenchmarkNodeForward' -benchtime 0.2s .
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick
@@ -43,3 +46,13 @@ quick:
 # internal/eval/fault_test.go.
 chaos:
 	$(GO) run ./cmd/livenet-bench -chaos
+
+# Observability report: sampled per-packet latency waterfalls plus the
+# Brain's GlobalView fleet-health tables (see OBSERVABILITY.md).
+telemetry:
+	$(GO) run ./cmd/livenet-bench -telemetry
+
+# Docs-freshness gate: fails when a registered metric name is missing
+# from OBSERVABILITY.md.
+docs:
+	$(GO) test -run TestObservabilityDocCoversMetrics -count=1 .

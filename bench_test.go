@@ -23,6 +23,7 @@ import (
 	"livenet/internal/netem"
 	"livenet/internal/rtp"
 	"livenet/internal/sim"
+	"livenet/internal/telemetry"
 	"livenet/internal/wire"
 )
 
@@ -438,6 +439,25 @@ func BenchmarkBrainLookup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkNodeForward measures the node's fast forwarding path
+// (broadcaster ingress -> classify -> fan-out -> pacer drain) with the
+// telemetry registry disabled and enabled: the on/off delta in allocs/op
+// must be ~0 (the instruments are pre-resolved atomic words).
+func BenchmarkNodeForward(b *testing.B) {
+	run := func(reg *telemetry.Registry) func(*testing.B) {
+		return func(b *testing.B) {
+			h := newForwardHarness(reg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.step()
+			}
+		}
+	}
+	b.Run("telemetry=off", run(nil))
+	b.Run("telemetry=on", run(telemetry.NewRegistry()))
 }
 
 func BenchmarkWirePathRequest(b *testing.B) {

@@ -12,6 +12,8 @@
 //	livenet-bench -quick          # 2-day smoke run (seconds)
 //	livenet-bench -seeds 5        # 5 workload seeds, mean ± 95% CI table
 //	livenet-bench -parallel=false # serial reference schedule
+//	livenet-bench -chaos          # fault-tolerance experiments only
+//	livenet-bench -telemetry      # observability report (waterfalls + GlobalView)
 //	livenet-bench -out FILE       # additionally write the report to FILE
 package main
 
@@ -38,6 +40,7 @@ func main() {
 	outFile := flag.String("out", "", "also write the report to this file")
 	skipAblations := flag.Bool("no-ablations", false, "skip the ablation studies")
 	chaosOnly := flag.Bool("chaos", false, "run only the fault-tolerance experiments")
+	telemetryOnly := flag.Bool("telemetry", false, "run only the observability report (waterfalls + GlobalView)")
 	flag.Parse()
 
 	o := eval.Full()
@@ -76,6 +79,14 @@ func main() {
 		fmt.Fprintf(out, "LiveNet fault-tolerance evaluation — seed %d\n\n", o.Seed)
 		start := time.Now()
 		fmt.Fprintln(out, eval.FaultReport(o.Seed))
+		fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *telemetryOnly {
+		fmt.Fprintf(out, "LiveNet observability report — seed %d (see OBSERVABILITY.md)\n\n", o.Seed)
+		start := time.Now()
+		fmt.Fprintln(out, eval.TelemetryReport(o.Seed))
 		fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}

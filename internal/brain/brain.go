@@ -31,6 +31,7 @@ import (
 	"livenet/internal/graph"
 	"livenet/internal/ksp"
 	"livenet/internal/sim"
+	"livenet/internal/telemetry"
 )
 
 // Defaults from the paper.
@@ -63,6 +64,9 @@ type Config struct {
 	// elements whose owner stopped reporting (a crashed node cannot report
 	// its own failure). Zero disables aging; it needs Clock to run.
 	StaleAfter time.Duration
+	// Telemetry is the registry the Brain registers its brain.* counters
+	// in (see OBSERVABILITY.md). Nil disables registration at zero cost.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -106,7 +110,13 @@ type Brain struct {
 	pib map[pairKey]*pibEntry
 	sib map[uint32]int // stream ID -> producer node
 
-	metrics Metrics
+	// Per-node telemetry ingested by Global Discovery (nil until the
+	// first ReportNodeTelemetry): metric snapshots and carried streams,
+	// aggregated on demand by GlobalView.
+	nodeTel     map[int]telemetry.Snapshot
+	nodeStreams map[int][]uint32
+
+	tel     brainInstruments
 	timer   sim.Timer
 	ageTick sim.Timer
 	closed  bool
@@ -129,6 +139,7 @@ func New(cfg Config) *Brain {
 		view: graph.New(cfg.N),
 		pib:  make(map[pairKey]*pibEntry),
 		sib:  make(map[uint32]int),
+		tel:  newBrainInstruments(cfg.Telemetry),
 	}
 	if cfg.Clock != nil {
 		b.scheduleEpoch()
@@ -211,13 +222,20 @@ func (b *Brain) Close() {
 	}
 }
 
-// Metrics returns a snapshot of the counters.
+// Metrics returns a snapshot of the counters. The struct view is kept for
+// existing callers; the same values live in the telemetry registry under
+// the brain.* names when one is attached.
 func (b *Brain) Metrics() Metrics {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	m := b.metrics
-	m.StreamsActive = len(b.sib)
-	return m
+	return Metrics{
+		Lookups:        b.tel.lookups.Load(),
+		PIBHits:        b.tel.pibHits.Load(),
+		PIBMisses:      b.tel.pibMisses.Load(),
+		LastResortUsed: b.tel.lastResortUsed.Load(),
+		OverloadAlarms: b.tel.overloadAlarms.Load(),
+		StreamsActive:  len(b.sib),
+	}
 }
 
 // AdvanceEpoch invalidates the PIB so paths are recomputed against the
@@ -295,7 +313,7 @@ func (b *Brain) ReportNodeLoad(id int, util float64) {
 func (b *Brain) OverloadAlarm(id int, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.metrics.OverloadAlarms++
+	b.tel.overloadAlarms.Inc()
 	b.view.SetNodeUtil(id, util)
 }
 
@@ -303,7 +321,7 @@ func (b *Brain) OverloadAlarm(id int, util float64) {
 func (b *Brain) LinkOverloadAlarm(from, to int, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.metrics.OverloadAlarms++
+	b.tel.overloadAlarms.Inc()
 	if l := b.view.Link(from, to); l != nil {
 		b.view.SetLink(from, to, l.RTT, l.Loss, util)
 	}
@@ -324,6 +342,7 @@ func (b *Brain) RegisterStream(sid uint32, producer int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sib[sid] = producer
+	b.tel.streamsActive.Set(float64(len(b.sib)))
 }
 
 // UnregisterStream removes a finished stream.
@@ -331,6 +350,7 @@ func (b *Brain) UnregisterStream(sid uint32) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	delete(b.sib, sid)
+	b.tel.streamsActive.Set(float64(len(b.sib)))
 }
 
 // Producer looks up a stream's producer node.
@@ -351,7 +371,7 @@ func (b *Brain) Producer(sid uint32) (int, bool) {
 func (b *Brain) Lookup(sid uint32, consumer int) ([][]int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.metrics.Lookups++
+	b.tel.lookups.Inc()
 	producer, ok := b.sib[sid]
 	if !ok {
 		return nil, ErrUnknownStream
@@ -386,7 +406,7 @@ func (b *Brain) pathsLocked(producer, consumer int) [][]int {
 	}
 	// Last resort (§4.3): producer → reserved relay → consumer.
 	if lr := b.lastResortLocked(producer, consumer); lr != nil {
-		b.metrics.LastResortUsed++
+		b.tel.lastResortUsed.Inc()
 		return [][]int{lr}
 	}
 	return nil
@@ -397,10 +417,10 @@ func (b *Brain) pathsLocked(producer, consumer int) [][]int {
 func (b *Brain) pibEntryLocked(src, dst int) *pibEntry {
 	k := pairKey{src, dst}
 	if e, ok := b.pib[k]; ok && e.epoch == b.epoch {
-		b.metrics.PIBHits++
+		b.tel.pibHits.Inc()
 		return e
 	}
-	b.metrics.PIBMisses++
+	b.tel.pibMisses.Inc()
 	e := &pibEntry{epoch: b.epoch, paths: b.computePaths(src, dst)}
 	b.pib[k] = e
 	return e

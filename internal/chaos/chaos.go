@@ -75,6 +75,7 @@ var kindNames = map[Kind]string{
 	LastMileRestore: "lastmile-restore",
 }
 
+// String names the fault kind for timelines and logs.
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s

@@ -16,6 +16,7 @@ import (
 	"livenet/internal/media"
 	"livenet/internal/rtp"
 	"livenet/internal/sim"
+	"livenet/internal/telemetry"
 	"livenet/internal/wire"
 )
 
@@ -44,6 +45,8 @@ type Broadcaster struct {
 	running  bool
 	stopped  bool
 	mu       sync.Mutex
+
+	packetsSent *telemetry.Counter
 }
 
 // NewBroadcaster creates a broadcaster for the given renditions. Each
@@ -63,7 +66,17 @@ func NewBroadcaster(id, producer int, baseStreamID uint32, rends []media.Renditi
 	for i := range rends {
 		b.pktizers = append(b.pktizers, media.NewPacketizer(baseStreamID+uint32(i)))
 	}
+	b.Instrument(nil)
 	return b
+}
+
+// Instrument registers the broadcaster's client.* counters in r (shared
+// across clients — the registry holds fleet totals). Call before Start;
+// nil keeps private unregistered instruments.
+func (b *Broadcaster) Instrument(r *telemetry.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.packetsSent = r.Counter("client.packets_sent")
 }
 
 // StreamID returns the stream ID of rendition i.
@@ -113,6 +126,7 @@ func (b *Broadcaster) tickVideo() {
 			}
 		}
 		b.mu.Unlock()
+		b.packetsSent.Add(uint64(len(sends)))
 		for _, s := range sends {
 			b.Net.Send(b.ID, b.Producer, s)
 		}
@@ -134,6 +148,7 @@ func (b *Broadcaster) tickAudio() {
 			sends = append(sends, wire.FrameRTP(nil, now10us, pkt.Marshal(nil)))
 		}
 		b.mu.Unlock()
+		b.packetsSent.Add(uint64(len(sends)))
 		for _, s := range sends {
 			b.Net.Send(b.ID, b.Producer, s)
 		}
@@ -225,6 +240,31 @@ type Viewer struct {
 	holes       map[uint16]*viewerHole
 	stats       ViewStats
 	closed      bool
+
+	tel viewerInstruments
+}
+
+// viewerInstruments are the viewer's registered telemetry handles. The
+// registry is shared by every client, so the counters are fleet totals;
+// ViewStats stays the per-view QoE record.
+type viewerInstruments struct {
+	packetsReceived *telemetry.Counter
+	framesPlayed    *telemetry.Counter
+	framesMissed    *telemetry.Counter
+	stalls          *telemetry.Counter
+	nacksSent       *telemetry.Counter
+	startupMs       *telemetry.Histogram
+}
+
+func newViewerInstruments(r *telemetry.Registry) viewerInstruments {
+	return viewerInstruments{
+		packetsReceived: r.Counter("client.packets_received"),
+		framesPlayed:    r.Counter("client.frames_played"),
+		framesMissed:    r.Counter("client.frames_missed"),
+		stalls:          r.Counter("client.stalls"),
+		nacksSent:       r.Counter("client.nacks_sent"),
+		startupMs:       r.Histogram("client.startup_ms"),
+	}
 }
 
 type viewerHole struct {
@@ -250,7 +290,17 @@ func NewViewer(id int, sid uint32, consumer int, clock sim.Clock, net Sender) *V
 		meter:       gcc.NewRateMeter(0),
 	}
 	v.assembler.OnFrame = v.onFrame
+	v.tel = newViewerInstruments(nil)
 	return v
+}
+
+// Instrument registers the viewer's client.* metrics in r (shared across
+// clients — the registry holds fleet totals, ViewStats the per-view QoE).
+// Call before Attach; nil keeps private unregistered instruments.
+func (v *Viewer) Instrument(r *telemetry.Registry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.tel = newViewerInstruments(r)
 }
 
 // Attach marks the viewing request time and starts the NACK timer.
@@ -313,6 +363,7 @@ func (v *Viewer) OnMessage(from int, data []byte) {
 	now := v.Clock.Now()
 	v.meter.Add(now, len(rtpData))
 	v.received++
+	v.tel.packetsReceived.Inc()
 	if sample, ok := v.ia.Add(time.Duration(sendTime10us)*10*time.Microsecond, now); ok {
 		sig := v.trend.Update(sample, now)
 		v.aimd.Update(sig, v.meter.BitrateBps(now), now)
@@ -344,6 +395,7 @@ func (v *Viewer) onFrame(f gop.AssembledFrame) {
 		// then delays the play deadline of every frame.
 		if f.Header.Type != media.FrameI {
 			v.stats.FramesMissed++
+			v.tel.framesMissed.Inc()
 			return
 		}
 		v.started = true
@@ -353,6 +405,8 @@ func (v *Viewer) onFrame(f gop.AssembledFrame) {
 		v.stats.Started = true
 		v.stats.StartupDelay = now - v.attach
 		v.stats.FramesPlayed++
+		v.tel.framesPlayed.Inc()
+		v.tel.startupMs.Observe(int64(v.stats.StartupDelay / time.Millisecond))
 		return
 	}
 	// Content-gap tracking: frames may complete out of order while loss
@@ -381,6 +435,7 @@ func (v *Viewer) onFrame(f gop.AssembledFrame) {
 	}
 	if abandoned > 0 {
 		v.stats.FramesMissed += abandoned
+		v.tel.framesMissed.Add(uint64(abandoned))
 		const frameInterval = time.Second / 25
 		if time.Duration(abandoned)*frameInterval > v.Buffer/2 {
 			v.noteStall(now)
@@ -397,6 +452,7 @@ func (v *Viewer) onFrame(f gop.AssembledFrame) {
 		v.timeShift += (now - deadline) + v.Buffer/2
 	}
 	v.stats.FramesPlayed++
+	v.tel.framesPlayed.Inc()
 }
 
 // noteStall counts distinct stall events (bursts of late/missing frames
@@ -406,6 +462,7 @@ func (v *Viewer) noteStall(now time.Duration) {
 		return
 	}
 	v.stats.Stalls++
+	v.tel.stalls.Inc()
 	v.lastStall = now
 	if v.OnStall != nil {
 		cb := v.OnStall
@@ -442,6 +499,7 @@ func (v *Viewer) scanLoop() {
 			slices.Sort(lost) // holes is a map; canonicalize the NACK order
 			nack := rtp.MarshalNACK(&rtp.NACK{SenderSSRC: uint32(v.ID), MediaSSRC: v.StreamID, Lost: lost}, nil)
 			msg = wire.FrameRTCP(nil, nack)
+			v.tel.nacksSent.Inc()
 		}
 		// Periodic RR + REMB so the consumer's per-client pacer tracks
 		// the access link (§5.2: the consumer evaluates each viewer's

@@ -25,6 +25,7 @@ import (
 	"livenet/internal/replication"
 	"livenet/internal/sim"
 	"livenet/internal/stats"
+	"livenet/internal/telemetry"
 )
 
 // ErrBrainUnreachable is reported to a consumer node when every Brain
@@ -57,6 +58,20 @@ type ClusterConfig struct {
 	// NodeUpstreamTimeout overrides the nodes' upstream-silence detection
 	// window (0 keeps the node default).
 	NodeUpstreamTimeout time.Duration
+	// Telemetry enables the observability plane: per-node metric
+	// registries whose snapshots ride the Global Discovery reports, a
+	// fabric/client/Brain registry each, and a sampled per-packet tracer.
+	// Off (the default) none of it exists and nothing is recorded — runs
+	// stay byte-identical with telemetry-unaware builds.
+	Telemetry bool
+	// TraceRate is the tracer's per-ingress-packet sampling probability
+	// (default 0.002; only used when Telemetry is on).
+	TraceRate float64
+	// TraceMax bounds the number of sampled journeys (default 16).
+	TraceMax int
+	// TraceAfter suppresses journey sampling before this virtual time
+	// (skip the startup transient; default 0 samples from the start).
+	TraceAfter time.Duration
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -74,6 +89,12 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	}
 	if c.DiscoveryInterval <= 0 {
 		c.DiscoveryInterval = time.Minute
+	}
+	if c.TraceRate <= 0 {
+		c.TraceRate = 0.002
+	}
+	if c.TraceMax <= 0 {
+		c.TraceMax = 16
 	}
 	return c
 }
@@ -102,6 +123,16 @@ type Cluster struct {
 
 	// RespTimes collects Path Decision response times (Figure 10(a)).
 	RespTimes *stats.Sample
+
+	// Telemetry plane (all nil unless ClusterConfig.Telemetry): one
+	// registry per node (so snapshots attach to that node's discovery
+	// reports), one shared by all clients, one for the network fabric,
+	// one for the Brain, and the per-packet journey tracer.
+	NodeTel   []*telemetry.Registry
+	ClientTel *telemetry.Registry
+	NetTel    *telemetry.Registry
+	BrainTel  *telemetry.Registry
+	Tracer    *telemetry.Tracer
 
 	// lowerRendition maps each simulcast stream to its next-lower
 	// rendition (filled as broadcasters are created); consumer nodes use
@@ -141,6 +172,22 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		lastMileClients: make(map[int][]int),
 		lastMileLoss:    make(map[int]func(time.Duration) float64),
 		nextClient:      clientIDBase,
+	}
+
+	if cfg.Telemetry {
+		// The tracer samples from its own RNG stream, so enabling it does
+		// not perturb any other stream's draw sequence.
+		c.Tracer = telemetry.NewTracer(loop, loop.RNG("telemetry"), cfg.TraceRate, cfg.TraceMax)
+		c.Tracer.ClientBase = clientIDBase
+		c.Tracer.After = cfg.TraceAfter
+		c.ClientTel = telemetry.NewRegistry()
+		c.NetTel = telemetry.NewRegistry()
+		c.BrainTel = telemetry.NewRegistry()
+		net.Instrument(c.NetTel)
+		c.NodeTel = make([]*telemetry.Registry, cfg.Sites)
+		for i := range c.NodeTel {
+			c.NodeTel[i] = telemetry.NewRegistry()
+		}
 	}
 
 	// Full-mesh overlay links with geo RTT and near-lossless base loss.
@@ -186,6 +233,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		LastResort: world.IXPSites(),
 		Clock:      loop,
 		StaleAfter: 3 * cfg.DiscoveryInterval,
+		Telemetry:  c.BrainTel,
 	}
 	if cfg.Replicas > 1 {
 		peers := make([]int, cfg.Replicas)
@@ -219,7 +267,13 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 // buildNode constructs one overlay node's instance (also used to bring a
 // crashed node back).
 func (c *Cluster) buildNode(id int) *node.Node {
+	var reg *telemetry.Registry
+	if c.NodeTel != nil {
+		reg = c.NodeTel[id]
+	}
 	return node.New(node.Config{
+		Telemetry:       reg,
+		Tracer:          c.Tracer,
 		ID:              id,
 		Clock:           c.Loop,
 		Net:             c.Net,
@@ -407,6 +461,13 @@ func (c *Cluster) discoveryLoop() {
 					b.OverloadAlarm(i, load)
 				}
 			})
+			if c.NodeTel != nil {
+				// Telemetry rides the existing report: a registry snapshot
+				// plus the carried-stream set for fan-out accounting.
+				snap := c.NodeTel[i].Snapshot()
+				streams := c.Nodes[i].Streams()
+				c.eachBrain(func(b *brain.Brain) { b.ReportNodeTelemetry(i, snap, streams) })
+			}
 		}
 		c.discoveryLoop()
 	})
@@ -443,6 +504,9 @@ func (c *Cluster) NewBroadcasterAt(lat, lon float64, baseSID uint32, rends []med
 	rtt := time.Duration(10+rng.Intn(30)) * time.Millisecond
 	c.lastMile(id, producer, rtt, 0.0005)
 	bc := client.NewBroadcaster(id, producer, baseSID, rends, c.Loop, c.Net, c.Loop.RNG("media"))
+	if c.ClientTel != nil {
+		bc.Instrument(c.ClientTel)
+	}
 	bc.FirstMileRTT = rtt
 	// Register the simulcast ladder for bitrate down-switching: rendition
 	// i's next-lower version is rendition i+1 (§5.2).
@@ -492,6 +556,9 @@ func (c *Cluster) NewViewerAt(lat, lon float64, sid uint32) *Viewing {
 	}
 	c.lastMile(id, consumer, rtt, loss)
 	v := client.NewViewer(id, sid, consumer, c.Loop, c.Net)
+	if c.ClientTel != nil {
+		v.Instrument(c.ClientTel)
+	}
 	c.Net.Handle(id, v.OnMessage)
 	v.Attach()
 	hit := c.Nodes[consumer].AttachViewer(id, sid)

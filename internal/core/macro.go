@@ -123,6 +123,9 @@ type MacroResult struct {
 	LongChains     int // views whose actual path exceeded the requested length
 
 	BrainMetrics brain.Metrics
+	// GlobalView is the Brain's end-of-run fleet-health aggregate
+	// (LiveNet engine only; zero value for the CDN baseline).
+	GlobalView brain.GlobalView
 }
 
 func newMacroResult(sys System) *MacroResult {

@@ -2,10 +2,12 @@ package core
 
 import (
 	"container/heap"
+	"sort"
 	"time"
 
 	"livenet/internal/brain"
 	"livenet/internal/geo"
+	"livenet/internal/telemetry"
 	"livenet/internal/workload"
 )
 
@@ -137,6 +139,18 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 			heap.Push(&e.deps, departure{at: v.Start + v.Duration, site: e.world.NearestSite(v.Lat, v.Lon), sid: chans[v.Channel].StreamID})
 		}
 	}
+	// Attach a final carried-streams report per site so the GlobalView
+	// fan-out table reflects end-of-run overlay state (the session engine
+	// has no per-packet registries, so the snapshots are empty).
+	for site := 0; site < n; site++ {
+		sids := make([]uint32, 0, len(streams[site]))
+		for sid := range streams[site] {
+			sids = append(sids, sid)
+		}
+		sort.Slice(sids, func(a, b int) bool { return sids[a] < sids[b] })
+		br.ReportNodeTelemetry(site, telemetry.Snapshot{}, sids)
+	}
+	e.res.GlobalView = br.GlobalView()
 	e.res.BrainMetrics = br.Metrics()
 	e.foldUniquePaths()
 	return e.res

@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The telemetry plane must be an observer: enabling it may not change
+// what the simulated system does, only what gets recorded about it.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	t.Parallel()
+	fingerprint := func(on bool) string {
+		c := runTelemetryCluster(3, on)
+		defer c.Close()
+		var b strings.Builder
+		for i, n := range c.Nodes {
+			fmt.Fprintf(&b, "node %d: %+v streams %v\n", i, n.Metrics(), n.Streams())
+		}
+		fmt.Fprintf(&b, "brain: %+v\n", c.Brain.Metrics())
+		return b.String()
+	}
+	off, on := fingerprint(false), fingerprint(true)
+	if off != on {
+		t.Fatalf("telemetry perturbed the run:\n--- off ---\n%s--- on ---\n%s", off, on)
+	}
+}
+
+func TestTelemetryReportDeterministic(t *testing.T) {
+	t.Parallel()
+	a := TelemetryReport(11)
+	if b := TelemetryReport(11); a != b {
+		t.Fatalf("TelemetryReport not deterministic:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	for _, want := range []string{"journey sid=", "Brain GlobalView", "fan-out", "node.packets_forwarded"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// Interleaving a telemetry run must leave the chaos replays byte-identical:
+// the tracer draws from its own RNG stream and never touches shared state.
+func TestFaultReportUnperturbedByTelemetry(t *testing.T) {
+	t.Parallel()
+	fr1 := FaultReport(5)
+	_ = TelemetryReport(5)
+	fr2 := FaultReport(5)
+	if fr1 != fr2 {
+		t.Fatal("FaultReport changed after a telemetry run")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"livenet/internal/sim"
+	"livenet/internal/telemetry"
 )
 
 // Handler receives delivered packets on a node.
@@ -140,6 +141,11 @@ type Network struct {
 	// dispatch is the delivery callback bound once at construction, so
 	// Send schedules deliveries without allocating a closure per packet.
 	dispatch sim.MsgFunc
+
+	// Fabric-wide telemetry handles (unregistered until Instrument).
+	telSent  *telemetry.Counter
+	telLost  *telemetry.Counter
+	telBytes *telemetry.Counter
 }
 
 func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
@@ -153,7 +159,17 @@ func New(loop *sim.Loop, rng *sim.Rand) *Network {
 		links:    make(map[int64]*link),
 	}
 	n.dispatch = n.deliver
+	n.Instrument(nil)
 	return n
+}
+
+// Instrument registers the fabric-wide netem.* counters in r (see
+// OBSERVABILITY.md); nil keeps private unregistered instruments. Per-link
+// accounting is unaffected — LinkStats stays the Global Discovery source.
+func (n *Network) Instrument(r *telemetry.Registry) {
+	n.telSent = r.Counter("netem.packets_sent")
+	n.telLost = r.Counter("netem.packets_lost")
+	n.telBytes = r.Counter("netem.bytes_sent")
 }
 
 // deliver hands a packet to the destination handler (looked up at
@@ -202,12 +218,15 @@ func (n *Network) Send(from, to int, data []byte) error {
 	l.totalSent++
 	l.curSent++
 	l.curBytes += int64(len(data))
+	n.telSent.Inc()
+	n.telBytes.Add(uint64(len(data)))
 
 	// A down link swallows everything (cut fiber semantics): the sender
 	// sees nothing, exactly like UDP into a black hole.
 	if l.down {
 		l.totalLost++
 		l.curLost++
+		n.telLost.Inc()
 		return nil
 	}
 
@@ -219,6 +238,7 @@ func (n *Network) Send(from, to int, data []byte) error {
 	if queueWait > l.cfg.MaxQueue {
 		l.totalLost++
 		l.curLost++
+		n.telLost.Inc()
 		return nil // tail drop: sender sees nothing, like real UDP
 	}
 	serialization := time.Duration(float64(len(data)*8) / l.cfg.BandwidthBps * float64(time.Second))
@@ -238,6 +258,7 @@ func (n *Network) Send(from, to int, data []byte) error {
 	if p > 0 && n.rng.Bernoulli(p) {
 		l.totalLost++
 		l.curLost++
+		n.telLost.Inc()
 		return nil
 	}
 

@@ -57,7 +57,7 @@ func (n *Node) AttachViewer(clientID int, sid uint32) bool {
 	if s != nil && s.established && s.cache.HasRecentGoP() {
 		// Algorithm 1 lines 1–3: local hit.
 		s.addClient(c)
-		n.metrics.LocalHits++
+		n.tel.localHits.Inc()
 		replay := s.cache.StartupPackets()
 		n.mu.Unlock()
 		n.primeClient(c, replay)
@@ -140,7 +140,7 @@ func (n *Node) ensureSubscribedLocked(s *stream) {
 	}
 	s.lookupPending = true
 	s.establishStart = n.cfg.Clock.Now()
-	n.metrics.PathLookups++
+	n.tel.pathLookups.Inc()
 	sid := s.id
 	lookup := n.cfg.PathLookup
 	// Issue the lookup outside the node lock: the Brain may call back
@@ -178,7 +178,7 @@ func (n *Node) onPaths(sid uint32, paths [][]int, err error) {
 		// cache (§4.3). With nothing cached the viewers stay parked and the
 		// slow-path scan retries after EstablishTimeout.
 		if len(s.cachedPaths) > 0 {
-			n.metrics.CacheFallbacks++
+			n.tel.cacheFallbacks.Inc()
 			best := s.cachedPaths[0]
 			s.backupPaths = append(s.backupPaths[:0], s.cachedPaths[1:]...)
 			n.establishLocked(s, best)
@@ -231,13 +231,13 @@ func (n *Node) onSubscribe(from int, data []byte) {
 		// our actual upstream path so the requester learns the real
 		// (possibly long-chain) path.
 		s.addSubscriber(int(sub.Requester))
-		n.metrics.CacheHitPrimes++
+		n.tel.cacheHitPrimes.Inc()
 		for _, cp := range s.cache.StartupPackets() {
 			class := gcc.ClassVideo
 			if cp.Type == media.FrameAudio {
 				class = gcc.ClassAudio
 			}
-			n.forwardTo(int(sub.Requester), cp.Data, class, overlayPrimeGain, false)
+			n.forwardTo(int(sub.Requester), cp.Data, class, overlayPrimeGain, false, s.id, cp.SeqNum)
 		}
 		ackPath := make([]uint16, 0, len(s.fullPath))
 		for _, h := range s.fullPath {
@@ -344,22 +344,22 @@ func (n *Node) forwardToClient(s *stream, c *clientState, rtpData []byte, pkt *r
 				if !c.dropToNextI {
 					c.dropToNextI = true
 					l.pacer.DropClass(gcc.ClassVideo) // shed the backlog too
-					n.metrics.DroppedGoPs++
+					n.tel.droppedGoPs.Inc()
 				}
 				return
 			}
 		case qd > 2*th:
 			if h.Type == media.FrameP || h.Type == media.FrameB || h.Type == media.FrameBUnref {
 				if h.Type == media.FrameP {
-					n.metrics.DroppedPFrames++
+					n.tel.droppedPFrames.Inc()
 				} else {
-					n.metrics.DroppedBFrames++
+					n.tel.droppedBFrames.Inc()
 				}
 				return
 			}
 		case qd > th:
 			if h.Type == media.FrameBUnref {
-				n.metrics.DroppedBFrames++
+				n.tel.droppedBFrames.Inc()
 				return
 			}
 		}
@@ -411,7 +411,7 @@ func (n *Node) trackPressure(s *stream, c *clientState, pressured bool) {
 		return // already at the lowest rendition
 	}
 	c.switchInFlight = true
-	n.metrics.BitrateSwitches++
+	n.tel.bitrateSwitches.Inc()
 	clientID, oldSID := c.id, s.id
 	// Escape the lock: SwitchClientStream takes it.
 	n.cfg.Clock.AfterFunc(0, func() {
@@ -441,7 +441,7 @@ func (n *Node) ReportClientQuality(clientID int, sid uint32, stalls int) {
 		return
 	}
 	c.stalls = 0
-	n.metrics.PathSwitches++
+	n.tel.pathSwitches.Inc()
 	// Switch to the next backup path, or re-query the Brain when exhausted.
 	if len(s.backupPaths) > 0 {
 		next := s.backupPaths[0]

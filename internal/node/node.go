@@ -24,6 +24,7 @@ import (
 	"livenet/internal/media"
 	"livenet/internal/rtp"
 	"livenet/internal/sim"
+	"livenet/internal/telemetry"
 	"livenet/internal/wire"
 )
 
@@ -105,6 +106,15 @@ type Config struct {
 	// BitrateSwitchAfter is how long a client's queue must stay past the
 	// drop threshold before down-switching (default 3 s).
 	BitrateSwitchAfter time.Duration
+	// Telemetry is the metrics registry this node registers its counters
+	// in (see OBSERVABILITY.md for the catalogue). Nil disables
+	// registration; the node then counts into private unregistered
+	// instruments at identical (zero-allocation) cost.
+	Telemetry *telemetry.Registry
+	// Tracer records sampled per-packet journeys across hops. Nil (the
+	// default) disables tracing entirely — no sampling draws are made, so
+	// replays stay byte-identical with tracing-unaware builds.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -188,7 +198,7 @@ type Node struct {
 	streams map[uint32]*stream
 	out     map[int]*outLink
 
-	metrics Metrics
+	tel instruments
 
 	// OnFirstPacket fires when the first data packet is sent to a local
 	// client after AttachViewer (first-packet delay, §6.1).
@@ -210,10 +220,18 @@ type outLink struct {
 	tickScheduled bool
 }
 
-// outPacket is a pacer item payload.
+// outPacket is a pacer item payload. The trace fields identify the RTP
+// packet for the per-hop tracer; traced is false for every packet when
+// tracing is off, so drainLink's trace branch never fires. Growing this
+// struct costs nothing extra on the hot path: it is boxed into the one
+// gcc.Item payload interface the pacer already required.
 type outPacket struct {
-	to    int
-	frame []byte // wire-framed MsgRTP with placeholder send time
+	to     int
+	frame  []byte // wire-framed MsgRTP with placeholder send time
+	sid    uint32 // RTP SSRC (stream ID)
+	seq    uint16 // RTP sequence number
+	traced bool   // packet has an open journey in the tracer
+	rtx    bool   // NACK-triggered retransmission
 }
 
 // stream is the per-stream state (FIB entry + slow path).
@@ -266,6 +284,7 @@ func New(cfg Config) *Node {
 		id:      cfg.ID,
 		streams: make(map[uint32]*stream),
 		out:     make(map[int]*outLink),
+		tel:     newInstruments(cfg.Telemetry),
 	}
 	n.scheduleScan()
 	return n
@@ -274,11 +293,30 @@ func New(cfg Config) *Node {
 // ID returns the node's overlay ID.
 func (n *Node) ID() int { return n.id }
 
-// Metrics returns a snapshot of the counters.
+// Metrics returns a snapshot of the counters. The struct view is kept for
+// existing callers; the same values live in the telemetry registry under
+// the node.* names when one is attached.
 func (n *Node) Metrics() Metrics {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.metrics
+	return Metrics{
+		PacketsReceived:  n.tel.packetsReceived.Load(),
+		PacketsForwarded: n.tel.packetsForwarded.Load(),
+		NACKsSent:        n.tel.nacksSent.Load(),
+		NACKsReceived:    n.tel.nacksReceived.Load(),
+		Retransmits:      n.tel.retransmits.Load(),
+		HolesRecovered:   n.tel.holesRecovered.Load(),
+		HolesAbandoned:   n.tel.holesAbandoned.Load(),
+		LocalHits:        n.tel.localHits.Load(),
+		PathLookups:      n.tel.pathLookups.Load(),
+		PathSwitches:     n.tel.pathSwitches.Load(),
+		DroppedBFrames:   n.tel.droppedBFrames.Load(),
+		DroppedPFrames:   n.tel.droppedPFrames.Load(),
+		DroppedGoPs:      n.tel.droppedGoPs.Load(),
+		CacheHitPrimes:   n.tel.cacheHitPrimes.Load(),
+		BitrateSwitches:  n.tel.bitrateSwitches.Load(),
+		UpstreamTimeouts: n.tel.upstreamTimeouts.Load(),
+		FastSwitches:     n.tel.fastSwitches.Load(),
+		CacheFallbacks:   n.tel.cacheFallbacks.Load(),
+	}
 }
 
 // Close stops timers.
@@ -323,9 +361,9 @@ func (n *Node) StreamPath(sid uint32) []int {
 	return append([]int(nil), s.fullPath...)
 }
 
-// Utilization is a pluggable load probe (set by the core to combine CPU,
-// memory and stream counts, per §4.2 footnote 4). The node itself exposes
-// its stream count as a crude default.
+// StreamCount returns the number of streams with state on this node. The
+// core feeds it into the Brain's node-load reports (combined with link
+// utilization, per §4.2 footnote 4).
 func (n *Node) StreamCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -364,7 +402,7 @@ func (n *Node) onRTP(from int, data []byte) {
 	if err := pkt.Unmarshal(rtpData); err != nil {
 		return
 	}
-	n.metrics.PacketsReceived++
+	n.tel.packetsReceived.Inc()
 	now := n.cfg.Clock.Now()
 
 	fromOverlay := n.cfg.IsOverlay != nil && n.cfg.IsOverlay(from)
@@ -390,12 +428,26 @@ func (n *Node) onRTP(from int, data []byte) {
 		isRTX = true
 	}
 
+	// Per-hop tracing: overlay ingress (a broadcaster upload with somewhere
+	// to forward to) offers the packet for sampling; arrivals from overlay
+	// peers extend an already-open journey. A nil tracer skips the whole
+	// block — no sampling draws, no behavior change.
+	if tr := n.cfg.Tracer; tr != nil {
+		if !fromOverlay {
+			if len(s.subOrder)+len(s.clientOrder) > 0 {
+				tr.Begin(pkt.SSRC, pkt.SequenceNumber, n.id)
+			}
+		} else {
+			tr.Recv(pkt.SSRC, pkt.SequenceNumber, n.id)
+		}
+	}
+
 	// Fast path: forward to every subscribed downstream node. Each
 	// subscriber gets its own framed copy so the per-hop delay extension
 	// can differ per link.
 	class, gain := classify(&pkt)
 	for _, sub := range s.subOrder {
-		n.forwardTo(sub, rtpData, class, gain, isRTX)
+		n.forwardTo(sub, rtpData, class, gain, isRTX, pkt.SSRC, pkt.SequenceNumber)
 	}
 	// Local clients (consumer role), with proactive frame dropping.
 	for _, id := range s.clientOrder {
@@ -420,8 +472,9 @@ func classify(pkt *rtp.Packet) (gcc.Class, float64) {
 }
 
 // forwardTo frames and enqueues rtpData toward a downstream node.
+// sid/seq identify the RTP packet for the per-hop tracer.
 // Called with mu held.
-func (n *Node) forwardTo(to int, rtpData []byte, class gcc.Class, gain float64, isRTX bool) {
+func (n *Node) forwardTo(to int, rtpData []byte, class gcc.Class, gain float64, isRTX bool, sid uint32, seq uint16) {
 	frame := wire.FrameRTP(make([]byte, 0, wire.RTPHeaderLen+len(rtpData)), 0, rtpData)
 	// Per-hop delay accounting on the copy only.
 	var half time.Duration
@@ -434,7 +487,9 @@ func (n *Node) forwardTo(to int, rtpData []byte, class gcc.Class, gain float64, 
 		class = gcc.ClassRTX
 	}
 	l := n.link(to)
-	l.pacer.Push(gcc.Item{Class: class, Size: len(frame), Gain: gain, Payload: outPacket{to: to, frame: frame}})
+	op := outPacket{to: to, frame: frame, sid: sid, seq: seq, rtx: isRTX}
+	op.traced = n.cfg.Tracer.Traced(sid, seq)
+	l.pacer.Push(gcc.Item{Class: class, Size: len(frame), Gain: gain, Payload: op})
 	n.kickPacer(l)
 }
 
@@ -470,11 +525,14 @@ func (n *Node) drainLink(l *outLink) {
 		return
 	}
 	now := n.cfg.Clock.Now()
+	if qd := l.pacer.QueueDelay(); qd > 0 {
+		n.tel.pacerQueueUs.Observe(int64(qd / time.Microsecond))
+	}
 	var toSend []outPacket
 	l.pacer.Drain(now, func(it gcc.Item) {
 		toSend = append(toSend, it.Payload.(outPacket))
 	})
-	n.metrics.PacketsForwarded += uint64(len(toSend))
+	n.tel.packetsForwarded.Add(uint64(len(toSend)))
 	l.tickScheduled = l.pacer.QueueLen() > 0
 	if l.tickScheduled {
 		n.cfg.Clock.AfterFunc(pacerTick, func() { n.drainLink(l) })
@@ -486,6 +544,9 @@ func (n *Node) drainLink(l *outLink) {
 	now10us := uint32(now / (10 * time.Microsecond))
 	for _, p := range toSend {
 		wire.PatchRTPSendTime(p.frame, now10us)
+		if p.traced {
+			n.cfg.Tracer.Send(p.sid, p.seq, n.id, p.to, p.rtx)
+		}
 		if err := n.cfg.Net.Send(n.id, p.to, p.frame); err != nil {
 			// Transport-level failure (no link): nothing to do on the fast
 			// path; the slow path's NACKs will not help either. Counted by

@@ -157,7 +157,7 @@ func (n *Node) slowPathReceive(s *stream, from int, sendTime10us uint32, rtpData
 	case r.holes[seq] != nil:
 		// Hole recovered (by retransmission or late arrival).
 		delete(r.holes, seq)
-		n.metrics.HolesRecovered++
+		n.tel.holesRecovered.Inc()
 		r.received++
 		n.deliverOrdered(s, r, seq, rtpData, pkt)
 	default:
@@ -249,7 +249,7 @@ func (n *Node) scan() {
 			if h.retries >= n.cfg.MaxNACKRetries {
 				delete(r.holes, seq)
 				r.lostxRR++
-				n.metrics.HolesAbandoned++
+				n.tel.holesAbandoned.Inc()
 				continue
 			}
 			if now-h.firstSeen < grace {
@@ -269,7 +269,7 @@ func (n *Node) scan() {
 				Lost:       lost,
 			}, nil)
 			nacks = append(nacks, nackOut{to: r.upstream, data: frameRTCP(msg)})
-			n.metrics.NACKsSent++
+			n.tel.nacksSent.Inc()
 		}
 		// Abandoning holes may unblock ordered delivery.
 		n.flushOrdered(s, r)
@@ -292,9 +292,9 @@ func (n *Node) scan() {
 		switch {
 		case s.established && n.cfg.UpstreamTimeout > 0 && s.lastData > 0 &&
 			now-s.lastData > n.cfg.UpstreamTimeout:
-			n.metrics.UpstreamTimeouts++
-			n.metrics.FastSwitches++
-			n.metrics.PathSwitches++
+			n.tel.upstreamTimeouts.Inc()
+			n.tel.fastSwitches.Inc()
+			n.tel.pathSwitches.Inc()
 			s.lastData = now // re-arm the detector across the switch
 			n.switchPathLocked(s)
 		case !s.established && !s.lookupPending && s.retryAt > 0 && now >= s.retryAt:
@@ -393,15 +393,15 @@ func (n *Node) handleRTCPPacket(from int, data []byte) {
 		if err := rtp.UnmarshalNACK(&nack, data); err != nil {
 			return
 		}
-		n.metrics.NACKsReceived++
+		n.tel.nacksReceived.Inc()
 		s := n.streams[nack.MediaSSRC]
 		if s == nil {
 			return
 		}
 		for _, seq := range nack.Lost {
 			if buf, ok := s.rtx.get(seq); ok {
-				n.forwardTo(from, buf, gcc.ClassRTX, 0, true)
-				n.metrics.Retransmits++
+				n.forwardTo(from, buf, gcc.ClassRTX, 0, true, nack.MediaSSRC, seq)
+				n.tel.retransmits.Inc()
 			}
 			// Not in history: the downstream node will retry; by then our
 			// own recovery may have filled it (the A→B→C example of §3).

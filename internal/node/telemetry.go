@@ -1,0 +1,54 @@
+package node
+
+import "livenet/internal/telemetry"
+
+// instruments are the node's registered telemetry handles. They are
+// resolved once at construction; each handle is a single atomic word, and
+// with a nil registry the handles are unregistered instruments that still
+// work — so the fast path carries no nil checks, no branches, and no
+// allocations whether telemetry is enabled or not.
+type instruments struct {
+	packetsReceived  *telemetry.Counter
+	packetsForwarded *telemetry.Counter
+	nacksSent        *telemetry.Counter
+	nacksReceived    *telemetry.Counter
+	retransmits      *telemetry.Counter
+	holesRecovered   *telemetry.Counter
+	holesAbandoned   *telemetry.Counter
+	localHits        *telemetry.Counter
+	pathLookups      *telemetry.Counter
+	pathSwitches     *telemetry.Counter
+	droppedBFrames   *telemetry.Counter
+	droppedPFrames   *telemetry.Counter
+	droppedGoPs      *telemetry.Counter
+	cacheHitPrimes   *telemetry.Counter
+	bitrateSwitches  *telemetry.Counter
+	upstreamTimeouts *telemetry.Counter
+	fastSwitches     *telemetry.Counter
+	cacheFallbacks   *telemetry.Counter
+	pacerQueueUs     *telemetry.Histogram
+}
+
+func newInstruments(r *telemetry.Registry) instruments {
+	return instruments{
+		packetsReceived:  r.Counter("node.packets_received"),
+		packetsForwarded: r.Counter("node.packets_forwarded"),
+		nacksSent:        r.Counter("node.nacks_sent"),
+		nacksReceived:    r.Counter("node.nacks_received"),
+		retransmits:      r.Counter("node.retransmits"),
+		holesRecovered:   r.Counter("node.holes_recovered"),
+		holesAbandoned:   r.Counter("node.holes_abandoned"),
+		localHits:        r.Counter("node.local_hits"),
+		pathLookups:      r.Counter("node.path_lookups"),
+		pathSwitches:     r.Counter("node.path_switches"),
+		droppedBFrames:   r.Counter("node.dropped_b_frames"),
+		droppedPFrames:   r.Counter("node.dropped_p_frames"),
+		droppedGoPs:      r.Counter("node.dropped_gops"),
+		cacheHitPrimes:   r.Counter("node.cache_hit_primes"),
+		bitrateSwitches:  r.Counter("node.bitrate_switches"),
+		upstreamTimeouts: r.Counter("node.upstream_timeouts"),
+		fastSwitches:     r.Counter("node.fast_switches"),
+		cacheFallbacks:   r.Counter("node.cache_fallbacks"),
+		pacerQueueUs:     r.Histogram("node.pacer_queue_us"),
+	}
+}

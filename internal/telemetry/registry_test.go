@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's values must be <= its upper bound, and above the
+	// previous bucket's bound.
+	for i := 1; i < histBuckets-1; i++ {
+		up := BucketUpper(i)
+		if bucketIndex(up) != i {
+			t.Errorf("upper bound %d of bucket %d maps to bucket %d", up, i, bucketIndex(up))
+		}
+		if bucketIndex(up+1) != i+1 {
+			t.Errorf("value %d should spill into bucket %d, got %d", up+1, i+1, bucketIndex(up+1))
+		}
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 1000 || s.Sum != 500500 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 500.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	// The true p50 is 500; the bucket answer must be the enclosing
+	// power-of-two bound, 511.
+	if q := s.Quantile(0.5); q != 511 {
+		t.Fatalf("p50 = %d, want 511", q)
+	}
+	if q := s.Quantile(1.0); q != 1023 {
+		t.Fatalf("p100 = %d, want 1023", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []int64{1, 5, 100} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{3, 5000} {
+		b.Observe(v)
+	}
+	sa, sb := a.snapshot(), b.snapshot()
+	sa.merge(sb)
+	if sa.Count != 5 || sa.Sum != 1+5+100+3+5000 {
+		t.Fatalf("merged count=%d sum=%d", sa.Count, sa.Sum)
+	}
+	var total uint64
+	for _, n := range sa.Buckets {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("bucket total = %d", total)
+	}
+}
+
+func TestSnapshotDiffAndDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(10)
+	r.Counter("a.count").Add(3)
+	r.Gauge("m.gauge").Set(0.5)
+	r.Histogram("z.hist").Observe(42)
+
+	before := r.Snapshot()
+	r.Counter("a.count").Add(4)
+	r.Gauge("m.gauge").Set(0.9)
+	r.Histogram("z.hist").Observe(7)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if d.Counters["a.count"] != 4 || d.Counters["b.count"] != 0 {
+		t.Fatalf("diff counters: %+v", d.Counters)
+	}
+	if d.Gauges["m.gauge"] != 0.9 {
+		t.Fatalf("diff gauge: %v", d.Gauges["m.gauge"])
+	}
+	if h := d.Histograms["z.hist"]; h.Count != 1 || h.Sum != 7 {
+		t.Fatalf("diff hist: %+v", h)
+	}
+
+	// Rendering and Names are sorted, so repeated calls are byte-identical.
+	if after.String() != after.String() {
+		t.Fatal("snapshot String not deterministic")
+	}
+	names := after.Names()
+	want := []string{"a.count", "b.count", "m.gauge", "z.hist"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	regNames := r.Names()
+	for i := range want {
+		if regNames[i] != want[i] {
+			t.Fatalf("registry names = %v, want %v", regNames, want)
+		}
+	}
+}
+
+func TestSnapshotMergeAcrossRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("pkts").Add(5)
+	a.Gauge("load").Set(0.2)
+	b.Counter("pkts").Add(7)
+	b.Counter("only.b").Inc()
+	b.Gauge("load").Set(0.8)
+
+	fleet := a.Snapshot()
+	fleet.Merge(b.Snapshot())
+	if fleet.Counters["pkts"] != 12 || fleet.Counters["only.b"] != 1 {
+		t.Fatalf("merged counters: %+v", fleet.Counters)
+	}
+	if fleet.Gauges["load"] != 0.8 { // max wins
+		t.Fatalf("merged gauge: %v", fleet.Gauges["load"])
+	}
+}
+
+func TestNilRegistryIsSafeAndFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	c.Inc()
+	g.Set(1)
+	h.Observe(5)
+	if c.Load() != 1 || g.Load() != 1 {
+		t.Fatal("unregistered instruments must still work")
+	}
+	if !r.Snapshot().Empty() || r.Names() != nil {
+		t.Fatal("nil registry must snapshot empty")
+	}
+	// The hot-path operations on an instrument must not allocate.
+	if n := testing.AllocsPerRun(100, func() { c.Inc(); h.Observe(3) }); n != 0 {
+		t.Fatalf("instrument ops allocate: %v allocs/op", n)
+	}
+}

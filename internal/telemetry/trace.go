@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+// EventKind classifies one step of a packet journey.
+type EventKind uint8
+
+const (
+	// EventRecv is a packet arriving at a node (ingress from the
+	// broadcaster, or delivery over an overlay/last-mile link).
+	EventRecv EventKind = iota
+	// EventSend is the pacer handing the packet to the network toward a
+	// peer (first transmission or a NACK-triggered retransmit).
+	EventSend
+)
+
+// String names the event kind for rendering.
+func (k EventKind) String() string {
+	if k == EventRecv {
+		return "recv"
+	}
+	return "send"
+}
+
+// Event is one timestamped step of a journey, recorded on the sim clock.
+type Event struct {
+	Kind EventKind
+	Node int           // node where the event happened
+	Peer int           // EventSend: destination; EventRecv: -1
+	At   time.Duration // sim-clock timestamp
+	RTX  bool          // EventSend only: NACK-triggered retransmission
+}
+
+// Journey is the recorded life of one sampled packet, identified by
+// (SSRC, RTP sequence number). Events are appended in sim-clock order; with
+// fan-out a journey is a tree (one send per subscriber), which the renderer
+// handles by charging each receive against the sends toward that receiver.
+type Journey struct {
+	SID    uint32
+	Seq    uint16
+	Origin int           // producer node where the packet entered the overlay
+	Start  time.Duration // ingress timestamp
+	Events []Event
+}
+
+// String returns a compact one-line form, mainly for tests and logs.
+func (j *Journey) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sid=%d seq=%d origin=%d start=%v events=%d\n",
+		j.SID, j.Seq, j.Origin, j.Start, len(j.Events))
+	return b.String()
+}
+
+type journeyKey struct {
+	sid uint32
+	seq uint16
+}
+
+// maxEventsPerJourney caps a runaway journey (e.g. a routing loop) so the
+// tracer's memory stays bounded.
+const maxEventsPerJourney = 64
+
+// Tracer samples packet journeys at overlay ingress and records every
+// subsequent hop. All methods are safe on a nil *Tracer (no-ops), which is
+// the disabled state: instrumented code guards with a single nil check and
+// performs no RNG draws, so disabling the tracer keeps replays
+// byte-identical with pre-telemetry builds.
+//
+// Sampling draws come from a dedicated seeded RNG stream, so an enabled
+// tracer never perturbs the simulation's other random streams either.
+type Tracer struct {
+	// ClientBase, when non-zero, is the smallest peer ID rendered as
+	// "client N" instead of "node N" (core.Cluster sets it to its
+	// client-ID base).
+	ClientBase int
+	// After suppresses sampling before this sim-clock time, so the
+	// journey budget is spent on steady-state packets rather than the
+	// congested startup transient.
+	After time.Duration
+
+	clock    sim.Clock
+	rng      *sim.Rand
+	rate     float64
+	max      int
+	journeys map[journeyKey]*Journey
+	order    []*Journey
+}
+
+// NewTracer returns a tracer sampling each eligible ingress packet with
+// probability rate, keeping at most max journeys. clock provides event
+// timestamps; rng must be a dedicated stream (e.g. loop.RNG("telemetry")).
+func NewTracer(clock sim.Clock, rng *sim.Rand, rate float64, max int) *Tracer {
+	if max <= 0 {
+		max = 16
+	}
+	return &Tracer{
+		clock:    clock,
+		rng:      rng,
+		rate:     rate,
+		max:      max,
+		journeys: make(map[journeyKey]*Journey, max),
+	}
+}
+
+// Begin offers an ingress packet for sampling at node. If selected (and the
+// journey budget is not exhausted) it opens a journey and records the
+// ingress receive.
+func (t *Tracer) Begin(sid uint32, seq uint16, node int) {
+	if t == nil || len(t.order) >= t.max {
+		return
+	}
+	k := journeyKey{sid, seq}
+	if _, ok := t.journeys[k]; ok {
+		return
+	}
+	now := t.clock.Now()
+	if now < t.After {
+		return
+	}
+	if !t.rng.Bernoulli(t.rate) {
+		return
+	}
+	j := &Journey{SID: sid, Seq: seq, Origin: node, Start: now}
+	j.Events = append(j.Events, Event{Kind: EventRecv, Node: node, Peer: -1, At: now})
+	t.journeys[k] = j
+	t.order = append(t.order, j)
+}
+
+// Traced reports whether (sid, seq) has an open journey.
+func (t *Tracer) Traced(sid uint32, seq uint16) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.journeys[journeyKey{sid, seq}]
+	return ok
+}
+
+// Recv records the packet arriving at node.
+func (t *Tracer) Recv(sid uint32, seq uint16, node int) {
+	t.record(sid, seq, Event{Kind: EventRecv, Node: node, Peer: -1})
+}
+
+// Send records the pacer releasing the packet at node toward to.
+// rtx marks a NACK-triggered retransmission.
+func (t *Tracer) Send(sid uint32, seq uint16, node, to int, rtx bool) {
+	t.record(sid, seq, Event{Kind: EventSend, Node: node, Peer: to, RTX: rtx})
+}
+
+func (t *Tracer) record(sid uint32, seq uint16, ev Event) {
+	if t == nil {
+		return
+	}
+	j, ok := t.journeys[journeyKey{sid, seq}]
+	if !ok || len(j.Events) >= maxEventsPerJourney {
+		return
+	}
+	ev.At = t.clock.Now()
+	j.Events = append(j.Events, ev)
+}
+
+// Journeys returns all sampled journeys sorted by (ingress time, SID, Seq).
+func (t *Tracer) Journeys() []*Journey {
+	if t == nil {
+		return nil
+	}
+	js := make([]*Journey, len(t.order))
+	copy(js, t.order)
+	sort.Slice(js, func(a, b int) bool {
+		if js[a].Start != js[b].Start {
+			return js[a].Start < js[b].Start
+		}
+		if js[a].SID != js[b].SID {
+			return js[a].SID < js[b].SID
+		}
+		return js[a].Seq < js[b].Seq
+	})
+	return js
+}
+
+// Render returns hop-by-hop latency waterfalls for up to limit journeys
+// (limit <= 0 renders all). Output is deterministic: journeys sort by
+// ingress time and each line is a pure function of the recorded events.
+func (t *Tracer) Render(limit int) string {
+	if t == nil {
+		return "tracing disabled\n"
+	}
+	js := t.Journeys()
+	var b strings.Builder
+	if limit > 0 && len(js) > limit {
+		fmt.Fprintf(&b, "showing %d of %d sampled journeys\n\n", limit, len(js))
+		js = js[:limit]
+	} else {
+		fmt.Fprintf(&b, "%d sampled journeys\n\n", len(js))
+	}
+	for i, j := range js {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		t.renderJourney(&b, j)
+	}
+	return b.String()
+}
+
+func (t *Tracer) peerName(id int) string {
+	if t.ClientBase > 0 && id >= t.ClientBase {
+		return fmt.Sprintf("client %d", id)
+	}
+	return fmt.Sprintf("node %d", id)
+}
+
+// renderJourney prints one waterfall. Per delivered hop, end-to-end time
+// splits into three exclusive components:
+//
+//	queueing   = receive -> first pacer send toward the delivering peer
+//	retransmit = first send -> the send that finally delivered (0 if no loss)
+//	network    = delivering send -> receive at the peer (propagation + jitter)
+func (t *Tracer) renderJourney(b *strings.Builder, j *Journey) {
+	fmt.Fprintf(b, "journey sid=%d seq=%d  ingress %s at t=%v\n",
+		j.SID, j.Seq, t.peerName(j.Origin), j.Start)
+	lastRecv := make(map[int]time.Duration, 4)  // node -> latest receive there
+	firstSend := make(map[int]time.Duration, 4) // dest -> first undelivered send
+	lastSend := make(map[int]time.Duration, 4)  // dest -> latest undelivered send
+	var queueSum, netSum, rtxSum time.Duration
+	var last time.Duration
+	for i, ev := range j.Events {
+		rel := float64(ev.At-j.Start) / float64(time.Millisecond)
+		last = ev.At
+		switch ev.Kind {
+		case EventRecv:
+			if i == 0 {
+				fmt.Fprintf(b, "  %+10.3fms  %-11s recv   (overlay ingress)\n", rel, t.peerName(ev.Node))
+			} else if ls, ok := lastSend[ev.Node]; ok {
+				net := ev.At - ls
+				rtx := ls - firstSend[ev.Node]
+				netSum += net
+				rtxSum += rtx
+				note := fmt.Sprintf("network %.3fms", float64(net)/float64(time.Millisecond))
+				if rtx > 0 {
+					note += fmt.Sprintf(", rtx wait %.3fms", float64(rtx)/float64(time.Millisecond))
+				}
+				fmt.Fprintf(b, "  %+10.3fms  %-11s recv   (%s)\n", rel, t.peerName(ev.Node), note)
+				delete(firstSend, ev.Node)
+				delete(lastSend, ev.Node)
+			} else {
+				fmt.Fprintf(b, "  %+10.3fms  %-11s recv\n", rel, t.peerName(ev.Node))
+			}
+			lastRecv[ev.Node] = ev.At
+		case EventSend:
+			tag := ""
+			if ev.RTX {
+				tag = "  [rtx]"
+			}
+			if _, pending := firstSend[ev.Peer]; !pending {
+				q := time.Duration(0)
+				if r, ok := lastRecv[ev.Node]; ok {
+					q = ev.At - r
+				}
+				queueSum += q
+				firstSend[ev.Peer] = ev.At
+				fmt.Fprintf(b, "  %+10.3fms  %-11s send > %-11s (queued %.3fms)%s\n",
+					rel, t.peerName(ev.Node), t.peerName(ev.Peer),
+					float64(q)/float64(time.Millisecond), tag)
+			} else {
+				fmt.Fprintf(b, "  %+10.3fms  %-11s send > %-11s%s\n",
+					rel, t.peerName(ev.Node), t.peerName(ev.Peer), tag)
+			}
+			lastSend[ev.Peer] = ev.At
+		}
+	}
+	e2e := last - j.Start
+	fmt.Fprintf(b, "  e2e %.3fms = queueing %.3fms + network %.3fms + retransmit %.3fms\n",
+		float64(e2e)/float64(time.Millisecond),
+		float64(queueSum)/float64(time.Millisecond),
+		float64(netSum)/float64(time.Millisecond),
+		float64(rtxSum)/float64(time.Millisecond))
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"livenet/internal/sim"
+)
+
+// buildJourney drives one packet through producer 0 -> relay 3 -> consumer 2
+// -> client 70000, with one lost transmission on the 3->2 hop repaired by a
+// retransmit 50 ms later.
+func buildJourney(t *Tracer, loop *sim.Loop) {
+	at := func(d time.Duration, fn func()) { loop.AfterFunc(d, fn) }
+	at(0, func() { t.Begin(100, 7, 0) })
+	at(2*time.Millisecond, func() { t.Send(100, 7, 0, 3, false) })
+	at(17*time.Millisecond, func() { t.Recv(100, 7, 3) })
+	at(19*time.Millisecond, func() { t.Send(100, 7, 3, 2, false) }) // lost
+	at(69*time.Millisecond, func() { t.Send(100, 7, 3, 2, true) }) // NACK repair
+	at(84*time.Millisecond, func() { t.Recv(100, 7, 2) })
+	at(86*time.Millisecond, func() { t.Send(100, 7, 2, 70000, false) })
+	loop.RunUntil(100 * time.Millisecond)
+}
+
+func TestJourneyRenderGolden(t *testing.T) {
+	loop := sim.NewLoop(1)
+	tr := NewTracer(loop, loop.RNG("telemetry"), 1.0, 4)
+	tr.ClientBase = 1 << 16
+	buildJourney(tr, loop)
+
+	const want = `1 sampled journeys
+
+journey sid=100 seq=7  ingress node 0 at t=0s
+      +0.000ms  node 0      recv   (overlay ingress)
+      +2.000ms  node 0      send > node 3      (queued 2.000ms)
+     +17.000ms  node 3      recv   (network 15.000ms)
+     +19.000ms  node 3      send > node 2      (queued 2.000ms)
+     +69.000ms  node 3      send > node 2       [rtx]
+     +84.000ms  node 2      recv   (network 15.000ms, rtx wait 50.000ms)
+     +86.000ms  node 2      send > client 70000 (queued 2.000ms)
+  e2e 86.000ms = queueing 6.000ms + network 30.000ms + retransmit 50.000ms
+`
+	got := tr.Render(0)
+	if got != want {
+		t.Fatalf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Rendering is a pure function of the recorded events.
+	if tr.Render(0) != got {
+		t.Fatal("render not deterministic")
+	}
+}
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	run := func() string {
+		loop := sim.NewLoop(99)
+		tr := NewTracer(loop, loop.RNG("telemetry"), 0.3, 8)
+		for seq := 0; seq < 64; seq++ {
+			tr.Begin(1, uint16(seq), 0)
+		}
+		var b strings.Builder
+		for _, j := range tr.Journeys() {
+			b.WriteString(j.String())
+		}
+		return b.String()
+	}
+	if run() != run() {
+		t.Fatal("sampling not deterministic for a fixed seed")
+	}
+}
+
+func TestTracerRespectsBudgetAndDedup(t *testing.T) {
+	loop := sim.NewLoop(1)
+	tr := NewTracer(loop, loop.RNG("telemetry"), 1.0, 2)
+	tr.Begin(1, 1, 0)
+	tr.Begin(1, 1, 0) // duplicate ignored
+	tr.Begin(1, 2, 0)
+	tr.Begin(1, 3, 0) // over budget
+	if n := len(tr.Journeys()); n != 2 {
+		t.Fatalf("journeys = %d, want 2", n)
+	}
+	if tr.Traced(1, 3) {
+		t.Fatal("over-budget packet must not be traced")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Begin(1, 1, 0)
+	tr.Recv(1, 1, 0)
+	tr.Send(1, 1, 0, 1, false)
+	if tr.Traced(1, 1) || tr.Journeys() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+	if !strings.Contains(tr.Render(0), "disabled") {
+		t.Fatal("nil tracer render")
+	}
+}
