@@ -3,6 +3,8 @@
 #   make ci         # what a PR must pass: vet + build + race-enabled tests + chaos smoke + docs gate
 #   make test       # plain test run (fastest)
 #   make bench      # allocation + throughput benchmark smoke (short benchtime)
+#   make bench-smoke # routing/perf suite, one iteration each (part of make ci)
+#   make bench-json # perfbench suite -> BENCH_5.json snapshot (minutes)
 #   make quick      # scaled-down end-to-end evaluation report
 #   make chaos      # fault-tolerance evaluation (deterministic fault injection)
 #   make telemetry  # observability report: journey waterfalls + Brain GlobalView
@@ -10,11 +12,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench quick chaos telemetry docs
+.PHONY: all ci vet build test race bench bench-smoke bench-json quick chaos telemetry docs
 
 all: ci
 
-ci: vet build race chaos docs
+ci: vet build race chaos docs bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +38,17 @@ race:
 # allocs/op must not change with the registry enabled).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkBrainLookup|BenchmarkRTP|BenchmarkNetemThroughput|BenchmarkNodeForward' -benchtime 0.2s .
+
+# Routing/perf suite smoke: every perfbench benchmark for one iteration,
+# including the paper-scale (600-site) epoch — proves a full fleet-scale
+# Global Routing round and an incremental churn round both complete.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkBrainLookup|BenchmarkBrainPaperScale|BenchmarkBrainEpochChurn|BenchmarkGraphNeighborWeights|BenchmarkYenKSPFullMesh|BenchmarkDenseMeshRouting|BenchmarkLoopSchedule|BenchmarkNetemSend' -benchtime 1x .
+
+# Perfbench snapshot: run the suite at full benchtime through
+# cmd/livenet-bench and write BENCH_5.json for cross-PR comparison.
+bench-json:
+	$(GO) run ./cmd/livenet-bench -bench-json BENCH_5.json
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick

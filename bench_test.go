@@ -13,14 +13,12 @@ import (
 	"testing"
 	"time"
 
-	"livenet/internal/brain"
 	"livenet/internal/core"
 	"livenet/internal/eval"
 	"livenet/internal/gcc"
-	"livenet/internal/graph"
-	"livenet/internal/ksp"
 	"livenet/internal/media"
 	"livenet/internal/netem"
+	"livenet/internal/perfbench"
 	"livenet/internal/rtp"
 	"livenet/internal/sim"
 	"livenet/internal/telemetry"
@@ -313,31 +311,21 @@ func BenchmarkPacerDrain(b *testing.B) {
 	}
 }
 
-func BenchmarkYenKSPFullMesh(b *testing.B) {
-	const n = 48
-	g := graph.New(n)
-	rng := sim.NewSource(1).Stream("bench")
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				g.SetLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
-			}
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ksp.Yen(n, i%n, (i+7)%n, 3, g.Neighbors, g.Weight)
-	}
-}
+// The routing and allocation-diet benchmark bodies live in
+// internal/perfbench so `livenet-bench -bench-json` can run the same
+// code programmatically and snapshot the numbers (BENCH_*.json).
 
-func BenchmarkDenseMeshRouting(b *testing.B) {
-	cfg := core.MacroConfig{Seed: 1, Days: 1, Sites: 48, System: core.SystemLiveNet}
-	cfg.Workload.PeakViewsPerSec = 0.2
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.RunMacro(cfg)
-	}
-}
+func BenchmarkYenKSPFullMesh(b *testing.B)       { perfbench.YenKSPFullMesh(b) }
+func BenchmarkDenseMeshRouting(b *testing.B)     { perfbench.DenseMeshRouting(b) }
+func BenchmarkGraphNeighborWeights(b *testing.B) { perfbench.GraphNeighborWeights(b) }
+
+// BenchmarkBrainPaperScale is a from-scratch Global Routing epoch at the
+// paper's fleet scale (600 sites, sparse overlay, k=3);
+// BenchmarkBrainEpochChurn is the same epoch when ~1% of links changed —
+// the incremental invalidation path. Their per-op ratio is the headline
+// of this PR (see EXPERIMENTS.md).
+func BenchmarkBrainPaperScale(b *testing.B) { perfbench.BrainPaperScale(b) }
+func BenchmarkBrainEpochChurn(b *testing.B) { perfbench.BrainEpochChurn(b) }
 
 func BenchmarkNetemThroughput(b *testing.B) {
 	loop := sim.NewLoop(1)
@@ -384,62 +372,14 @@ func BenchmarkClusterSecondOfVideo(b *testing.B) {
 
 // --- Allocation diet (event loop, netem, Brain weight cache) ---
 
-// BenchmarkLoopSchedule measures the steady-state cost of the event
-// loop's schedule→fire cycle: with the free list, a drained loop should
-// recycle event structs instead of allocating per event.
-func BenchmarkLoopSchedule(b *testing.B) {
-	loop := sim.NewLoop(1)
-	fn := func() {}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		loop.At(loop.Now()+time.Microsecond, fn)
-		loop.Step()
-	}
-}
+func BenchmarkLoopSchedule(b *testing.B) { perfbench.LoopSchedule(b) }
+func BenchmarkNetemSend(b *testing.B)    { perfbench.NetemSend(b) }
 
-// BenchmarkNetemSend measures the per-packet cost of the emulator's send
-// path (closure-free AtMsg delivery), draining every packet so the event
-// free list reaches steady state.
-func BenchmarkNetemSend(b *testing.B) {
-	loop := sim.NewLoop(1)
-	net := netem.New(loop, loop.RNG("n"))
-	net.AddLink(0, 1, netem.LinkConfig{RTT: time.Millisecond, BandwidthBps: 1e9})
-	net.Handle(1, func(int, []byte) {})
-	data := make([]byte, 1200)
-	b.ReportAllocs()
-	b.SetBytes(1200)
-	for i := 0; i < b.N; i++ {
-		net.Send(0, 1, data)
-		for loop.Step() {
-		}
-	}
-}
-
-// BenchmarkBrainLookup measures a full Global Routing recompute per
-// lookup (epoch advanced each iteration so the PIB entry is stale): KSP
-// over the cached per-neighbor weight rows instead of per-edge map
-// probes and closures.
-func BenchmarkBrainLookup(b *testing.B) {
-	const n = 32
-	br := brain.New(brain.Config{N: n})
-	rng := sim.NewSource(1).Stream("bench")
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				br.ReportLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
-			}
-		}
-	}
-	br.RegisterStream(1, 0)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		br.AdvanceEpoch()
-		if _, err := br.Lookup(1, 1+i%(n-1)); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkBrainLookup measures the Path Decision serve path across
+// quiet routing epochs: with incremental epochs an AdvanceEpoch that saw
+// no metric changes is a no-op, so the lookup is a PIB hit served from
+// the memoized decision cache (one outer-slice copy per call).
+func BenchmarkBrainLookup(b *testing.B) { perfbench.BrainLookup(b) }
 
 // BenchmarkNodeForward measures the node's fast forwarding path
 // (broadcaster ingress -> classify -> fan-out -> pacer drain) with the

@@ -18,14 +18,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"livenet/internal/eval"
+	"livenet/internal/perfbench"
 	"livenet/internal/runner"
 )
 
@@ -33,6 +37,7 @@ func main() {
 	quick := flag.Bool("quick", false, "run the scaled-down configuration")
 	days := flag.Int("days", 0, "override the number of simulated days")
 	sites := flag.Int("sites", 0, "override the number of CDN sites")
+	maxPeers := flag.Int("peers", 0, "sparse overlay: links per site to its nearest peers (0 = full mesh)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	seeds := flag.Int("seeds", 1, "workload seeds per system (N>1 adds a mean ± 95% CI table)")
 	parallel := flag.Bool("parallel", true, "fan independent runs out across CPU cores")
@@ -40,8 +45,17 @@ func main() {
 	outFile := flag.String("out", "", "also write the report to this file")
 	skipAblations := flag.Bool("no-ablations", false, "skip the ablation studies")
 	chaosOnly := flag.Bool("chaos", false, "run only the fault-tolerance experiments")
+	benchJSON := flag.String("bench-json", "", "run the perfbench suite and write a JSON snapshot to this file")
 	telemetryOnly := flag.Bool("telemetry", false, "run only the observability report (waterfalls + GlobalView)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	o := eval.Full()
 	if *quick {
@@ -52,6 +66,9 @@ func main() {
 	}
 	if *sites > 0 {
 		o.Sites = *sites
+	}
+	if *maxPeers > 0 {
+		o.MaxPeers = *maxPeers
 	}
 	o.Seed = *seed
 
@@ -153,4 +170,52 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
+}
+
+// benchRecord is one perfbench result row in the JSON snapshot.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchSnapshot is the JSON document `-bench-json` writes: the whole
+// perfbench suite on this machine, for cross-PR comparison.
+type benchSnapshot struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Results   []benchRecord `json:"results"`
+}
+
+// runBenchJSON runs every registered perfbench benchmark via
+// testing.Benchmark and writes the snapshot to path.
+func runBenchJSON(path string) error {
+	snap := benchSnapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, s := range perfbench.Specs() {
+		fmt.Fprintf(os.Stderr, "bench %-22s", s.Name)
+		r := testing.Benchmark(s.Func)
+		rec := benchRecord{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, " %14.1f ns/op %10d allocs/op  (n=%d)\n", rec.NsPerOp, rec.AllocsPerOp, r.N)
+		snap.Results = append(snap.Results, rec)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

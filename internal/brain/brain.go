@@ -14,22 +14,31 @@
 //   - Stream Management tracks which producer node carries each live
 //     stream in the Stream Information Base (SIB).
 //
-// One deliberate implementation difference from the paper: instead of
-// recomputing all N² pairs every 10 minutes eagerly, the PIB is filled
-// lazily per requested pair and cached for the current routing epoch
-// (epochs advance on the same 10-minute period). The produced paths are
-// identical; only the computation schedule differs, which keeps a
-// 600-node simulation affordable. An eager RecomputeAll is provided for
-// benchmarks that want the paper's schedule.
+// Two deliberate implementation differences from the paper keep a
+// 600-node fleet affordable. First, instead of recomputing all N² pairs
+// every 10 minutes eagerly, the PIB is filled lazily per requested pair
+// (an eager RecomputeAll is provided for the paper's batch schedule; it
+// fans out across cores with results identical to the serial order).
+// Second, AdvanceEpoch is incremental: Global Discovery tracks which
+// links and nodes actually changed since the last routing round, and the
+// round invalidates only PIB entries those changes could affect — an
+// entry whose cached paths avoid every dirty element, and whose k-th
+// path cost no dirty element can undercut, is provably unchanged and
+// kept. The served paths are identical to a from-scratch recompute
+// (asserted by TestIncrementalMatchesRecompute); only the computation
+// schedule differs.
 package brain
 
 import (
 	"errors"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"livenet/internal/graph"
 	"livenet/internal/ksp"
+	"livenet/internal/runner"
 	"livenet/internal/sim"
 	"livenet/internal/telemetry"
 )
@@ -40,6 +49,18 @@ const (
 	DefaultMaxHops    = 3
 	DefaultRouteEpoch = 10 * time.Minute
 )
+
+// costEps is the tie margin for the incremental-invalidation bound test:
+// a dirty element whose best path lands within costEps of an entry's k-th
+// cost invalidates the entry rather than trusting float equality.
+const costEps = 1e-9
+
+// invalidateDenom: when more than 1/invalidateDenom of the links (or
+// nodes) are dirty, per-entry checks cost more than they save and the
+// round falls back to dropping the whole PIB (the macro simulator's
+// full-fleet refresh always takes this path, so its schedule is
+// unchanged).
+const invalidateDenom = 8
 
 // ErrUnknownStream is returned when the SIB has no producer for a stream.
 var ErrUnknownStream = errors.New("brain: unknown stream")
@@ -67,6 +88,11 @@ type Config struct {
 	// Telemetry is the registry the Brain registers its brain.* counters
 	// in (see OBSERVABILITY.md). Nil disables registration at zero cost.
 	Telemetry *telemetry.Registry
+	// Recompute schedules RecomputeAll/PrefetchPaths batch work; the zero
+	// value fans out across GOMAXPROCS workers. runner.Serial() is the
+	// reference schedule for determinism tests (results are identical
+	// either way).
+	Recompute runner.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -94,9 +120,38 @@ type Metrics struct {
 
 type pairKey struct{ src, dst int }
 
+// pibEntry caches one pair's Global Routing result plus what the
+// incremental invalidation needs to decide whether it survived a set of
+// link/node changes.
 type pibEntry struct {
-	epoch uint64
+	// version is the graph version the paths were computed at; dirty
+	// elements recorded at or before it were already visible then.
+	version uint64
+	// raw is the KSP output before hop filtering — invalidation must see
+	// it, because a filtered-out path changing cost can still change the
+	// KSP top-k and therefore the filtered set.
+	raw []ksp.Path
+	// kth is the cost of the k-th raw path (+Inf when KSP found fewer):
+	// a changed element that cannot produce a path cheaper than this
+	// cannot displace anything in the entry.
+	kth float64
+	// paths is raw with over-length paths removed (what decisions see).
 	paths []ksp.Path
+
+	// Decision cache: the overload-filtered (Algorithm 1 lines 14–18)
+	// served list, memoized against the graph version so repeat lookups
+	// in a quiet view are allocation-free except for the outer slice.
+	// The inner []int slices are immutable and shared with callers.
+	decided   [][]int
+	decidedAt uint64 // graph version the filter ran at (0 = never)
+	decidedLR bool   // decided is a last-resort fallback
+}
+
+// treeEntry is a cached per-producer SSSP tree (one forward Dijkstra
+// shared by every consumer of that producer within a graph version).
+type treeEntry struct {
+	version uint64
+	tree    ksp.Tree
 }
 
 // Brain is the Streaming Brain.
@@ -104,11 +159,19 @@ type Brain struct {
 	mu  sync.Mutex
 	cfg Config
 
-	view  *graph.Graph // global view maintained by Global Discovery
-	epoch uint64
+	view *graph.Graph // global view maintained by Global Discovery
 
 	pib map[pairKey]*pibEntry
 	sib map[uint32]int // stream ID -> producer node
+
+	// trees caches one SSSP tree per producer, stamped by graph version.
+	trees map[int]treeEntry
+
+	// Dirty sets for incremental invalidation: elements whose metrics
+	// changed since the last routing round, with the graph version at
+	// which they last changed (entries computed later already saw it).
+	dirtyLinks map[pairKey]uint64
+	dirtyNodes map[int]uint64
 
 	// Per-node telemetry ingested by Global Discovery (nil until the
 	// first ReportNodeTelemetry): metric snapshots and carried streams,
@@ -126,20 +189,23 @@ type Brain struct {
 	nodeSeen []time.Duration
 
 	// Dense-mesh fast path (see dense.go).
-	dense      bool
-	denseW     []float64
-	denseEpoch uint64
+	dense        bool
+	denseW       []float64
+	denseVersion uint64
 }
 
 // New creates a Brain over n nodes.
 func New(cfg Config) *Brain {
 	cfg = cfg.withDefaults()
 	b := &Brain{
-		cfg:  cfg,
-		view: graph.New(cfg.N),
-		pib:  make(map[pairKey]*pibEntry),
-		sib:  make(map[uint32]int),
-		tel:  newBrainInstruments(cfg.Telemetry),
+		cfg:        cfg,
+		view:       graph.New(cfg.N),
+		pib:        make(map[pairKey]*pibEntry),
+		sib:        make(map[uint32]int),
+		trees:      make(map[int]treeEntry),
+		dirtyLinks: make(map[pairKey]uint64),
+		dirtyNodes: make(map[int]uint64),
+		tel:        newBrainInstruments(cfg.Telemetry),
 	}
 	if cfg.Clock != nil {
 		b.scheduleEpoch()
@@ -171,8 +237,11 @@ func (b *Brain) scheduleAge() {
 
 // sweepStale marks links and nodes whose reports aged past StaleAfter as
 // down (and revives ones that resumed reporting — SetLink already clears
-// link state on a fresh report). Any change invalidates the PIB so the
-// next lookup routes around the failed elements.
+// link state on a fresh report). Changes invalidate the affected PIB
+// entries immediately so the next lookup routes around the failed
+// elements. Map iteration order does not matter here: each key's effect
+// is an independent state transition, and the invalidation below folds
+// the resulting dirty set order-insensitively.
 func (b *Brain) sweepStale() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -180,8 +249,8 @@ func (b *Brain) sweepStale() {
 	changed := false
 	for k, seen := range b.linkSeen {
 		if now-seen > b.cfg.StaleAfter {
-			if l := b.view.Link(k.src, k.dst); l != nil && !l.Down {
-				b.view.SetLinkDown(k.src, k.dst, true)
+			if b.view.SetLinkDown(k.src, k.dst, true) {
+				b.markLinkDirtyLocked(k.src, k.dst)
 				changed = true
 			}
 		}
@@ -190,11 +259,12 @@ func (b *Brain) sweepStale() {
 		stale := now-seen > b.cfg.StaleAfter
 		if stale != b.view.NodeDown(id) {
 			b.view.SetNodeDown(id, stale)
+			b.markNodeDirtyLocked(id)
 			changed = true
 		}
 	}
 	if changed {
-		b.epoch++
+		b.applyDirtLocked()
 	}
 }
 
@@ -238,19 +308,217 @@ func (b *Brain) Metrics() Metrics {
 	}
 }
 
-// AdvanceEpoch invalidates the PIB so paths are recomputed against the
-// latest global view (the 10-minute Global Routing cycle).
+// AdvanceEpoch runs the 10-minute Global Routing cycle: PIB entries
+// affected by the metrics that changed since the last cycle are
+// invalidated (and recomputed lazily or by RecomputeAll); entries the
+// changes provably cannot touch are kept. With no accumulated changes the
+// advance is a no-op.
 func (b *Brain) AdvanceEpoch() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.epoch++
+	b.applyDirtLocked()
+}
+
+// InvalidateAll unconditionally drops every cached path product — the
+// from-scratch baseline the incremental path is benchmarked against.
+func (b *Brain) InvalidateAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.invalidatePIBLocked()
+	clear(b.dirtyLinks)
+	clear(b.dirtyNodes)
+}
+
+func (b *Brain) invalidatePIBLocked() {
+	b.tel.pibInvalidated.Add(uint64(len(b.pib)))
+	clear(b.pib)
+	clear(b.trees)
+}
+
+func (b *Brain) markLinkDirtyLocked(from, to int) {
+	b.dirtyLinks[pairKey{from, to}] = b.view.Version()
+}
+
+func (b *Brain) markNodeDirtyLocked(id int) {
+	b.dirtyNodes[id] = b.view.Version()
+}
+
+// probe is one dirty element prepared for the bound test: shortest
+// distances from every source to the element and from the element to
+// every destination, on the current graph. For a dirty link, w is its
+// current weight and the arrays meet at its endpoints; for a dirty node
+// the arrays meet at the node itself and w is 0.
+type probe struct {
+	ver   uint64
+	w     float64
+	toS   []float64 // toS[s] = dist(s → element entry)
+	fromD []float64 // fromD[d] = dist(element exit → d)
+}
+
+// applyDirtLocked is the incremental Global Routing round: it decides,
+// per PIB entry, whether the accumulated dirty links/nodes could change
+// the entry's KSP result, and drops exactly those entries. An entry is
+// dropped when (a) one of its raw paths traverses a dirty element — its
+// cached costs are stale — or (b) the cheapest possible path through a
+// dirty element undercuts the entry's k-th cost — a new candidate could
+// enter its top-k. Entries failing both tests recompute to themselves,
+// so keeping them serves identical paths (the property test asserts
+// this). When the dirty set is a large fraction of the graph, per-entry
+// checks cost more than recomputing, so the whole PIB is dropped.
+func (b *Brain) applyDirtLocked() {
+	nl, nn := len(b.dirtyLinks), len(b.dirtyNodes)
+	if nl == 0 && nn == 0 {
+		return
+	}
+	defer func() {
+		clear(b.dirtyLinks)
+		clear(b.dirtyNodes)
+	}()
+	if len(b.pib) == 0 {
+		clear(b.trees) // stale trees are version-guarded, but free them
+		return
+	}
+	// Changes every surviving entry already saw (recorded at or before the
+	// oldest entry's compute version) cannot affect anything: prune them so
+	// a round after a quiet window is a no-op rather than a full drop.
+	minVer := ^uint64(0)
+	for _, e := range b.pib {
+		if e.version < minVer {
+			minVer = e.version
+		}
+	}
+	for k, ver := range b.dirtyLinks {
+		if ver <= minVer {
+			delete(b.dirtyLinks, k)
+		}
+	}
+	for id, ver := range b.dirtyNodes {
+		if ver <= minVer {
+			delete(b.dirtyNodes, id)
+		}
+	}
+	nl, nn = len(b.dirtyLinks), len(b.dirtyNodes)
+	if nl == 0 && nn == 0 {
+		return
+	}
+	if nl*invalidateDenom > b.view.Edges() || nn*invalidateDenom > b.cfg.N {
+		b.tel.invalidateFull.Inc()
+		b.invalidatePIBLocked()
+		return
+	}
+	b.tel.invalidateIncremental.Inc()
+	probes := b.buildProbesLocked()
+	dropped := uint64(0)
+	for k, e := range b.pib {
+		if b.entryStaleLocked(k, e, probes) {
+			delete(b.pib, k)
+			dropped++
+		}
+	}
+	b.tel.pibInvalidated.Add(dropped)
+}
+
+// buildProbesLocked runs the per-dirty-element Dijkstra sweeps (forward
+// from the element over the CSR, and backward to it over the reverse
+// CSR). Sweeps are deduplicated by root — dirty links sharing an endpoint
+// share the distance arrays — and fan out across the runner pool; probe
+// outcomes are order-independent (entryStaleLocked ORs over them), so the
+// parallel schedule changes nothing.
+func (b *Brain) buildProbesLocked() []probe {
+	n := b.cfg.N
+	// Distinct sweep roots: reverse sweeps end at a dirty link's entry (or
+	// a dirty node), forward sweeps start at its exit (or the node).
+	revSet := make(map[int]bool)
+	fwdSet := make(map[int]bool)
+	for lk := range b.dirtyLinks {
+		revSet[lk.src] = true
+		fwdSet[lk.dst] = true
+	}
+	for id := range b.dirtyNodes {
+		revSet[id] = true
+		fwdSet[id] = true
+	}
+	type root struct {
+		id  int
+		rev bool
+	}
+	roots := make([]root, 0, len(revSet)+len(fwdSet))
+	for id := range revSet {
+		roots = append(roots, root{id: id, rev: true})
+	}
+	for id := range fwdSet {
+		roots = append(roots, root{id: id})
+	}
+	sort.Slice(roots, func(a, c int) bool {
+		if roots[a].rev != roots[c].rev {
+			return roots[a].rev
+		}
+		return roots[a].id < roots[c].id
+	})
+	b.view.MaterializeWeights() // both row directions: workers only read
+	dists, _ := runner.Map(b.cfg.Recompute, roots, func(r root) []float64 {
+		if r.rev {
+			d, _ := ksp.DijkstraNW(n, r.id, b.view.InNeighborWeights)
+			return d
+		}
+		d, _ := ksp.DijkstraNW(n, r.id, b.view.NeighborWeights)
+		return d
+	})
+	rev := make(map[int][]float64, len(revSet))
+	fwd := make(map[int][]float64, len(fwdSet))
+	for i, r := range roots {
+		if r.rev {
+			rev[r.id] = dists[i]
+		} else {
+			fwd[r.id] = dists[i]
+		}
+	}
+	probes := make([]probe, 0, len(b.dirtyLinks)+len(b.dirtyNodes))
+	for lk, ver := range b.dirtyLinks {
+		probes = append(probes, probe{
+			ver: ver, w: b.view.Weight(lk.src, lk.dst), toS: rev[lk.src], fromD: fwd[lk.dst],
+		})
+	}
+	for id, ver := range b.dirtyNodes {
+		probes = append(probes, probe{ver: ver, toS: rev[id], fromD: fwd[id]})
+	}
+	return probes
+}
+
+// entryStaleLocked reports whether any dirty element recorded after the
+// entry's compute version could change its KSP result.
+func (b *Brain) entryStaleLocked(k pairKey, e *pibEntry, probes []probe) bool {
+	for _, p := range e.raw {
+		for i, nd := range p.Nodes {
+			if ver, ok := b.dirtyNodes[nd]; ok && ver > e.version {
+				return true
+			}
+			if i+1 < len(p.Nodes) {
+				if ver, ok := b.dirtyLinks[pairKey{nd, p.Nodes[i+1]}]; ok && ver > e.version {
+					return true
+				}
+			}
+		}
+	}
+	limit := e.kth + costEps
+	for i := range probes {
+		pr := &probes[i]
+		if pr.ver <= e.version {
+			continue
+		}
+		if pr.toS[k.src]+pr.w+pr.fromD[k.dst] < limit {
+			return true
+		}
+	}
+	return false
 }
 
 // --- Global Discovery ---
 
 // ReportLink ingests one link measurement from a node's periodic report.
-// A report on a previously-down link revives it (and invalidates the PIB
-// so recomputed paths may use it again).
+// The changed weight takes routing effect at the next epoch; a report on
+// a previously-down link revives it immediately (the affected PIB entries
+// are invalidated so recomputed paths may use it again).
 func (b *Brain) ReportLink(from, to int, rtt time.Duration, loss, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -258,9 +526,11 @@ func (b *Brain) ReportLink(from, to int, rtt time.Duration, loss, util float64) 
 	if l := b.view.Link(from, to); l != nil {
 		wasDown = l.Down
 	}
-	b.view.SetLink(from, to, rtt, loss, util)
-	if wasDown {
-		b.epoch++
+	if b.view.SetLink(from, to, rtt, loss, util) {
+		b.markLinkDirtyLocked(from, to)
+		if wasDown {
+			b.applyDirtLocked()
+		}
 	}
 	if b.linkSeen != nil {
 		now := b.cfg.Clock.Now()
@@ -275,9 +545,9 @@ func (b *Brain) ReportLink(from, to int, rtt time.Duration, loss, util float64) 
 func (b *Brain) ReportLinkDown(from, to int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if l := b.view.Link(from, to); l != nil && !l.Down {
-		b.view.SetLinkDown(from, to, true)
-		b.epoch++
+	if b.view.SetLinkDown(from, to, true) {
+		b.markLinkDirtyLocked(from, to)
+		b.applyDirtLocked()
 	}
 }
 
@@ -286,9 +556,9 @@ func (b *Brain) ReportLinkDown(from, to int) {
 func (b *Brain) ReportNodeDown(id int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if !b.view.NodeDown(id) {
-		b.view.SetNodeDown(id, true)
-		b.epoch++
+	if b.view.SetNodeDown(id, true) {
+		b.markNodeDirtyLocked(id)
+		b.applyDirtLocked()
 	}
 }
 
@@ -296,10 +566,13 @@ func (b *Brain) ReportNodeDown(id int) {
 func (b *Brain) ReportNodeLoad(id int, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.view.SetNodeUtil(id, util)
+	if b.view.SetNodeUtil(id, util) {
+		b.markNodeDirtyLocked(id)
+	}
 	if b.view.NodeDown(id) {
 		b.view.SetNodeDown(id, false)
-		b.epoch++
+		b.markNodeDirtyLocked(id)
+		b.applyDirtLocked()
 	}
 	if b.nodeSeen != nil {
 		b.nodeSeen[id] = b.cfg.Clock.Now()
@@ -309,12 +582,15 @@ func (b *Brain) ReportNodeLoad(id int, util float64) {
 // OverloadAlarm handles a real-time alarm: the node's paths must be
 // invalidated immediately rather than waiting for the next epoch (§4.2).
 // Recording the reported utilization in the view makes the Path
-// Decision's validity filter reject paths through it at once.
+// Decision's validity filter reject paths through it at once — the bump
+// in graph version expires every cached decision.
 func (b *Brain) OverloadAlarm(id int, util float64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.tel.overloadAlarms.Inc()
-	b.view.SetNodeUtil(id, util)
+	if b.view.SetNodeUtil(id, util) {
+		b.markNodeDirtyLocked(id)
+	}
 }
 
 // LinkOverloadAlarm is the link-level variant.
@@ -323,7 +599,9 @@ func (b *Brain) LinkOverloadAlarm(from, to int, util float64) {
 	defer b.mu.Unlock()
 	b.tel.overloadAlarms.Inc()
 	if l := b.view.Link(from, to); l != nil {
-		b.view.SetLink(from, to, l.RTT, l.Loss, util)
+		if b.view.SetLink(from, to, l.RTT, l.Loss, util) {
+			b.markLinkDirtyLocked(from, to)
+		}
 	}
 }
 
@@ -367,7 +645,8 @@ func (b *Brain) Producer(sid uint32) (int, bool) {
 // candidate paths (producer→consumer node sequences) ordered by
 // preference. Paths with overloaded links/nodes are deleted (IsInvalid);
 // when none survive, a last-resort path through a reserved relay is
-// returned.
+// returned. The outer slice is the caller's to keep; the inner path
+// slices are shared immutable data and must not be modified.
 func (b *Brain) Lookup(sid uint32, consumer int) ([][]int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -391,58 +670,104 @@ func (b *Brain) pathsLocked(producer, consumer int) [][]int {
 	if producer == consumer {
 		return [][]int{{producer}} // 0-hop path: one node is both roles
 	}
-	entry := b.pibEntryLocked(producer, consumer)
+	return b.serveLocked(producer, consumer, b.pibEntryLocked(producer, consumer))
+}
 
-	// Validity filter: delete paths with overloaded nodes/links
-	// (Algorithm 1 lines 14–18).
-	out := make([][]int, 0, len(entry.paths))
-	for _, p := range entry.paths {
-		if !b.view.PathOverloaded(p.Nodes) {
-			out = append(out, append([]int(nil), p.Nodes...))
+// serveLocked applies the decision-time validity filter (Algorithm 1
+// lines 14–18) and the last-resort fallback, memoizing the result against
+// the graph version: while the view is unchanged, repeat lookups reuse
+// the filtered list and pay one outer-slice allocation.
+func (b *Brain) serveLocked(producer, consumer int, e *pibEntry) [][]int {
+	if v := b.view.Version(); e.decidedAt != v {
+		e.decidedAt = v
+		e.decidedLR = false
+		e.decided = e.decided[:0]
+		for _, p := range e.paths {
+			if !b.view.PathOverloaded(p.Nodes) {
+				e.decided = append(e.decided, p.Nodes)
+			}
+		}
+		if len(e.decided) == 0 {
+			// Last resort (§4.3): producer → reserved relay → consumer.
+			if lr := b.lastResortLocked(producer, consumer); lr != nil {
+				e.decided = append(e.decided, lr)
+				e.decidedLR = true
+			}
 		}
 	}
-	if len(out) > 0 {
-		return out
+	if len(e.decided) == 0 {
+		return nil
 	}
-	// Last resort (§4.3): producer → reserved relay → consumer.
-	if lr := b.lastResortLocked(producer, consumer); lr != nil {
+	if e.decidedLR {
 		b.tel.lastResortUsed.Inc()
-		return [][]int{lr}
 	}
-	return nil
+	out := make([][]int, len(e.decided))
+	copy(out, e.decided)
+	return out
 }
 
 // pibEntryLocked returns the cached PIB entry for a pair, computing it if
-// absent or stale (lazy variant of the 10-minute Global Routing run).
+// absent (lazy variant of the 10-minute Global Routing run — entries stay
+// valid across epochs until invalidation drops them).
 func (b *Brain) pibEntryLocked(src, dst int) *pibEntry {
 	k := pairKey{src, dst}
-	if e, ok := b.pib[k]; ok && e.epoch == b.epoch {
+	if e, ok := b.pib[k]; ok {
 		b.tel.pibHits.Inc()
 		return e
 	}
 	b.tel.pibMisses.Inc()
-	e := &pibEntry{epoch: b.epoch, paths: b.computePaths(src, dst)}
+	e := b.computeEntryLocked(src, dst)
 	b.pib[k] = e
 	return e
 }
 
-// computePaths is the Global Routing two-step solution (§4.3): KSP on the
-// abstracted weights, then constraint filtering (length only — overload
-// filtering happens at decision time so alarms take effect immediately).
-func (b *Brain) computePaths(src, dst int) []ksp.Path {
+// computeEntryLocked is the Global Routing two-step solution (§4.3): KSP
+// on the abstracted weights, then constraint filtering (length only —
+// overload filtering happens at decision time so alarms take effect
+// immediately).
+func (b *Brain) computeEntryLocked(src, dst int) *pibEntry {
+	var raw []ksp.Path
 	if b.dense {
-		return b.computePathsDense(src, dst)
+		raw = b.computePathsDense(src, dst)
+	} else {
+		raw = ksp.YenFromTree(b.cfg.N, src, dst, b.cfg.K, b.view.NeighborWeights, b.treeLocked(src))
 	}
-	// The per-neighbor weight cache persists across lookups within an
-	// epoch, so Yen's Dijkstra probes skip the per-edge map lookups.
-	paths := ksp.YenNW(b.cfg.N, src, dst, b.cfg.K, b.view.NeighborWeights)
-	out := paths[:0]
-	for _, p := range paths {
-		if p.Hops() <= b.cfg.MaxHops {
-			out = append(out, p)
+	return b.newEntry(raw, b.view.Version())
+}
+
+// newEntry derives the invalidation and decision state from a KSP result.
+func (b *Brain) newEntry(raw []ksp.Path, version uint64) *pibEntry {
+	e := &pibEntry{version: version, raw: raw, kth: math.Inf(1), paths: raw}
+	if len(raw) >= b.cfg.K {
+		e.kth = raw[len(raw)-1].Cost
+	}
+	for i, p := range raw {
+		if p.Hops() > b.cfg.MaxHops {
+			filtered := make([]ksp.Path, 0, len(raw)-1)
+			filtered = append(filtered, raw[:i]...)
+			for _, q := range raw[i+1:] {
+				if q.Hops() <= b.cfg.MaxHops {
+					filtered = append(filtered, q)
+				}
+			}
+			e.paths = filtered
+			break
 		}
 	}
-	return out
+	return e
+}
+
+// treeLocked returns the SSSP tree rooted at src for the current graph
+// version, computing and caching it on first use. Every consumer pairing
+// with this producer shares it for their first candidate path.
+func (b *Brain) treeLocked(src int) ksp.Tree {
+	v := b.view.Version()
+	if te, ok := b.trees[src]; ok && te.version == v {
+		return te.tree
+	}
+	t := ksp.SSSP(b.cfg.N, src, b.view.NeighborWeights)
+	b.trees[src] = treeEntry{version: v, tree: t}
+	return t
 }
 
 // lastResortLocked builds producer → LR → consumer through the best
@@ -480,41 +805,159 @@ func (b *Brain) lastResortLocked(producer, consumer int) []int {
 	return best
 }
 
-// RecomputeAll eagerly fills the PIB for every pair at the current epoch
-// (the paper's 10-minute batch run; used by benchmarks).
-func (b *Brain) RecomputeAll() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for s := 0; s < b.cfg.N; s++ {
-		for d := 0; d < b.cfg.N; d++ {
-			if s != d {
-				b.pibEntryLocked(s, d)
+// recomputeJob is one producer's share of a batch recompute.
+type recomputeJob struct {
+	src  int
+	dsts []int
+	tree ksp.Tree
+	has  bool // tree is valid (cached before the fan-out)
+}
+
+// recomputeMissingLocked computes PIB entries for every listed (src,dsts)
+// group, fanning the per-producer jobs out across the runner pool and
+// merging results in deterministic (src, dst) order. Workers only read
+// the graph: weight rows are materialized up front, so the parallel
+// schedule is byte-identical to the serial one.
+func (b *Brain) recomputeMissingLocked(jobs []recomputeJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	version := b.view.Version()
+	if b.dense {
+		b.denseWeightsLocked() // build once; workers then read it
+	} else {
+		b.view.MaterializeWeights()
+		for i := range jobs {
+			if te, ok := b.trees[jobs[i].src]; ok && te.version == version {
+				jobs[i].tree, jobs[i].has = te.tree, true
 			}
+		}
+	}
+	type jobResult struct {
+		tree    ksp.Tree
+		entries []*pibEntry
+	}
+	results, _ := runner.Map(b.cfg.Recompute, jobs, func(j recomputeJob) jobResult {
+		r := jobResult{entries: make([]*pibEntry, len(j.dsts))}
+		if b.dense {
+			for i, d := range j.dsts {
+				r.entries[i] = b.newEntry(b.computePathsDense(j.src, d), version)
+			}
+			return r
+		}
+		r.tree = j.tree
+		if !j.has {
+			r.tree = ksp.SSSP(b.cfg.N, j.src, b.view.NeighborWeights)
+		}
+		for i, d := range j.dsts {
+			r.entries[i] = b.newEntry(ksp.YenFromTree(b.cfg.N, j.src, d, b.cfg.K, b.view.NeighborWeights, r.tree), version)
+		}
+		return r
+	})
+	for ji, j := range jobs {
+		if !b.dense {
+			b.trees[j.src] = treeEntry{version: version, tree: results[ji].tree}
+		}
+		for i, d := range j.dsts {
+			b.pib[pairKey{j.src, d}] = results[ji].entries[i]
+			b.tel.pibMisses.Inc()
 		}
 	}
 }
 
+// RecomputeAll eagerly fills the PIB for every pair not already cached
+// (the paper's 10-minute batch run). The per-producer groups fan out
+// across cores; the result is identical to the lazy serial fill.
+func (b *Brain) RecomputeAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.cfg.N
+	jobs := make([]recomputeJob, 0, n)
+	for s := 0; s < n; s++ {
+		var dsts []int
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if _, ok := b.pib[pairKey{s, d}]; ok {
+				b.tel.pibHits.Inc()
+				continue
+			}
+			dsts = append(dsts, d)
+		}
+		if len(dsts) > 0 {
+			jobs = append(jobs, recomputeJob{src: s, dsts: dsts})
+		}
+	}
+	b.recomputeMissingLocked(jobs)
+}
+
 // PrefetchPaths computes candidate paths from a popular stream's producer
 // to every node, for proactive installation on overlay nodes ahead of
-// viewer arrival (§4.4).
+// viewer arrival (§4.4). Missing entries are computed in parallel off the
+// producer's shared SSSP tree.
 func (b *Brain) PrefetchPaths(sid uint32) (map[int][][]int, error) {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	producer, ok := b.sib[sid]
-	b.mu.Unlock()
 	if !ok {
 		return nil, ErrUnknownStream
+	}
+	var missing []int
+	for d := 0; d < b.cfg.N; d++ {
+		if d == producer {
+			continue
+		}
+		if _, ok := b.pib[pairKey{producer, d}]; ok {
+			b.tel.pibHits.Inc()
+		} else {
+			missing = append(missing, d)
+		}
+	}
+	if len(missing) > 0 {
+		// One producer, many destinations: split into per-worker chunks
+		// that all share the producer's tree.
+		pool := b.cfg.Recompute.PoolSize()
+		chunk := (len(missing) + pool - 1) / pool
+		var jobs []recomputeJob
+		for at := 0; at < len(missing); at += chunk {
+			end := at + chunk
+			if end > len(missing) {
+				end = len(missing)
+			}
+			jobs = append(jobs, recomputeJob{src: producer, dsts: missing[at:end]})
+		}
+		if !b.dense {
+			b.treeLocked(producer) // ensure the shared tree exists once
+		}
+		b.recomputeMissingLocked(jobs)
 	}
 	out := make(map[int][][]int, b.cfg.N)
 	for d := 0; d < b.cfg.N; d++ {
 		if d == producer {
 			continue
 		}
-		b.mu.Lock()
-		paths := b.pathsLocked(producer, d)
-		b.mu.Unlock()
-		if len(paths) > 0 {
+		if paths := b.serveLocked(producer, d, b.pib[pairKey{producer, d}]); len(paths) > 0 {
 			out[d] = paths
 		}
 	}
 	return out, nil
+}
+
+// SortedPIBKeys returns the current PIB keys in (src, dst) order — the
+// deterministic walk order for callers that fold PIB state into reports.
+func (b *Brain) SortedPIBKeys() [][2]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][2]int, 0, len(b.pib))
+	for k := range b.pib {
+		out = append(out, [2]int{k.src, k.dst})
+	}
+	sort.Slice(out, func(a, c int) bool {
+		if out[a][0] != out[c][0] {
+			return out[a][0] < out[c][0]
+		}
+		return out[a][1] < out[c][1]
+	})
+	return out
 }

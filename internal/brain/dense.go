@@ -25,12 +25,13 @@ func (b *Brain) EnableDense() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.dense = true
-	b.denseEpoch = ^uint64(0)
+	b.denseVersion = 0 // graph versions start at 1: forces a build
 }
 
-// denseWeightsLocked (re)builds the dense weight matrix for this epoch.
+// denseWeightsLocked (re)builds the dense weight matrix for the current
+// graph version.
 func (b *Brain) denseWeightsLocked() []float64 {
-	if b.denseEpoch == b.epoch && b.denseW != nil {
+	if b.denseVersion == b.view.Version() && b.denseW != nil {
 		return b.denseW
 	}
 	n := b.cfg.N
@@ -53,7 +54,7 @@ func (b *Brain) denseWeightsLocked() []float64 {
 			}
 		}
 	}
-	b.denseEpoch = b.epoch
+	b.denseVersion = b.view.Version()
 	return b.denseW
 }
 

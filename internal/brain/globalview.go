@@ -13,22 +13,28 @@ import (
 // OBSERVABILITY.md for the catalogue). With a nil registry they are
 // unregistered instruments that still count, at identical cost.
 type brainInstruments struct {
-	lookups        *telemetry.Counter
-	pibHits        *telemetry.Counter
-	pibMisses      *telemetry.Counter
-	lastResortUsed *telemetry.Counter
-	overloadAlarms *telemetry.Counter
-	streamsActive  *telemetry.Gauge
+	lookups               *telemetry.Counter
+	pibHits               *telemetry.Counter
+	pibMisses             *telemetry.Counter
+	pibInvalidated        *telemetry.Counter
+	invalidateIncremental *telemetry.Counter
+	invalidateFull        *telemetry.Counter
+	lastResortUsed        *telemetry.Counter
+	overloadAlarms        *telemetry.Counter
+	streamsActive         *telemetry.Gauge
 }
 
 func newBrainInstruments(r *telemetry.Registry) brainInstruments {
 	return brainInstruments{
-		lookups:        r.Counter("brain.lookups"),
-		pibHits:        r.Counter("brain.pib_hits"),
-		pibMisses:      r.Counter("brain.pib_misses"),
-		lastResortUsed: r.Counter("brain.last_resort_used"),
-		overloadAlarms: r.Counter("brain.overload_alarms"),
-		streamsActive:  r.Gauge("brain.streams_active"),
+		lookups:               r.Counter("brain.lookups"),
+		pibHits:               r.Counter("brain.pib_hits"),
+		pibMisses:             r.Counter("brain.pib_misses"),
+		pibInvalidated:        r.Counter("brain.pib_invalidated"),
+		invalidateIncremental: r.Counter("brain.pib_invalidate_incremental"),
+		invalidateFull:        r.Counter("brain.pib_invalidate_full"),
+		lastResortUsed:        r.Counter("brain.last_resort_used"),
+		overloadAlarms:        r.Counter("brain.overload_alarms"),
+		streamsActive:         r.Gauge("brain.streams_active"),
 	}
 }
 

@@ -37,6 +37,11 @@ var ErrBrainUnreachable = errors.New("core: no Brain replica reachable")
 type ClusterConfig struct {
 	Seed  int64
 	Sites int
+	// MaxPeers > 0 builds a sparse overlay instead of the full mesh: each
+	// site gets netem links to its MaxPeers nearest peers by RTT plus every
+	// IXP site (symmetrized), and Global Discovery probes only those links.
+	// 0 keeps the full mesh.
+	MaxPeers int
 	// OverlayBandwidthBps is the per-link overlay capacity (default 100 Mbps).
 	OverlayBandwidthBps float64
 	// LastMileBandwidthBps is the client access capacity (default 20 Mbps).
@@ -104,9 +109,13 @@ const clientIDBase = 1 << 16
 
 // Cluster is a packet-level LiveNet deployment.
 type Cluster struct {
-	cfg   ClusterConfig
-	Loop  *sim.Loop
-	World *geo.World
+	cfg ClusterConfig
+	// overlayRows[i] lists the sites i has overlay links to (sorted). The
+	// full mesh when MaxPeers is 0, the nearest-peers ∪ IXP adjacency
+	// otherwise; Global Discovery probes exactly these links.
+	overlayRows [][]int
+	Loop        *sim.Loop
+	World       *geo.World
 	Net   *netem.Network
 	Brain *brain.Brain
 	Nodes []*node.Node
@@ -190,12 +199,23 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		}
 	}
 
-	// Full-mesh overlay links with geo RTT and near-lossless base loss.
-	for i := 0; i < cfg.Sites; i++ {
-		for j := 0; j < cfg.Sites; j++ {
-			if i == j {
-				continue
+	// Overlay links with geo RTT and near-lossless base loss: the full
+	// mesh, or the nearest-peers ∪ IXP adjacency when MaxPeers caps it.
+	c.overlayRows = peerAdjacency(world, cfg.MaxPeers)
+	if c.overlayRows == nil {
+		c.overlayRows = make([][]int, cfg.Sites)
+		for i := range c.overlayRows {
+			row := make([]int, 0, cfg.Sites-1)
+			for j := 0; j < cfg.Sites; j++ {
+				if j != i {
+					row = append(row, j)
+				}
 			}
+			c.overlayRows[i] = row
+		}
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		for _, j := range c.overlayRows[i] {
 			i, j := i, j
 			base := world.BaseLoss(i, j) * cfg.LossScale
 			lossFn := func(now time.Duration) float64 {
@@ -244,13 +264,19 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		tr := &paxosTransport{c: c}
 		for i := 0; i < cfg.Replicas; i++ {
 			local := brain.New(bcfg)
-			local.EnableDense()
+			if cfg.MaxPeers <= 0 {
+				local.EnableDense()
+			}
 			c.Replicas = append(c.Replicas, brain.NewReplicated(local, i, peers, tr, loop))
 		}
 		c.Brain = c.Replicas[0].Local
 	} else {
 		c.Brain = brain.New(bcfg)
-		c.Brain.EnableDense()
+		if cfg.MaxPeers <= 0 {
+			// Sparse overlays keep the lazy per-pair KSP; the dense solver
+			// assumes it is worth materializing all N² pairs per epoch.
+			c.Brain.EnableDense()
+		}
 	}
 
 	// Overlay nodes wired to the Brain.
@@ -430,10 +456,7 @@ func (c *Cluster) discoveryLoop() {
 				continue // a crashed node cannot report anything
 			}
 			maxUtil := 0.0
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
-				}
+			for _, j := range c.overlayRows[i] {
 				s, ok := c.Net.LinkStats(i, j)
 				if !ok {
 					continue

@@ -297,3 +297,63 @@ func TestClusterBitrateLadderRegistered(t *testing.T) {
 		t.Fatal("the lowest rendition must not map further down")
 	}
 }
+
+func TestMacroSparseOverlay(t *testing.T) {
+	mk := func() *MacroResult {
+		cfg := MacroConfig{Seed: 6, Days: 1, Sites: 24, System: SystemLiveNet, MaxPeers: 6}
+		cfg.Workload.PeakViewsPerSec = 0.5
+		cfg.Workload.Channels = 60
+		return RunMacro(cfg)
+	}
+	r := mk()
+	if r.Views == 0 {
+		t.Fatal("no views simulated")
+	}
+	if r.CDNDelayMs.Median() <= 0 {
+		t.Fatalf("CDN delay median = %v", r.CDNDelayMs.Median())
+	}
+	if r.BrainMetrics.Lookups == 0 {
+		t.Fatal("brain never consulted")
+	}
+	b := mk()
+	if r.Views != b.Views || r.CDNDelayMs.Median() != b.CDNDelayMs.Median() ||
+		r.ZeroStall != b.ZeroStall || r.BrainMetrics != b.BrainMetrics {
+		t.Fatal("sparse macro run not deterministic")
+	}
+}
+
+func TestClusterSparseOverlay(t *testing.T) {
+	c := NewCluster(ClusterConfig{Seed: 1, Sites: 10, MaxPeers: 3})
+	defer c.Close()
+
+	bc := c.NewBroadcasterAt(31.2, 121.5, 100, media.DefaultRenditions[:1])
+	bc.Start()
+	c.Run(2 * time.Second)
+	v := c.NewViewerAt(52.0, -1.0, bc.StreamID(0))
+	c.Run(8 * time.Second)
+	if s := v.Stats(); !s.Started || s.FramesPlayed < 50 {
+		t.Fatalf("sparse-overlay viewer: started=%v frames=%d", s.Started, s.FramesPlayed)
+	}
+
+	// Discovery must only ever report the sparse link set, which is well
+	// below the 90-link full mesh.
+	c.Run(90 * time.Second)
+	links := 0
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if i != j && c.Brain.View().Link(i, j) != nil {
+				links++
+			}
+		}
+	}
+	want := 0
+	for i := 0; i < 10; i++ {
+		want += len(c.overlayRows[i])
+	}
+	if links == 0 || links > want {
+		t.Fatalf("reported links = %d, want in (0, %d]", links, want)
+	}
+	if want >= 90 {
+		t.Fatalf("overlay not sparse: %d links", want)
+	}
+}

@@ -41,6 +41,13 @@ type MacroConfig struct {
 	// sensitivity ablations).
 	LiveNetHopProc time.Duration // per-hop processing, fast path
 	StreamBitrate  float64       // average per-view bitrate (bps)
+
+	// MaxPeers > 0 replaces the full-mesh overlay with a sparse one: each
+	// site keeps links to its MaxPeers nearest peers by RTT plus every IXP
+	// site (symmetrized). 0 keeps the full mesh. This is what makes
+	// paper-scale site counts tractable — Global Discovery reports and
+	// Global Routing then scale with N·degree instead of N².
+	MaxPeers int
 }
 
 func (c MacroConfig) withDefaults() MacroConfig {

@@ -37,7 +37,13 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 		bcfg.K = cfg.KPaths
 	}
 	br := brain.New(bcfg)
-	br.EnableDense()
+	// Sparse overlays skip the dense all-pairs solver: with per-node degree
+	// m the lazy per-pair KSP over the CSR view is already cheap, and the
+	// dense matrix would still cost O(N²) per epoch.
+	adj := peerAdjacency(e.world, cfg.MaxPeers)
+	if adj == nil {
+		br.EnableDense()
+	}
 	defer br.Close()
 
 	// Per-site stream state and per-link/node load accounting.
@@ -67,17 +73,25 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 		}
 		return c * 1e6 / 8 // per-link share of site capacity
 	}
+	reportLink := func(i, j int, t time.Duration) {
+		util := 0.0
+		if !cfg.DisableLoadWeights {
+			util = min(1, float64(linkLoad[lkey(i, j)])*cfg.StreamBitrate/8/perLinkCap(i, j))
+		}
+		br.ReportLink(i, j, e.world.RTT(i, j), e.linkLoss(i, j, t), util)
+	}
 	refresh := func(t time.Duration) {
 		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
+			if adj != nil {
+				for _, j := range adj[i] {
+					reportLink(i, j, t)
 				}
-				util := 0.0
-				if !cfg.DisableLoadWeights {
-					util = min(1, float64(linkLoad[lkey(i, j)])*cfg.StreamBitrate/8/perLinkCap(i, j))
+			} else {
+				for j := 0; j < n; j++ {
+					if i != j {
+						reportLink(i, j, t)
+					}
 				}
-				br.ReportLink(i, j, e.world.RTT(i, j), e.linkLoss(i, j, t), util)
 			}
 			util := 0.0
 			if !cfg.DisableLoadWeights {

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sort"
+
+	"livenet/internal/geo"
+)
+
+// peerAdjacency builds the sparse overlay used when MaxPeers caps the
+// mesh: each site keeps links to its m nearest peers by RTT plus every
+// IXP site (so reserved last-resort detours stay reachable), symmetrized
+// so traffic can flow both ways over every kept link. Rows are sorted and
+// never contain the row's own site. Returns nil for m <= 0 (full mesh).
+//
+// The paper's overlay is not a full mesh at fleet scale — Global Routing
+// runs over the links nodes actually probe. This is the knob that lets
+// the simulators and benchmarks run at paper-scale N with a realistic
+// per-node degree instead of N² links.
+func peerAdjacency(w *geo.World, m int) [][]int {
+	if m <= 0 {
+		return nil
+	}
+	n := len(w.Sites)
+	set := make([]map[int]bool, n)
+	for i := range set {
+		set[i] = make(map[int]bool, m+4)
+	}
+	add := func(i, j int) {
+		if i != j {
+			set[i][j] = true
+			set[j][i] = true
+		}
+	}
+	ixps := w.IXPSites()
+	for i := 0; i < n; i++ {
+		for _, j := range w.NearestPeers(i, m) {
+			add(i, j)
+		}
+		for _, x := range ixps {
+			add(i, x)
+		}
+	}
+	adj := make([][]int, n)
+	for i := range adj {
+		adj[i] = make([]int, 0, len(set[i]))
+		for j := range set[i] {
+			adj[i] = append(adj[i], j)
+		}
+		sort.Ints(adj[i])
+	}
+	return adj
+}

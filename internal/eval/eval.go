@@ -29,6 +29,10 @@ type Options struct {
 	Channels        int
 	// Double12 enables the festival flash crowd (Figure 14 / Table 3).
 	Double12 bool
+	// MaxPeers > 0 runs the macro engine on a sparse overlay (each site
+	// links to its MaxPeers nearest peers plus the IXP sites) instead of
+	// the full mesh; see core.MacroConfig.MaxPeers.
+	MaxPeers int
 }
 
 // Full returns the paper-scale configuration: 20 days covering the
@@ -44,10 +48,11 @@ func Quick() Options {
 
 func (o Options) macro(sys core.System) core.MacroConfig {
 	cfg := core.MacroConfig{
-		Seed:   o.Seed,
-		Days:   o.Days,
-		Sites:  o.Sites,
-		System: sys,
+		Seed:     o.Seed,
+		Days:     o.Days,
+		Sites:    o.Sites,
+		System:   sys,
+		MaxPeers: o.MaxPeers,
 	}
 	cfg.Workload.PeakViewsPerSec = o.PeakViewsPerSec
 	cfg.Workload.Channels = o.Channels

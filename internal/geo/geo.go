@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 	"time"
 
 	"livenet/internal/sim"
@@ -344,6 +345,35 @@ func (w *World) IXPSites() []int {
 		}
 	}
 	return out
+}
+
+// NearestPeers returns the m other sites nearest to id by RTT, in
+// ascending RTT order with ties broken by lower site ID (deterministic).
+// m at or above the peer count returns every other site. Callers building
+// a sparse overlay typically union the result with IXPSites so last-resort
+// detours stay reachable.
+func (w *World) NearestPeers(id, m int) []int {
+	n := len(w.Sites)
+	if m <= 0 || n <= 1 {
+		return nil
+	}
+	ids := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != id {
+			ids = append(ids, j)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ra, rb := w.RTT(id, ids[a]), w.RTT(id, ids[b])
+		if ra != rb {
+			return ra < rb
+		}
+		return ids[a] < ids[b]
+	})
+	if m < len(ids) {
+		ids = ids[:m:m]
+	}
+	return ids
 }
 
 // NearestSite returns the site closest to the given coordinates; used by

@@ -210,3 +210,46 @@ func TestWrapLon(t *testing.T) {
 		t.Fatalf("wrapLon(-200) = %v", got)
 	}
 }
+
+func TestNearestPeers(t *testing.T) {
+	w := testWorld(t, 40)
+	const m = 8
+	for id := 0; id < 40; id += 7 {
+		ps := w.NearestPeers(id, m)
+		if len(ps) != m {
+			t.Fatalf("id=%d: got %d peers, want %d", id, len(ps), m)
+		}
+		seen := map[int]bool{}
+		for i, p := range ps {
+			if p == id {
+				t.Fatalf("id=%d: NearestPeers contains self", id)
+			}
+			if seen[p] {
+				t.Fatalf("id=%d: duplicate peer %d", id, p)
+			}
+			seen[p] = true
+			if i > 0 && w.RTT(id, ps[i-1]) > w.RTT(id, p) {
+				t.Fatalf("id=%d: peers not in ascending RTT order", id)
+			}
+		}
+		// Every excluded site must be at least as far as the kept ones.
+		worst := w.RTT(id, ps[m-1])
+		for j := 0; j < 40; j++ {
+			if j != id && !seen[j] && w.RTT(id, j) < worst {
+				t.Fatalf("id=%d: excluded site %d closer than kept peer", id, j)
+			}
+		}
+		again := w.NearestPeers(id, m)
+		for i := range ps {
+			if ps[i] != again[i] {
+				t.Fatalf("id=%d: NearestPeers not deterministic", id)
+			}
+		}
+	}
+	if got := w.NearestPeers(3, 100); len(got) != 39 {
+		t.Fatalf("oversized m: got %d peers, want 39", len(got))
+	}
+	if got := w.NearestPeers(3, 0); got != nil {
+		t.Fatalf("m=0: got %v, want nil", got)
+	}
+}

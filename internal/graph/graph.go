@@ -9,10 +9,19 @@
 // sigmoid operates on percentage points — with utilization expressed as a
 // fraction the exponent would be nearly constant over [0,1] and the term
 // would never penalize hot links).
+//
+// Storage is a flat CSR (compressed sparse row) layout: one rowStart
+// offset array plus parallel cols/links/weight arrays, so a 600-node mesh
+// is a handful of contiguous allocations instead of a pointer-chasing
+// map. New edges land in a pending list and are compacted into the CSR
+// arrays lazily on the first row read; per-edge updates hit the edge
+// index map and mutate in place. A reverse CSR (in-edges) is maintained
+// for the Brain's bound checks, which run Dijkstra toward a node.
 package graph
 
 import (
 	"math"
+	"sort"
 	"time"
 )
 
@@ -38,22 +47,43 @@ type Link struct {
 }
 
 // Graph is a directed overlay graph over nodes 0..N-1.
-// It is not safe for concurrent mutation.
+// It is not safe for concurrent mutation; concurrent reads are safe once
+// the CSR arrays and weight rows are materialized (see
+// MaterializeWeights), which is how the Brain's parallel recompute reads
+// one view from many workers.
 type Graph struct {
-	N        int
-	adj      [][]int // adjacency lists (out-neighbors)
-	links    map[int64]*Link
+	N int
+
+	// CSR topology: edge slot e of node i lives at
+	// rowStart[i] <= e < rowStart[i+1]; cols[e] is the out-neighbor and
+	// links[e] the edge payload.
+	rowStart []int32
+	cols     []int
+	links    []Link
+
+	// eIdx maps (from,to) to an edge slot. Slots >= len(links) index the
+	// pending list (inserted since the last compaction).
+	eIdx    map[int64]int32
+	pending []Link
+
+	// Reverse CSR (in-edges), rebuilt at compaction: rCols[e] is an
+	// in-neighbor of the row node and rSlot[e] the forward edge slot.
+	rRowStart []int32
+	rCols     []int
+	rSlot     []int32
+
 	nodeUtil []float64 // combined node load metric in [0,1] (§4.2 footnote)
 	nodeDown []bool    // failed nodes: every incident link weighs +Inf
 
-	// Per-neighbor weight cache: wNbrs[id][i] is Weight(id, adj[id][i]),
-	// rebuilt lazily per version (the Brain mutates the view only between
-	// routing epochs, so rows survive a whole epoch of Dijkstra probes
-	// that would otherwise each pay a map lookup).
+	// Per-edge weight cache: wRow[e] is the Eq. 2 weight of edge slot e,
+	// valid for node i when wStamp[i] == version (the Brain mutates the
+	// view only between routing rounds, so rows survive a whole round of
+	// Dijkstra probes). rwStamp tracks per-node reverse rows in rW.
 	version uint64
-	wNbrs   [][]float64
+	wRow    []float64
 	wStamp  []uint64
-	lNbrs   [][]*Link // link pointers parallel to adj, for row rebuilds
+	rW      []float64
+	rwStamp []uint64
 }
 
 func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
@@ -62,68 +92,184 @@ func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
 func New(n int) *Graph {
 	return &Graph{
 		N:        n,
-		adj:      make([][]int, n),
-		links:    make(map[int64]*Link),
+		rowStart: make([]int32, n+1),
+		eIdx:     make(map[int64]int32),
 		nodeUtil: make([]float64, n),
 		nodeDown: make([]bool, n),
 		version:  1,
-		wNbrs:    make([][]float64, n),
 		wStamp:   make([]uint64, n),
-		lNbrs:    make([][]*Link, n),
+		rwStamp:  make([]uint64, n),
 	}
 }
+
+// Version is a counter bumped on every effective mutation (a report that
+// changes nothing does not advance it). The Brain stamps its caches —
+// weight rows, SSSP trees, filtered path decisions — with it.
+func (g *Graph) Version() uint64 { return g.version }
+
+// Edges returns the number of directed links (including pending inserts).
+func (g *Graph) Edges() int { return len(g.links) + len(g.pending) }
 
 // SetLink creates or updates the directed link from→to. A fresh
 // measurement proves the link carries traffic, so it also clears Down.
-func (g *Graph) SetLink(from, to int, rtt time.Duration, loss, util float64) {
-	g.version++
+// It reports whether the call changed anything (metrics or existence).
+func (g *Graph) SetLink(from, to int, rtt time.Duration, loss, util float64) bool {
 	k := key(from, to)
-	if l, ok := g.links[k]; ok {
+	if slot, ok := g.eIdx[k]; ok {
+		l := g.linkAt(slot)
+		if l.RTT == rtt && l.Loss == loss && l.Util == util && !l.Down {
+			return false
+		}
+		g.version++
 		l.RTT, l.Loss, l.Util = rtt, loss, util
 		l.Down = false
-		return
+		return true
 	}
-	l := &Link{From: from, To: to, RTT: rtt, Loss: loss, Util: util}
-	g.links[k] = l
-	g.adj[from] = append(g.adj[from], to)
-	g.lNbrs[from] = append(g.lNbrs[from], l)
+	g.version++
+	g.eIdx[k] = int32(len(g.links) + len(g.pending))
+	g.pending = append(g.pending, Link{From: from, To: to, RTT: rtt, Loss: loss, Util: util})
+	return true
 }
 
-// Link returns the directed link from→to, or nil.
-func (g *Graph) Link(from, to int) *Link { return g.links[key(from, to)] }
+// linkAt resolves an edge slot to its payload (compacted or pending).
+func (g *Graph) linkAt(slot int32) *Link {
+	if int(slot) < len(g.links) {
+		return &g.links[slot]
+	}
+	return &g.pending[int(slot)-len(g.links)]
+}
+
+// compact folds pending edge inserts into the CSR arrays (counting sort
+// by source node; insertion order within a node is preserved, so the
+// adjacency order — and therefore every downstream tie-break — is
+// identical to the incremental-append layout it replaces).
+func (g *Graph) compact() {
+	if len(g.pending) == 0 {
+		return
+	}
+	n := g.N
+	oldRow, oldLinks := g.rowStart, g.links
+	deg := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		deg[i] = oldRow[i+1] - oldRow[i]
+	}
+	for i := range g.pending {
+		deg[g.pending[i].From]++
+	}
+	e := len(oldLinks) + len(g.pending)
+	rowStart := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rowStart[i+1] = rowStart[i] + deg[i]
+	}
+	cols := make([]int, e)
+	links := make([]Link, e)
+	next := make([]int32, n)
+	copy(next, rowStart[:n])
+	emit := func(l Link) {
+		at := next[l.From]
+		next[l.From]++
+		cols[at] = l.To
+		links[at] = l
+		g.eIdx[key(l.From, l.To)] = at
+	}
+	for i := 0; i < n; i++ {
+		for s := oldRow[i]; s < oldRow[i+1]; s++ {
+			emit(oldLinks[s])
+		}
+	}
+	for i := range g.pending {
+		emit(g.pending[i])
+	}
+	g.rowStart, g.cols, g.links = rowStart, cols, links
+	g.pending = g.pending[:0]
+	g.wRow = make([]float64, e)
+	g.rW = make([]float64, e)
+	for i := range g.wStamp {
+		g.wStamp[i] = 0
+		g.rwStamp[i] = 0
+	}
+	g.buildReverse()
+}
+
+// buildReverse rebuilds the reverse CSR from the forward arrays.
+func (g *Graph) buildReverse() {
+	n, e := g.N, len(g.links)
+	deg := make([]int32, n)
+	for _, to := range g.cols {
+		deg[to]++
+	}
+	rRow := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		rRow[i+1] = rRow[i] + deg[i]
+	}
+	rCols := make([]int, e)
+	rSlot := make([]int32, e)
+	next := make([]int32, n)
+	copy(next, rRow[:n])
+	for i := 0; i < n; i++ {
+		for s := g.rowStart[i]; s < g.rowStart[i+1]; s++ {
+			to := g.cols[s]
+			at := next[to]
+			next[to]++
+			rCols[at] = i
+			rSlot[at] = s
+		}
+	}
+	g.rRowStart, g.rCols, g.rSlot = rRow, rCols, rSlot
+}
+
+// Link returns the directed link from→to, or nil. The pointer stays
+// valid until the next topology insertion (a SetLink on a new pair).
+func (g *Graph) Link(from, to int) *Link {
+	slot, ok := g.eIdx[key(from, to)]
+	if !ok {
+		return nil
+	}
+	return g.linkAt(slot)
+}
 
 // Neighbors returns the out-neighbors of node id.
-func (g *Graph) Neighbors(id int) []int { return g.adj[id] }
+func (g *Graph) Neighbors(id int) []int {
+	g.compact()
+	return g.cols[g.rowStart[id]:g.rowStart[id+1]]
+}
 
-// SetNodeUtil records the combined load metric for a node.
-func (g *Graph) SetNodeUtil(id int, u float64) {
-	if g.nodeUtil[id] != u {
-		g.version++
+// SetNodeUtil records the combined load metric for a node; it reports
+// whether the value changed.
+func (g *Graph) SetNodeUtil(id int, u float64) bool {
+	if g.nodeUtil[id] == u {
+		return false
 	}
+	g.version++
 	g.nodeUtil[id] = u
+	return true
 }
 
 // NodeUtil returns the combined load metric for a node.
 func (g *Graph) NodeUtil(id int) float64 { return g.nodeUtil[id] }
 
-// SetLinkDown marks/clears failure state on the directed link from→to.
-func (g *Graph) SetLinkDown(from, to int, down bool) {
-	l := g.links[key(from, to)]
+// SetLinkDown marks/clears failure state on the directed link from→to;
+// it reports whether the state changed.
+func (g *Graph) SetLinkDown(from, to int, down bool) bool {
+	l := g.Link(from, to)
 	if l == nil || l.Down == down {
-		return
+		return false
 	}
 	g.version++
 	l.Down = down
+	return true
 }
 
 // SetNodeDown marks/clears failure state on a node; while down, every
 // link incident to it weighs +Inf and the validity filter rejects it.
-func (g *Graph) SetNodeDown(id int, down bool) {
+// It reports whether the state changed.
+func (g *Graph) SetNodeDown(id int, down bool) bool {
 	if g.nodeDown[id] == down {
-		return
+		return false
 	}
 	g.version++
 	g.nodeDown[id] = down
+	return true
 }
 
 // NodeDown reports a node's failure state.
@@ -140,11 +286,11 @@ func Sigmoid(u float64) float64 {
 // not exist. The first factor is the expected RTT assuming a lost packet
 // is recovered on the second attempt.
 func (g *Graph) Weight(from, to int) float64 {
-	l := g.links[key(from, to)]
-	if l == nil {
+	slot, ok := g.eIdx[key(from, to)]
+	if !ok {
 		return math.Inf(1)
 	}
-	return g.linkWeight(l)
+	return g.linkWeight(g.linkAt(slot))
 }
 
 func (g *Graph) linkWeight(l *Link) float64 {
@@ -158,30 +304,55 @@ func (g *Graph) linkWeight(l *Link) float64 {
 }
 
 // NeighborWeights returns id's out-neighbors and their Eq. 2 weights from
-// the per-node cache, rebuilding the row if the graph changed since it
-// was last computed. The returned slices are owned by the graph and valid
-// until the next mutation; callers must not retain or modify them.
+// the flat per-node weight row, rebuilding the row if the graph changed
+// since it was last computed. The returned slices are owned by the graph
+// and valid until the next mutation; callers must not retain or modify
+// them.
 func (g *Graph) NeighborWeights(id int) ([]int, []float64) {
+	g.compact()
+	a, b := g.rowStart[id], g.rowStart[id+1]
 	if g.wStamp[id] != g.version {
-		row := g.wNbrs[id]
-		lnks := g.lNbrs[id]
-		if cap(row) < len(lnks) {
-			row = make([]float64, len(lnks))
+		for s := a; s < b; s++ {
+			g.wRow[s] = g.linkWeight(&g.links[s])
 		}
-		row = row[:len(lnks)]
-		for i, l := range lnks {
-			row[i] = g.linkWeight(l)
-		}
-		g.wNbrs[id] = row
 		g.wStamp[id] = g.version
 	}
-	return g.adj[id], g.wNbrs[id]
+	return g.cols[a:b], g.wRow[a:b]
+}
+
+// InNeighborWeights is the reverse-edge analogue of NeighborWeights: the
+// in-neighbors of id and the weight of each incoming edge. The Brain's
+// incremental revalidation runs Dijkstra toward a node on it. Same
+// ownership rules as NeighborWeights.
+func (g *Graph) InNeighborWeights(id int) ([]int, []float64) {
+	g.compact()
+	a, b := g.rRowStart[id], g.rRowStart[id+1]
+	if g.rwStamp[id] != g.version {
+		for s := a; s < b; s++ {
+			g.rW[s] = g.linkWeight(&g.links[g.rSlot[s]])
+		}
+		g.rwStamp[id] = g.version
+	}
+	return g.rCols[a:b], g.rW[a:b]
+}
+
+// MaterializeWeights brings every forward and reverse weight row up to
+// date, so that subsequent NeighborWeights / InNeighborWeights calls are
+// pure reads. The Brain calls it once before fanning batch work out
+// across goroutines: workers then share the graph without
+// synchronization.
+func (g *Graph) MaterializeWeights() {
+	g.compact()
+	for id := 0; id < g.N; id++ {
+		g.NeighborWeights(id)
+		g.InNeighborWeights(id)
+	}
 }
 
 // LinkOverloaded reports whether the from→to link or either endpoint is at
 // or beyond the overload target.
 func (g *Graph) LinkOverloaded(from, to int) bool {
-	l := g.links[key(from, to)]
+	l := g.Link(from, to)
 	if l == nil || l.Down {
 		return true
 	}
@@ -225,15 +396,41 @@ func (g *Graph) PathRTT(path []int) time.Duration {
 
 // Clone returns a deep copy; the Brain snapshots the global view before
 // each routing round so discovery updates don't race the computation.
+// CSR arrays copy as flat memmoves.
 func (g *Graph) Clone() *Graph {
+	g.compact()
 	c := New(g.N)
+	c.version = g.version
 	copy(c.nodeUtil, g.nodeUtil)
 	copy(c.nodeDown, g.nodeDown)
-	for _, l := range g.links {
-		c.SetLink(l.From, l.To, l.RTT, l.Loss, l.Util)
-		if l.Down {
-			c.SetLinkDown(l.From, l.To, true)
-		}
+	c.rowStart = append([]int32(nil), g.rowStart...)
+	c.cols = append([]int(nil), g.cols...)
+	c.links = append([]Link(nil), g.links...)
+	c.rRowStart = append([]int32(nil), g.rRowStart...)
+	c.rCols = append([]int(nil), g.rCols...)
+	c.rSlot = append([]int32(nil), g.rSlot...)
+	c.wRow = make([]float64, len(g.links))
+	c.rW = make([]float64, len(g.links))
+	for k, v := range g.eIdx {
+		c.eIdx[k] = v
 	}
 	return c
+}
+
+// SortedLinks returns every link ordered by (from, to) — a deterministic
+// iteration order for callers that fold link state into reports or
+// journals regardless of insertion history.
+func (g *Graph) SortedLinks() []*Link {
+	g.compact()
+	out := make([]*Link, 0, len(g.links))
+	for i := range g.links {
+		out = append(out, &g.links[i])
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out
 }

@@ -91,6 +91,15 @@ func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int
 // DijkstraNW is the Dijkstra core over the neighbor-weights expansion
 // interface. Unreachable nodes have dist = +Inf and prev = -1.
 func DijkstraNW(n, src int, nw NeighborWeightsFunc) (dist []float64, prev []int) {
+	return dijkstra(n, src, -1, nw)
+}
+
+// dijkstra settles nodes from src; if stop >= 0 it returns as soon as
+// stop is settled (dist[stop] and the prev chain back to src are final at
+// that point — Dijkstra settles nodes in nondecreasing distance order, so
+// the early exit is exact). Unsettled nodes keep tentative or +Inf
+// distances.
+func dijkstra(n, src, stop int, nw NeighborWeightsFunc) (dist []float64, prev []int) {
 	dist = make([]float64, n)
 	prev = make([]int, n)
 	done := make([]bool, n)
@@ -106,6 +115,9 @@ func DijkstraNW(n, src int, nw NeighborWeightsFunc) (dist []float64, prev []int)
 			continue
 		}
 		done[it.node] = true
+		if it.node == stop {
+			return dist, prev
+		}
 		nbrs, ws := nw(it.node)
 		for i, nb := range nbrs {
 			if done[nb] {
@@ -125,6 +137,42 @@ func DijkstraNW(n, src int, nw NeighborWeightsFunc) (dist []float64, prev []int)
 	return dist, prev
 }
 
+// Tree is a shortest-path tree rooted at Src: the result of one forward
+// Dijkstra sweep, from which the shortest path to every destination can
+// be read back without further search. The Brain caches one Tree per
+// producer per routing epoch and derives each consumer's first candidate
+// path from it, paying the Dijkstra once instead of once per (src,dst)
+// pair.
+type Tree struct {
+	Src  int
+	Dist []float64
+	Prev []int
+}
+
+// SSSP computes the single-source shortest-path tree from src.
+func SSSP(n, src int, nw NeighborWeightsFunc) Tree {
+	dist, prev := DijkstraNW(n, src, nw)
+	return Tree{Src: src, Dist: dist, Prev: prev}
+}
+
+// PathTo reads the shortest path Src→dst out of the tree.
+func (t Tree) PathTo(dst int) (Path, bool) {
+	if dst < 0 || dst >= len(t.Dist) || math.IsInf(t.Dist[dst], 1) {
+		return Path{}, false
+	}
+	nodes := make([]int, 0, 4)
+	for at := dst; at != -1; at = t.Prev[at] {
+		nodes = append(nodes, at)
+	}
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	if nodes[0] != t.Src {
+		return Path{}, false
+	}
+	return Path{Nodes: nodes, Cost: t.Dist[dst]}, true
+}
+
 // ShortestPath returns the single shortest path src→dst.
 func ShortestPath(n, src, dst int, adj AdjFunc, w WeightFunc) (Path, bool) {
 	return ShortestPathNW(n, src, dst, adaptNW(adj, w))
@@ -132,22 +180,8 @@ func ShortestPath(n, src, dst int, adj AdjFunc, w WeightFunc) (Path, bool) {
 
 // ShortestPathNW is ShortestPath over the neighbor-weights interface.
 func ShortestPathNW(n, src, dst int, nw NeighborWeightsFunc) (Path, bool) {
-	dist, prev := DijkstraNW(n, src, nw)
-	if math.IsInf(dist[dst], 1) {
-		return Path{}, false
-	}
-	var nodes []int
-	for at := dst; at != -1; at = prev[at] {
-		nodes = append(nodes, at)
-	}
-	// Reverse in place.
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-	}
-	if nodes[0] != src {
-		return Path{}, false
-	}
-	return Path{Nodes: nodes, Cost: dist[dst]}, true
+	dist, prev := dijkstra(n, src, dst, nw)
+	return Tree{Src: src, Dist: dist, Prev: prev}.PathTo(dst)
 }
 
 // Yen returns up to k loopless shortest paths src→dst in nondecreasing
@@ -165,6 +199,30 @@ func YenNW(n, src, dst, k int, nw NeighborWeightsFunc) []Path {
 	if !ok {
 		return nil
 	}
+	return yenFrom(n, src, dst, k, nw, first)
+}
+
+// YenFromTree is YenNW with the first (shortest) path read from a
+// precomputed SSSP tree instead of running a fresh Dijkstra. The tree
+// must have been built with SSSP(n, src, nw) against the same weights;
+// under that condition the output is identical to YenNW — the deviation
+// loop only depends on the first path, and the tree's path IS the
+// Dijkstra path. This lets the Brain pay one Dijkstra per producer per
+// epoch instead of one per (producer, consumer) pair.
+func YenFromTree(n, src, dst, k int, nw NeighborWeightsFunc, t Tree) []Path {
+	if k <= 0 || src == dst {
+		return nil
+	}
+	first, ok := t.PathTo(dst)
+	if !ok {
+		return nil
+	}
+	return yenFrom(n, src, dst, k, nw, first)
+}
+
+// yenFrom runs Yen's spur-deviation loop seeded with the known shortest
+// path src→dst.
+func yenFrom(n, src, dst, k int, nw NeighborWeightsFunc, first Path) []Path {
 	paths := []Path{first}
 	var candidates []Path
 	var mbuf []float64 // scratch row for the masked expansion
@@ -223,7 +281,11 @@ func YenNW(n, src, dst, k int, nw NeighborWeightsFunc) []Path {
 		if len(candidates) == 0 {
 			break
 		}
-		sort.Slice(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
+		// Stable: equal-cost candidates keep their generation order, so the
+		// winner among ties is a function of the accepted prefix and the
+		// weights alone — what the Brain's incremental invalidation and the
+		// parallel≡serial guarantee both lean on.
+		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
 		paths = append(paths, candidates[0])
 		candidates = candidates[1:]
 	}

@@ -286,3 +286,51 @@ func TestYenNWMatchesClassic(t *testing.T) {
 		}
 	}
 }
+
+func TestYenFromTreeMatchesYenNW(t *testing.T) {
+	const n = 16
+	for seed := int64(1); seed <= 5; seed++ {
+		_, _, nw := randomNW(n, seed)
+		for src := 0; src < n; src += 3 {
+			tree := SSSP(n, src, nw)
+			for dst := 0; dst < n; dst++ {
+				if dst == src {
+					continue
+				}
+				a := YenNW(n, src, dst, 4, nw)
+				b := YenFromTree(n, src, dst, 4, nw, tree)
+				if len(a) != len(b) {
+					t.Fatalf("seed %d %d→%d: %d vs %d paths", seed, src, dst, len(a), len(b))
+				}
+				for i := range a {
+					if !a[i].Equal(b[i]) || a[i].Cost != b[i].Cost {
+						t.Fatalf("seed %d %d→%d path %d: %+v vs %+v", seed, src, dst, i, a[i], b[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreePathToMatchesShortestPath(t *testing.T) {
+	const n = 24
+	for seed := int64(1); seed <= 3; seed++ {
+		_, _, nw := randomNW(n, seed)
+		for src := 0; src < n; src += 5 {
+			tree := SSSP(n, src, nw)
+			for dst := 0; dst < n; dst++ {
+				if dst == src {
+					continue
+				}
+				a, okA := ShortestPathNW(n, src, dst, nw)
+				b, okB := tree.PathTo(dst)
+				if okA != okB {
+					t.Fatalf("seed %d %d→%d: ok %v vs %v", seed, src, dst, okA, okB)
+				}
+				if okA && (!a.Equal(b) || a.Cost != b.Cost) {
+					t.Fatalf("seed %d %d→%d: %+v vs %+v", seed, src, dst, a, b)
+				}
+			}
+		}
+	}
+}

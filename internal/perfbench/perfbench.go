@@ -1,0 +1,297 @@
+// Package perfbench holds the repository's performance benchmark bodies
+// as plain functions over *testing.B, so the same code runs two ways:
+// as standard `go test -bench` benchmarks (the root bench_test.go
+// wrappers) and programmatically via testing.Benchmark from
+// `livenet-bench -bench-json`, which snapshots the results to a JSON
+// file for cross-PR comparison (see EXPERIMENTS.md).
+//
+// The paper-scale fleet benchmarks are the headline: N=600 overlay nodes
+// on a sparse nearest-peers ∪ IXP topology, with a working set of active
+// streams. BrainPaperScale is a from-scratch Global Routing epoch;
+// BrainEpochChurn is the same epoch when only ~1% of links changed —
+// the incremental-invalidation path that makes the 10-minute routing
+// cycle affordable at fleet scale.
+package perfbench
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"livenet/internal/brain"
+	"livenet/internal/core"
+	"livenet/internal/geo"
+	"livenet/internal/graph"
+	"livenet/internal/ksp"
+	"livenet/internal/netem"
+	"livenet/internal/sim"
+)
+
+// Spec is one registered benchmark: its canonical name (matching the
+// root-package Benchmark* wrapper) and its body.
+type Spec struct {
+	Name string
+	Func func(*testing.B)
+}
+
+// Specs lists every registered benchmark in deterministic order.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "BrainLookup", Func: BrainLookup},
+		{Name: "BrainPaperScale", Func: BrainPaperScale},
+		{Name: "BrainEpochChurn", Func: BrainEpochChurn},
+		{Name: "GraphNeighborWeights", Func: GraphNeighborWeights},
+		{Name: "YenKSPFullMesh", Func: YenKSPFullMesh},
+		{Name: "DenseMeshRouting", Func: DenseMeshRouting},
+		{Name: "LoopSchedule", Func: LoopSchedule},
+		{Name: "NetemSend", Func: NetemSend},
+	}
+}
+
+// --- Paper-scale fleet (N=600, sparse overlay) ---
+
+const (
+	paperN       = 600
+	paperDegree  = 16 // nearest peers per site (plus the IXP set)
+	paperStreams = 12 // active producers: the epoch's working set
+)
+
+// paperFleet is a Streaming Brain over a paper-scale sparse overlay with
+// a registered working set of streams.
+type paperFleet struct {
+	world *geo.World
+	br    *brain.Brain
+	links [][2]int // directed overlay links, sorted (src, dst)
+	sids  []uint32
+}
+
+func newPaperFleet() *paperFleet {
+	src := sim.NewSource(7)
+	gcfg := geo.DefaultConfig()
+	gcfg.NumSites = paperN
+	w := geo.Build(gcfg, src.Stream("geo"))
+
+	// Sparse symmetric adjacency: nearest peers by RTT plus every IXP
+	// site, the same shape core.MacroConfig.MaxPeers builds.
+	set := make([]map[int]bool, paperN)
+	for i := range set {
+		set[i] = make(map[int]bool, paperDegree+8)
+	}
+	add := func(i, j int) {
+		if i != j {
+			set[i][j] = true
+			set[j][i] = true
+		}
+	}
+	ixps := w.IXPSites()
+	for i := 0; i < paperN; i++ {
+		for _, j := range w.NearestPeers(i, paperDegree) {
+			add(i, j)
+		}
+		for _, x := range ixps {
+			add(i, x)
+		}
+	}
+	var links [][2]int
+	for i := range set {
+		for j := range set[i] {
+			links = append(links, [2]int{i, j})
+		}
+	}
+	sort.Slice(links, func(a, b int) bool {
+		if links[a][0] != links[b][0] {
+			return links[a][0] < links[b][0]
+		}
+		return links[a][1] < links[b][1]
+	})
+
+	f := &paperFleet{
+		world: w,
+		br:    brain.New(brain.Config{N: paperN, LastResort: ixps}),
+		links: links,
+	}
+	rng := src.Stream("load")
+	for _, l := range links {
+		loss := 0.0003 + rng.Float64()*0.001
+		util := rng.Float64() * 0.5
+		f.br.ReportLink(l[0], l[1], w.RTT(l[0], l[1]), loss, util)
+	}
+	for s := 0; s < paperStreams; s++ {
+		sid := uint32(100 + s)
+		f.br.RegisterStream(sid, (s*paperN)/paperStreams)
+		f.sids = append(f.sids, sid)
+	}
+	return f
+}
+
+// epoch computes the full working set: candidate paths from every active
+// producer to every consumer site (the paper's 10-minute batch run scoped
+// to live streams, which is what the lazy PIB holds at steady state).
+func (f *paperFleet) epoch(b *testing.B) {
+	for _, sid := range f.sids {
+		if _, err := f.br.PrefetchPaths(sid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BrainPaperScale measures a from-scratch Global Routing epoch at fleet
+// scale: N=600 sites, sparse degree-~16 (+IXP) overlay, k=3 paths from
+// each of the active producers to all 599 consumers. One forward Dijkstra
+// per producer seeds every consumer's first path (shared SSSP tree); the
+// per-producer groups fan out across cores.
+func BrainPaperScale(b *testing.B) {
+	f := newPaperFleet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.br.InvalidateAll()
+		f.epoch(b)
+	}
+	b.ReportMetric(float64(paperN), "sites")
+	b.ReportMetric(float64(len(f.links)), "links")
+}
+
+// BrainEpochChurn measures the same epoch when only ~1% of the links
+// changed since the last routing round: the incremental invalidation
+// drops exactly the PIB entries the changes could affect and the refill
+// recomputes only those. The per-op gap to BrainPaperScale is the paper's
+// argument for incremental routing rounds (EXPERIMENTS.md records it).
+func BrainEpochChurn(b *testing.B) {
+	f := newPaperFleet()
+	f.epoch(b) // warm PIB: steady state before the first churn round
+	dirty := len(f.links) / 100
+	if dirty < 1 {
+		dirty = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < dirty; k++ {
+			l := f.links[(i*dirty+k)%len(f.links)]
+			jitter := time.Duration(1+(i+k)%7) * time.Millisecond
+			f.br.ReportLink(l[0], l[1], f.world.RTT(l[0], l[1])+jitter, 0.0005, 0.1)
+		}
+		f.br.AdvanceEpoch()
+		f.epoch(b)
+	}
+	b.ReportMetric(float64(dirty), "dirty_links")
+}
+
+// --- Routing micro-benchmarks ---
+
+// BrainLookup measures the Path Decision serve path across quiet routing
+// epochs: AdvanceEpoch with no accumulated changes is a no-op, so the
+// PIB entry and its memoized decision survive and the lookup costs one
+// outer-slice copy. (Before incremental epochs this forced a full KSP
+// recompute per iteration.)
+func BrainLookup(b *testing.B) {
+	const n = 32
+	br := brain.New(brain.Config{N: n})
+	rng := sim.NewSource(1).Stream("bench")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				br.ReportLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
+			}
+		}
+	}
+	br.RegisterStream(1, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.AdvanceEpoch()
+		if _, err := br.Lookup(1, 1+i%(n-1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// GraphNeighborWeights measures the CSR expansion read the Dijkstra inner
+// loop runs on: with materialized weight rows it must be two slice
+// headers, zero allocations.
+func GraphNeighborWeights(b *testing.B) {
+	const n = 64
+	g := graph.New(n)
+	rng := sim.NewSource(1).Stream("bench")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.SetLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
+			}
+		}
+	}
+	g.MaterializeWeights()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nbrs, w := g.NeighborWeights(i % n)
+		_, _ = nbrs, w
+	}
+}
+
+// YenKSPFullMesh measures Yen's k=3 KSP on a 48-site full mesh through
+// the classic (AdjFunc, WeightFunc) adapter.
+func YenKSPFullMesh(b *testing.B) {
+	const n = 48
+	g := graph.New(n)
+	rng := sim.NewSource(1).Stream("bench")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				g.SetLink(i, j, time.Duration(5+rng.Intn(100))*time.Millisecond, 0.0005, 0.1)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ksp.Yen(n, i%n, (i+7)%n, 3, g.Neighbors, g.Weight)
+	}
+}
+
+// DenseMeshRouting measures one full macro day at 48 sites — dominated by
+// the Brain's dense-mesh routing refreshes plus session handling.
+func DenseMeshRouting(b *testing.B) {
+	cfg := core.MacroConfig{Seed: 1, Days: 1, Sites: 48, System: core.SystemLiveNet}
+	cfg.Workload.PeakViewsPerSec = 0.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunMacro(cfg)
+	}
+}
+
+// --- Event-loop / emulator micro-benchmarks ---
+
+// LoopSchedule measures the steady-state cost of the event loop's
+// schedule→fire cycle: with the free list, a drained loop should recycle
+// event structs instead of allocating per event.
+func LoopSchedule(b *testing.B) {
+	loop := sim.NewLoop(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loop.At(loop.Now()+time.Microsecond, fn)
+		loop.Step()
+	}
+}
+
+// NetemSend measures the per-packet cost of the emulator's send path
+// (closure-free AtMsg delivery), draining every packet so the event free
+// list reaches steady state.
+func NetemSend(b *testing.B) {
+	loop := sim.NewLoop(1)
+	net := netem.New(loop, loop.RNG("n"))
+	net.AddLink(0, 1, netem.LinkConfig{RTT: time.Millisecond, BandwidthBps: 1e9})
+	net.Handle(1, func(int, []byte) {})
+	data := make([]byte, 1200)
+	b.ReportAllocs()
+	b.SetBytes(1200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(0, 1, data)
+		for loop.Step() {
+		}
+	}
+}

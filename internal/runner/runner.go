@@ -32,6 +32,10 @@ func Parallel() Options { return Options{} }
 // Serial returns options that run every job on the calling goroutine.
 func Serial() Options { return Options{Serial: true} }
 
+// PoolSize returns the effective worker count a batch would run with
+// (1 when serial), so callers can pre-chunk work to match the pool.
+func (o Options) PoolSize() int { return o.workers() }
+
 func (o Options) workers() int {
 	if o.Serial {
 		return 1
