@@ -4,7 +4,7 @@
 #   make test       # plain test run (fastest)
 #   make bench      # allocation + throughput benchmark smoke (short benchtime)
 #   make bench-smoke # routing/perf suite, one iteration each (part of make ci)
-#   make bench-json # perfbench suite -> BENCH_5.json snapshot (minutes)
+#   make bench-json # perfbench suite -> BENCH_6.json snapshot (minutes)
 #   make quick      # scaled-down end-to-end evaluation report
 #   make chaos      # fault-tolerance evaluation (deterministic fault injection)
 #   make telemetry  # observability report: journey waterfalls + Brain GlobalView
@@ -12,11 +12,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race bench bench-smoke bench-json quick chaos telemetry docs
+.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-json quick chaos telemetry docs
 
 all: ci
 
-ci: vet build race chaos docs bench-smoke
+ci: vet build race race-dataplane chaos docs bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Data-plane race gate: the sharded receive loops, the batched flush
+# path, and the pool-reuse tests all run concurrently; -count=2 shakes
+# out scratch-slice reuse across runs.
+race-dataplane:
+	$(GO) test -race -count=2 ./internal/node/... ./internal/udprun/...
+
 # Benchmark smoke: the allocation-diet trio, the transport
 # micro-benchmarks, and the telemetry zero-overhead proof (forward path
 # allocs/op must not change with the registry enabled).
@@ -43,12 +49,12 @@ bench:
 # including the paper-scale (600-site) epoch — proves a full fleet-scale
 # Global Routing round and an incremental churn round both complete.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkBrainLookup|BenchmarkBrainPaperScale|BenchmarkBrainEpochChurn|BenchmarkGraphNeighborWeights|BenchmarkYenKSPFullMesh|BenchmarkDenseMeshRouting|BenchmarkLoopSchedule|BenchmarkNetemSend' -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkBrainLookup|BenchmarkBrainPaperScale|BenchmarkBrainEpochChurn|BenchmarkGraphNeighborWeights|BenchmarkYenKSPFullMesh|BenchmarkDenseMeshRouting|BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkNodeForwardFanout|BenchmarkUDPLoopback' -benchtime 1x .
 
 # Perfbench snapshot: run the suite at full benchtime through
-# cmd/livenet-bench and write BENCH_5.json for cross-PR comparison.
+# cmd/livenet-bench and write BENCH_6.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/livenet-bench -bench-json BENCH_5.json
+	$(GO) run ./cmd/livenet-bench -bench-json BENCH_6.json
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick

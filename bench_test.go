@@ -301,13 +301,13 @@ func BenchmarkPatchDelayExt(b *testing.B) {
 }
 
 func BenchmarkPacerDrain(b *testing.B) {
-	p := gcc.NewPacer(10e6)
+	p := gcc.NewPacer[int](10e6)
 	now := time.Duration(0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p.Push(gcc.Item{Class: gcc.ClassVideo, Size: 1200})
+		p.Push(gcc.Item[int]{Class: gcc.ClassVideo, Size: 1200})
 		now += time.Millisecond
-		p.Drain(now, func(gcc.Item) {})
+		p.Drain(now, func(gcc.Item[int]) {})
 	}
 }
 
@@ -374,6 +374,14 @@ func BenchmarkClusterSecondOfVideo(b *testing.B) {
 
 func BenchmarkLoopSchedule(b *testing.B) { perfbench.LoopSchedule(b) }
 func BenchmarkNetemSend(b *testing.B)    { perfbench.NetemSend(b) }
+
+// --- Data-plane throughput (DESIGN.md §9; pps-denominated) ---
+
+func BenchmarkNodeForwardFanout10(b *testing.B)   { perfbench.NodeForwardFanout10(b) }
+func BenchmarkNodeForwardFanout100(b *testing.B)  { perfbench.NodeForwardFanout100(b) }
+func BenchmarkNodeForwardFanout1000(b *testing.B) { perfbench.NodeForwardFanout1000(b) }
+func BenchmarkUDPLoopbackEcho(b *testing.B)       { perfbench.UDPLoopbackEcho(b) }
+func BenchmarkUDPLoopbackBatchRelay(b *testing.B) { perfbench.UDPLoopbackBatchRelay(b) }
 
 // BenchmarkBrainLookup measures the Path Decision serve path across
 // quiet routing epochs: with incremental epochs an AdvanceEpoch that saw

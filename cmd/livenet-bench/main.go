@@ -179,6 +179,9 @@ type benchRecord struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PPS is the benchmark's self-reported packets-per-second metric
+	// (the data-plane throughput suite); 0 for benchmarks without one.
+	PPS float64 `json:"pps,omitempty"`
 }
 
 // benchSnapshot is the JSON document `-bench-json` writes: the whole
@@ -209,6 +212,7 @@ func runBenchJSON(path string) error {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			PPS:         r.Extra["pps"],
 		}
 		fmt.Fprintf(os.Stderr, " %14.1f ns/op %10d allocs/op  (n=%d)\n", rec.NsPerOp, rec.AllocsPerOp, r.N)
 		snap.Results = append(snap.Results, rec)

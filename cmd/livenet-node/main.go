@@ -34,9 +34,11 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated id=addr overlay peers")
 	clientIDBase := flag.Int("client-id-base", 1000, "IDs >= this are clients, below are overlay nodes")
 	report := flag.Duration("report", time.Minute, "Global Discovery report interval")
+	shards := flag.Int("shards", 1, "receive shards (per-stream affinity by SSRC hash)")
+	batch := flag.Int("batch", udprun.DefaultBatch, "datagrams per batched syscall round (recvmmsg/sendmmsg)")
 	flag.Parse()
 
-	ep, err := udprun.Listen(*id, *listen)
+	ep, err := udprun.ListenOpts(*id, *listen, udprun.Options{Shards: *shards, Batch: *batch})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livenet-node:", err)
 		os.Exit(1)

@@ -77,6 +77,11 @@ type ClusterConfig struct {
 	// TraceAfter suppresses journey sampling before this virtual time
 	// (skip the startup transient; default 0 samples from the start).
 	TraceAfter time.Duration
+	// SerialSend disables the nodes' vectored/batched transport submits
+	// (each packet goes through plain Sender.Send). The emulator's fabric
+	// delivers identically either way; this knob exists so equivalence
+	// tests can replay a scenario down both data-plane paths.
+	SerialSend bool
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -303,6 +308,7 @@ func (c *Cluster) buildNode(id int) *node.Node {
 		ID:              id,
 		Clock:           c.Loop,
 		Net:             c.Net,
+		SerialSend:      c.cfg.SerialSend,
 		LinkRTT:         func(to int) time.Duration { return c.linkRTT(id, to) },
 		PathLookup:      c.pathLookup,
 		OnNewStream:     func(sid uint32) { c.registerStream(sid, id) },

@@ -17,6 +17,13 @@ import (
 	"livenet/internal/workload"
 )
 
+// SerialDataPlane forces every node built by this package's scenarios
+// onto the plain per-packet Sender path (no vectored or batched transport
+// submits). The emulated fabric delivers identically either way, so any
+// report must come out byte-identical with the knob on or off — the
+// equivalence tests flip it and compare.
+var SerialDataPlane bool
+
 func double12Flash() workload.FlashEvent { return workload.Double12() }
 
 // Options scales an evaluation run.

@@ -214,6 +214,7 @@ func runRelayCrash(seed int64, cfg relayCrashConfig) RelayCrashResult {
 	mkNode := func(id int) *node.Node {
 		return node.New(node.Config{
 			ID: id, Clock: loop, Net: net,
+			SerialSend:       SerialDataPlane,
 			PathLookup:       lookup,
 			LinkRTT:          func(int) time.Duration { return 30 * time.Millisecond },
 			IsOverlay:        func(id int) bool { return id < rcBroadcaster },
@@ -406,6 +407,7 @@ func BrainOutage(seed int64) BrainOutageResult {
 		Replicas:            3,
 		DiscoveryInterval:   20 * time.Second,
 		NodeUpstreamTimeout: 500 * time.Millisecond,
+		SerialSend:          SerialDataPlane,
 	})
 	defer c.Close()
 

@@ -24,6 +24,22 @@ func TestFaultReportReplaysByteIdentically(t *testing.T) {
 	}
 }
 
+// TestFaultReportSerialBatchedEquivalence pins the zero-copy data
+// plane's correctness contract: the vectored/batched submit path must be
+// a pure mechanical optimization. Replaying the full fault evaluation
+// with batching disabled (every packet through plain Sender.Send) must
+// render a byte-identical report — same arrivals, same recovery edges,
+// same telemetry — or the fast path changed observable behaviour.
+func TestFaultReportSerialBatchedEquivalence(t *testing.T) {
+	batched := FaultReport(42)
+	SerialDataPlane = true
+	defer func() { SerialDataPlane = false }()
+	serial := FaultReport(42)
+	if batched != serial {
+		t.Fatalf("batched and serial data planes diverged:\n--- batched ---\n%s\n--- serial ---\n%s", batched, serial)
+	}
+}
+
 // TestRelayCrashPaperShape pins the paper-shaped result: LiveNet's
 // silence detection + pre-delivered backups recover an order of
 // magnitude faster than the centralized baseline.

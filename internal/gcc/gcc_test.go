@@ -213,13 +213,13 @@ func TestRateMeter(t *testing.T) {
 }
 
 func TestPacerPriorityOrder(t *testing.T) {
-	p := NewPacer(8_000_000)
-	p.Push(Item{Class: ClassVideo, Size: 1200, Payload: "v"})
-	p.Push(Item{Class: ClassAudio, Size: 160, Payload: "a"})
-	p.Push(Item{Class: ClassVideo, Size: 1200, Gain: IFramePacingGain, Payload: "i"})
-	p.Push(Item{Class: ClassRTX, Size: 1200, Payload: "r"})
+	p := NewPacer[string](8_000_000)
+	p.Push(Item[string]{Class: ClassVideo, Size: 1200, Payload: "v"})
+	p.Push(Item[string]{Class: ClassAudio, Size: 160, Payload: "a"})
+	p.Push(Item[string]{Class: ClassVideo, Size: 1200, Gain: IFramePacingGain, Payload: "i"})
+	p.Push(Item[string]{Class: ClassRTX, Size: 1200, Payload: "r"})
 	var order []string
-	emit := func(it Item) { order = append(order, it.Payload.(string)) }
+	emit := func(it Item[string]) { order = append(order, it.Payload) }
 	p.Drain(time.Second, emit)
 	p.Drain(time.Second+10*ms, emit) // second tick pays off the budget deficit
 	// Audio first, then retransmissions; video stays FIFO (the I-frame
@@ -236,17 +236,17 @@ func TestPacerPriorityOrder(t *testing.T) {
 }
 
 func TestPacerRateLimits(t *testing.T) {
-	p := NewPacer(1_000_000) // 125 kB/s
+	p := NewPacer[struct{}](1_000_000) // 125 kB/s
 	for i := 0; i < 1000; i++ {
-		p.Push(Item{Class: ClassVideo, Size: 1250})
+		p.Push(Item[struct{}]{Class: ClassVideo, Size: 1250})
 	}
 	sent := 0
 	now := time.Duration(0)
-	p.Drain(now, func(Item) { sent++ })
+	p.Drain(now, func(Item[struct{}]) { sent++ })
 	// Drive the pacer for one second in 5 ms ticks.
 	for i := 0; i < 200; i++ {
 		now += 5 * ms
-		p.Drain(now, func(Item) { sent++ })
+		p.Drain(now, func(Item[struct{}]) { sent++ })
 	}
 	// 1 Mbps / (1250 B) = 100 packets/s (+ initial burst allowance).
 	if sent < 90 || sent > 130 {
@@ -256,16 +256,16 @@ func TestPacerRateLimits(t *testing.T) {
 
 func TestPacerIFrameGain(t *testing.T) {
 	run := func(gain float64) int {
-		p := NewPacer(1_000_000)
+		p := NewPacer[struct{}](1_000_000)
 		for i := 0; i < 1000; i++ {
-			p.Push(Item{Class: ClassVideo, Gain: gain, Size: 1250})
+			p.Push(Item[struct{}]{Class: ClassVideo, Gain: gain, Size: 1250})
 		}
 		sent := 0
 		now := time.Duration(0)
-		p.Drain(now, func(Item) { sent++ })
+		p.Drain(now, func(Item[struct{}]) { sent++ })
 		for i := 0; i < 100; i++ {
 			now += 5 * ms
-			p.Drain(now, func(Item) { sent++ })
+			p.Drain(now, func(Item[struct{}]) { sent++ })
 		}
 		return sent
 	}
@@ -278,29 +278,29 @@ func TestPacerIFrameGain(t *testing.T) {
 }
 
 func TestPacerNoIdleBurstBanking(t *testing.T) {
-	p := NewPacer(8_000_000)
-	p.Drain(0, func(Item) {})
+	p := NewPacer[struct{}](8_000_000)
+	p.Drain(0, func(Item[struct{}]) {})
 	// Idle for a long time, then enqueue a lot: the burst must be capped.
 	for i := 0; i < 100; i++ {
-		p.Push(Item{Class: ClassVideo, Size: 1200})
+		p.Push(Item[struct{}]{Class: ClassVideo, Size: 1200})
 	}
 	sent := 0
-	p.Drain(10*time.Second, func(Item) { sent++ })
+	p.Drain(10*time.Second, func(Item[struct{}]) { sent++ })
 	if sent > 15 {
 		t.Fatalf("idle pacer released %d packets at once; burst cap failed", sent)
 	}
 }
 
 func TestPacerQueueDelayAndDrop(t *testing.T) {
-	p := NewPacer(1_000_000)
+	p := NewPacer[struct{}](1_000_000)
 	for i := 0; i < 100; i++ {
-		p.Push(Item{Class: ClassVideo, Size: 1250})
+		p.Push(Item[struct{}]{Class: ClassVideo, Size: 1250})
 	}
 	// 125000 B at 125000 B/s = 1 s.
 	if d := p.QueueDelay(); d < 900*ms || d > 1100*ms {
 		t.Fatalf("queue delay = %v, want ~1s", d)
 	}
-	dropped := p.DropClass(ClassVideo)
+	dropped := p.DropClass(ClassVideo, nil)
 	if dropped != 125000 {
 		t.Fatalf("dropped %d bytes", dropped)
 	}
@@ -310,7 +310,7 @@ func TestPacerQueueDelayAndDrop(t *testing.T) {
 }
 
 func TestPacerMinRateFloor(t *testing.T) {
-	p := NewPacer(1_000_000)
+	p := NewPacer[struct{}](1_000_000)
 	p.SetRate(0)
 	if p.Rate() < 10_000 {
 		t.Fatalf("rate floor not applied: %v", p.Rate())

@@ -25,8 +25,11 @@ const (
 // Sending", citing WebRTC's pacing gain).
 const IFramePacingGain = 1.5
 
-// Item is one queued packet.
-type Item struct {
+// Item is one queued packet. The payload type is a parameter so hot
+// callers queue their packet struct directly — no interface boxing, no
+// per-Push allocation (the node queues ~one item per subscriber per
+// ingress packet).
+type Item[T any] struct {
 	Class Class
 	Size  int // wire size in bytes
 	// Gain is the pacing gain: the packet is charged Size/Gain against
@@ -37,14 +40,14 @@ type Item struct {
 	Gain float64
 	// Payload is opaque to the pacer (the node stores the marshaled
 	// packet and destination here).
-	Payload any
+	Payload T
 }
 
 // Pacer shapes fast-path sending to the rate the slow path's GCC
 // controller decides. It is a pull-based token bucket: the node calls
 // Drain on a timer and sends whatever the budget allows, in class order.
-type Pacer struct {
-	queues     [numClasses][]Item
+type Pacer[T any] struct {
+	queues     [numClasses][]Item[T]
 	queueBytes int
 
 	rateBps   float64
@@ -58,12 +61,12 @@ type Pacer struct {
 }
 
 // NewPacer returns a pacer at the given starting rate.
-func NewPacer(rateBps float64) *Pacer {
-	return &Pacer{rateBps: rateBps, maxBurst: 12_000} // ~10 MTUs
+func NewPacer[T any](rateBps float64) *Pacer[T] {
+	return &Pacer[T]{rateBps: rateBps, maxBurst: 12_000} // ~10 MTUs
 }
 
 // SetRate updates the pacing rate (bps).
-func (p *Pacer) SetRate(bps float64) {
+func (p *Pacer[T]) SetRate(bps float64) {
 	if bps < 10_000 {
 		bps = 10_000
 	}
@@ -71,19 +74,19 @@ func (p *Pacer) SetRate(bps float64) {
 }
 
 // Rate returns the current pacing rate.
-func (p *Pacer) Rate() float64 { return p.rateBps }
+func (p *Pacer[T]) Rate() float64 { return p.rateBps }
 
 // Push enqueues an item.
-func (p *Pacer) Push(it Item) {
+func (p *Pacer[T]) Push(it Item[T]) {
 	p.queues[it.Class] = append(p.queues[it.Class], it)
 	p.queueBytes += it.Size
 }
 
 // QueueBytes returns the total queued bytes (all classes).
-func (p *Pacer) QueueBytes() int { return p.queueBytes }
+func (p *Pacer[T]) QueueBytes() int { return p.queueBytes }
 
 // QueueLen returns the number of queued items.
-func (p *Pacer) QueueLen() int {
+func (p *Pacer[T]) QueueLen() int {
 	n := 0
 	for _, q := range p.queues {
 		n += len(q)
@@ -94,7 +97,7 @@ func (p *Pacer) QueueLen() int {
 // QueueDelay estimates how long the current queue takes to drain at the
 // current rate — the signal the consumer's proactive frame dropping
 // compares against its threshold (§5.2).
-func (p *Pacer) QueueDelay() time.Duration {
+func (p *Pacer[T]) QueueDelay() time.Duration {
 	if p.rateBps <= 0 {
 		return 0
 	}
@@ -103,11 +106,17 @@ func (p *Pacer) QueueDelay() time.Duration {
 }
 
 // DropClass removes all queued items of the given class and returns how
-// many bytes were dropped (used by proactive frame dropping).
-func (p *Pacer) DropClass(c Class) int {
+// many bytes were dropped (used by proactive frame dropping). onDrop,
+// if non-nil, sees every dropped item — payloads that hold pooled
+// buffer references release them there.
+func (p *Pacer[T]) DropClass(c Class, onDrop func(Item[T])) int {
 	dropped := 0
-	for _, it := range p.queues[c] {
-		dropped += it.Size
+	for i := range p.queues[c] {
+		dropped += p.queues[c][i].Size
+		if onDrop != nil {
+			onDrop(p.queues[c][i])
+		}
+		p.queues[c][i] = Item[T]{} // drop payload references
 	}
 	p.queues[c] = p.queues[c][:0]
 	p.queueBytes -= dropped
@@ -118,7 +127,7 @@ func (p *Pacer) DropClass(c Class) int {
 // order while budget remains. I-frame packets are charged size/1.5
 // (pacing gain). A packet may drive the budget negative; the deficit is
 // paid back before the next send.
-func (p *Pacer) Drain(now time.Duration, emit func(Item)) {
+func (p *Pacer[T]) Drain(now time.Duration, emit func(Item[T])) {
 	if !p.haveDrain {
 		p.haveDrain = true
 		p.lastDrain = now
@@ -150,17 +159,19 @@ func (p *Pacer) Drain(now time.Duration, emit func(Item)) {
 	}
 }
 
-func (p *Pacer) pop() (Item, bool) {
+func (p *Pacer[T]) pop() (Item[T], bool) {
 	for c := range p.queues {
-		if len(p.queues[c]) > 0 {
+		if n := len(p.queues[c]); n > 0 {
 			it := p.queues[c][0]
 			// Shift; amortized fine for short queues, and it keeps slices
 			// reusable.
 			copy(p.queues[c], p.queues[c][1:])
-			p.queues[c] = p.queues[c][:len(p.queues[c])-1]
+			p.queues[c][n-1] = Item[T]{} // drop payload references
+			p.queues[c] = p.queues[c][:n-1]
 			p.queueBytes -= it.Size
 			return it, true
 		}
 	}
-	return Item{}, false
+	var zero Item[T]
+	return zero, false
 }

@@ -14,11 +14,11 @@ func TestPacerConservationProperty(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	check := func(seed uint16) bool {
 		rng := rand.New(rand.NewSource(int64(seed)))
-		p := NewPacer(50e6)
 		type tag struct {
 			class Class
 			seq   int
 		}
+		p := NewPacer[tag](50e6)
 		pushed := 0
 		perClassSeq := map[Class]int{}
 		lastEmitted := map[Class]int{}
@@ -29,7 +29,7 @@ func TestPacerConservationProperty(t *testing.T) {
 			if rng.Intn(3) > 0 { // push twice as often as we tick
 				class := Class(rng.Intn(int(numClasses)))
 				perClassSeq[class]++
-				p.Push(Item{
+				p.Push(Item[tag]{
 					Class:   class,
 					Size:    100 + rng.Intn(1300),
 					Gain:    []float64{0, 1, 1.5, 4}[rng.Intn(4)],
@@ -38,9 +38,9 @@ func TestPacerConservationProperty(t *testing.T) {
 				pushed++
 			}
 			now += time.Duration(rng.Intn(5)+1) * time.Millisecond
-			p.Drain(now, func(it Item) {
+			p.Drain(now, func(it Item[tag]) {
 				emittedTotal++
-				tg := it.Payload.(tag)
+				tg := it.Payload
 				if tg.seq <= lastEmitted[tg.class] {
 					t.Fatalf("FIFO violated in class %d: %d after %d", tg.class, tg.seq, lastEmitted[tg.class])
 				}
@@ -50,9 +50,9 @@ func TestPacerConservationProperty(t *testing.T) {
 		// Drain to empty.
 		for i := 0; i < 1000 && p.QueueLen() > 0; i++ {
 			now += 5 * time.Millisecond
-			p.Drain(now, func(it Item) {
+			p.Drain(now, func(it Item[tag]) {
 				emittedTotal++
-				tg := it.Payload.(tag)
+				tg := it.Payload
 				if tg.seq <= lastEmitted[tg.class] {
 					t.Fatalf("FIFO violated in class %d", tg.class)
 				}

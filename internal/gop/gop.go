@@ -28,6 +28,10 @@ type Assembler struct {
 	pending map[uint32]*pendingFrame
 	// completedHi tracks the highest completed frame ID for GC.
 	maxPending int
+	// free recycles pendingFrame structs (and their got maps): a completed
+	// or evicted frame returns here and the next frame reuses it, so
+	// steady-state assembly allocates nothing per frame.
+	free []*pendingFrame
 
 	framesCompleted uint64
 	framesDropped   uint64
@@ -71,7 +75,7 @@ func (a *Assembler) Push(pkt *rtp.Packet) {
 		if len(a.pending) >= a.maxPending {
 			a.evictOldest()
 		}
-		pf = &pendingFrame{header: h, got: make(map[uint16]bool, h.PktCount)}
+		pf = a.getFrame(h)
 		a.pending[h.FrameID] = pf
 	}
 	if pf.got[h.PktIdx] {
@@ -82,9 +86,31 @@ func (a *Assembler) Push(pkt *rtp.Packet) {
 	if len(pf.got) == int(h.PktCount) {
 		delete(a.pending, h.FrameID)
 		a.framesCompleted++
+		hdr, size := pf.header, pf.size
+		a.putFrame(pf)
 		if a.OnFrame != nil {
-			a.OnFrame(AssembledFrame{Header: pf.header, Size: pf.size})
+			a.OnFrame(AssembledFrame{Header: hdr, Size: size})
 		}
+	}
+}
+
+// getFrame takes a recycled pendingFrame (or allocates the pool's first).
+func (a *Assembler) getFrame(h media.FrameHeader) *pendingFrame {
+	if n := len(a.free); n > 0 {
+		pf := a.free[n-1]
+		a.free = a.free[:n-1]
+		pf.header = h
+		pf.size = 0
+		clear(pf.got)
+		return pf
+	}
+	return &pendingFrame{header: h, got: make(map[uint16]bool, h.PktCount)}
+}
+
+// putFrame returns a finished (completed or evicted) frame to the pool.
+func (a *Assembler) putFrame(pf *pendingFrame) {
+	if len(a.free) < 64 {
+		a.free = append(a.free, pf)
 	}
 }
 
@@ -98,6 +124,7 @@ func (a *Assembler) evictOldest() {
 		}
 	}
 	if !first {
+		a.putFrame(a.pending[oldest])
 		delete(a.pending, oldest)
 		a.framesDropped++
 	}
@@ -120,12 +147,18 @@ type cachedGoP struct {
 }
 
 // Cache is the per-stream GoP cache. It keeps the most recent GoPs up to
-// a GoP-count and byte budget, evicting oldest first.
+// a GoP-count and byte budget, evicting oldest first. Evicted GoPs
+// return their packet storage to internal free lists, so a cache in
+// steady rotation (one GoP in, one GoP out) stops allocating entirely —
+// the fast path's alloc budget depends on it.
 type Cache struct {
 	maxGoPs  int
 	maxBytes int
 	gops     []*cachedGoP
 	bytes    int
+
+	freeData [][]byte
+	freeGops []*cachedGoP
 }
 
 // NewCache returns a cache bounded by maxGoPs GoPs and maxBytes bytes
@@ -142,8 +175,10 @@ func NewCache(maxGoPs, maxBytes int) *Cache {
 }
 
 // Insert stores one packet. data must be the marshaled RTP packet; the
-// cache copies it. Packets must arrive in decode order per GoP (the slow
-// path guarantees this).
+// cache copies it (into recycled storage when an evicted GoP left some).
+// Packets must arrive in decode order per GoP (the slow path guarantees
+// this). Inserting may recycle storage that StartupPackets previously
+// returned — consume replay slices before the next Insert can run.
 func (c *Cache) Insert(h media.FrameHeader, seq uint16, data []byte) {
 	var g *cachedGoP
 	if n := len(c.gops); n > 0 && c.gops[n-1].id == h.GopID {
@@ -151,7 +186,13 @@ func (c *Cache) Insert(h media.FrameHeader, seq uint16, data []byte) {
 	} else if n > 0 && h.GopID < c.gops[n-1].id {
 		return // stale packet from an already-rotated GoP
 	} else {
-		g = &cachedGoP{id: h.GopID}
+		if fn := len(c.freeGops); fn > 0 {
+			g = c.freeGops[fn-1]
+			c.freeGops = c.freeGops[:fn-1]
+			*g = cachedGoP{id: h.GopID, packets: g.packets[:0]}
+		} else {
+			g = &cachedGoP{id: h.GopID}
+		}
 		c.gops = append(c.gops, g)
 		c.evict()
 	}
@@ -159,7 +200,7 @@ func (c *Cache) Insert(h media.FrameHeader, seq uint16, data []byte) {
 		SeqNum:  seq,
 		FrameID: h.FrameID,
 		Type:    h.Type,
-		Data:    append([]byte(nil), data...),
+		Data:    c.getData(data),
 	}
 	g.packets = append(g.packets, cp)
 	g.bytes += len(data)
@@ -170,11 +211,31 @@ func (c *Cache) Insert(h media.FrameHeader, seq uint16, data []byte) {
 	c.evict()
 }
 
+func (c *Cache) getData(data []byte) []byte {
+	if n := len(c.freeData); n > 0 {
+		b := c.freeData[n-1]
+		c.freeData = c.freeData[:n-1]
+		return append(b[:0], data...)
+	}
+	return append([]byte(nil), data...)
+}
+
 func (c *Cache) evict() {
 	for (len(c.gops) > c.maxGoPs || c.bytes > c.maxBytes) && len(c.gops) > 1 {
-		c.bytes -= c.gops[0].bytes
-		c.gops[0] = nil
-		c.gops = c.gops[1:]
+		g := c.gops[0]
+		c.bytes -= g.bytes
+		for i := range g.packets {
+			if len(c.freeData) < 256 {
+				c.freeData = append(c.freeData, g.packets[i].Data)
+			}
+			g.packets[i].Data = nil
+		}
+		if len(c.freeGops) < 4 {
+			c.freeGops = append(c.freeGops, g)
+		}
+		copy(c.gops, c.gops[1:])
+		c.gops[len(c.gops)-1] = nil
+		c.gops = c.gops[:len(c.gops)-1]
 	}
 }
 
@@ -187,7 +248,9 @@ func (c *Cache) Bytes() int { return c.bytes }
 // StartupPackets returns the packets a new viewer should be primed with:
 // the most recent cached GoP that begins with an I frame (so decode can
 // start immediately), or nil if no such GoP is cached yet. The returned
-// slices alias cache storage; callers must not modify them.
+// slices alias cache storage; callers must not modify them, and must
+// consume them before the next Insert (which may recycle the storage of
+// a GoP it evicts).
 func (c *Cache) StartupPackets() []CachedPacket {
 	for i := len(c.gops) - 1; i >= 0; i-- {
 		if c.gops[i].hasI {

@@ -209,17 +209,53 @@ func (n *Network) HasLink(from, to int) bool {
 // The data is copied; the caller may reuse the buffer immediately.
 // Delivery (or silent drop) happens asynchronously on the loop.
 func (n *Network) Send(from, to int, data []byte) error {
+	return n.send(from, to, data, nil)
+}
+
+// SendVec transmits the scatter-gather datagram hdr++payload (the
+// node's zero-copy fan-out emits a per-link header plus a shared payload
+// tail). Both slices are copied before return, exactly like Send; the
+// emulated packet is byte-identical to Send(from, to, hdr++payload) and
+// consumes the same RNG draws, so simulations replay identically
+// whichever entry point the sender uses.
+func (n *Network) SendVec(from, to int, hdr, payload []byte) error {
+	return n.send(from, to, hdr, payload)
+}
+
+// Vec mirrors wire.Vec without importing it (netem sits below the wire
+// layer): one datagram as Hdr++Payload.
+type Vec struct {
+	Hdr     []byte
+	Payload []byte
+}
+
+// SendBatch transmits a batch of datagrams to one destination in order.
+// The emulator has no syscall cost to amortize, so this is exactly a
+// loop over SendVec — same packets, same RNG draws, same arrival
+// schedule as serial sends (the determinism tests rely on this).
+func (n *Network) SendBatch(from, to int, vecs []Vec) error {
+	var firstErr error
+	for _, v := range vecs {
+		if err := n.send(from, to, v.Hdr, v.Payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (n *Network) send(from, to int, hdr, payload []byte) error {
 	l := n.links[key(from, to)]
 	if l == nil {
 		return fmt.Errorf("netem: no link %d->%d", from, to)
 	}
+	size := len(hdr) + len(payload)
 	now := n.loop.Now()
 	l.roll(now)
 	l.totalSent++
 	l.curSent++
-	l.curBytes += int64(len(data))
+	l.curBytes += int64(size)
 	n.telSent.Inc()
-	n.telBytes.Add(uint64(len(data)))
+	n.telBytes.Add(uint64(size))
 
 	// A down link swallows everything (cut fiber semantics): the sender
 	// sees nothing, exactly like UDP into a black hole.
@@ -241,7 +277,7 @@ func (n *Network) Send(from, to int, data []byte) error {
 		n.telLost.Inc()
 		return nil // tail drop: sender sees nothing, like real UDP
 	}
-	serialization := time.Duration(float64(len(data)*8) / l.cfg.BandwidthBps * float64(time.Second))
+	serialization := time.Duration(float64(size*8) / l.cfg.BandwidthBps * float64(time.Second))
 	l.busyUntil = now + queueWait + serialization
 
 	// Random loss: the base (possibly diurnal) rate, raised to the bursty
@@ -276,7 +312,8 @@ func (n *Network) Send(from, to int, data []byte) error {
 		arrival = l.lastArrival + time.Microsecond
 	}
 	l.lastArrival = arrival
-	buf := append([]byte(nil), data...)
+	buf := make([]byte, 0, size)
+	buf = append(append(buf, hdr...), payload...)
 	n.loop.AtMsg(arrival, n.dispatch, from, to, buf)
 	return nil
 }

@@ -58,9 +58,8 @@ func (n *Node) AttachViewer(clientID int, sid uint32) bool {
 		// Algorithm 1 lines 1–3: local hit.
 		s.addClient(c)
 		n.tel.localHits.Inc()
-		replay := s.cache.StartupPackets()
+		n.primeClientLocked(c, s.cache.StartupPackets())
 		n.mu.Unlock()
-		n.primeClient(c, replay)
 		return true
 	}
 
@@ -73,10 +72,11 @@ func (n *Node) AttachViewer(clientID int, sid uint32) bool {
 	return false
 }
 
-// primeClient replays cached GoP packets to a client (fast startup).
-func (n *Node) primeClient(c *clientState, replay []gop.CachedPacket) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+// primeClientLocked replays cached GoP packets to a client (fast
+// startup). Called with mu held: replay aliases GoP cache storage, which
+// may be recycled by the next Insert, so the frames must be copied out
+// before the lock is released.
+func (n *Node) primeClientLocked(c *clientState, replay []gop.CachedPacket) {
 	for _, cp := range replay {
 		class := gcc.ClassVideo
 		if cp.Type == media.FrameAudio {
@@ -84,7 +84,7 @@ func (n *Node) primeClient(c *clientState, replay []gop.CachedPacket) {
 		}
 		frame := wire.FrameRTP(make([]byte, 0, wire.RTPHeaderLen+len(cp.Data)), 0, cp.Data)
 		l := n.link(c.id)
-		l.pacer.Push(gcc.Item{Class: class, Size: len(frame), Gain: clientPrimeGain, Payload: outPacket{to: c.id, frame: frame}})
+		l.pacer.Push(gcc.Item[outPacket]{Class: class, Size: len(frame), Gain: clientPrimeGain, Payload: outPacket{to: c.id, frame: frame}})
 		n.kickPacer(l)
 	}
 	if len(replay) > 0 {
@@ -237,7 +237,7 @@ func (n *Node) onSubscribe(from int, data []byte) {
 			if cp.Type == media.FrameAudio {
 				class = gcc.ClassAudio
 			}
-			n.forwardTo(int(sub.Requester), cp.Data, class, overlayPrimeGain, false, s.id, cp.SeqNum)
+			n.forwardCopy(int(sub.Requester), cp.Data, class, overlayPrimeGain, false, s.id, cp.SeqNum)
 		}
 		ackPath := make([]uint16, 0, len(s.fullPath))
 		for _, h := range s.fullPath {
@@ -324,8 +324,8 @@ func (n *Node) onUnsubscribe(from int, data []byte) {
 // forwardToClient forwards a packet to a local viewer with proactive
 // frame dropping: when the client's send queue builds past the threshold
 // the node drops unreferenced B frames first, then P frames, then whole
-// GoPs. Called with mu held.
-func (n *Node) forwardToClient(s *stream, c *clientState, rtpData []byte, pkt *rtp.Packet) {
+// GoPs. Called with mu held from the onRTP fan-out.
+func (n *Node) forwardToClient(s *stream, c *clientState, src *fanoutSrc, pkt *rtp.Packet) {
 	l := n.link(c.id)
 	var h media.FrameHeader
 	haveHeader := h.Unmarshal(pkt.Payload) == nil
@@ -343,7 +343,7 @@ func (n *Node) forwardToClient(s *stream, c *clientState, rtpData []byte, pkt *r
 			} else {
 				if !c.dropToNextI {
 					c.dropToNextI = true
-					l.pacer.DropClass(gcc.ClassVideo) // shed the backlog too
+					l.pacer.DropClass(gcc.ClassVideo, dropRelease) // shed the backlog too
 					n.tel.droppedGoPs.Inc()
 				}
 				return
@@ -374,13 +374,7 @@ func (n *Node) forwardToClient(s *stream, c *clientState, rtpData []byte, pkt *r
 			gain = gcc.IFramePacingGain
 		}
 	}
-	frame := wire.FrameRTP(make([]byte, 0, wire.RTPHeaderLen+len(rtpData)), 0, rtpData)
-	var half time.Duration
-	if n.cfg.LinkRTT != nil {
-		half = n.cfg.LinkRTT(c.id) / 2
-	}
-	rtp.PatchDelayExt(frame[wire.RTPHeaderLen:], uint32((n.cfg.ProcessingDelay+half)/(10*time.Microsecond)))
-	l.pacer.Push(gcc.Item{Class: class, Size: len(frame), Gain: gain, Payload: outPacket{to: c.id, frame: frame}})
+	n.pushFrom(l, src, class, gain, false, false)
 	n.kickPacer(l)
 	n.noteFirstPacket(c)
 }
@@ -554,9 +548,8 @@ func (n *Node) SwitchClientStream(clientID int, oldSID, newSID uint32) <-chan st
 			c.streamID = newSID
 			c.firstSent = true // not a fresh startup; no first-packet event
 			ns.addClient(c)
-			replay := ns.cache.StartupPackets()
+			n.primeClientLocked(c, ns.cache.StartupPackets())
 			n.mu.Unlock()
-			n.primeClient(c, replay)
 			close(done)
 			return
 		}

@@ -14,6 +14,7 @@
 package node
 
 import (
+	"encoding/binary"
 	"fmt"
 	"slices"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"livenet/internal/gcc"
 	"livenet/internal/gop"
 	"livenet/internal/media"
+	"livenet/internal/pktbuf"
 	"livenet/internal/rtp"
 	"livenet/internal/sim"
 	"livenet/internal/telemetry"
@@ -29,8 +31,27 @@ import (
 )
 
 // Sender abstracts the transport (the in-process emulator or real UDP).
+// The transport must not retain data past the call (the node reuses the
+// buffers it sends from).
 type Sender interface {
 	Send(from, to int, data []byte) error
+}
+
+// VecSender is implemented by transports that accept one datagram as a
+// header + payload pair (scatter-gather). The node's zero-copy fan-out
+// emits a small per-link header plus a payload tail shared across the
+// whole FIB fan-out; a VecSender sends both without the node gluing them
+// together first. Semantically SendVec(f,t,h,p) == Send(f,t,h++p).
+// The transport must not retain either slice past the call.
+type VecSender interface {
+	SendVec(from, to int, hdr, payload []byte) error
+}
+
+// BatchSender is implemented by transports that can submit a whole batch
+// of datagrams to one destination in a single call (udprun's sendmmsg
+// path). Vecs must be sent in order; the slices must not be retained.
+type BatchSender interface {
+	SendBatch(from, to int, vecs []wire.Vec) error
 }
 
 // PathLookupFunc asks the Streaming Brain's Path Decision module for
@@ -106,6 +127,12 @@ type Config struct {
 	// BitrateSwitchAfter is how long a client's queue must stay past the
 	// drop threshold before down-switching (default 3 s).
 	BitrateSwitchAfter time.Duration
+	// SerialSend forces every outgoing packet through Net.Send one
+	// datagram at a time, even when the transport supports vectored or
+	// batched submits. The emulator makes batched sends byte- and
+	// RNG-identical to serial ones, and the replay-equality tests use
+	// this knob to prove it.
+	SerialSend bool
 	// Telemetry is the metrics registry this node registers its counters
 	// in (see OBSERVABILITY.md for the catalogue). Nil disables
 	// registration; the node then counts into private unregistered
@@ -198,7 +225,30 @@ type Node struct {
 	streams map[uint32]*stream
 	out     map[int]*outLink
 
+	// pool backs the zero-copy fan-out: each ingress packet's payload
+	// tail is copied into a pooled buffer once and shared (refcounted)
+	// across every subscriber.
+	pool *pktbuf.Pool
+	// vecNet/batchNet are the transport's optional vectored/batched
+	// entry points, resolved once at construction (nil when unsupported
+	// or when cfg.SerialSend forces the plain path).
+	vecNet   VecSender
+	batchNet BatchSender
+
 	tel instruments
+
+	// dirty is the set of links with packets awaiting a pacer drain, in
+	// kick order; one scheduled drainAll pass services all of them, so a
+	// 1k-subscriber fan-out costs one clock event instead of one per
+	// link. dirtySpare recycles the drained slice for the next round and
+	// flushScratch the list of links whose batches a pass is flushing
+	// (both taken exclusively under mu, so overlapping passes under a
+	// real clock fall back to fresh slices instead of sharing).
+	dirty          []*outLink
+	dirtySpare     []*outLink
+	flushScratch   []*outLink
+	drainScheduled bool
+	drainAllFn     func()
 
 	// OnFirstPacket fires when the first data packet is sent to a local
 	// client after AttachViewer (first-packet delay, §6.1).
@@ -215,23 +265,114 @@ type Node struct {
 // outLink is the paced sender state toward one neighbor (node or client).
 type outLink struct {
 	to            int
-	pacer         *gcc.Pacer
+	pacer         *gcc.Pacer[outPacket]
 	ctrl          *gcc.Controller
 	tickScheduled bool
+
+	// emitFn is created once per link so draining the pacer does not
+	// allocate a closure on the hot path.
+	emitFn func(it gcc.Item[outPacket])
+	// toSend is the drain scratch: filled by emitFn under mu, flushed
+	// outside it. sending guards it against overlapping drains under a
+	// real (concurrent) clock — a drain that finds the flush in progress
+	// reschedules instead of sharing the scratch.
+	toSend  []outPacket
+	sending bool
+	// vecs/asm are flush scratch: the batch submit view and the
+	// plain-Send assembly buffer.
+	vecs []wire.Vec
+	asm  []byte
 }
 
-// outPacket is a pacer item payload. The trace fields identify the RTP
-// packet for the per-hop tracer; traced is false for every packet when
-// tracing is off, so drainLink's trace branch never fires. Growing this
-// struct costs nothing extra on the hot path: it is boxed into the one
-// gcc.Item payload interface the pacer already required.
+// outHdrCap bounds the inline header prefix an outPacket carries: the
+// wire envelope (5 bytes) plus the RTP header, CSRC list, and extension
+// block. LiveNet's own packets use 5+12+12 = 29 bytes; anything larger
+// (foreign CSRC-heavy packets) falls back to a full frame copy.
+const outHdrCap = 48
+
+// outPacket is a pacer queue entry: one datagram bound for one neighbor.
+// The mutable region of the frame — wire tag, send-time stamp, RTP
+// header and delay extension — is a private inline copy in hdr, so the
+// per-link delay accounting and send-time stamping never touch shared
+// bytes. The payload tail is a refcounted pooled buffer shared across
+// the whole fan-out (zero-copy). Cold-path packets (GoP cache primes,
+// retransmissions, foreign packets with oversized prefixes) instead
+// carry a private full frame in frame, with tail nil.
+//
+// The trace fields identify the RTP packet for the per-hop tracer;
+// traced is false for every packet when tracing is off, so drainLink's
+// trace branch never fires.
 type outPacket struct {
 	to     int
-	frame  []byte // wire-framed MsgRTP with placeholder send time
-	sid    uint32 // RTP SSRC (stream ID)
-	seq    uint16 // RTP sequence number
-	traced bool   // packet has an open journey in the tracer
-	rtx    bool   // NACK-triggered retransmission
+	hdr    [outHdrCap]byte // frame prefix: [MsgRTP][sendtime][RTP hdr+ext]
+	hdrLen uint8           // bytes of hdr in use (0 when frame is set)
+	tail   *pktbuf.Buf     // shared payload after the prefix (holds one ref)
+	frame  []byte          // cold path: private full frame, placeholder send time
+	sid    uint32          // RTP SSRC (stream ID)
+	seq    uint16          // RTP sequence number
+	traced bool            // packet has an open journey in the tracer
+	rtx    bool            // NACK-triggered retransmission
+}
+
+// size returns the datagram length.
+func (p *outPacket) size() int {
+	if p.tail != nil {
+		return int(p.hdrLen) + p.tail.Len()
+	}
+	return len(p.frame)
+}
+
+// release drops the packet's reference on the shared payload tail.
+func (p *outPacket) release() {
+	if p.tail != nil {
+		p.tail.Release()
+		p.tail = nil
+	}
+}
+
+// dropRelease is the pacer DropClass callback (package-level: no closure
+// allocation at the call sites).
+func dropRelease(it gcc.Item[outPacket]) { it.Payload.release() }
+
+// fanoutSrc is the per-ingress-packet fan-out source, built once in
+// onRTP: the frame prefix template (send time zeroed, delay extension
+// still the upstream's — each link patches its own copy) and the pooled
+// payload tail shared by every subscriber. When the packet's prefix
+// does not fit outHdrCap (tail == nil), pushFrom falls back to framing
+// a private copy per subscriber from rtpData.
+type fanoutSrc struct {
+	hdr     [outHdrCap]byte
+	hdrLen  uint8
+	tail    *pktbuf.Buf // nil: fall back to per-subscriber frame copies
+	rtpData []byte      // borrowed from the transport; valid during onRTP only
+	sid     uint32
+	seq     uint16
+}
+
+// initFanoutSrc populates src for one ingress packet. Called with mu held.
+func (n *Node) initFanoutSrc(src *fanoutSrc, rtpData []byte, sid uint32, seq uint16) {
+	src.rtpData = rtpData
+	src.sid = sid
+	src.seq = seq
+	src.tail = nil
+	pl := rtp.PrefixLen(rtpData)
+	if pl < 0 || wire.RTPHeaderLen+pl > outHdrCap {
+		return
+	}
+	src.hdr[0] = wire.MsgRTP
+	binary.BigEndian.PutUint32(src.hdr[1:], 0)
+	copy(src.hdr[wire.RTPHeaderLen:], rtpData[:pl])
+	src.hdrLen = uint8(wire.RTPHeaderLen + pl)
+	src.tail = n.pool.Get(len(rtpData) - pl)
+	copy(src.tail.Bytes(), rtpData[pl:])
+}
+
+// release drops the source's own reference (subscribers hold their own).
+func (src *fanoutSrc) release() {
+	if src.tail != nil {
+		src.tail.Release()
+		src.tail = nil
+	}
 }
 
 // stream is the per-stream state (FIB entry + slow path).
@@ -284,7 +425,14 @@ func New(cfg Config) *Node {
 		id:      cfg.ID,
 		streams: make(map[uint32]*stream),
 		out:     make(map[int]*outLink),
+		pool:    pktbuf.New(),
 		tel:     newInstruments(cfg.Telemetry),
+	}
+	n.pool.Instrument(n.tel.framePoolHits, n.tel.framePoolMisses)
+	n.drainAllFn = n.drainAll
+	if !cfg.SerialSend {
+		n.vecNet, _ = cfg.Net.(VecSender)
+		n.batchNet, _ = cfg.Net.(BatchSender)
 	}
 	n.scheduleScan()
 	return n
@@ -442,16 +590,22 @@ func (n *Node) onRTP(from int, data []byte) {
 		}
 	}
 
-	// Fast path: forward to every subscribed downstream node. Each
-	// subscriber gets its own framed copy so the per-hop delay extension
-	// can differ per link.
-	class, gain := classify(&pkt)
-	for _, sub := range s.subOrder {
-		n.forwardTo(sub, rtpData, class, gain, isRTX, pkt.SSRC, pkt.SequenceNumber)
-	}
-	// Local clients (consumer role), with proactive frame dropping.
-	for _, id := range s.clientOrder {
-		n.forwardToClient(s, s.clients[id], rtpData, &pkt)
+	// Fast path: forward to every subscribed downstream node. The frame
+	// envelope is built once; each subscriber gets a private copy of the
+	// mutable prefix (so the per-hop delay extension can differ per
+	// link) and a refcounted reference to the shared payload tail.
+	if len(s.subOrder)+len(s.clientOrder) > 0 {
+		class, gain := classify(&pkt)
+		var src fanoutSrc
+		n.initFanoutSrc(&src, rtpData, pkt.SSRC, pkt.SequenceNumber)
+		for _, sub := range s.subOrder {
+			n.forwardTo(sub, &src, class, gain, isRTX)
+		}
+		// Local clients (consumer role), with proactive frame dropping.
+		for _, id := range s.clientOrder {
+			n.forwardToClient(s, s.clients[id], &src, &pkt)
+		}
+		src.release()
 	}
 
 	// Slow path: congestion control, loss recovery, framing, GoP cache.
@@ -471,26 +625,50 @@ func classify(pkt *rtp.Packet) (gcc.Class, float64) {
 	return gcc.ClassVideo, 0
 }
 
-// forwardTo frames and enqueues rtpData toward a downstream node.
-// sid/seq identify the RTP packet for the per-hop tracer.
+// forwardTo enqueues one fan-out packet toward a downstream node.
 // Called with mu held.
-func (n *Node) forwardTo(to int, rtpData []byte, class gcc.Class, gain float64, isRTX bool, sid uint32, seq uint16) {
-	frame := wire.FrameRTP(make([]byte, 0, wire.RTPHeaderLen+len(rtpData)), 0, rtpData)
-	// Per-hop delay accounting on the copy only.
-	var half time.Duration
-	if n.cfg.LinkRTT != nil {
-		half = n.cfg.LinkRTT(to) / 2
-	}
-	add := uint32((n.cfg.ProcessingDelay + half) / (10 * time.Microsecond))
-	rtp.PatchDelayExt(frame[wire.RTPHeaderLen:], add)
+func (n *Node) forwardTo(to int, src *fanoutSrc, class gcc.Class, gain float64, isRTX bool) {
 	if isRTX {
 		class = gcc.ClassRTX
 	}
 	l := n.link(to)
-	op := outPacket{to: to, frame: frame, sid: sid, seq: seq, rtx: isRTX}
-	op.traced = n.cfg.Tracer.Traced(sid, seq)
-	l.pacer.Push(gcc.Item{Class: class, Size: len(frame), Gain: gain, Payload: op})
+	n.pushFrom(l, src, class, gain, isRTX, n.cfg.Tracer.Traced(src.sid, src.seq))
 	n.kickPacer(l)
+}
+
+// pushFrom builds the per-link outPacket from the fan-out source —
+// copying only the mutable prefix and retaining the shared tail — and
+// enqueues it on the link's pacer. The per-hop delay accounting
+// (processing + RTT/2, §6.1) is patched into the private prefix copy.
+// Called with mu held.
+func (n *Node) pushFrom(l *outLink, src *fanoutSrc, class gcc.Class, gain float64, isRTX, traced bool) {
+	var half time.Duration
+	if n.cfg.LinkRTT != nil {
+		half = n.cfg.LinkRTT(l.to) / 2
+	}
+	add := uint32((n.cfg.ProcessingDelay + half) / (10 * time.Microsecond))
+	op := outPacket{to: l.to, sid: src.sid, seq: src.seq, rtx: isRTX, traced: traced}
+	if src.tail != nil {
+		op.hdr = src.hdr
+		op.hdrLen = src.hdrLen
+		op.tail = src.tail.Retain()
+		rtp.PatchDelayExt(op.hdr[wire.RTPHeaderLen:op.hdrLen], add)
+	} else {
+		frame := wire.FrameRTP(make([]byte, 0, wire.RTPHeaderLen+len(src.rtpData)), 0, src.rtpData)
+		rtp.PatchDelayExt(frame[wire.RTPHeaderLen:], add)
+		op.frame = frame
+	}
+	l.pacer.Push(gcc.Item[outPacket]{Class: class, Size: op.size(), Gain: gain, Payload: op})
+}
+
+// forwardCopy frames rtpData into a private allocation and enqueues it
+// (cold paths: GoP cache primes toward overlay subscribers and
+// NACK-triggered retransmissions — rtpData belongs to cache/ring storage
+// that may be recycled, so sharing a pooled tail is not safe here).
+// Called with mu held.
+func (n *Node) forwardCopy(to int, rtpData []byte, class gcc.Class, gain float64, isRTX bool, sid uint32, seq uint16) {
+	src := fanoutSrc{rtpData: rtpData, sid: sid, seq: seq}
+	n.forwardTo(to, &src, class, gain, isRTX)
 }
 
 // link returns (creating if needed) the out-link state for a neighbor.
@@ -500,59 +678,160 @@ func (n *Node) link(to int) *outLink {
 	if l == nil {
 		l = &outLink{
 			to:    to,
-			pacer: gcc.NewPacer(n.cfg.InitialRateBps),
+			pacer: gcc.NewPacer[outPacket](n.cfg.InitialRateBps),
 			ctrl:  gcc.NewController(n.cfg.InitialRateBps, n.cfg.MinRateBps, n.cfg.MaxRateBps),
 		}
+		l.emitFn = func(it gcc.Item[outPacket]) { l.toSend = append(l.toSend, it.Payload) }
 		n.out[to] = l
 	}
 	return l
 }
 
-// kickPacer schedules a drain tick for a link if none is pending.
+// kickPacer marks a link dirty and ensures a drain pass is scheduled.
 // Called with mu held.
 func (n *Node) kickPacer(l *outLink) {
-	if l.tickScheduled {
-		return
+	if !l.tickScheduled {
+		l.tickScheduled = true
+		n.dirty = append(n.dirty, l)
 	}
-	l.tickScheduled = true
-	n.cfg.Clock.AfterFunc(pacerTick, func() { n.drainLink(l) })
+	if !n.drainScheduled {
+		n.drainScheduled = true
+		n.cfg.Clock.Schedule(pacerTick, n.drainAllFn)
+	}
 }
 
-func (n *Node) drainLink(l *outLink) {
+// rekick re-arms a link for the next drain pass. Called with mu held.
+func (n *Node) rekick(l *outLink) {
+	l.tickScheduled = true
+	n.dirty = append(n.dirty, l)
+	if !n.drainScheduled {
+		n.drainScheduled = true
+		n.cfg.Clock.Schedule(pacerTick, n.drainAllFn)
+	}
+}
+
+// drainAll services every dirty link in one pass: drain each link's
+// pacer into its scratch under one lock hold, then stamp and flush the
+// batches outside the lock. One clock event and two lock transitions
+// cover the whole fan-out regardless of subscriber count.
+func (n *Node) drainAll() {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return
 	}
+	n.drainScheduled = false
+	links := n.dirty
+	n.dirty = n.dirtySpare[:0]
+	n.dirtySpare = nil // in use below; a concurrent pass must not take it
+	flush := n.flushScratch[:0]
+	n.flushScratch = nil
 	now := n.cfg.Clock.Now()
-	if qd := l.pacer.QueueDelay(); qd > 0 {
-		n.tel.pacerQueueUs.Observe(int64(qd / time.Microsecond))
-	}
-	var toSend []outPacket
-	l.pacer.Drain(now, func(it gcc.Item) {
-		toSend = append(toSend, it.Payload.(outPacket))
-	})
-	n.tel.packetsForwarded.Add(uint64(len(toSend)))
-	l.tickScheduled = l.pacer.QueueLen() > 0
-	if l.tickScheduled {
-		n.cfg.Clock.AfterFunc(pacerTick, func() { n.drainLink(l) })
+	for _, l := range links {
+		l.tickScheduled = false
+		if l.sending {
+			// A previous pass is still flushing this link's batch outside
+			// the lock (possible under a real, concurrent clock). The
+			// scratch is in use: come back next tick.
+			n.rekick(l)
+			continue
+		}
+		if qd := l.pacer.QueueDelay(); qd > 0 {
+			n.tel.pacerQueueUs.Observe(int64(qd / time.Microsecond))
+		}
+		l.toSend = l.toSend[:0]
+		l.pacer.Drain(now, l.emitFn)
+		n.tel.packetsForwarded.Add(uint64(len(l.toSend)))
+		if l.pacer.QueueLen() > 0 {
+			n.rekick(l)
+		}
+		if len(l.toSend) > 0 {
+			n.tel.fanoutBatch.Observe(int64(len(l.toSend)))
+			l.sending = true
+			flush = append(flush, l)
+		}
 	}
 	n.mu.Unlock()
 
-	// Send outside the lock: the transport may deliver synchronously in
-	// degenerate cases and re-enter OnMessage.
+	// Stamp and send outside the lock: the transport may deliver
+	// synchronously in degenerate cases and re-enter OnMessage.
 	now10us := uint32(now / (10 * time.Microsecond))
-	for _, p := range toSend {
-		wire.PatchRTPSendTime(p.frame, now10us)
-		if p.traced {
-			n.cfg.Tracer.Send(p.sid, p.seq, n.id, p.to, p.rtx)
+	for _, l := range flush {
+		toSend := l.toSend
+		for i := range toSend {
+			p := &toSend[i]
+			if p.tail != nil {
+				binary.BigEndian.PutUint32(p.hdr[1:], now10us)
+			} else {
+				wire.PatchRTPSendTime(p.frame, now10us)
+			}
+			if p.traced {
+				n.cfg.Tracer.Send(p.sid, p.seq, n.id, p.to, p.rtx)
+			}
 		}
-		if err := n.cfg.Net.Send(n.id, p.to, p.frame); err != nil {
-			// Transport-level failure (no link): nothing to do on the fast
-			// path; the slow path's NACKs will not help either. Counted by
-			// the transport.
-			_ = err
+		n.flushBatch(l, toSend)
+		for i := range toSend {
+			toSend[i].release()
+			toSend[i] = outPacket{}
 		}
+	}
+
+	n.mu.Lock()
+	for i, l := range flush {
+		l.sending = false
+		flush[i] = nil
+	}
+	for i := range links {
+		links[i] = nil
+	}
+	// Recycle the scratch slices now that this pass is done with them.
+	n.dirtySpare = links[:0]
+	n.flushScratch = flush[:0]
+	n.mu.Unlock()
+}
+
+// flushBatch hands the drained link batch to the transport: one batched
+// submit when the transport supports it, vectored sends otherwise, and
+// plain per-datagram sends (assembling prefix+tail in the link's scratch)
+// as the portable floor. Transport errors (no link) are swallowed: the
+// fast path has nothing to do, and the transport counts them.
+func (n *Node) flushBatch(l *outLink, toSend []outPacket) {
+	if n.batchNet != nil {
+		vecs := l.vecs[:0]
+		for i := range toSend {
+			p := &toSend[i]
+			if p.tail != nil {
+				vecs = append(vecs, wire.Vec{Hdr: p.hdr[:p.hdrLen], Payload: p.tail.Bytes()})
+			} else {
+				vecs = append(vecs, wire.Vec{Hdr: p.frame})
+			}
+		}
+		l.vecs = vecs
+		_ = n.batchNet.SendBatch(n.id, l.to, vecs)
+		for i := range vecs {
+			vecs[i] = wire.Vec{}
+		}
+		return
+	}
+	if n.vecNet != nil {
+		for i := range toSend {
+			p := &toSend[i]
+			if p.tail != nil {
+				_ = n.vecNet.SendVec(n.id, p.to, p.hdr[:p.hdrLen], p.tail.Bytes())
+			} else {
+				_ = n.vecNet.SendVec(n.id, p.to, p.frame, nil)
+			}
+		}
+		return
+	}
+	for i := range toSend {
+		p := &toSend[i]
+		if p.tail == nil {
+			_ = n.cfg.Net.Send(n.id, p.to, p.frame)
+			continue
+		}
+		l.asm = append(append(l.asm[:0], p.hdr[:p.hdrLen]...), p.tail.Bytes()...)
+		_ = n.cfg.Net.Send(n.id, p.to, l.asm)
 	}
 }
 

@@ -59,6 +59,10 @@ type recvState struct {
 	expected    uint16 // next seq for ordered delivery
 	holes       map[uint16]*hole
 	buffer      map[uint16][]byte // out-of-order packets awaiting delivery
+	// free recycles buffer storage: flushed packets return their slices
+	// here and the next buffered packet reuses one, so steady-state
+	// ordered delivery allocates nothing.
+	free [][]byte
 
 	received uint64
 	lostxRR  uint64 // holes abandoned, cumulative
@@ -87,6 +91,23 @@ func (n *Node) newRecvState(upstream int) *recvState {
 		aimd:      gcc.NewAIMD(n.cfg.InitialRateBps, n.cfg.MinRateBps, n.cfg.MaxRateBps),
 		meter:     gcc.NewRateMeter(0),
 		assembler: gop.NewAssembler(64),
+	}
+}
+
+// bufGet copies data into recycled (or fresh) buffer storage.
+func (r *recvState) bufGet(data []byte) []byte {
+	if n := len(r.free); n > 0 {
+		b := r.free[n-1]
+		r.free = r.free[:n-1]
+		return append(b[:0], data...)
+	}
+	return append([]byte(nil), data...)
+}
+
+// bufPut returns a flushed packet's storage to the free list.
+func (r *recvState) bufPut(b []byte) {
+	if cap(b) > 0 && len(r.free) < 128 {
+		r.free = append(r.free, b)
 	}
 }
 
@@ -172,7 +193,7 @@ func (n *Node) deliverOrdered(s *stream, r *recvState, seq uint16, rtpData []byt
 		return // already past the delivery front (late duplicate)
 	}
 	// Buffer a copy: the caller's buffer may belong to the transport.
-	r.buffer[seq] = append([]byte(nil), rtpData...)
+	r.buffer[seq] = r.bufGet(rtpData)
 	n.flushOrdered(s, r)
 }
 
@@ -190,6 +211,7 @@ func (n *Node) flushOrdered(s *stream, r *recvState) {
 				r.assembler.Push(&scratch)
 			}
 			delete(r.buffer, r.expected)
+			r.bufPut(data)
 			r.expected++
 			continue
 		}
@@ -400,7 +422,7 @@ func (n *Node) handleRTCPPacket(from int, data []byte) {
 		}
 		for _, seq := range nack.Lost {
 			if buf, ok := s.rtx.get(seq); ok {
-				n.forwardTo(from, buf, gcc.ClassRTX, 0, true, nack.MediaSSRC, seq)
+				n.forwardCopy(from, buf, gcc.ClassRTX, 0, true, nack.MediaSSRC, seq)
 				n.tel.retransmits.Inc()
 			}
 			// Not in history: the downstream node will retry; by then our

@@ -27,6 +27,9 @@ type instruments struct {
 	fastSwitches     *telemetry.Counter
 	cacheFallbacks   *telemetry.Counter
 	pacerQueueUs     *telemetry.Histogram
+	fanoutBatch      *telemetry.Histogram
+	framePoolHits    *telemetry.Counter
+	framePoolMisses  *telemetry.Counter
 }
 
 func newInstruments(r *telemetry.Registry) instruments {
@@ -50,5 +53,8 @@ func newInstruments(r *telemetry.Registry) instruments {
 		fastSwitches:     r.Counter("node.fast_switches"),
 		cacheFallbacks:   r.Counter("node.cache_fallbacks"),
 		pacerQueueUs:     r.Histogram("node.pacer_queue_us"),
+		fanoutBatch:      r.Histogram("node.fanout_batch_size"),
+		framePoolHits:    r.Counter("node.frame_pool_hits"),
+		framePoolMisses:  r.Counter("node.frame_pool_misses"),
 	}
 }

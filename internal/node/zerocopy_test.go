@@ -1,0 +1,157 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"livenet/internal/media"
+	"livenet/internal/sim"
+	"livenet/internal/wire"
+)
+
+// vecSink records every datagram a node submits, assembling vectored
+// and batched submits the way a transport would. It copies at capture
+// time — the zero-copy contract says the bytes are only valid during
+// the call.
+type vecSink struct {
+	got map[int][][]byte // destination -> datagrams in submit order
+}
+
+func newVecSink() *vecSink { return &vecSink{got: make(map[int][][]byte)} }
+
+func (s *vecSink) capture(to int, hdr, payload []byte) {
+	if len(hdr) == 0 || hdr[0] != wire.MsgRTP {
+		return // control/RTCP traffic is outside the fan-out under test
+	}
+	d := make([]byte, 0, len(hdr)+len(payload))
+	d = append(append(d, hdr...), payload...)
+	s.got[to] = append(s.got[to], d)
+}
+
+func (s *vecSink) Send(from, to int, data []byte) error {
+	s.capture(to, data, nil)
+	return nil
+}
+
+func (s *vecSink) SendVec(from, to int, hdr, payload []byte) error {
+	s.capture(to, hdr, payload)
+	return nil
+}
+
+func (s *vecSink) SendBatch(from, to int, vecs []wire.Vec) error {
+	for _, v := range vecs {
+		s.capture(to, v.Hdr, v.Payload)
+	}
+	return nil
+}
+
+// serialSink only implements plain Sender, so the node falls back to
+// the per-packet framed path.
+type serialSink struct{ *vecSink }
+
+func (s serialSink) SendVec(from, to int, hdr, payload []byte) error { panic("serial sink") }
+func (s serialSink) SendBatch(from, to int, vecs []wire.Vec) error   { panic("serial sink") }
+
+// runFanOut builds one producer node with subs overlay subscribers
+// (parked Subscribes adopted when the upload starts), streams frames
+// broadcast-style into it, and returns the sink plus the node.
+func runFanOut(t *testing.T, net Sender, serialSend bool, subs, frames int) *Node {
+	t.Helper()
+	loop := sim.NewLoop(7)
+	n := New(Config{
+		ID:         0,
+		Clock:      loop,
+		Net:        net,
+		SerialSend: serialSend,
+		LinkRTT:    func(int) time.Duration { return 20 * time.Millisecond },
+		IsOverlay:  func(id int) bool { return id < 1000 },
+	})
+	const sid = 44
+	for i := 1; i <= subs; i++ {
+		sub := wire.Subscribe{StreamID: sid, Requester: uint16(i)}
+		n.OnMessage(i, sub.Marshal(nil))
+	}
+	enc := media.NewEncoder(media.DefaultEncoderConfig(1_000_000), loop.RNG("media"))
+	pz := media.NewPacketizer(sid)
+	sent := 0
+	var tick func()
+	tick = func() {
+		if sent >= frames {
+			return
+		}
+		sent++
+		f := enc.NextFrame()
+		now10us := uint32(loop.Now() / (10 * time.Microsecond))
+		for _, pkt := range pz.Packetize(f, 200, nil) {
+			n.OnMessage(1000, wire.FrameRTP(nil, now10us, pkt.Marshal(nil)))
+		}
+		loop.AfterFunc(enc.FrameInterval(), tick)
+	}
+	loop.AfterFunc(0, tick)
+	loop.RunUntil(3 * time.Second)
+	return n
+}
+
+// TestFanOutByteIdentityAcrossSubscribers pins the refcounted fan-out:
+// every subscriber of a stream must receive byte-identical datagrams
+// (one shared pooled payload, per-link header copies), and the pool
+// must actually recycle — steady-state forwarding stops allocating
+// fresh buffers.
+func TestFanOutByteIdentityAcrossSubscribers(t *testing.T) {
+	sink := newVecSink()
+	n := runFanOut(t, sink, false, 16, 60)
+
+	if len(sink.got) != 16 {
+		t.Fatalf("datagrams reached %d destinations, want 16", len(sink.got))
+	}
+	ref := sink.got[1]
+	if len(ref) == 0 {
+		t.Fatal("subscriber 1 received nothing")
+	}
+	for to := 2; to <= 16; to++ {
+		got := sink.got[to]
+		if len(got) != len(ref) {
+			t.Fatalf("subscriber %d got %d datagrams, subscriber 1 got %d", to, len(got), len(ref))
+		}
+		for i := range ref {
+			if !bytes.Equal(got[i], ref[i]) {
+				t.Fatalf("subscriber %d datagram %d differs from subscriber 1's", to, i)
+			}
+		}
+	}
+	hits, misses := n.pool.Stats()
+	if hits == 0 {
+		t.Fatal("frame pool never recycled a buffer")
+	}
+	// Steady state must be dominated by reuse: misses only warm the pool
+	// up to the peak number of in-flight buffers, hits forever after.
+	if hits < 4*misses {
+		t.Fatalf("pool thrashing: %d hits vs %d misses", hits, misses)
+	}
+}
+
+// TestFanOutBatchedMatchesSerial replays the same fan-out through the
+// vectored/batched submit path and the plain per-packet Send path: the
+// on-the-wire bytes must match exactly, per destination, in order.
+func TestFanOutBatchedMatchesSerial(t *testing.T) {
+	batched := newVecSink()
+	runFanOut(t, batched, false, 8, 40)
+	serial := newVecSink()
+	runFanOut(t, serialSink{serial}, true, 8, 40)
+
+	if len(batched.got) != len(serial.got) {
+		t.Fatalf("destination sets differ: batched %d vs serial %d", len(batched.got), len(serial.got))
+	}
+	for to, want := range serial.got {
+		got := batched.got[to]
+		if len(got) != len(want) {
+			t.Fatalf("dest %d: batched sent %d datagrams, serial %d", to, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("dest %d datagram %d: batched bytes differ from serial", to, i)
+			}
+		}
+	}
+}

@@ -45,6 +45,11 @@ func Specs() []Spec {
 		{Name: "DenseMeshRouting", Func: DenseMeshRouting},
 		{Name: "LoopSchedule", Func: LoopSchedule},
 		{Name: "NetemSend", Func: NetemSend},
+		{Name: "NodeForwardFanout10", Func: NodeForwardFanout10},
+		{Name: "NodeForwardFanout100", Func: NodeForwardFanout100},
+		{Name: "NodeForwardFanout1000", Func: NodeForwardFanout1000},
+		{Name: "UDPLoopbackEcho", Func: UDPLoopbackEcho},
+		{Name: "UDPLoopbackBatchRelay", Func: UDPLoopbackBatchRelay},
 	}
 }
 

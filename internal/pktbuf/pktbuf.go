@@ -1,0 +1,183 @@
+// Package pktbuf is the data plane's packet-buffer pool: fixed-class,
+// reference-counted, generation-stamped buffers that ride from a socket
+// read (or an ingress fan-out) to the last transport submit without
+// copying. The pool removes the two per-packet allocations that
+// dominated the forwarding profile — the transport's receive copy and
+// the per-subscriber frame copy — by letting one buffer be shared across
+// an arbitrary fan-out under a reference count.
+//
+// The generation stamp is the use-after-free tripwire: every recycle
+// bumps the buffer's generation, so a holder that kept a *Buf past its
+// last Release can detect (in tests, deterministically) that the bytes
+// under it now belong to someone else. Release below zero panics —
+// a double release is a bug, never a tolerable race.
+package pktbuf
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"livenet/internal/telemetry"
+)
+
+// Size classes. Small covers MTU-sized media packets plus overlay
+// framing; large covers a worst-case UDP datagram (the batched socket
+// reader hands out large buffers so nothing is ever truncated).
+const (
+	SmallSize = 2 << 10
+	LargeSize = 64 << 10
+)
+
+// Per-class retention bounds: a free list never holds more than this
+// many buffers (the rest go to the garbage collector).
+const (
+	maxFreeSmall = 4096 // ≤ 8 MiB retained
+	maxFreeLarge = 512  // ≤ 32 MiB retained
+)
+
+// Pool hands out refcounted buffers in two size classes, recycling them
+// through per-class free lists. Requests beyond LargeSize are served
+// with an exact, unpooled allocation (counted as a miss). The zero-ish
+// pool from New works without telemetry; Instrument attaches hit/miss
+// counters (nil-safe telemetry instruments keep the fast path branchless).
+//
+// The free lists are plain mutex-guarded LIFO stacks, not sync.Pool:
+// recycling must be deterministic (the GC clears a sync.Pool at
+// unpredictable times, which makes the hit/miss counters — and with
+// them every replay-equality check over telemetry — nondeterministic).
+type Pool struct {
+	mu    sync.Mutex
+	small []*Buf
+	large []*Buf
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+}
+
+// New returns an empty pool with unregistered hit/miss instruments.
+func New() *Pool {
+	return &Pool{hits: &telemetry.Counter{}, misses: &telemetry.Counter{}}
+}
+
+// Instrument points the pool's hit/miss counters at registered
+// instruments (e.g. node.frame_pool_hits). Call before first use.
+func (p *Pool) Instrument(hits, misses *telemetry.Counter) {
+	if hits != nil {
+		p.hits = hits
+	}
+	if misses != nil {
+		p.misses = misses
+	}
+}
+
+// Stats returns the cumulative hit/miss counts.
+func (p *Pool) Stats() (hits, misses uint64) {
+	return p.hits.Load(), p.misses.Load()
+}
+
+// Buf is one pooled buffer. It starts with one reference; every
+// additional holder Retains it and every holder Releases exactly once.
+// The bytes are valid until the last Release; after that the buffer may
+// be recycled and Gen() will have advanced.
+type Buf struct {
+	pool *Pool
+	data []byte // backing array, capacity = class size (or exact if oversize)
+	n    int    // bytes in use
+
+	refs atomic.Int32
+	gen  atomic.Uint32
+}
+
+// Get returns a buffer with length n and one reference. The contents
+// are unspecified (callers overwrite them).
+func (p *Pool) Get(n int) *Buf {
+	var class *[]*Buf
+	var size int
+	switch {
+	case n <= SmallSize:
+		class, size = &p.small, SmallSize
+	case n <= LargeSize:
+		class, size = &p.large, LargeSize
+	default:
+		// Oversize: exact allocation, never recycled.
+		p.misses.Inc()
+		b := &Buf{data: make([]byte, n), n: n}
+		b.refs.Store(1)
+		return b
+	}
+	var b *Buf
+	p.mu.Lock()
+	if fn := len(*class); fn > 0 {
+		b = (*class)[fn-1]
+		(*class)[fn-1] = nil
+		*class = (*class)[:fn-1]
+	}
+	p.mu.Unlock()
+	if b == nil {
+		p.misses.Inc()
+		b = &Buf{pool: p, data: make([]byte, size)}
+	} else {
+		p.hits.Inc()
+	}
+	b.n = n
+	b.refs.Store(1)
+	return b
+}
+
+// Bytes returns the buffer's in-use slice.
+func (b *Buf) Bytes() []byte { return b.data[:b.n] }
+
+// Len returns the in-use length.
+func (b *Buf) Len() int { return b.n }
+
+// Truncate shortens the in-use length (e.g. to the datagram size a
+// batched read actually produced). Growing past the initial Get length
+// is allowed up to the backing capacity.
+func (b *Buf) Truncate(n int) {
+	if n < 0 || n > len(b.data) {
+		panic("pktbuf: Truncate out of range")
+	}
+	b.n = n
+}
+
+// Retain adds a reference and returns b for call chaining.
+func (b *Buf) Retain() *Buf {
+	if b.refs.Add(1) <= 1 {
+		panic("pktbuf: Retain of a released buffer")
+	}
+	return b
+}
+
+// Release drops one reference; the last release recycles the buffer
+// (bumping its generation). Releasing more times than retained panics.
+func (b *Buf) Release() {
+	switch r := b.refs.Add(-1); {
+	case r > 0:
+		return
+	case r < 0:
+		panic("pktbuf: Release of a free buffer")
+	}
+	b.gen.Add(1)
+	if p := b.pool; p != nil {
+		p.mu.Lock()
+		switch cap(b.data) {
+		case SmallSize:
+			if len(p.small) < maxFreeSmall {
+				p.small = append(p.small, b)
+			}
+		case LargeSize:
+			if len(p.large) < maxFreeLarge {
+				p.large = append(p.large, b)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Gen returns the buffer's generation stamp. It advances on every
+// recycle; a holder that cached (buf, gen) can verify the bytes still
+// belong to it. Test harnesses use this to prove pool-reuse safety.
+func (b *Buf) Gen() uint32 { return b.gen.Load() }
+
+// Refs returns the current reference count (introspection for tests).
+func (b *Buf) Refs() int32 { return b.refs.Load() }

@@ -253,6 +253,31 @@ func PatchDelayExt(data []byte, d10us uint32) bool {
 	return false
 }
 
+// PrefixLen returns the length of the mutable prefix of a marshaled RTP
+// packet: the fixed header, CSRC list, and extension block. Everything a
+// forwarding hop rewrites in place (the delay extension via PatchDelayExt)
+// lives inside this prefix; the payload after it is immutable in flight.
+// The zero-copy fan-out copies only this prefix per subscriber and shares
+// the payload tail. Returns -1 if data is not a plausible RTP packet.
+func PrefixLen(data []byte) int {
+	if len(data) < headerLen || data[0]>>6 != Version {
+		return -1
+	}
+	cc := int(data[0] & 0x0F)
+	off := headerLen + cc*4
+	if data[0]&0x10 != 0 {
+		if len(data) < off+4 {
+			return -1
+		}
+		words := int(binary.BigEndian.Uint16(data[off+2:]))
+		off += 4 + words*4
+	}
+	if off > len(data) {
+		return -1
+	}
+	return off
+}
+
 // SeqLess reports whether sequence number a is before b in RFC 3550
 // wraparound arithmetic.
 func SeqLess(a, b uint16) bool {

@@ -26,6 +26,12 @@ type Clock interface {
 	// AfterFunc schedules fn to run at Now()+d. fn runs on the clock's
 	// event goroutine (the Loop goroutine for virtual clocks).
 	AfterFunc(d time.Duration, fn func()) Timer
+	// Schedule is AfterFunc without the Timer handle, for fire-and-forget
+	// callbacks on hot paths: returning the handle through the interface
+	// boxes it onto the heap, which at one timer per fan-out link per
+	// ingress packet is the difference between zero and one allocation
+	// per forwarded datagram.
+	Schedule(d time.Duration, fn func())
 }
 
 // MsgFunc is a pre-bound message-delivery callback: AtMsg events carry
@@ -166,6 +172,17 @@ func (l *Loop) AfterFunc(d time.Duration, fn func()) Timer {
 	return l.At(l.now+d, fn)
 }
 
+// Schedule schedules fn at Now()+d with no Timer handle. The event comes
+// from the free list and fn is stored in a recycled field, so a caller
+// that passes a pre-bound closure schedules without allocating.
+func (l *Loop) Schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e := l.schedule(l.now + d)
+	e.fn = fn
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it indicates a logic error in the caller.
 func (l *Loop) At(t time.Duration, fn func()) Timer {
@@ -255,6 +272,11 @@ func (t realTimer) Stop() bool { return t.t.Stop() }
 // AfterFunc schedules fn on the wall clock.
 func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
 	return realTimer{t: time.AfterFunc(d, fn)}
+}
+
+// Schedule schedules fn on the wall clock, discarding the timer handle.
+func (c *RealClock) Schedule(d time.Duration, fn func()) {
+	time.AfterFunc(d, fn)
 }
 
 var _ Clock = (*RealClock)(nil)

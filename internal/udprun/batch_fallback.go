@@ -1,0 +1,88 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable single-syscall fallback for platforms without
+// recvmmsg/sendmmsg: one datagram per kernel crossing, same pooled
+// buffers and the same reader/writer contract as batch_linux.go.
+
+package udprun
+
+import (
+	"net/netip"
+
+	"livenet/internal/pktbuf"
+	"livenet/internal/wire"
+)
+
+// batchReader reads one datagram at a time into pooled buffers.
+type batchReader struct {
+	e   *Endpoint
+	buf *pktbuf.Buf
+	ap  netip.AddrPort
+}
+
+func newBatchReader(e *Endpoint) *batchReader { return &batchReader{e: e} }
+
+// read blocks for one datagram; returns 1 on success, 0 on a transient
+// error and -1 once the socket is closed.
+func (r *batchReader) read() int {
+	if r.buf == nil {
+		r.buf = r.e.pool.Get(pktbuf.LargeSize)
+	}
+	n, ap, err := r.e.conn.ReadFromUDPAddrPort(r.buf.Bytes())
+	if err != nil {
+		select {
+		case <-r.e.done:
+			return -1
+		default:
+			return 0
+		}
+	}
+	r.buf.Truncate(n)
+	// Unmap ::ffff:a.b.c.d so the learned address round-trips on v4 sockets.
+	r.ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	return 1
+}
+
+// take transfers ownership of the buffer to the caller.
+func (r *batchReader) take(int) *pktbuf.Buf {
+	b := r.buf
+	r.buf = nil
+	return b
+}
+
+// addr returns the source address of the last datagram.
+func (r *batchReader) addr(int) (netip.AddrPort, bool) {
+	return r.ap, r.ap.IsValid()
+}
+
+func (r *batchReader) close() {
+	if r.buf != nil {
+		r.buf.Release()
+		r.buf = nil
+	}
+}
+
+// batchWriter assembles each vec into a pooled buffer and writes it
+// with one syscall. Guarded by Endpoint.wmu.
+type batchWriter struct {
+	e *Endpoint
+}
+
+func newBatchWriter(e *Endpoint) (*batchWriter, error) { return &batchWriter{e: e}, nil }
+
+func (w *batchWriter) send(ap netip.AddrPort, vecs []wire.Vec) error {
+	for i := range vecs {
+		v := &vecs[i]
+		b := w.e.pool.Get(headerLen + v.Len())
+		buf := b.Bytes()
+		copy(buf, w.e.idHdr[:])
+		n := copy(buf[headerLen:], v.Hdr)
+		copy(buf[headerLen+n:], v.Payload)
+		_, err := w.e.conn.WriteToUDPAddrPort(buf, ap)
+		b.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+//go:build linux && (amd64 || arm64)
+
+// Batched syscall I/O: recvmmsg/sendmmsg move up to Options.Batch
+// datagrams per kernel crossing. The raw syscalls run through the
+// net poller (syscall.RawConn with MSG_DONTWAIT: EAGAIN parks the
+// goroutine until the socket is ready), so batching composes with the
+// runtime scheduler instead of fighting it. Scatter-gather iovecs let
+// a send submit [overlay-ID prefix][packet header][shared payload]
+// without ever concatenating them.
+
+package udprun
+
+import (
+	"encoding/binary"
+	"net"
+	"net/netip"
+	"syscall"
+	"unsafe"
+
+	"livenet/internal/pktbuf"
+	"livenet/internal/wire"
+)
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// per-message byte count.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// sockaddrBuf holds one raw source/destination address (sized for
+// sockaddr_in6, the larger of the two families we speak).
+type sockaddrBuf [syscall.SizeofSockaddrInet6]byte
+
+// sockaddrInto encodes ap into sa. v6 selects the socket's address
+// family: an AF_INET6 socket needs the v4-mapped form for IPv4 peers,
+// an AF_INET socket needs plain sockaddr_in.
+func sockaddrInto(sa *sockaddrBuf, ap netip.AddrPort, v6 bool) uint32 {
+	addr := ap.Addr()
+	if !v6 {
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&sa[0]))
+		*sa4 = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Addr: addr.As4()}
+		binary.BigEndian.PutUint16(sa[2:4], ap.Port())
+		return syscall.SizeofSockaddrInet4
+	}
+	sa6 := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&sa[0]))
+	*sa6 = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Addr: addr.As16()}
+	binary.BigEndian.PutUint16(sa[2:4], ap.Port())
+	return syscall.SizeofSockaddrInet6
+}
+
+// parseSockaddr decodes a kernel-filled source address.
+func parseSockaddr(name []byte) (netip.AddrPort, bool) {
+	if len(name) < 4 {
+		return netip.AddrPort{}, false
+	}
+	port := uint16(name[2])<<8 | uint16(name[3])
+	switch *(*uint16)(unsafe.Pointer(&name[0])) {
+	case syscall.AF_INET:
+		if len(name) < 8 {
+			return netip.AddrPort{}, false
+		}
+		return netip.AddrPortFrom(netip.AddrFrom4([4]byte(name[4:8])), port), true
+	case syscall.AF_INET6:
+		if len(name) < 24 {
+			return netip.AddrPort{}, false
+		}
+		return netip.AddrPortFrom(netip.AddrFrom16([16]byte(name[8:24])).Unmap(), port), true
+	}
+	return netip.AddrPort{}, false
+}
+
+// localIsV6 reports whether the endpoint's socket is AF_INET6.
+func localIsV6(conn *net.UDPConn) bool {
+	ua, ok := conn.LocalAddr().(*net.UDPAddr)
+	return ok && ua.IP.To4() == nil
+}
+
+// batchReader drains the socket with recvmmsg into pooled buffers.
+type batchReader struct {
+	e     *Endpoint
+	k     int
+	raw   syscall.RawConn
+	bufs  []*pktbuf.Buf
+	iovs  []syscall.Iovec
+	hdrs  []mmsghdr
+	names []sockaddrBuf
+
+	// readFn is the hoisted RawConn.Read callback (no per-round closure
+	// allocation); results land in n/errno.
+	readFn func(fd uintptr) bool
+	n      int
+	errno  syscall.Errno
+}
+
+func newBatchReader(e *Endpoint) *batchReader {
+	k := e.opts.Batch
+	r := &batchReader{
+		e:     e,
+		k:     k,
+		bufs:  make([]*pktbuf.Buf, k),
+		iovs:  make([]syscall.Iovec, k),
+		hdrs:  make([]mmsghdr, k),
+		names: make([]sockaddrBuf, k),
+	}
+	r.raw, _ = e.conn.SyscallConn()
+	r.readFn = func(fd uintptr) bool {
+		for {
+			rn, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&r.hdrs[0])), uintptr(r.k),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno == syscall.EAGAIN {
+				return false // park in the net poller until readable
+			}
+			r.n, r.errno = int(rn), errno
+			return true
+		}
+	}
+	return r
+}
+
+// read blocks until at least one datagram arrives, fills bufs[0:n]
+// (each truncated to its datagram size) and returns n. It returns 0 on
+// a transient error and -1 once the socket is closed.
+func (r *batchReader) read() int {
+	for i := 0; i < r.k; i++ {
+		if r.bufs[i] == nil {
+			r.bufs[i] = r.e.pool.Get(pktbuf.LargeSize)
+		}
+		b := r.bufs[i].Bytes()
+		r.iovs[i].Base = &b[0]
+		r.iovs[i].SetLen(len(b))
+		h := &r.hdrs[i].hdr
+		h.Name = (*byte)(unsafe.Pointer(&r.names[i][0]))
+		h.Namelen = uint32(len(r.names[i]))
+		h.Iov = &r.iovs[i]
+		h.Iovlen = 1
+		h.Flags = 0
+	}
+	if err := r.raw.Read(r.readFn); err != nil {
+		return -1 // socket closed
+	}
+	if r.errno != 0 {
+		select {
+		case <-r.e.done:
+			return -1
+		default:
+			return 0 // e.g. ECONNREFUSED bounced back from a dead peer
+		}
+	}
+	for i := 0; i < r.n; i++ {
+		r.bufs[i].Truncate(int(r.hdrs[i].n))
+	}
+	return r.n
+}
+
+// take transfers ownership of datagram i's buffer to the caller.
+func (r *batchReader) take(i int) *pktbuf.Buf {
+	b := r.bufs[i]
+	r.bufs[i] = nil
+	return b
+}
+
+// addr parses the source address of datagram i (only consulted for
+// unknown peers, so the parse stays off the hot path).
+func (r *batchReader) addr(i int) (netip.AddrPort, bool) {
+	return parseSockaddr(r.names[i][:r.hdrs[i].hdr.Namelen])
+}
+
+func (r *batchReader) close() {
+	for i, b := range r.bufs {
+		if b != nil {
+			b.Release()
+			r.bufs[i] = nil
+		}
+	}
+}
+
+// batchWriter submits batches with sendmmsg. Guarded by Endpoint.wmu
+// (the iovec/mmsghdr scratch is shared across calls).
+type batchWriter struct {
+	e    *Endpoint
+	k    int
+	raw  syscall.RawConn
+	v6   bool
+	hdrs []mmsghdr
+	iovs []syscall.Iovec // up to 3 per message: idHdr, vec.Hdr, vec.Payload
+	sa   sockaddrBuf
+
+	sendFn func(fd uintptr) bool
+	at     int // messages already sent this round
+	k2     int // messages armed this round
+	n      int
+	errno  syscall.Errno
+}
+
+func newBatchWriter(e *Endpoint) (*batchWriter, error) {
+	raw, err := e.conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	w := &batchWriter{
+		e:    e,
+		k:    e.opts.Batch,
+		raw:  raw,
+		v6:   localIsV6(e.conn),
+		hdrs: make([]mmsghdr, e.opts.Batch),
+		iovs: make([]syscall.Iovec, 3*e.opts.Batch),
+	}
+	w.sendFn = func(fd uintptr) bool {
+		for {
+			rn, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&w.hdrs[w.at])), uintptr(w.k2-w.at),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			if errno == syscall.EINTR {
+				continue
+			}
+			if errno == syscall.EAGAIN {
+				return false // park until the socket drains
+			}
+			w.n, w.errno = int(rn), errno
+			return true
+		}
+	}
+	return w, nil
+}
+
+// send transmits vecs to ap in order, up to k datagrams per sendmmsg.
+func (w *batchWriter) send(ap netip.AddrPort, vecs []wire.Vec) error {
+	saLen := sockaddrInto(&w.sa, ap, w.v6)
+	for off := 0; off < len(vecs); {
+		k := len(vecs) - off
+		if k > w.k {
+			k = w.k
+		}
+		iov := 0
+		for i := 0; i < k; i++ {
+			v := &vecs[off+i]
+			base := iov
+			w.iovs[iov].Base = &w.e.idHdr[0]
+			w.iovs[iov].SetLen(headerLen)
+			iov++
+			if len(v.Hdr) > 0 {
+				w.iovs[iov].Base = &v.Hdr[0]
+				w.iovs[iov].SetLen(len(v.Hdr))
+				iov++
+			}
+			if len(v.Payload) > 0 {
+				w.iovs[iov].Base = &v.Payload[0]
+				w.iovs[iov].SetLen(len(v.Payload))
+				iov++
+			}
+			h := &w.hdrs[i].hdr
+			h.Name = (*byte)(unsafe.Pointer(&w.sa[0]))
+			h.Namelen = saLen
+			h.Iov = &w.iovs[base]
+			h.Iovlen = uint64(iov - base)
+			h.Flags = 0
+		}
+		w.at, w.k2 = 0, k
+		for w.at < w.k2 {
+			if err := w.raw.Write(w.sendFn); err != nil {
+				return err // socket closed
+			}
+			if w.errno != 0 {
+				return w.errno
+			}
+			if w.n <= 0 {
+				break // defensive: avoid spinning if the kernel reports none sent
+			}
+			w.at += w.n
+		}
+		off += k
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udprun
+
+import "syscall"
+
+// sendmmsg's number is absent from the frozen syscall tables on amd64.
+const (
+	sysRecvmmsg = syscall.SYS_RECVMMSG
+	sysSendmmsg = 307
+)

@@ -3,6 +3,14 @@
 // and cmd/livenet-demo. Each overlay endpoint (node, client, Brain) owns
 // one socket; datagrams are prefixed with the sender's overlay ID so the
 // node code stays addressed by integer IDs exactly as on the emulator.
+//
+// The data plane is built for throughput: datagrams ride in pooled,
+// refcounted buffers from the socket read to the handler (no per-packet
+// allocation or copy), reads and writes are batched into recvmmsg /
+// sendmmsg syscall rounds on Linux (single-syscall fallback elsewhere),
+// and delivery can be sharded across N workers with per-stream affinity
+// (RTP packets hash by SSRC, so each stream keeps FIFO order while
+// different streams decode in parallel).
 package udprun
 
 import (
@@ -10,38 +18,130 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
 	"livenet/internal/brain"
 	"livenet/internal/node"
+	"livenet/internal/pktbuf"
+	"livenet/internal/telemetry"
 	"livenet/internal/wire"
 )
 
 // headerLen is the datagram prefix: sender overlay ID.
 const headerLen = 4
 
+// DefaultBatch is the default syscall batching factor: up to this many
+// datagrams move per recvmmsg/sendmmsg round.
+const DefaultBatch = 16
+
+// shardQueueCap bounds each shard's dispatch queue; packets beyond it
+// are dropped (counted in udprun.rx_dropped), exactly as a full socket
+// buffer would drop them.
+const shardQueueCap = 1024
+
 // ErrUnknownPeer is returned when sending to an unregistered ID.
 var ErrUnknownPeer = errors.New("udprun: unknown peer id")
 
-// Endpoint is one UDP-backed overlay endpoint. It implements node.Sender
-// (and client.Sender, which has the same shape).
+// Options tune an endpoint's data plane. The zero value is the portable
+// single-loop configuration every existing caller gets from Listen.
+type Options struct {
+	// Shards is the number of delivery workers. With 0 or 1 the handler
+	// runs inline on the read loop (strictly serial delivery). With N>1,
+	// RTP datagrams are dispatched to worker shardOf(SSRC) — per-stream
+	// FIFO order is preserved, different streams proceed in parallel —
+	// and non-RTP datagrams (control, RTCP, probes) all go to shard 0.
+	Shards int
+	// Batch is the max datagrams per syscall round (recvmmsg/sendmmsg
+	// on Linux). 0 means DefaultBatch; 1 disables batching.
+	Batch int
+	// Telemetry registers the endpoint's udprun.* instruments (see
+	// OBSERVABILITY.md). Nil keeps private unregistered instruments.
+	Telemetry *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Batch <= 0 {
+		o.Batch = DefaultBatch
+	}
+	return o
+}
+
+// epInstruments are the endpoint's telemetry handles.
+type epInstruments struct {
+	rxPackets *telemetry.Counter
+	txPackets *telemetry.Counter
+	rxBatch   *telemetry.Histogram // datagrams per recvmmsg round
+	txBatch   *telemetry.Histogram // datagrams per SendBatch submit
+	rxDropped *telemetry.Counter   // shard queue overflow
+	shardRx   []*telemetry.Counter // per-shard delivery counts
+}
+
+func newEpInstruments(r *telemetry.Registry, shards int) epInstruments {
+	tel := epInstruments{
+		rxPackets: r.Counter("udprun.rx_packets"),
+		txPackets: r.Counter("udprun.tx_packets"),
+		rxBatch:   r.Histogram("udprun.rx_batch"),
+		txBatch:   r.Histogram("udprun.tx_batch"),
+		rxDropped: r.Counter("udprun.rx_dropped"),
+	}
+	for i := 0; i < shards; i++ {
+		tel.shardRx = append(tel.shardRx, r.Counter(fmt.Sprintf("udprun.shard%02d.rx_packets", i)))
+	}
+	return tel
+}
+
+// rxPacket is one datagram in flight from the read loop to a shard
+// worker. buf holds the full datagram (ID prefix included); ownership
+// transfers with the send.
+type rxPacket struct {
+	from int
+	buf  *pktbuf.Buf
+}
+
+// Endpoint is one UDP-backed overlay endpoint. It implements
+// node.Sender, node.VecSender and node.BatchSender (and client.Sender,
+// which has the same shape as node.Sender).
 type Endpoint struct {
 	id   int
 	conn *net.UDPConn
+	opts Options
+	pool *pktbuf.Pool
+	tel  epInstruments
+
+	idHdr [headerLen]byte // this endpoint's sender-ID prefix
 
 	mu    sync.RWMutex
-	peers map[int]*net.UDPAddr
+	peers map[int]netip.AddrPort
+
+	// wmu serializes batched writes (they share platform scratch).
+	wmu sync.Mutex
+	wr  *batchWriter
 
 	handler func(from int, data []byte)
+	shardCh []chan rxPacket
 	done    chan struct{}
 	once    sync.Once
 }
 
-var _ node.Sender = (*Endpoint)(nil)
+var (
+	_ node.Sender      = (*Endpoint)(nil)
+	_ node.VecSender   = (*Endpoint)(nil)
+	_ node.BatchSender = (*Endpoint)(nil)
+)
 
-// Listen binds an endpoint with overlay ID id on addr (e.g. "127.0.0.1:0").
+// Listen binds an endpoint with overlay ID id on addr (e.g.
+// "127.0.0.1:0") with default options: one delivery loop, batched I/O.
 func Listen(id int, addr string) (*Endpoint, error) {
+	return ListenOpts(id, addr, Options{})
+}
+
+// ListenOpts binds an endpoint with explicit data-plane options.
+func ListenOpts(id int, addr string, opts Options) (*Endpoint, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udprun: %w", err)
@@ -50,12 +150,30 @@ func Listen(id int, addr string) (*Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udprun: %w", err)
 	}
-	return &Endpoint{
+	opts = opts.withDefaults()
+	// A media relay burst easily outruns the default socket buffers;
+	// size them for batch arrival (best effort — the kernel may clamp).
+	conn.SetReadBuffer(4 << 20)
+	conn.SetWriteBuffer(4 << 20)
+	e := &Endpoint{
 		id:    id,
 		conn:  conn,
-		peers: make(map[int]*net.UDPAddr),
+		opts:  opts,
+		pool:  pktbuf.New(),
+		tel:   newEpInstruments(opts.Telemetry, opts.Shards),
+		peers: make(map[int]netip.AddrPort),
 		done:  make(chan struct{}),
-	}, nil
+	}
+	binary.BigEndian.PutUint32(e.idHdr[:], uint32(id))
+	if opts.Telemetry != nil {
+		e.pool.Instrument(opts.Telemetry.Counter("udprun.pool_hits"), opts.Telemetry.Counter("udprun.pool_misses"))
+	}
+	e.wr, err = newBatchWriter(e)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("udprun: %w", err)
+	}
+	return e, nil
 }
 
 // ID returns the endpoint's overlay ID.
@@ -70,62 +188,166 @@ func (e *Endpoint) AddPeer(id int, addr string) error {
 	if err != nil {
 		return fmt.Errorf("udprun: %w", err)
 	}
+	ap := ua.AddrPort()
+	// Unmap ::ffff:a.b.c.d so v4 sockets accept the address.
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 	e.mu.Lock()
-	e.peers[id] = ua
+	e.peers[id] = ap
 	e.mu.Unlock()
 	return nil
 }
 
-// Send implements node.Sender. from is ignored (the socket's own ID is
-// stamped) but kept for interface compatibility.
-func (e *Endpoint) Send(from, to int, data []byte) error {
+// peer resolves a registered overlay ID.
+func (e *Endpoint) peer(to int) (netip.AddrPort, bool) {
 	e.mu.RLock()
-	addr := e.peers[to]
+	ap, ok := e.peers[to]
 	e.mu.RUnlock()
-	if addr == nil {
+	return ap, ok
+}
+
+// Send implements node.Sender. from is ignored (the socket's own ID is
+// stamped) but kept for interface compatibility. The datagram is
+// assembled in a pooled buffer — no per-send allocation.
+func (e *Endpoint) Send(from, to int, data []byte) error {
+	ap, ok := e.peer(to)
+	if !ok {
 		return ErrUnknownPeer
 	}
-	buf := make([]byte, headerLen+len(data))
-	binary.BigEndian.PutUint32(buf, uint32(e.id))
+	b := e.pool.Get(headerLen + len(data))
+	buf := b.Bytes()
+	copy(buf, e.idHdr[:])
 	copy(buf[headerLen:], data)
-	_, err := e.conn.WriteToUDP(buf, addr)
+	_, err := e.conn.WriteToUDPAddrPort(buf, ap)
+	b.Release()
+	e.tel.txPackets.Inc()
 	return err
 }
 
-// Serve starts the read loop, delivering datagrams to handler. The
-// handler owns the data slice. Peers are auto-registered from incoming
+// SendVec implements node.VecSender: one datagram as hdr++payload.
+func (e *Endpoint) SendVec(from, to int, hdr, payload []byte) error {
+	vecs := [1]wire.Vec{{Hdr: hdr, Payload: payload}}
+	return e.SendBatch(from, to, vecs[:])
+}
+
+// SendBatch implements node.BatchSender: the whole batch goes to one
+// destination in order, moving up to Options.Batch datagrams per
+// sendmmsg round on Linux (scatter-gather: the overlay-ID prefix, the
+// per-packet header and the shared payload tail are never concatenated).
+func (e *Endpoint) SendBatch(from, to int, vecs []wire.Vec) error {
+	ap, ok := e.peer(to)
+	if !ok {
+		return ErrUnknownPeer
+	}
+	if len(vecs) == 0 {
+		return nil
+	}
+	e.wmu.Lock()
+	err := e.wr.send(ap, vecs)
+	e.wmu.Unlock()
+	e.tel.txPackets.Add(uint64(len(vecs)))
+	e.tel.txBatch.Observe(int64(len(vecs)))
+	return err
+}
+
+// Serve starts the receive plane: the batched read loop plus
+// Options.Shards delivery workers. The handler BORROWS the data slice —
+// it is only valid for the duration of the call (the backing pooled
+// buffer is recycled after the handler returns); retain a copy if
+// needed. With Shards > 1 the handler must also be safe for concurrent
+// calls (per-stream delivery stays ordered; different streams and
+// shards proceed in parallel). Peers are auto-registered from incoming
 // datagrams, so static peer lists only need to cover first contact.
 func (e *Endpoint) Serve(handler func(from int, data []byte)) {
 	e.handler = handler
+	if e.opts.Shards > 1 {
+		e.shardCh = make([]chan rxPacket, e.opts.Shards)
+		for i := range e.shardCh {
+			e.shardCh[i] = make(chan rxPacket, shardQueueCap)
+			go e.shardLoop(e.shardCh[i])
+		}
+	}
 	go e.readLoop()
 }
 
+// shardOf maps a datagram (ID prefix included) to its delivery shard:
+// RTP hashes by SSRC so one stream always lands on one worker; every
+// other message kind serializes through shard 0.
+func (e *Endpoint) shardOf(dgram []byte) int {
+	const ssrcOff = headerLen + wire.RTPHeaderLen + 8 // RTP SSRC at bytes 8..12
+	if len(dgram) >= ssrcOff+4 && dgram[headerLen] == wire.MsgRTP {
+		ssrc := binary.BigEndian.Uint32(dgram[ssrcOff:])
+		return int(ssrc % uint32(e.opts.Shards))
+	}
+	return 0
+}
+
+// deliver invokes the handler for one datagram and recycles its buffer.
+func (e *Endpoint) deliver(from int, buf *pktbuf.Buf) {
+	if e.handler != nil {
+		e.handler(from, buf.Bytes()[headerLen:])
+	}
+	buf.Release()
+}
+
+func (e *Endpoint) shardLoop(ch chan rxPacket) {
+	for p := range ch {
+		e.deliver(p.from, p.buf)
+	}
+}
+
 func (e *Endpoint) readLoop() {
-	buf := make([]byte, 64*1024)
-	for {
-		n, raddr, err := e.conn.ReadFromUDP(buf)
-		if err != nil {
-			select {
-			case <-e.done:
-				return
-			default:
-				continue
-			}
+	r := newBatchReader(e)
+	defer func() {
+		r.close()
+		for _, ch := range e.shardCh {
+			close(ch)
 		}
-		if n < headerLen {
+	}()
+	for {
+		n := r.read()
+		if n < 0 {
+			return // socket closed
+		}
+		if n == 0 {
 			continue
 		}
-		from := int(binary.BigEndian.Uint32(buf))
-		// Auto-register the sender's address (NAT-style learning).
-		e.mu.Lock()
-		if _, ok := e.peers[from]; !ok {
-			e.peers[from] = raddr
-		}
-		e.mu.Unlock()
-		data := make([]byte, n-headerLen)
-		copy(data, buf[headerLen:n])
-		if e.handler != nil {
-			e.handler(from, data)
+		e.tel.rxPackets.Add(uint64(n))
+		e.tel.rxBatch.Observe(int64(n))
+		for i := 0; i < n; i++ {
+			buf := r.take(i)
+			dgram := buf.Bytes()
+			if len(dgram) < headerLen {
+				buf.Release()
+				continue
+			}
+			from := int(binary.BigEndian.Uint32(dgram))
+			// Auto-register the sender's address (NAT-style learning).
+			// The hot path is a read lock; the source address is only
+			// parsed for first contact.
+			e.mu.RLock()
+			_, known := e.peers[from]
+			e.mu.RUnlock()
+			if !known {
+				if ap, ok := r.addr(i); ok {
+					e.mu.Lock()
+					if _, dup := e.peers[from]; !dup {
+						e.peers[from] = ap
+					}
+					e.mu.Unlock()
+				}
+			}
+			if e.shardCh == nil {
+				e.deliver(from, buf)
+				continue
+			}
+			sh := e.shardOf(dgram)
+			select {
+			case e.shardCh[sh] <- rxPacket{from: from, buf: buf}:
+				e.tel.shardRx[sh].Inc()
+			default:
+				e.tel.rxDropped.Inc()
+				buf.Release()
+			}
 		}
 	}
 }

@@ -29,7 +29,7 @@ func TestEndpointRoundTrip(t *testing.T) {
 	got := make(chan []byte, 1)
 	b.Serve(func(from int, data []byte) {
 		if from == 1 {
-			got <- data
+			got <- append([]byte(nil), data...) // handlers borrow data
 		}
 	})
 	if err := a.Send(1, 2, []byte("hello overlay")); err != nil {
@@ -45,7 +45,7 @@ func TestEndpointRoundTrip(t *testing.T) {
 	}
 	// Reverse direction works via auto-registration (b learned a's addr).
 	got2 := make(chan []byte, 1)
-	a.Serve(func(from int, data []byte) { got2 <- data })
+	a.Serve(func(from int, data []byte) { got2 <- append([]byte(nil), data...) })
 	if err := b.Send(2, 1, []byte("back")); err != nil {
 		t.Fatal(err)
 	}

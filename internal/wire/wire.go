@@ -169,6 +169,20 @@ func (a *SubAck) Unmarshal(data []byte) error {
 	return nil
 }
 
+// Vec is one scatter-gather datagram: a mutable per-destination header
+// (overlay/RTP prefix) followed by a shared, immutable payload tail. The
+// zero-copy fan-out frames a packet's payload once and emits one Vec per
+// link, so a transport that supports vectored writes (udprun's sendmmsg
+// path) sends Hdr and Payload without concatenating them first. The
+// logical datagram is Hdr ++ Payload.
+type Vec struct {
+	Hdr     []byte
+	Payload []byte
+}
+
+// Len returns the logical datagram length.
+func (v Vec) Len() int { return len(v.Hdr) + len(v.Payload) }
+
 // Kind returns the message tag (0 for empty buffers).
 func Kind(data []byte) byte {
 	if len(data) == 0 {
