@@ -4,7 +4,8 @@
 #   make test       # plain test run (fastest)
 #   make bench      # allocation + throughput benchmark smoke (short benchtime)
 #   make bench-smoke # routing/perf suite, one iteration each (part of make ci)
-#   make bench-json # perfbench suite -> BENCH_6.json snapshot (minutes)
+#   make bench-shard # federated-Brain epoch benchmarks, one iteration each
+#   make bench-json # perfbench suite -> BENCH_7.json snapshot (minutes)
 #   make quick      # scaled-down end-to-end evaluation report
 #   make chaos      # fault-tolerance evaluation (deterministic fault injection)
 #   make telemetry  # observability report: journey waterfalls + Brain GlobalView
@@ -12,7 +13,7 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-json quick chaos telemetry docs
+.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-shard bench-json quick chaos telemetry docs
 
 all: ci
 
@@ -48,13 +49,19 @@ bench:
 # Routing/perf suite smoke: every perfbench benchmark for one iteration,
 # including the paper-scale (600-site) epoch — proves a full fleet-scale
 # Global Routing round and an incremental churn round both complete.
-bench-smoke:
+bench-smoke: bench-shard
 	$(GO) test -run xxx -bench 'BenchmarkBrainLookup|BenchmarkBrainPaperScale|BenchmarkBrainEpochChurn|BenchmarkGraphNeighborWeights|BenchmarkYenKSPFullMesh|BenchmarkDenseMeshRouting|BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkNodeForwardFanout|BenchmarkUDPLoopback' -benchtime 1x .
 
+# Federated-Brain smoke: the sharded (one Brain per region) epoch and
+# churn rounds at the same 600-site scale — proves cross-region stitch
+# prefetch completes and reports the per-shard discovery fan-in.
+bench-shard:
+	$(GO) test -run xxx -bench 'BenchmarkBrainFederatedEpoch|BenchmarkBrainFederatedChurn' -benchtime 1x .
+
 # Perfbench snapshot: run the suite at full benchtime through
-# cmd/livenet-bench and write BENCH_6.json for cross-PR comparison.
+# cmd/livenet-bench and write BENCH_7.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/livenet-bench -bench-json BENCH_6.json
+	$(GO) run ./cmd/livenet-bench -bench-json BENCH_7.json
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick

@@ -327,6 +327,13 @@ func BenchmarkGraphNeighborWeights(b *testing.B) { perfbench.GraphNeighborWeight
 func BenchmarkBrainPaperScale(b *testing.B) { perfbench.BrainPaperScale(b) }
 func BenchmarkBrainEpochChurn(b *testing.B) { perfbench.BrainEpochChurn(b) }
 
+// BenchmarkBrainFederatedEpoch / Churn are the sharded counterparts: the
+// same 600-site overlay with one Brain shard per region and cross-region
+// stitching (see DESIGN.md §10); metrics include the per-shard report
+// fan-in the federation trades against the monolith's global ingest.
+func BenchmarkBrainFederatedEpoch(b *testing.B) { perfbench.BrainFederatedEpoch(b) }
+func BenchmarkBrainFederatedChurn(b *testing.B) { perfbench.BrainFederatedChurn(b) }
+
 func BenchmarkNetemThroughput(b *testing.B) {
 	loop := sim.NewLoop(1)
 	net := netem.New(loop, loop.RNG("n"))

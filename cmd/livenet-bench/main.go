@@ -38,6 +38,7 @@ func main() {
 	days := flag.Int("days", 0, "override the number of simulated days")
 	sites := flag.Int("sites", 0, "override the number of CDN sites")
 	maxPeers := flag.Int("peers", 0, "sparse overlay: links per site to its nearest peers (0 = full mesh)")
+	regions := flag.Int("regions", 0, "federate the Streaming Brain into per-region shards (0 = monolith)")
 	seed := flag.Int64("seed", 42, "simulation seed")
 	seeds := flag.Int("seeds", 1, "workload seeds per system (N>1 adds a mean ± 95% CI table)")
 	parallel := flag.Bool("parallel", true, "fan independent runs out across CPU cores")
@@ -69,6 +70,9 @@ func main() {
 	}
 	if *maxPeers > 0 {
 		o.MaxPeers = *maxPeers
+	}
+	if *regions > 0 {
+		o.Regions = *regions
 	}
 	o.Seed = *seed
 
@@ -182,6 +186,10 @@ type benchRecord struct {
 	// PPS is the benchmark's self-reported packets-per-second metric
 	// (the data-plane throughput suite); 0 for benchmarks without one.
 	PPS float64 `json:"pps,omitempty"`
+	// Extra carries every other custom metric the benchmark reported
+	// (e.g. the federated-Brain suite's shards / max_shard_reports /
+	// links fan-in shape).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchSnapshot is the JSON document `-bench-json` writes: the whole
@@ -213,6 +221,15 @@ func runBenchJSON(path string) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			PPS:         r.Extra["pps"],
+		}
+		for k, v := range r.Extra {
+			if k == "pps" {
+				continue
+			}
+			if rec.Extra == nil {
+				rec.Extra = map[string]float64{}
+			}
+			rec.Extra[k] = v
 		}
 		fmt.Fprintf(os.Stderr, " %14.1f ns/op %10d allocs/op  (n=%d)\n", rec.NsPerOp, rec.AllocsPerOp, r.N)
 		snap.Results = append(snap.Results, rec)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"livenet/internal/brain"
+	"livenet/internal/brainfed"
 	"livenet/internal/sim"
 	"livenet/internal/udprun"
 )
@@ -26,6 +27,7 @@ func main() {
 	n := flag.Int("nodes", 8, "number of overlay node IDs (0..n-1)")
 	lastResort := flag.String("last-resort", "", "comma-separated reserved relay node IDs")
 	epoch := flag.Duration("epoch", 10*time.Minute, "Global Routing recomputation period")
+	regions := flag.Int("regions", 0, "federate the Brain into this many contiguous-ID shards (0 = monolith; reserved relays double as shard gateways)")
 	flag.Parse()
 
 	var lr []int
@@ -40,20 +42,39 @@ func main() {
 		}
 	}
 
-	b := brain.New(brain.Config{
+	bcfg := brain.Config{
 		N:          *n,
 		LastResort: lr,
 		RouteEpoch: *epoch,
 		Clock:      sim.NewRealClock(),
-	})
-	defer b.Close()
-	srv, err := udprun.NewBrainServer(b, *listen)
+	}
+	var (
+		api     udprun.BrainAPI
+		metrics func() brain.Metrics
+		shards  string
+	)
+	if *regions > 1 {
+		// Federated Brain: contiguous ID blocks, reserved relays reused
+		// as the cross-shard stitch gateways.
+		fed := brainfed.New(brainfed.Config{
+			Brain:     bcfg,
+			Partition: brainfed.Contiguous(*n, *regions, lr),
+		})
+		defer fed.Close()
+		api, metrics = fed, fed.Metrics
+		shards = fmt.Sprintf(", %d shards", fed.Shards())
+	} else {
+		b := brain.New(bcfg)
+		defer b.Close()
+		api, metrics = b, b.Metrics
+	}
+	srv, err := udprun.NewBrainServer(api, *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "livenet-brain:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("Streaming Brain: %d nodes, listening on %s (epoch %v)\n", *n, srv.Addr(), *epoch)
+	fmt.Printf("Streaming Brain: %d nodes%s, listening on %s (epoch %v)\n", *n, shards, srv.Addr(), *epoch)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -65,7 +86,7 @@ func main() {
 			fmt.Println("shutting down")
 			return
 		case <-tick.C:
-			m := b.Metrics()
+			m := metrics()
 			fmt.Printf("lookups=%d pibHits=%d pibMisses=%d lastResort=%d alarms=%d streams=%d\n",
 				m.Lookups, m.PIBHits, m.PIBMisses, m.LastResortUsed, m.OverloadAlarms, m.StreamsActive)
 		}

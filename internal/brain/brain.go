@@ -85,6 +85,12 @@ type Config struct {
 	// elements whose owner stopped reporting (a crashed node cannot report
 	// its own failure). Zero disables aging; it needs Clock to run.
 	StaleAfter time.Duration
+	// Owns scopes staleness aging to the nodes this Brain is responsible
+	// for. A federation shard ingests reports only from its own region, so
+	// foreign nodes would otherwise age out despite being healthy — the
+	// shard must never mark a node it does not own as stale. Nil means the
+	// Brain owns every node (the monolithic deployment).
+	Owns func(id int) bool
 	// Telemetry is the registry the Brain registers its brain.* counters
 	// in (see OBSERVABILITY.md). Nil disables registration at zero cost.
 	Telemetry *telemetry.Registry
@@ -224,6 +230,11 @@ func New(cfg Config) *Brain {
 	return b
 }
 
+// owns reports whether this Brain is responsible for node id's liveness.
+func (b *Brain) owns(id int) bool {
+	return b.cfg.Owns == nil || b.cfg.Owns(id)
+}
+
 func (b *Brain) scheduleAge() {
 	b.ageTick = b.cfg.Clock.AfterFunc(b.cfg.StaleAfter/2, func() {
 		b.sweepStale()
@@ -256,6 +267,9 @@ func (b *Brain) sweepStale() {
 		}
 	}
 	for id, seen := range b.nodeSeen {
+		if !b.owns(id) {
+			continue
+		}
 		stale := now-seen > b.cfg.StaleAfter
 		if stale != b.view.NodeDown(id) {
 			b.view.SetNodeDown(id, stale)
@@ -942,6 +956,19 @@ func (b *Brain) PrefetchPaths(sid uint32) (map[int][][]int, error) {
 		}
 	}
 	return out, nil
+}
+
+// PathCost sums the current Eq. 2 weights along a node path (+Inf when a
+// hop has no usable measurement). The federation front-end ranks
+// cross-shard stitch candidates with it; a single-node path costs 0.
+func (b *Brain) PathCost(path []int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		total += b.view.Weight(path[i], path[i+1])
+	}
+	return total
 }
 
 // SortedPIBKeys returns the current PIB keys in (src, dst) order — the

@@ -102,8 +102,8 @@ func (b *Brain) GlobalView() GlobalView {
 	}
 	if b.nodeSeen != nil {
 		now := b.cfg.Clock.Now()
-		for _, seen := range b.nodeSeen {
-			if now-seen > b.cfg.StaleAfter {
+		for id, seen := range b.nodeSeen {
+			if b.owns(id) && now-seen > b.cfg.StaleAfter {
 				v.NodesStale++
 			}
 		}

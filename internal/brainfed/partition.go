@@ -1,0 +1,176 @@
+// Package brainfed federates the Streaming Brain into per-region shards
+// (ROADMAP item 2). The paper describes the Brain as logically
+// centralized (§4); at fleet scale no single replica should hold all
+// PIB/SIB state or absorb the full discovery-report fan-in, so the
+// Federation front-end partitions the fleet by geography:
+//
+//   - Each shard is a full Brain (PIB, SIB, incremental routing epochs)
+//     whose Global Discovery ingests only reports from the nodes it owns.
+//     A shard's view therefore contains its intra-region links plus the
+//     outgoing cross-region links its own nodes probe.
+//   - Cross-region path requests are answered by stitching shard-local
+//     segments at a bounded candidate set of gateway nodes — the
+//     destination region's IXP-attached sites (geo.RegionGateways).
+//   - When a peer shard is unreachable, lookups degrade through a
+//     fallback ladder (cached stitches, then shard-local gateway
+//     segments) instead of failing; see federation.go.
+//
+// The front-end preserves the Brain lookup API, so core.Cluster, the
+// macro simulator, and the UDP Brain server switch via config.
+package brainfed
+
+import (
+	"sort"
+
+	"livenet/internal/geo"
+)
+
+// Partition assigns every overlay node to exactly one shard and names
+// each shard's gateway candidates. Partitions are immutable.
+type Partition struct {
+	// N is the overlay size (global node IDs 0..N-1 are preserved —
+	// shards index the same fleet, they just own disjoint subsets).
+	N int
+	// Names labels each shard (region name, or "REST" for the merged
+	// tail when the requested shard count is below the region count).
+	Names []string
+
+	shardOf  []int
+	nodes    [][]int
+	gateways [][]int
+}
+
+// ByRegion partitions a geo world's sites by region. k <= 0 (or k at or
+// above the region count) gives one shard per region; a smaller k keeps
+// the k-1 largest regions as their own shards and merges the rest into
+// one "REST" shard, so -regions can dial the shard count. Each shard's
+// gateway list comes from geo.RegionGateways, ordered best-peered first.
+func ByRegion(w *geo.World, k int) *Partition {
+	regions := w.Regions()
+	gws := w.RegionGateways()
+	type group struct {
+		name    string
+		members []string
+	}
+	var groups []group
+	if k <= 0 || k >= len(regions) {
+		for _, r := range regions {
+			groups = append(groups, group{name: r, members: []string{r}})
+		}
+	} else {
+		count := make(map[string]int)
+		for _, s := range w.Sites {
+			count[s.Region]++
+		}
+		bySize := append([]string(nil), regions...)
+		sort.SliceStable(bySize, func(a, b int) bool {
+			if count[bySize[a]] != count[bySize[b]] {
+				return count[bySize[a]] > count[bySize[b]]
+			}
+			return bySize[a] < bySize[b]
+		})
+		keep, rest := bySize[:k-1], bySize[k-1:]
+		keep = append([]string(nil), keep...)
+		rest = append([]string(nil), rest...)
+		sort.Strings(keep)
+		sort.Strings(rest)
+		for _, r := range keep {
+			groups = append(groups, group{name: r, members: []string{r}})
+		}
+		groups = append(groups, group{name: "REST", members: rest})
+	}
+
+	p := &Partition{
+		N:       len(w.Sites),
+		shardOf: make([]int, len(w.Sites)),
+		nodes:   make([][]int, len(groups)),
+	}
+	shardOfRegion := make(map[string]int)
+	for si, g := range groups {
+		p.Names = append(p.Names, g.name)
+		var gw []int
+		for _, r := range g.members {
+			shardOfRegion[r] = si
+			gw = append(gw, gws[r]...)
+		}
+		sort.Slice(gw, func(a, b int) bool {
+			if w.Peering(gw[a]) != w.Peering(gw[b]) {
+				return w.Peering(gw[a]) > w.Peering(gw[b])
+			}
+			return gw[a] < gw[b]
+		})
+		p.gateways = append(p.gateways, gw)
+	}
+	for _, s := range w.Sites {
+		si := shardOfRegion[s.Region]
+		p.shardOf[s.ID] = si
+		p.nodes[si] = append(p.nodes[si], s.ID)
+	}
+	return p
+}
+
+// Contiguous partitions node IDs 0..n-1 into k contiguous blocks — the
+// world-less variant for the standalone UDP Brain, where node IDs are
+// assigned by deployment script and regions are ID ranges. gateways
+// lists reserved well-peered relays (the -last-resort set); a block
+// containing none of them gates through its first node.
+func Contiguous(n, k int, gateways []int) *Partition {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	p := &Partition{
+		N:       n,
+		shardOf: make([]int, n),
+		nodes:   make([][]int, k),
+	}
+	gwSet := make(map[int]bool, len(gateways))
+	for _, g := range gateways {
+		gwSet[g] = true
+	}
+	for s := 0; s < k; s++ {
+		lo, hi := s*n/k, (s+1)*n/k
+		p.Names = append(p.Names, "block-"+itoa(s))
+		var gw []int
+		for id := lo; id < hi; id++ {
+			p.shardOf[id] = s
+			p.nodes[s] = append(p.nodes[s], id)
+			if gwSet[id] {
+				gw = append(gw, id)
+			}
+		}
+		if len(gw) == 0 && hi > lo {
+			gw = []int{lo}
+		}
+		p.gateways = append(p.gateways, gw)
+	}
+	return p
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	at := len(buf)
+	for v > 0 {
+		at--
+		buf[at] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[at:])
+}
+
+// Shards returns the shard count.
+func (p *Partition) Shards() int { return len(p.nodes) }
+
+// ShardOf returns the shard owning a node.
+func (p *Partition) ShardOf(node int) int { return p.shardOf[node] }
+
+// Nodes returns the node IDs a shard owns (ascending).
+func (p *Partition) Nodes(s int) []int { return p.nodes[s] }
+
+// Gateways returns a shard's stitch candidates, best-peered first.
+func (p *Partition) Gateways(s int) []int { return p.gateways[s] }

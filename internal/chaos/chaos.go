@@ -58,21 +58,31 @@ const (
 	LastMileDegrade
 	// LastMileRestore reinstates Node's original access-link loss at At.
 	LastMileRestore
+	// ReplicaPartition cuts Brain replica (or federation shard) Replica
+	// off from its peers at At — consensus traffic to and from it is
+	// dropped and, for a federated Brain, the shard stops serving the
+	// front-end — without killing the process. If Until is set the
+	// partition heals at Until.
+	ReplicaPartition
+	// ReplicaHeal reconnects a partitioned replica/shard at At.
+	ReplicaHeal
 )
 
 var kindNames = map[Kind]string{
-	NodeCrash:       "node-crash",
-	NodeRestart:     "node-restart",
-	LinkDown:        "link-down",
-	LinkUp:          "link-up",
-	LinkFlap:        "link-flap",
-	Partition:       "partition",
-	BurstStart:      "burst-start",
-	BurstEnd:        "burst-end",
-	ReplicaKill:     "replica-kill",
-	ReplicaRestart:  "replica-restart",
-	LastMileDegrade: "lastmile-degrade",
-	LastMileRestore: "lastmile-restore",
+	NodeCrash:        "node-crash",
+	NodeRestart:      "node-restart",
+	LinkDown:         "link-down",
+	LinkUp:           "link-up",
+	LinkFlap:         "link-flap",
+	Partition:        "partition",
+	BurstStart:       "burst-start",
+	BurstEnd:         "burst-end",
+	ReplicaKill:      "replica-kill",
+	ReplicaRestart:   "replica-restart",
+	LastMileDegrade:  "lastmile-degrade",
+	LastMileRestore:  "lastmile-restore",
+	ReplicaPartition: "replica-partition",
+	ReplicaHeal:      "replica-heal",
 }
 
 // String names the fault kind for timelines and logs.
@@ -117,6 +127,8 @@ type Injector interface {
 	RestoreLastMile(nodeID int)
 	KillReplica(i int)
 	RestartReplica(i int)
+	PartitionReplica(i int)
+	HealReplica(i int)
 }
 
 // Event is one applied fault action, as recorded in the timeline.
@@ -236,6 +248,15 @@ func (e *Engine) installFault(f Fault) {
 	case LastMileRestore:
 		id := f.Node
 		e.at(f.At, fmt.Sprintf("lastmile-restore node=%d", id), func() { e.inj.RestoreLastMile(id) })
+	case ReplicaPartition:
+		r := f.Replica
+		e.at(f.At, fmt.Sprintf("replica-partition replica=%d", r), func() { e.inj.PartitionReplica(r) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("replica-heal replica=%d", r), func() { e.inj.HealReplica(r) })
+		}
+	case ReplicaHeal:
+		r := f.Replica
+		e.at(f.At, fmt.Sprintf("replica-heal replica=%d", r), func() { e.inj.HealReplica(r) })
 	}
 }
 
@@ -264,6 +285,9 @@ type GenerateConfig struct {
 	Crashes, LinkCuts, Bursts int
 	// Replicas, ReplicaKills drive Brain-replica outages (0 disables).
 	Replicas, ReplicaKills int
+	// ReplicaPartitions schedules consensus-quorum partitions of random
+	// replicas/shards (0 disables; needs Replicas).
+	ReplicaPartitions int
 }
 
 // Generate builds a random fault schedule from a seed: the same seed and
@@ -314,6 +338,10 @@ func Generate(seed int64, cfg GenerateConfig) Scenario {
 	for i := 0; i < cfg.ReplicaKills && cfg.Replicas > 0; i++ {
 		t := at()
 		faults = append(faults, Fault{Kind: ReplicaKill, At: t, Until: t + horizon/4, Replica: rng.Intn(cfg.Replicas)})
+	}
+	for i := 0; i < cfg.ReplicaPartitions && cfg.Replicas > 0; i++ {
+		t := at()
+		faults = append(faults, Fault{Kind: ReplicaPartition, At: t, Until: t + horizon/4, Replica: rng.Intn(cfg.Replicas)})
 	}
 	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
 	return Scenario{Name: fmt.Sprintf("generated(seed=%d)", seed), Faults: faults}

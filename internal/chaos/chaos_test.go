@@ -32,6 +32,12 @@ func (r *recorder) KillReplica(i int) { r.calls = append(r.calls, fmt.Sprintf("k
 func (r *recorder) RestartReplica(i int) {
 	r.calls = append(r.calls, fmt.Sprintf("restart-replica %d", i))
 }
+func (r *recorder) PartitionReplica(i int) {
+	r.calls = append(r.calls, fmt.Sprintf("partition-replica %d", i))
+}
+func (r *recorder) HealReplica(i int) {
+	r.calls = append(r.calls, fmt.Sprintf("heal-replica %d", i))
+}
 
 func TestGenerateIsDeterministic(t *testing.T) {
 	cfg := GenerateConfig{Nodes: 12, Horizon: time.Minute, Crashes: 2, LinkCuts: 3, Bursts: 2, Replicas: 3, ReplicaKills: 1}

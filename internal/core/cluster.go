@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"livenet/internal/brain"
+	"livenet/internal/brainfed"
 	"livenet/internal/client"
 	"livenet/internal/geo"
 	"livenet/internal/media"
@@ -60,6 +61,15 @@ type ClusterConfig struct {
 	// replicas (§7.1); 0 or 1 keeps a single instance. Consumers query
 	// their home replica and fail over to the next live one on timeout.
 	Replicas int
+	// Regions > 0 federates the Streaming Brain into per-region shards
+	// (internal/brainfed): each shard ingests only its own region's
+	// discovery reports and cross-region lookups stitch shard-local
+	// segments at gateway nodes. The value caps the shard count (regions
+	// beyond it merge into one shard); use a value at or above the
+	// world's region count for one shard per region. Combined with
+	// Replicas > 1, each shard's SIB replicates through its own Paxos
+	// group. 0 keeps the monolithic Brain.
+	Regions int
 	// NodeUpstreamTimeout overrides the nodes' upstream-silence detection
 	// window (0 keeps the node default).
 	NodeUpstreamTimeout time.Duration
@@ -121,14 +131,23 @@ type Cluster struct {
 	overlayRows [][]int
 	Loop        *sim.Loop
 	World       *geo.World
-	Net   *netem.Network
-	Brain *brain.Brain
-	Nodes []*node.Node
+	Net         *netem.Network
+	Brain       *brain.Brain
+	Nodes       []*node.Node
+
+	// Fed is the federated Brain when ClusterConfig.Regions > 0 (Brain
+	// is then nil — every control-plane interaction goes through the
+	// federation front-end).
+	Fed *brainfed.Federation
 
 	// Replicas holds the geo-replicated Brain group when
 	// ClusterConfig.Replicas > 1 (Brain then aliases Replicas[0].Local).
 	Replicas    []*brain.ReplicatedBrain
 	replicaDown []bool
+	// replicaPartitioned marks replicas cut off from consensus traffic
+	// (still alive and answering lookups, unlike replicaDown). For a
+	// federated Brain the same index space marks partitioned shards.
+	replicaPartitioned []bool
 	// BrainFailovers counts lookups that timed out on a dead replica and
 	// moved to the next; BrainLookupFailures counts lookups that exhausted
 	// every replica (the consumer node then uses its local path cache).
@@ -147,6 +166,12 @@ type Cluster struct {
 	NetTel    *telemetry.Registry
 	BrainTel  *telemetry.Registry
 	Tracer    *telemetry.Tracer
+
+	// Replica-attribution instruments (nil-safe): which replica served
+	// each lookup, split home vs failover.
+	servedHome     *telemetry.Counter
+	servedFailover *telemetry.Counter
+	lastReplica    *telemetry.Gauge
 
 	// lowerRendition maps each simulcast stream to its next-lower
 	// rendition (filled as broadcasters are created); consumer nodes use
@@ -260,12 +285,25 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		StaleAfter: 3 * cfg.DiscoveryInterval,
 		Telemetry:  c.BrainTel,
 	}
-	if cfg.Replicas > 1 {
+	switch {
+	case cfg.Regions > 0:
+		// Federated Brain: per-region shards behind the brainfed
+		// front-end. Shards keep the lazy per-pair KSP (each owns a
+		// subgraph, so dense N² materialization never pays off).
+		c.Fed = brainfed.New(brainfed.Config{
+			Brain:     bcfg,
+			Partition: brainfed.ByRegion(world, cfg.Regions),
+			Replicas:  cfg.Replicas,
+			Telemetry: c.BrainTel,
+		})
+		c.replicaPartitioned = make([]bool, c.Fed.Shards())
+	case cfg.Replicas > 1:
 		peers := make([]int, cfg.Replicas)
 		for i := range peers {
 			peers[i] = i
 		}
 		c.replicaDown = make([]bool, cfg.Replicas)
+		c.replicaPartitioned = make([]bool, cfg.Replicas)
 		tr := &paxosTransport{c: c}
 		for i := 0; i < cfg.Replicas; i++ {
 			local := brain.New(bcfg)
@@ -275,7 +313,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			c.Replicas = append(c.Replicas, brain.NewReplicated(local, i, peers, tr, loop))
 		}
 		c.Brain = c.Replicas[0].Local
-	} else {
+	default:
 		c.Brain = brain.New(bcfg)
 		if cfg.MaxPeers <= 0 {
 			// Sparse overlays keep the lazy per-pair KSP; the dense solver
@@ -283,6 +321,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 			c.Brain.EnableDense()
 		}
 	}
+	// Lookup attribution (satellite of the replicated/federated Brain):
+	// which replica answered, home vs failover. Nil-registry safe.
+	c.servedHome = c.BrainTel.Counter("brain.lookups_served_home")
+	c.servedFailover = c.BrainTel.Counter("brain.lookups_served_failover")
+	c.lastReplica = c.BrainTel.Gauge("brain.lookup_last_replica")
 
 	// Overlay nodes wired to the Brain.
 	for id := 0; id < cfg.Sites; id++ {
@@ -325,6 +368,10 @@ func (c *Cluster) buildNode(id int) *node.Node {
 // registerStream records a stream's producer in the SIB: directly on a
 // single Brain, or proposed through the first live replica's Paxos group.
 func (c *Cluster) registerStream(sid uint32, producer int) {
+	if c.Fed != nil {
+		c.Fed.RegisterStream(sid, producer)
+		return
+	}
 	if len(c.Replicas) == 0 {
 		c.Brain.RegisterStream(sid, producer)
 		return
@@ -338,6 +385,10 @@ func (c *Cluster) registerStream(sid uint32, producer int) {
 }
 
 func (c *Cluster) unregisterStream(sid uint32) {
+	if c.Fed != nil {
+		c.Fed.UnregisterStream(sid)
+		return
+	}
 	if len(c.Replicas) == 0 {
 		c.Brain.UnregisterStream(sid)
 		return
@@ -350,10 +401,26 @@ func (c *Cluster) unregisterStream(sid uint32) {
 	}
 }
 
-// eachBrain applies fn to every live Brain instance (Global Discovery
+// discoverySink is the report surface Global Discovery feeds. Both the
+// monolithic Brain and the federation front-end implement it; with a
+// federation, reports route on to the shard owning the reporting node.
+type discoverySink interface {
+	ReportLink(from, to int, rtt time.Duration, loss, util float64)
+	ReportLinkDown(from, to int)
+	ReportNodeLoad(id int, util float64)
+	OverloadAlarm(id int, util float64)
+	LinkOverloadAlarm(from, to int, util float64)
+	ReportNodeTelemetry(id int, snap telemetry.Snapshot, streams []uint32)
+}
+
+// eachSink applies fn to every live report sink (Global Discovery
 // reports reach all replicas' local views; dead replicas miss them and
 // catch up from later reports after a restart).
-func (c *Cluster) eachBrain(fn func(*brain.Brain)) {
+func (c *Cluster) eachSink(fn func(discoverySink)) {
+	if c.Fed != nil {
+		fn(c.Fed)
+		return
+	}
 	if len(c.Replicas) == 0 {
 		fn(c.Brain)
 		return
@@ -371,13 +438,14 @@ type paxosTransport struct{ c *Cluster }
 
 func (t *paxosTransport) Send(from, to int, m replication.Msg) {
 	c := t.c
-	if c.replicaDown[from] || c.replicaDown[to] {
+	if c.replicaDown[from] || c.replicaDown[to] ||
+		c.replicaPartitioned[from] || c.replicaPartitioned[to] {
 		return
 	}
 	rng := c.Loop.RNG("paxos")
 	delay := time.Duration(5+rng.Intn(10)) * time.Millisecond
 	c.Loop.AfterFunc(delay, func() {
-		if !c.replicaDown[to] {
+		if !c.replicaDown[to] && !c.replicaPartitioned[to] {
 			c.Replicas[to].OnMessage(from, m)
 		}
 	})
@@ -414,6 +482,20 @@ func (c *Cluster) pathLookup(sid uint32, consumer int, cb func([][]int, error)) 
 	}
 	proc := time.Duration(2+rng.Intn(6)) * time.Millisecond
 	total := rtt + proc
+	if c.Fed != nil {
+		c.RespTimes.Add(float64(total) / float64(time.Millisecond))
+		c.Loop.AfterFunc(total, func() {
+			paths, err := c.Fed.Lookup(sid, consumer)
+			if errors.Is(err, brainfed.ErrShardUnreachable) {
+				// The fallback ladder ran dry: count it like an exhausted
+				// replica ring and let the node use its local path cache.
+				c.BrainLookupFailures++
+				err = ErrBrainUnreachable
+			}
+			cb(paths, err)
+		})
+		return
+	}
 	if len(c.Replicas) == 0 {
 		c.RespTimes.Add(float64(total) / float64(time.Millisecond))
 		c.Loop.AfterFunc(total, func() {
@@ -443,7 +525,15 @@ func (c *Cluster) lookupReplica(sid uint32, consumer, home, tried int, rtt time.
 	}
 	c.RespTimes.Add(float64(time.Duration(tried)*replicaTimeout+rtt) / float64(time.Millisecond))
 	c.Loop.AfterFunc(rtt, func() {
-		paths, err := c.Replicas[idx].Lookup(sid, consumer)
+		paths, served, err := c.Replicas[idx].LookupServed(sid, consumer)
+		// Attribute the answer: a lookup served off the consumer's home
+		// replica is a failover the operator should see in telemetry.
+		if served == home {
+			c.servedHome.Inc()
+		} else {
+			c.servedFailover.Inc()
+		}
+		c.lastReplica.Set(float64(served))
 		cb(paths, err)
 	})
 }
@@ -470,10 +560,10 @@ func (c *Cluster) discoveryLoop() {
 				if !c.Net.LinkUp(i, j) {
 					// The node's probes over a dead link time out: report
 					// the failure instead of stale metrics (§4.2).
-					c.eachBrain(func(b *brain.Brain) { b.ReportLinkDown(i, j) })
+					c.eachSink(func(b discoverySink) { b.ReportLinkDown(i, j) })
 					continue
 				}
-				c.eachBrain(func(b *brain.Brain) {
+				c.eachSink(func(b discoverySink) {
 					b.ReportLink(i, j, s.RTT, s.LossRate, s.Utilization)
 					if s.Utilization >= 0.8 {
 						b.LinkOverloadAlarm(i, j, s.Utilization)
@@ -484,7 +574,7 @@ func (c *Cluster) discoveryLoop() {
 				}
 			}
 			load := 0.7*maxUtil + 0.3*min(1, float64(c.Nodes[i].StreamCount())/64)
-			c.eachBrain(func(b *brain.Brain) {
+			c.eachSink(func(b discoverySink) {
 				b.ReportNodeLoad(i, load)
 				if load >= 0.8 {
 					b.OverloadAlarm(i, load)
@@ -495,7 +585,7 @@ func (c *Cluster) discoveryLoop() {
 				// plus the carried-stream set for fan-out accounting.
 				snap := c.NodeTel[i].Snapshot()
 				streams := c.Nodes[i].Streams()
-				c.eachBrain(func(b *brain.Brain) { b.ReportNodeTelemetry(i, snap, streams) })
+				c.eachSink(func(b discoverySink) { b.ReportNodeTelemetry(i, snap, streams) })
 			}
 		}
 		c.discoveryLoop()
@@ -549,7 +639,13 @@ func (c *Cluster) NewBroadcasterAt(lat, lon float64, baseSID uint32, rends []med
 // popular stream to every node ahead of viewer arrival (§4.4), so the
 // first viewing request anywhere is a local hit.
 func (c *Cluster) PrefetchPopular(sid uint32) error {
-	paths, err := c.Brain.PrefetchPaths(sid)
+	var paths map[int][][]int
+	var err error
+	if c.Fed != nil {
+		paths, err = c.Fed.PrefetchPaths(sid)
+	} else {
+		paths, err = c.Brain.PrefetchPaths(sid)
+	}
 	if err != nil {
 		return err
 	}
@@ -714,10 +810,39 @@ func (c *Cluster) RestartReplica(i int) {
 	}
 }
 
+// PartitionReplica cuts a Brain replica off from consensus traffic
+// without killing it (it keeps serving lookups from its local view but
+// cannot commit proposals). With a federated Brain the index names a
+// shard instead: the shard becomes unreachable from the front-end and
+// cross-shard lookups degrade through the fallback ladder.
+func (c *Cluster) PartitionReplica(i int) {
+	if i < 0 || i >= len(c.replicaPartitioned) {
+		return
+	}
+	c.replicaPartitioned[i] = true
+	if c.Fed != nil {
+		c.Fed.SetShardDown(i, true)
+	}
+}
+
+// HealReplica reconnects a partitioned replica (or federation shard);
+// stalled proposals catch up through retries and learn traffic.
+func (c *Cluster) HealReplica(i int) {
+	if i < 0 || i >= len(c.replicaPartitioned) {
+		return
+	}
+	c.replicaPartitioned[i] = false
+	if c.Fed != nil {
+		c.Fed.SetShardDown(i, false)
+	}
+}
+
 // Close stops timers.
 func (c *Cluster) Close() {
 	c.closed = true
-	if len(c.Replicas) > 0 {
+	if c.Fed != nil {
+		c.Fed.Close()
+	} else if len(c.Replicas) > 0 {
 		for _, rb := range c.Replicas {
 			rb.Close()
 		}

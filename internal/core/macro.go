@@ -48,6 +48,13 @@ type MacroConfig struct {
 	// paper-scale site counts tractable — Global Discovery reports and
 	// Global Routing then scale with N·degree instead of N².
 	MaxPeers int
+
+	// Regions > 0 replaces the monolithic Streaming Brain with a federated
+	// one (internal/brainfed): per-region shards each run Global Routing
+	// over their own nodes' reports and cross-region paths are stitched at
+	// region gateways. 0 keeps the single Brain. Only meaningful for
+	// SystemLiveNet.
+	Regions int
 }
 
 func (c MacroConfig) withDefaults() MacroConfig {

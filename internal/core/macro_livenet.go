@@ -6,10 +6,28 @@ import (
 	"time"
 
 	"livenet/internal/brain"
+	"livenet/internal/brainfed"
 	"livenet/internal/geo"
 	"livenet/internal/telemetry"
 	"livenet/internal/workload"
 )
+
+// macroBrain is the slice of the Streaming Brain surface the macro engine
+// drives. Both the monolithic *brain.Brain and the federated
+// *brainfed.Federation satisfy it, so MacroConfig.Regions switches the
+// control plane without touching the session machinery.
+type macroBrain interface {
+	RegisterStream(sid uint32, producer int)
+	ReportLink(from, to int, rtt time.Duration, loss, util float64)
+	ReportNodeLoad(id int, util float64)
+	OverloadAlarm(id int, util float64)
+	AdvanceEpoch()
+	Lookup(sid uint32, consumer int) ([][]int, error)
+	ReportNodeTelemetry(id int, snap telemetry.Snapshot, streams []uint32)
+	GlobalView() brain.GlobalView
+	Metrics() brain.Metrics
+	Close()
+}
 
 // lnStream is the per-(site, stream) session-level state: the macro
 // analogue of a node's Stream FIB entry plus its GoP cache indicator.
@@ -36,13 +54,22 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 	if cfg.KPaths > 0 {
 		bcfg.K = cfg.KPaths
 	}
-	br := brain.New(bcfg)
 	// Sparse overlays skip the dense all-pairs solver: with per-node degree
 	// m the lazy per-pair KSP over the CSR view is already cheap, and the
 	// dense matrix would still cost O(N²) per epoch.
 	adj := peerAdjacency(e.world, cfg.MaxPeers)
-	if adj == nil {
-		br.EnableDense()
+	var br macroBrain
+	if cfg.Regions > 0 {
+		br = brainfed.New(brainfed.Config{
+			Brain:     bcfg,
+			Partition: brainfed.ByRegion(e.world, cfg.Regions),
+		})
+	} else {
+		mono := brain.New(bcfg)
+		if adj == nil {
+			mono.EnableDense()
+		}
+		br = mono
 	}
 	defer br.Close()
 
@@ -171,7 +198,7 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 }
 
 // handleLiveNetView runs Algorithm 1 for one viewing session.
-func (e *macroEnv) handleLiveNetView(br *brain.Brain, streams []map[uint32]*lnStream,
+func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStream,
 	linkLoad map[int64]int, nodeLoad []int, lkey func(a, b int) int64,
 	v workload.View, chans []workload.Channel) {
 

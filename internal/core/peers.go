@@ -40,6 +40,20 @@ func peerAdjacency(w *geo.World, m int) [][]int {
 			add(i, x)
 		}
 	}
+	// Gateway mesh: every region-gateway pair keeps a link. The IXP union
+	// above already covers most of it, but a region whose gateway is a
+	// plain best-peered site (no IXP of its own) still needs guaranteed
+	// links to the other regions' gateways, or federated cross-region
+	// stitching (internal/brainfed) would starve on sparse overlays.
+	var gates []int
+	for _, g := range w.RegionGateways() {
+		gates = append(gates, g...)
+	}
+	for _, a := range gates {
+		for _, b := range gates {
+			add(a, b)
+		}
+	}
 	adj := make([][]int, n)
 	for i := range adj {
 		adj[i] = make([]int, 0, len(set[i]))

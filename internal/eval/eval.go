@@ -40,6 +40,11 @@ type Options struct {
 	// links to its MaxPeers nearest peers plus the IXP sites) instead of
 	// the full mesh; see core.MacroConfig.MaxPeers.
 	MaxPeers int
+
+	// Regions > 0 federates the Streaming Brain into per-region shards
+	// for the LiveNet runs; see core.MacroConfig.Regions. The Hier
+	// baseline ignores it.
+	Regions int
 }
 
 // Full returns the paper-scale configuration: 20 days covering the
@@ -60,6 +65,7 @@ func (o Options) macro(sys core.System) core.MacroConfig {
 		Sites:    o.Sites,
 		System:   sys,
 		MaxPeers: o.MaxPeers,
+		Regions:  o.Regions,
 	}
 	cfg.Workload.PeakViewsPerSec = o.PeakViewsPerSec
 	cfg.Workload.Channels = o.Channels

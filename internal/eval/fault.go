@@ -90,6 +90,8 @@ func (ci *chainInjector) DegradeLastMile(int, float64) int { return 0 }
 func (ci *chainInjector) RestoreLastMile(int)              {}
 func (ci *chainInjector) KillReplica(int)                  {}
 func (ci *chainInjector) RestartReplica(int)               {}
+func (ci *chainInjector) PartitionReplica(int)             {}
+func (ci *chainInjector) HealReplica(int)                  {}
 
 // RelayCrashResult summarizes one relay-crash run at the viewer.
 type RelayCrashResult struct {
@@ -456,7 +458,87 @@ func BrainOutage(seed int64) BrainOutageResult {
 	return res
 }
 
-// FaultReport renders the fault-tolerance evaluation: the three
+// QuorumPartitionResult summarizes the shard-quorum partition run.
+type QuorumPartitionResult struct {
+	// CommittedDuring is each replica's committed-log length while the
+	// partition still holds; CommittedAfter the lengths at run end.
+	CommittedDuring []int
+	CommittedAfter  []int
+	// Proposals is how many SIB operations the run proposed.
+	Proposals int
+	// Converged reports whether every replica's log matched at the end.
+	Converged bool
+	Timeline  string
+}
+
+// QuorumPartition runs experiment 4: a shard's 3-replica Paxos group
+// (§7.1 — the same group a brainfed shard replicates through) has one
+// replica partitioned away from consensus traffic mid-run while streams
+// keep registering. The partitioned replica keeps serving lookups but
+// its log stalls; proposals homed to it retry until the heal, and after
+// the heal every replica converges on the same committed log.
+func QuorumPartition(seed int64) QuorumPartitionResult {
+	c := core.NewCluster(core.ClusterConfig{
+		Seed:              seed,
+		Sites:             10,
+		Replicas:          3,
+		DiscoveryInterval: 20 * time.Second,
+		SerialSend:        SerialDataPlane,
+	})
+	defer c.Close()
+
+	eng := chaos.NewEngine(c.Loop, c)
+	eng.Install(chaos.Scenario{
+		Name: "shard-quorum-partition",
+		Faults: []chaos.Fault{
+			{Kind: chaos.ReplicaPartition, At: 4 * time.Second, Until: 10 * time.Second, Replica: 2},
+		},
+	})
+
+	// Streams register before, during, and after the partition window
+	// (producers spread across sites so proposals home to different
+	// replicas, including the partitioned one).
+	res := QuorumPartitionResult{}
+	starts := []struct {
+		at       time.Duration
+		lat, lon float64
+		sid      uint32
+	}{
+		{1 * time.Second, 31.2, 121.5, 100},
+		{5 * time.Second, 40.7, -74.0, 200},
+		{6500 * time.Millisecond, 52.5, 13.4, 300},
+		{12 * time.Second, 1.35, 103.8, 400},
+	}
+	for _, st := range starts {
+		st := st
+		c.Loop.AfterFunc(st.at, func() {
+			bc := c.NewBroadcasterAt(st.lat, st.lon, st.sid, media.DefaultRenditions[:1])
+			bc.Start()
+			res.Proposals++
+		})
+	}
+
+	c.Loop.AfterFunc(9900*time.Millisecond, func() {
+		for _, rb := range c.Replicas {
+			res.CommittedDuring = append(res.CommittedDuring, rb.Replica().CommittedCount())
+		}
+	})
+	c.Run(16 * time.Second)
+
+	for _, rb := range c.Replicas {
+		res.CommittedAfter = append(res.CommittedAfter, rb.Replica().CommittedCount())
+	}
+	res.Converged = true
+	for _, n := range res.CommittedAfter {
+		if n != res.CommittedAfter[0] {
+			res.Converged = false
+		}
+	}
+	res.Timeline = eng.TimelineString()
+	return res
+}
+
+// FaultReport renders the fault-tolerance evaluation: the four
 // experiments with their chaos timelines, in the same table style as the
 // paper sections. The whole report is a pure function of the seed.
 func FaultReport(seed int64) string {
@@ -500,6 +582,15 @@ func FaultReport(seed int64) string {
 		bo.Lookups, bo.Failovers, bo.LookupFailures, bo.Started, bo.Viewers)
 	if bo.LookupFailures == 0 && bo.Started == bo.Viewers {
 		b.WriteString("no routing outage: every lookup answered by a live replica\n")
+	}
+
+	qp := QuorumPartition(seed)
+	b.WriteString("\nShard-quorum partition: replica 2 cut from consensus t=4s..10s (log convergence)\n")
+	b.WriteString("fault schedule:\n" + indent(qp.Timeline))
+	fmt.Fprintf(&b, "SIB proposals: %d, committed during partition: %v, committed at end: %v\n",
+		qp.Proposals, qp.CommittedDuring, qp.CommittedAfter)
+	if qp.Converged {
+		b.WriteString("replica logs converged after heal: the partitioned replica caught up\n")
 	}
 	return b.String()
 }

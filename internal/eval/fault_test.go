@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,43 @@ func TestCacheFallbackRecoversWithoutBrain(t *testing.T) {
 	// a couple of retry windows, not wait out the run.
 	if cf.RecoveredAfterMs > 4500 {
 		t.Fatalf("recovered %.0f ms after crash, want shortly after the 2 s restart", cf.RecoveredAfterMs)
+	}
+}
+
+// TestQuorumPartitionConvergesAfterHeal pins the chaos coverage for
+// internal/replication: a seeded schedule cuts one replica of a shard's
+// 3-replica Paxos quorum from consensus traffic mid-run, the remaining
+// majority keeps committing SIB registrations, and after the heal all
+// three logs converge. The whole run, timeline included, replays
+// byte-identically from the seed.
+func TestQuorumPartitionConvergesAfterHeal(t *testing.T) {
+	a := QuorumPartition(42)
+	b := QuorumPartition(42)
+	if a.Timeline != b.Timeline {
+		t.Fatalf("timelines differ:\n%s\n---\n%s", a.Timeline, b.Timeline)
+	}
+	if !strings.Contains(a.Timeline, "replica-partition replica=2") ||
+		!strings.Contains(a.Timeline, "replica-heal replica=2") {
+		t.Fatalf("timeline missing partition/heal events:\n%s", a.Timeline)
+	}
+	if a.Proposals != 4 {
+		t.Fatalf("proposals = %d, want 4", a.Proposals)
+	}
+	if len(a.CommittedDuring) != 3 || len(a.CommittedAfter) != 3 {
+		t.Fatalf("expected 3 replicas: during=%v after=%v", a.CommittedDuring, a.CommittedAfter)
+	}
+	// While cut off, replica 2's log must lag the surviving majority.
+	if a.CommittedDuring[2] >= a.CommittedDuring[0] {
+		t.Fatalf("partitioned replica log did not stall: during=%v", a.CommittedDuring)
+	}
+	if !a.Converged {
+		t.Fatalf("replica logs did not converge after heal: %v", a.CommittedAfter)
+	}
+	if a.CommittedAfter[0] < a.Proposals {
+		t.Fatalf("committed %d < %d proposals after heal", a.CommittedAfter[0], a.Proposals)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different results:\n%+v\n%+v", a, b)
 	}
 }
 

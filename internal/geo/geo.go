@@ -376,6 +376,54 @@ func (w *World) NearestPeers(id, m int) []int {
 	return ids
 }
 
+// Regions returns the sorted distinct region names of the world's sites.
+func (w *World) Regions() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range w.Sites {
+		if !seen[s.Region] {
+			seen[s.Region] = true
+			out = append(out, s.Region)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegionGateways returns, per region, the sites cross-region traffic
+// should stitch through: the region's IXP-attached sites, ordered by
+// descending peering grade (ties by lower ID). A region with no IXP —
+// Build concentrates IXPs in the home market — still gets one gateway,
+// its best-peered site, so every region pair has stitch candidates.
+func (w *World) RegionGateways() map[string][]int {
+	out := make(map[string][]int)
+	for _, s := range w.Sites {
+		if s.IXP {
+			out[s.Region] = append(out[s.Region], s.ID)
+		}
+	}
+	for _, region := range w.Regions() {
+		if len(out[region]) == 0 {
+			best, bestQ := -1, -1.0
+			for _, s := range w.Sites {
+				if s.Region == region && w.peering[s.ID] > bestQ {
+					best, bestQ = s.ID, w.peering[s.ID]
+				}
+			}
+			out[region] = []int{best}
+			continue
+		}
+		g := out[region]
+		sort.Slice(g, func(a, b int) bool {
+			if w.peering[g[a]] != w.peering[g[b]] {
+				return w.peering[g[a]] > w.peering[g[b]]
+			}
+			return g[a] < g[b]
+		})
+	}
+	return out
+}
+
 // NearestSite returns the site closest to the given coordinates; used by
 // the DNS-redirection substitute that maps clients to edge nodes.
 func (w *World) NearestSite(lat, lon float64) int {

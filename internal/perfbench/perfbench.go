@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"livenet/internal/brain"
+	"livenet/internal/brainfed"
 	"livenet/internal/core"
 	"livenet/internal/geo"
 	"livenet/internal/graph"
@@ -40,6 +41,8 @@ func Specs() []Spec {
 		{Name: "BrainLookup", Func: BrainLookup},
 		{Name: "BrainPaperScale", Func: BrainPaperScale},
 		{Name: "BrainEpochChurn", Func: BrainEpochChurn},
+		{Name: "BrainFederatedEpoch", Func: BrainFederatedEpoch},
+		{Name: "BrainFederatedChurn", Func: BrainFederatedChurn},
 		{Name: "GraphNeighborWeights", Func: GraphNeighborWeights},
 		{Name: "YenKSPFullMesh", Func: YenKSPFullMesh},
 		{Name: "DenseMeshRouting", Func: DenseMeshRouting},
@@ -180,6 +183,150 @@ func BrainEpochChurn(b *testing.B) {
 		f.br.AdvanceEpoch()
 		f.epoch(b)
 	}
+	b.ReportMetric(float64(dirty), "dirty_links")
+}
+
+// --- Federated paper-scale fleet (one Brain shard per region) ---
+
+// fedFleet is the same N=600 sparse overlay as paperFleet, but the
+// control plane is the federated Brain: one shard per region, discovery
+// reports fanning into the owning shard only, cross-region paths
+// stitched at the region gateways.
+type fedFleet struct {
+	world *geo.World
+	fed   *brainfed.Federation
+	links [][2]int
+	sids  []uint32
+}
+
+func newFederatedFleet() *fedFleet {
+	src := sim.NewSource(7)
+	gcfg := geo.DefaultConfig()
+	gcfg.NumSites = paperN
+	w := geo.Build(gcfg, src.Stream("geo"))
+
+	set := make([]map[int]bool, paperN)
+	for i := range set {
+		set[i] = make(map[int]bool, paperDegree+8)
+	}
+	add := func(i, j int) {
+		if i != j {
+			set[i][j] = true
+			set[j][i] = true
+		}
+	}
+	ixps := w.IXPSites()
+	for i := 0; i < paperN; i++ {
+		for _, j := range w.NearestPeers(i, paperDegree) {
+			add(i, j)
+		}
+		for _, x := range ixps {
+			add(i, x)
+		}
+	}
+	var links [][2]int
+	for i := range set {
+		for j := range set[i] {
+			links = append(links, [2]int{i, j})
+		}
+	}
+	sort.Slice(links, func(a, b int) bool {
+		if links[a][0] != links[b][0] {
+			return links[a][0] < links[b][0]
+		}
+		return links[a][1] < links[b][1]
+	})
+
+	f := &fedFleet{
+		world: w,
+		fed: brainfed.New(brainfed.Config{
+			Brain:     brain.Config{N: paperN},
+			Partition: brainfed.ByRegion(w, 0), // one shard per region
+		}),
+		links: links,
+	}
+	rng := src.Stream("load")
+	for _, l := range links {
+		loss := 0.0003 + rng.Float64()*0.001
+		util := rng.Float64() * 0.5
+		f.fed.ReportLink(l[0], l[1], w.RTT(l[0], l[1]), loss, util)
+	}
+	for s := 0; s < paperStreams; s++ {
+		sid := uint32(100 + s)
+		f.fed.RegisterStream(sid, (s*paperN)/paperStreams)
+		f.sids = append(f.sids, sid)
+	}
+	return f
+}
+
+func (f *fedFleet) epoch(b *testing.B) {
+	for _, sid := range f.sids {
+		if _, err := f.fed.PrefetchPaths(sid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// reportShape publishes the federation's scaling shape next to the
+// timing: shard count and the largest per-shard discovery fan-in. The
+// monolithic baseline (BrainPaperScale) ingests all len(links) reports
+// in one Brain; here each shard only sees its own region's share —
+// BENCH_7.json records both so the fan-in reduction is visible per PR.
+func (f *fedFleet) reportShape(b *testing.B) {
+	b.ReportMetric(float64(f.fed.Shards()), "shards")
+	var maxFan uint64
+	for _, n := range f.fed.ReportFanIn() {
+		if n > maxFan {
+			maxFan = n
+		}
+	}
+	b.ReportMetric(float64(maxFan), "max_shard_reports")
+	b.ReportMetric(float64(len(f.links)), "links")
+}
+
+// BrainFederatedEpoch measures a from-scratch routing epoch across all
+// shards of the federated Brain at paper scale: each shard recomputes
+// its region's working set independently (shards fan out across cores
+// via AdvanceEpoch's runner), then the per-stream prefetch stitches
+// cross-region paths at the gateways. Compare ns/op against
+// BrainPaperScale: the monolith solves one N=600 graph, the federation
+// solves R region-sized subgraphs plus the stitch overhead.
+func BrainFederatedEpoch(b *testing.B) {
+	f := newFederatedFleet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.fed.InvalidateAll()
+		f.epoch(b)
+	}
+	b.StopTimer()
+	f.reportShape(b)
+}
+
+// BrainFederatedChurn is the incremental-epoch variant: ~1% of links
+// re-reported, then AdvanceEpoch and the working-set refill. Only the
+// shards owning dirty links pay recomputation — the federated analogue
+// of BrainEpochChurn's incremental-invalidation argument.
+func BrainFederatedChurn(b *testing.B) {
+	f := newFederatedFleet()
+	f.epoch(b)
+	dirty := len(f.links) / 100
+	if dirty < 1 {
+		dirty = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < dirty; k++ {
+			l := f.links[(i*dirty+k)%len(f.links)]
+			jitter := time.Duration(1+(i+k)%7) * time.Millisecond
+			f.fed.ReportLink(l[0], l[1], f.world.RTT(l[0], l[1])+jitter, 0.0005, 0.1)
+		}
+		f.fed.AdvanceEpoch()
+		f.epoch(b)
+	}
+	b.StopTimer()
+	f.reportShape(b)
 	b.ReportMetric(float64(dirty), "dirty_links")
 }
 

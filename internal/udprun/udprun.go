@@ -362,10 +362,21 @@ func (e *Endpoint) Close() error {
 	return err
 }
 
+// BrainAPI is the slice of the Streaming Brain the UDP RPC surface
+// needs. Both the monolithic *brain.Brain and the federated
+// *brainfed.Federation satisfy it, so livenet-brain can serve either
+// behind the same wire protocol.
+type BrainAPI interface {
+	Lookup(sid uint32, consumer int) ([][]int, error)
+	RegisterStream(sid uint32, producer int)
+	ReportLink(from, to int, rtt time.Duration, loss, util float64)
+	ReportNodeLoad(id int, util float64)
+}
+
 // BrainServer exposes a Streaming Brain over UDP: it answers PathRequest
 // RPCs, accepts stream registrations and Global Discovery reports.
 type BrainServer struct {
-	Brain *brain.Brain
+	Brain BrainAPI
 	ep    *Endpoint
 }
 
@@ -373,7 +384,7 @@ type BrainServer struct {
 const BrainID = 1 << 20
 
 // NewBrainServer wraps a Brain behind a UDP endpoint.
-func NewBrainServer(b *brain.Brain, addr string) (*BrainServer, error) {
+func NewBrainServer(b BrainAPI, addr string) (*BrainServer, error) {
 	ep, err := Listen(BrainID, addr)
 	if err != nil {
 		return nil, err

@@ -109,9 +109,17 @@ func TestObservabilityDocCoversMetrics(t *testing.T) {
 	c.NewViewerAt(39.9, 116.4, bc.StreamID(0))
 	c.Run(3 * time.Second)
 
+	// Replicated and federated clusters register additional brain.* /
+	// brainfed.* instruments on their BrainTel; the doc must cover the
+	// whole catalogue, not just the single-Brain subset.
+	rep := core.NewCluster(core.ClusterConfig{Seed: 2, Sites: 4, Replicas: 3, Telemetry: true})
+	defer rep.Close()
+	fed := core.NewCluster(core.ClusterConfig{Seed: 3, Sites: 12, Regions: 3, Telemetry: true})
+	defer fed.Close()
+
 	var missing []string
 	seen := 0
-	for _, r := range []*telemetry.Registry{c.NodeTel[0], c.ClientTel, c.NetTel, c.BrainTel} {
+	for _, r := range []*telemetry.Registry{c.NodeTel[0], c.ClientTel, c.NetTel, c.BrainTel, rep.BrainTel, fed.BrainTel} {
 		for _, name := range r.Names() {
 			seen++
 			if !strings.Contains(string(doc), name) {
