@@ -5,19 +5,20 @@
 #   make bench      # allocation + throughput benchmark smoke (short benchtime)
 #   make bench-smoke # routing/perf suite, one iteration each (part of make ci)
 #   make bench-shard # federated-Brain epoch benchmarks, one iteration each
-#   make bench-json # perfbench suite -> BENCH_7.json snapshot (minutes)
+#   make bench-json # perfbench suite -> BENCH_8.json snapshot (minutes)
 #   make quick      # scaled-down end-to-end evaluation report
+#   make macro-1m   # cohort-engine scale smoke: quarter-million-viewer macro pair
 #   make chaos      # fault-tolerance evaluation (deterministic fault injection)
 #   make telemetry  # observability report: journey waterfalls + Brain GlobalView
 #   make docs       # docs-freshness gate: every registered metric documented
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-shard bench-json quick chaos telemetry docs
+.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-shard bench-json quick macro-1m chaos telemetry docs
 
 all: ci
 
-ci: vet build race race-dataplane chaos docs bench-smoke
+ci: vet build race race-dataplane chaos docs bench-smoke macro-1m
 
 vet:
 	$(GO) vet ./...
@@ -59,12 +60,19 @@ bench-shard:
 	$(GO) test -run xxx -bench 'BenchmarkBrainFederatedEpoch|BenchmarkBrainFederatedChurn' -benchtime 1x .
 
 # Perfbench snapshot: run the suite at full benchtime through
-# cmd/livenet-bench and write BENCH_7.json for cross-PR comparison.
+# cmd/livenet-bench and write BENCH_8.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/livenet-bench -bench-json BENCH_7.json
+	$(GO) run ./cmd/livenet-bench -bench-json BENCH_8.json
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick
+
+# Cohort-engine scale smoke (DESIGN.md §11): both systems at a
+# quarter-million-viewer diurnal peak through the cohort-aggregated macro
+# engine — ~30M represented views per system in seconds. The full
+# million-viewer point runs in `make bench-json` (MacroCohort1M).
+macro-1m:
+	$(GO) run ./cmd/livenet-bench -viewers 250000 -hours 6 -sites 24 -macro-only
 
 # Fault-tolerance smoke: runs the three chaos experiments (relay crash,
 # Brain-unreachable cache fallback, Brain-replica outage) end to end; the

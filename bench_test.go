@@ -319,6 +319,15 @@ func BenchmarkYenKSPFullMesh(b *testing.B)       { perfbench.YenKSPFullMesh(b) }
 func BenchmarkDenseMeshRouting(b *testing.B)     { perfbench.DenseMeshRouting(b) }
 func BenchmarkGraphNeighborWeights(b *testing.B) { perfbench.GraphNeighborWeights(b) }
 
+// BenchmarkMacroPerViewer10k / MacroCohort10k share a workload at a
+// 10k-viewer peak and differ only in the engine — their ns/op ratio is
+// the cohort-aggregation speedup. BenchmarkMacroCohort1M is the headline
+// scale point: a million-viewer peak (~2M under the flash window) the
+// per-viewer engine cannot hold in memory (see DESIGN.md §11).
+func BenchmarkMacroPerViewer10k(b *testing.B) { perfbench.MacroPerViewer10k(b) }
+func BenchmarkMacroCohort10k(b *testing.B)    { perfbench.MacroCohort10k(b) }
+func BenchmarkMacroCohort1M(b *testing.B)     { perfbench.MacroCohort1M(b) }
+
 // BenchmarkBrainPaperScale is a from-scratch Global Routing epoch at the
 // paper's fleet scale (600 sites, sparse overlay, k=3);
 // BenchmarkBrainEpochChurn is the same epoch when ~1% of links changed —

@@ -48,6 +48,10 @@ func main() {
 	chaosOnly := flag.Bool("chaos", false, "run only the fault-tolerance experiments")
 	benchJSON := flag.String("bench-json", "", "run the perfbench suite and write a JSON snapshot to this file")
 	telemetryOnly := flag.Bool("telemetry", false, "run only the observability report (waterfalls + GlobalView)")
+	viewers := flag.Int("viewers", 0, "cohort-aggregated run sized to this many peak concurrent viewers (0 = per-viewer engine)")
+	hours := flag.Int("hours", 0, "simulate whole hours instead of days (0 = use days)")
+	tracer := flag.Float64("tracer", 0, "exact-tracer sampling probability for -viewers runs (0 = default 0.002)")
+	macroOnly := flag.Bool("macro-only", false, "run only the paired macro simulation: Table 1 plus the cohort summary")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -73,6 +77,18 @@ func main() {
 	}
 	if *regions > 0 {
 		o.Regions = *regions
+	}
+	if *hours > 0 {
+		o.Hours = *hours
+	}
+	if *viewers > 0 {
+		o.Viewers = *viewers
+		o.TracerSample = *tracer
+		if o.Hours == 0 && *days == 0 {
+			// A sized run defaults to a 16-hour horizon: one diurnal cycle
+			// through the evening peak, not the full 20-day trace.
+			o.Hours = 16
+		}
 	}
 	o.Seed = *seed
 
@@ -112,14 +128,32 @@ func main() {
 		return
 	}
 
-	fmt.Fprintf(out, "LiveNet evaluation — %d days, %d sites, peak %.1f views/s, seed %d\n",
-		o.Days, o.Sites, o.PeakViewsPerSec, o.Seed)
+	if *macroOnly {
+		fmt.Fprintf(out, "LiveNet macro run — %s, %d sites, seed %d\n", horizonLabel(o), o.Sites, o.Seed)
+		start := time.Now()
+		r := session.Run(o)
+		fmt.Fprintf(out, "simulated %d views per system in %v\n\n", r.LN.Views, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(out, eval.Table1(r))
+		if cs := eval.CohortSummary(r); cs != "" {
+			fmt.Fprintln(out, cs)
+		}
+		fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	fmt.Fprintf(out, "LiveNet evaluation — %s, %d sites, peak %.1f views/s, seed %d\n",
+		horizonLabel(o), o.Sites, o.PeakViewsPerSec, o.Seed)
 	start := time.Now()
 	r := session.Run(o)
 	fmt.Fprintf(out, "simulated %d views per system in %v\n\n", r.LN.Views, time.Since(start).Round(time.Millisecond))
 
 	sections := []string{
 		eval.Table1(r),
+	}
+	if cs := eval.CohortSummary(r); cs != "" {
+		sections = append(sections, cs)
+	}
+	sections = append(sections,
 		eval.Fig2(r),
 		eval.Fig8a(r),
 		eval.Fig8b(r),
@@ -132,7 +166,7 @@ func main() {
 		eval.Fig11(r),
 		eval.Fig12(r),
 		eval.Fig13(r),
-	}
+	)
 	// Figure 14 / Table 3 need the festival window; the full run includes
 	// it, a short run may not reach day 13.
 	if o.Days >= 13 && o.Double12 {
@@ -174,6 +208,18 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
+}
+
+// horizonLabel describes the simulated horizon and sizing of a run.
+func horizonLabel(o eval.Options) string {
+	h := fmt.Sprintf("%d days", o.Days)
+	if o.Hours > 0 {
+		h = fmt.Sprintf("%d hours", o.Hours)
+	}
+	if o.Viewers > 0 {
+		h += fmt.Sprintf(", %d peak viewers (cohort-aggregated)", o.Viewers)
+	}
+	return h
 }
 
 // benchRecord is one perfbench result row in the JSON snapshot.

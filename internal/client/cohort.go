@@ -1,0 +1,129 @@
+package client
+
+import (
+	"livenet/internal/stats"
+	"livenet/internal/telemetry"
+)
+
+// CohortBatch carries the analytic per-view expectations for a batch of
+// identically-situated viewers (same edge cluster, channel, and bitrate
+// rung). The cohort macro engine computes these once per
+// (site, channel, rung) class and folds them in weighted by the batch
+// size, instead of simulating each viewer.
+type CohortBatch struct {
+	MeanViewSecs     float64 // expected view duration per viewer (seconds)
+	CDNDelayMs       float64 // expected CDN/first-packet delay (ms)
+	PathLen          float64 // overlay hops on the serving path
+	StreamingMs      float64 // expected steady-state streaming delay (ms)
+	StartupMs        float64 // expected startup delay (ms)
+	PZeroStall       float64 // P(view completes with zero stalls)
+	PFastStart       float64 // P(startup <= 1 s)
+	StallsPerView    float64 // expected stall events per view
+	StallSecsPerView float64 // expected stalled seconds per view
+}
+
+// Cohort pools the playback-buffer and QoE accounting of many viewers
+// into weighted aggregates: exact viewers (tracers and stream
+// establishers) enter through AddViewer with unit weight, and the
+// remaining mass of each cohort enters through AddBatch as analytic
+// expectations. Memory is O(1) in the number of represented viewers,
+// which is what lets the macro sim reach 10⁶–10⁷ viewers.
+// The zero value is ready to use.
+type Cohort struct {
+	// Viewers is the total represented viewer count (exact + batched).
+	Viewers float64
+	// ViewerSeconds is the total watched time across all viewers.
+	ViewerSeconds float64
+	// TracerViews counts the exactly-simulated viewers folded in.
+	TracerViews int
+
+	Startup    stats.WSample // startup delay (ms)
+	CDNDelayMs stats.WSample // CDN/first-packet delay (ms)
+	PathLen    stats.WSample // overlay path length (hops)
+	Streaming  stats.WSample // streaming delay (ms)
+
+	ZeroStall stats.WRatio // views with zero stalls
+	FastStart stats.WRatio // startup <= 1 s
+
+	// ExpectedStalls is the total stall-event count (exact counts plus
+	// batch expectations); StallSeconds the total stalled wall time.
+	ExpectedStalls float64
+	StallSeconds   float64
+}
+
+// AddViewer folds one exactly-simulated view (a tracer or a stream
+// establisher) into the cohort with unit weight.
+func (c *Cohort) AddViewer(viewSecs, cdnMs, pathLen, streamingMs, startupMs float64, stalls int, stallSecs float64) {
+	c.Viewers++
+	c.ViewerSeconds += viewSecs
+	c.TracerViews++
+	c.Startup.Add(startupMs, 1)
+	c.CDNDelayMs.Add(cdnMs, 1)
+	c.PathLen.Add(pathLen, 1)
+	c.Streaming.Add(streamingMs, 1)
+	c.ZeroStall.ObserveBool(stalls == 0)
+	c.FastStart.ObserveBool(startupMs <= 1000)
+	c.ExpectedStalls += float64(stalls)
+	c.StallSeconds += stallSecs
+}
+
+// AddBatch folds n identically-distributed viewers in by expectation.
+func (c *Cohort) AddBatch(n float64, b CohortBatch) {
+	if n <= 0 {
+		return
+	}
+	c.Viewers += n
+	c.ViewerSeconds += n * b.MeanViewSecs
+	c.Startup.Add(b.StartupMs, n)
+	c.CDNDelayMs.Add(b.CDNDelayMs, n)
+	c.PathLen.Add(b.PathLen, n)
+	c.Streaming.Add(b.StreamingMs, n)
+	c.ZeroStall.Observe(b.PZeroStall, n)
+	c.FastStart.Observe(b.PFastStart, n)
+	c.ExpectedStalls += n * b.StallsPerView
+	c.StallSeconds += n * b.StallSecsPerView
+}
+
+// Merge folds another cohort into c.
+func (c *Cohort) Merge(o *Cohort) {
+	if o == nil {
+		return
+	}
+	c.Viewers += o.Viewers
+	c.ViewerSeconds += o.ViewerSeconds
+	c.TracerViews += o.TracerViews
+	c.Startup.Merge(o.Startup)
+	c.CDNDelayMs.Merge(o.CDNDelayMs)
+	c.PathLen.Merge(o.PathLen)
+	c.Streaming.Merge(o.Streaming)
+	c.ZeroStall.Merge(o.ZeroStall)
+	c.FastStart.Merge(o.FastStart)
+	c.ExpectedStalls += o.ExpectedStalls
+	c.StallSeconds += o.StallSeconds
+}
+
+// RebufferRatio returns stalled time as a fraction of watched time.
+func (c *Cohort) RebufferRatio() float64 {
+	if c.ViewerSeconds == 0 {
+		return 0
+	}
+	return c.StallSeconds / c.ViewerSeconds
+}
+
+// Publish registers the cohort's aggregates as cohort.* metrics in r
+// (see OBSERVABILITY.md). Counters carry the integer totals; gauges the
+// weighted means and ratios. Safe on a nil registry.
+func (c *Cohort) Publish(r *telemetry.Registry) {
+	r.Counter("cohort.viewers").Add(uint64(c.Viewers))
+	r.Counter("cohort.tracer_views").Add(uint64(c.TracerViews))
+	r.Gauge("cohort.viewer_seconds").Set(c.ViewerSeconds)
+	r.Gauge("cohort.expected_stalls").Set(c.ExpectedStalls)
+	r.Gauge("cohort.stall_seconds").Set(c.StallSeconds)
+	r.Gauge("cohort.rebuffer_ratio").Set(c.RebufferRatio())
+	r.Gauge("cohort.zero_stall_pct").Set(c.ZeroStall.Percent())
+	r.Gauge("cohort.fast_start_pct").Set(c.FastStart.Percent())
+	r.Gauge("cohort.startup_ms_mean").Set(c.Startup.Mean())
+	r.Gauge("cohort.streaming_ms_mean").Set(c.Streaming.Mean())
+	r.Gauge("cohort.cdn_delay_ms_mean").Set(c.CDNDelayMs.Mean())
+	r.Gauge("cohort.path_len_mean").Set(c.PathLen.Mean())
+}

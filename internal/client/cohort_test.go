@@ -1,0 +1,105 @@
+package client
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"livenet/internal/telemetry"
+)
+
+func TestCohortBlendsExactAndBatchedViews(t *testing.T) {
+	var c Cohort
+	// Three exact tracer views.
+	c.AddViewer(120, 40, 3, 780, 600, 0, 0)
+	c.AddViewer(60, 55, 3, 810, 950, 1, 0.6)
+	c.AddViewer(30, 70, 4, 900, 1400, 2, 1.2)
+	// 997 batched viewers with analytic expectations.
+	c.AddBatch(997, CohortBatch{
+		MeanViewSecs: 72.5, CDNDelayMs: 50, PathLen: 3.2,
+		StreamingMs: 800, StartupMs: 700,
+		PZeroStall: 0.9, PFastStart: 0.8,
+		StallsPerView: 0.15, StallSecsPerView: 0.09,
+	})
+	if c.Viewers != 1000 {
+		t.Fatalf("Viewers = %v, want 1000", c.Viewers)
+	}
+	if c.TracerViews != 3 {
+		t.Fatalf("TracerViews = %d, want 3", c.TracerViews)
+	}
+	wantSecs := 120 + 60 + 30 + 997*72.5
+	if math.Abs(c.ViewerSeconds-wantSecs) > 1e-9 {
+		t.Fatalf("ViewerSeconds = %v, want %v", c.ViewerSeconds, wantSecs)
+	}
+	wantZero := (1 + 997*0.9) / 1000
+	if math.Abs(c.ZeroStall.Value()-wantZero) > 1e-12 {
+		t.Fatalf("zero-stall = %v, want %v", c.ZeroStall.Value(), wantZero)
+	}
+	// Startup <= 1000 ms hit for 2 of 3 tracers.
+	wantFast := (2 + 997*0.8) / 1000
+	if math.Abs(c.FastStart.Value()-wantFast) > 1e-12 {
+		t.Fatalf("fast-start = %v, want %v", c.FastStart.Value(), wantFast)
+	}
+	wantStalls := 3 + 997*0.15
+	if math.Abs(c.ExpectedStalls-wantStalls) > 1e-9 {
+		t.Fatalf("stalls = %v, want %v", c.ExpectedStalls, wantStalls)
+	}
+	wantRatio := (0.6 + 1.2 + 997*0.09) / wantSecs
+	if math.Abs(c.RebufferRatio()-wantRatio) > 1e-12 {
+		t.Fatalf("rebuffer = %v, want %v", c.RebufferRatio(), wantRatio)
+	}
+}
+
+func TestCohortMergeEquivalentToCombinedAdds(t *testing.T) {
+	batch := CohortBatch{MeanViewSecs: 90, StartupMs: 650, PZeroStall: 0.95, PFastStart: 0.85, StallsPerView: 0.05, StallSecsPerView: 0.03}
+	var whole Cohort
+	whole.AddViewer(45, 30, 2, 750, 500, 0, 0)
+	whole.AddBatch(500, batch)
+
+	var a, b Cohort
+	a.AddViewer(45, 30, 2, 750, 500, 0, 0)
+	b.AddBatch(500, batch)
+	a.Merge(&b)
+	a.Merge(nil) // no-op
+
+	if a.Viewers != whole.Viewers || a.TracerViews != whole.TracerViews {
+		t.Fatalf("merge counts diverge: %v/%d vs %v/%d", a.Viewers, a.TracerViews, whole.Viewers, whole.TracerViews)
+	}
+	if math.Abs(a.Startup.Mean()-whole.Startup.Mean()) > 1e-12 {
+		t.Fatalf("merge startup mean %v vs %v", a.Startup.Mean(), whole.Startup.Mean())
+	}
+	if math.Abs(a.ZeroStall.Value()-whole.ZeroStall.Value()) > 1e-12 {
+		t.Fatalf("merge zero-stall %v vs %v", a.ZeroStall.Value(), whole.ZeroStall.Value())
+	}
+	if math.Abs(a.RebufferRatio()-whole.RebufferRatio()) > 1e-12 {
+		t.Fatalf("merge rebuffer %v vs %v", a.RebufferRatio(), whole.RebufferRatio())
+	}
+}
+
+func TestCohortPublishRegistersMetrics(t *testing.T) {
+	var c Cohort
+	c.AddViewer(80, 45, 3, 790, 620, 0, 0)
+	c.AddBatch(1e6, CohortBatch{MeanViewSecs: 72.5, CDNDelayMs: 48, PathLen: 3,
+		StreamingMs: 805, StartupMs: 690, PZeroStall: 0.92, PFastStart: 0.81,
+		StallsPerView: 0.1, StallSecsPerView: 0.06})
+	r := telemetry.NewRegistry()
+	c.Publish(r)
+	names := r.Names()
+	if len(names) != 12 {
+		t.Fatalf("published %d metrics, want 12: %v", len(names), names)
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, "cohort.") {
+			t.Fatalf("metric %q lacks cohort. prefix", n)
+		}
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters["cohort.viewers"]; got != uint64(c.Viewers) {
+		t.Fatalf("cohort.viewers = %d, want %d", got, uint64(c.Viewers))
+	}
+	if got := snap.Gauges["cohort.zero_stall_pct"]; math.Abs(got-c.ZeroStall.Percent()) > 1e-9 {
+		t.Fatalf("cohort.zero_stall_pct = %v, want %v", got, c.ZeroStall.Percent())
+	}
+	// Publishing on a nil registry must not panic (telemetry-off path).
+	c.Publish(nil)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"livenet/internal/brain"
+	"livenet/internal/client"
 	"livenet/internal/geo"
 	"livenet/internal/sim"
 	"livenet/internal/stats"
@@ -55,6 +56,28 @@ type MacroConfig struct {
 	// region gateways. 0 keeps the single Brain. Only meaningful for
 	// SystemLiveNet.
 	Regions int
+
+	// CohortViewers switches the engines to cohort aggregation (DESIGN.md
+	// §11): viewers collapse into per-(edge, channel, rung) counts and QoE
+	// is accounted analytically per cohort, with a sampled tracer cohort
+	// simulated exactly. Cost becomes O(edges × channels) per bucket,
+	// independent of the viewer count.
+	CohortViewers bool
+	// Viewers targets a peak concurrent-viewer count: it derives the
+	// workload arrival rate by Little's law (if PeakViewsPerSec is unset)
+	// and implies CohortViewers.
+	Viewers int
+	// TracerSample is the per-view probability of exact simulation under
+	// CohortViewers (default 0.2%); tracers supply the distribution-level
+	// stats the weighted aggregates cannot.
+	TracerSample float64
+	// Hours > 0 shortens the horizon to a sub-day run (cohort-scale runs
+	// rarely need the full 20 days).
+	Hours int
+	// RungShares splits cohort viewers across bitrate rungs (rung r plays
+	// at 2^-r of the top bitrate). Empty means everyone on rung 0.
+	// Cohort engines only.
+	RungShares []float64
 }
 
 func (c MacroConfig) withDefaults() MacroConfig {
@@ -75,6 +98,15 @@ func (c MacroConfig) withDefaults() MacroConfig {
 	if c.StreamBitrate <= 0 {
 		c.StreamBitrate = 1.5e6
 	}
+	if c.Viewers > 0 {
+		c.CohortViewers = true
+		if c.Workload.PeakViewsPerSec <= 0 {
+			c.Workload.PeakViewsPerSec = c.Workload.PeakViewsFor(c.Viewers)
+		}
+	}
+	if c.CohortViewers && c.TracerSample <= 0 {
+		c.TracerSample = 0.002
+	}
 	if c.Workload.PeakViewsPerSec <= 0 {
 		c.Workload.PeakViewsPerSec = 2
 	}
@@ -92,6 +124,8 @@ type DayStats struct {
 	PeakConcurrency int
 	// UniquePaths counts distinct overlay paths used this day.
 	UniquePaths int
+	// Cohort holds the day's pooled QoE aggregates (cohort engines only).
+	Cohort *client.Cohort
 }
 
 func newDayStats() *DayStats {
@@ -140,6 +174,15 @@ type MacroResult struct {
 	// GlobalView is the Brain's end-of-run fleet-health aggregate
 	// (LiveNet engine only; zero value for the CDN baseline).
 	GlobalView brain.GlobalView
+
+	// CohortQoE holds the run's pooled QoE aggregates over all represented
+	// viewers (cohort engines only; nil on per-viewer runs). When set,
+	// Views counts represented viewers and the Sample fields above hold
+	// only the exactly-simulated tracer cohort.
+	CohortQoE *client.Cohort
+	// TracerViews is the number of exactly-simulated views folded into
+	// CohortQoE (stream establishers plus sampled tracers).
+	TracerViews int
 }
 
 func newMacroResult(sys System) *MacroResult {
@@ -214,8 +257,14 @@ func RunMacro(cfg MacroConfig) *MacroResult {
 	cfg = cfg.withDefaults()
 	switch cfg.System {
 	case SystemLiveNet:
+		if cfg.CohortViewers {
+			return runMacroLiveNetCohort(cfg)
+		}
 		return runMacroLiveNet(cfg)
 	case SystemHier:
+		if cfg.CohortViewers {
+			return runMacroHierCohort(cfg)
+		}
 		return runMacroHier(cfg)
 	}
 	panic(fmt.Sprintf("core: unknown system %q", cfg.System))
@@ -225,6 +274,7 @@ func RunMacro(cfg MacroConfig) *MacroResult {
 
 type macroEnv struct {
 	cfg   MacroConfig
+	src   *sim.Source
 	rng   *sim.Rand
 	world *geo.World
 	gen   *workload.Generator
@@ -236,6 +286,15 @@ type macroEnv struct {
 	horizon    time.Duration
 
 	uniquePaths map[int]map[string]struct{} // day -> distinct paths
+
+	// Cohort-engine state: when coh is non-nil, recordView also folds
+	// each exactly-simulated view into the pooled aggregates, tagged with
+	// the duration (curViewSecs) the engine drew for it. pktFactor scales
+	// the stall model's packet rate for reduced-bitrate rungs (always 1
+	// on per-viewer runs).
+	coh         *client.Cohort
+	curViewSecs float64
+	pktFactor   float64
 }
 
 func newMacroEnv(cfg MacroConfig, sys System) *macroEnv {
@@ -244,13 +303,19 @@ func newMacroEnv(cfg MacroConfig, sys System) *macroEnv {
 	gcfg.NumSites = cfg.Sites
 	world := geo.Build(gcfg, src.Stream("geo"))
 	gen := workload.NewGenerator(cfg.Workload, src.Stream("workload"))
+	horizon := time.Duration(cfg.Days) * 24 * time.Hour
+	if cfg.Hours > 0 {
+		horizon = time.Duration(cfg.Hours) * time.Hour
+	}
 	e := &macroEnv{
-		cfg:     cfg,
-		rng:     src.Stream("macro"),
-		world:   world,
-		gen:     gen,
-		res:     newMacroResult(sys),
-		horizon: time.Duration(cfg.Days) * 24 * time.Hour,
+		cfg:       cfg,
+		src:       src,
+		rng:       src.Stream("macro"),
+		world:     world,
+		gen:       gen,
+		res:       newMacroResult(sys),
+		horizon:   horizon,
+		pktFactor: 1,
 	}
 	for _, ch := range gen.Channels() {
 		e.chProducer = append(e.chProducer, world.NearestSite(ch.Lat, ch.Lon))
@@ -315,8 +380,14 @@ func (e *macroEnv) drawClient() clientProfile {
 //   - Bandwidth dips: LiveNet's consumer-side frame dropping and bitrate
 //     down-switch absorb most dips; Hier clients stall.
 func (e *macroEnv) stallsFor(sys System, dur time.Duration, path []int, cp clientProfile, t time.Duration) int {
+	return e.poisson(e.stallMean(sys, dur.Seconds(), path, cp, t))
+}
+
+// stallMean is the expected stall count stallsFor samples around; the
+// cohort engines use it directly as the batch expectation. e.pktFactor
+// scales the packet rate for reduced-bitrate rungs (1 on per-viewer runs).
+func (e *macroEnv) stallMean(sys System, secs float64, path []int, cp clientProfile, t time.Duration) float64 {
 	const pktRate = 130.0 // packets/s at ~1.5 Mbps
-	secs := dur.Seconds()
 	perPkt := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		rho := e.linkLoss(path[i], path[i+1], t)
@@ -341,8 +412,7 @@ func (e *macroEnv) stallsFor(sys System, dur time.Duration, path []int, cp clien
 	if sys == SystemLiveNet {
 		dipStall = 0.26
 	}
-	mean := secs*pktRate*perPkt + secs*cp.dipRate*dipStall
-	return e.poisson(mean)
+	return secs*pktRate*e.pktFactor*perPkt + secs*cp.dipRate*dipStall
 }
 
 func (e *macroEnv) poisson(mean float64) int {
@@ -438,7 +508,24 @@ func (e *macroEnv) recordView(t time.Duration, path []int, cdnMs float64, firstP
 	if longChain {
 		res.LongChains++
 	}
+
+	// Cohort engines fold every exactly-simulated view (establishers and
+	// tracers) into the pooled aggregates too, so the weighted totals
+	// cover all represented viewers.
+	if e.coh != nil {
+		stallSecs := float64(stalls) * stallEventSecs
+		e.coh.AddViewer(e.curViewSecs, cdnMs, float64(pathLen), streaming, startupMs, stalls, stallSecs)
+		if ds.Cohort == nil {
+			ds.Cohort = &client.Cohort{}
+		}
+		ds.Cohort.AddViewer(e.curViewSecs, cdnMs, float64(pathLen), streaming, startupMs, stalls, stallSecs)
+	}
 }
+
+// stallEventSecs is the modeled rebuffer length of one stall event: the
+// playback timeline shifts by roughly half the 300 ms buffer plus the
+// lateness that triggered the stall (client.Viewer's rebuffer allowance).
+const stallEventSecs = 0.6
 
 func clampStalls(s int) int {
 	if s > 5 {

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"livenet/internal/workload"
+)
+
+// cohortPair runs the same small workload through the per-viewer and the
+// cohort engine for one system.
+func cohortPair(t *testing.T, sys System, seed int64) (perViewer, cohort *MacroResult) {
+	t.Helper()
+	base := MacroConfig{Seed: seed, Days: 1, Sites: 16, System: sys}
+	base.Workload.PeakViewsPerSec = 0.4
+	perViewer = RunMacro(base)
+
+	cc := base
+	cc.CohortViewers = true
+	cc.TracerSample = 0.05
+	cohort = RunMacro(cc)
+	if cohort.CohortQoE == nil {
+		t.Fatal("cohort run produced no CohortQoE")
+	}
+	return perViewer, cohort
+}
+
+// TestMacroCohortMatchesPerViewer is the equivalence criterion: on the
+// same seed and workload intensity, the cohort engine's weighted QoE
+// aggregates must match the per-viewer engine within stated tolerances.
+func TestMacroCohortMatchesPerViewer(t *testing.T) {
+	for _, sys := range []System{SystemLiveNet, SystemHier} {
+		pv, co := cohortPair(t, sys, 11)
+		q := co.CohortQoE
+
+		// Total represented viewers: both are Poisson with the same
+		// intensity; 5% covers ~6 sigma at this scale.
+		if rel := math.Abs(float64(co.Views-pv.Views)) / float64(pv.Views); rel > 0.05 {
+			t.Fatalf("%s: views %d (cohort) vs %d (per-viewer), rel diff %.3f > 0.05", sys, co.Views, pv.Views, rel)
+		}
+		if q.TracerViews == 0 || q.TracerViews >= co.Views {
+			t.Fatalf("%s: tracer views = %d of %d", sys, q.TracerViews, co.Views)
+		}
+		// Ratio metrics within 3 percentage points.
+		if d := math.Abs(q.ZeroStall.Percent() - pv.ZeroStall.Percent()); d > 3 {
+			t.Fatalf("%s: zero-stall %.2f%% (cohort) vs %.2f%% (per-viewer), diff %.2f > 3",
+				sys, q.ZeroStall.Percent(), pv.ZeroStall.Percent(), d)
+		}
+		if d := math.Abs(q.FastStart.Percent() - pv.FastStart.Percent()); d > 3 {
+			t.Fatalf("%s: fast-start %.2f%% (cohort) vs %.2f%% (per-viewer), diff %.2f > 3",
+				sys, q.FastStart.Percent(), pv.FastStart.Percent(), d)
+		}
+		// Delay means within 12%.
+		relDiff := func(a, b float64) float64 { return math.Abs(a-b) / b }
+		if r := relDiff(q.CDNDelayMs.Mean(), pv.CDNDelayMs.Mean()); r > 0.12 {
+			t.Fatalf("%s: CDN mean %.1f (cohort) vs %.1f (per-viewer), rel %.3f > 0.12",
+				sys, q.CDNDelayMs.Mean(), pv.CDNDelayMs.Mean(), r)
+		}
+		if r := relDiff(q.Streaming.Mean(), pv.Streaming.Mean()); r > 0.10 {
+			t.Fatalf("%s: streaming mean %.1f (cohort) vs %.1f (per-viewer), rel %.3f > 0.10",
+				sys, q.Streaming.Mean(), pv.Streaming.Mean(), r)
+		}
+		if r := relDiff(q.PathLen.Mean(), pv.PathLen.Mean()); r > 0.10 {
+			t.Fatalf("%s: path len %.2f (cohort) vs %.2f (per-viewer), rel %.3f > 0.10",
+				sys, q.PathLen.Mean(), pv.PathLen.Mean(), r)
+		}
+	}
+}
+
+// TestMacroCohortPreservesHeadline checks the paper's LiveNet-vs-Hier
+// ordering survives cohort aggregation.
+func TestMacroCohortPreservesHeadline(t *testing.T) {
+	_, ln := cohortPair(t, SystemLiveNet, 12)
+	_, hr := cohortPair(t, SystemHier, 12)
+	if ln.CohortQoE.CDNDelayMs.Mean() >= hr.CohortQoE.CDNDelayMs.Mean() {
+		t.Fatalf("CDN delay: LiveNet %.1f >= Hier %.1f",
+			ln.CohortQoE.CDNDelayMs.Mean(), hr.CohortQoE.CDNDelayMs.Mean())
+	}
+	if ln.CohortQoE.ZeroStall.Value() <= hr.CohortQoE.ZeroStall.Value() {
+		t.Fatalf("zero-stall: LiveNet %.2f <= Hier %.2f",
+			ln.CohortQoE.ZeroStall.Percent(), hr.CohortQoE.ZeroStall.Percent())
+	}
+	if ln.CohortQoE.RebufferRatio() >= hr.CohortQoE.RebufferRatio() {
+		t.Fatalf("rebuffer: LiveNet %.5f >= Hier %.5f",
+			ln.CohortQoE.RebufferRatio(), hr.CohortQoE.RebufferRatio())
+	}
+}
+
+// TestMacroCohortDeterministic: same config, bit-identical aggregates.
+func TestMacroCohortDeterministic(t *testing.T) {
+	cfg := MacroConfig{Seed: 13, Days: 1, Sites: 12, System: SystemLiveNet,
+		CohortViewers: true, TracerSample: 0.02, RungShares: []float64{0.6, 0.3, 0.1}}
+	cfg.Workload.PeakViewsPerSec = 0.3
+	a := RunMacro(cfg)
+	b := RunMacro(cfg)
+	if a.Views != b.Views || a.TracerViews != b.TracerViews {
+		t.Fatalf("views differ: %d/%d vs %d/%d", a.Views, a.TracerViews, b.Views, b.TracerViews)
+	}
+	qa, qb := a.CohortQoE, b.CohortQoE
+	if qa.Viewers != qb.Viewers || qa.ViewerSeconds != qb.ViewerSeconds ||
+		qa.ZeroStall != qb.ZeroStall || qa.FastStart != qb.FastStart ||
+		qa.Startup != qb.Startup || qa.ExpectedStalls != qb.ExpectedStalls {
+		t.Fatal("cohort aggregates not bit-identical across reruns")
+	}
+}
+
+// TestMacroCohortMillionViewerFlash is the scale criterion: a
+// 2M-peak-viewer run with a flash-crowd window must complete inside
+// tier-1 time (the whole point of cohort aggregation — cost is
+// independent of the viewer count) and produce sane aggregate QoE.
+func TestMacroCohortMillionViewerFlash(t *testing.T) {
+	cfg := MacroConfig{
+		Seed:         14,
+		Sites:        16,
+		Hours:        2,
+		System:       SystemLiveNet,
+		Viewers:      2_000_000,
+		TracerSample: 1e-6,
+	}
+	cfg.Workload.Flash = []workload.FlashEvent{{Start: time.Hour, End: 2 * time.Hour, Multiplier: 2}}
+	res := RunMacro(cfg)
+	q := res.CohortQoE
+	if q == nil {
+		t.Fatal("no cohort aggregates")
+	}
+	if res.Views < 1_000_000 {
+		t.Fatalf("represented views = %d, want >= 1M", res.Views)
+	}
+	if peak := res.ByDay[0].PeakConcurrency; peak < 1_000_000 {
+		t.Fatalf("peak concurrency = %d, want >= 1M under the flash window", peak)
+	}
+	if p := q.ZeroStall.Percent(); p < 80 || p > 100 {
+		t.Fatalf("zero-stall = %.2f%%, want sane", p)
+	}
+	if rr := q.RebufferRatio(); rr <= 0 || rr > 0.2 {
+		t.Fatalf("rebuffer ratio = %v, want (0, 0.2]", rr)
+	}
+	if math.Abs(q.Viewers-float64(res.Views)) > 0.5 {
+		t.Fatalf("Views %d != CohortQoE.Viewers %v", res.Views, q.Viewers)
+	}
+}
+
+// TestMacroCohortRungSharesScaleStalls: lower-bitrate rungs see fewer
+// loss-induced stalls, so an all-rung-2 population must beat an
+// all-rung-0 one on expected stalls per viewer.
+func TestMacroCohortRungSharesScaleStalls(t *testing.T) {
+	base := MacroConfig{Seed: 15, Days: 1, Sites: 12, System: SystemHier, CohortViewers: true, TracerSample: 0}
+	base.Workload.PeakViewsPerSec = 0.3
+	base.TracerSample = 0.001 // keep a thin tracer stream
+	top := base
+	top.RungShares = []float64{1}
+	low := base
+	low.RungShares = []float64{0, 0, 1}
+	rt := RunMacro(top)
+	rl := RunMacro(low)
+	st := rt.CohortQoE.ExpectedStalls / rt.CohortQoE.Viewers
+	sl := rl.CohortQoE.ExpectedStalls / rl.CohortQoE.Viewers
+	if sl >= st {
+		t.Fatalf("stalls/view: rung-2 %.4f >= rung-0 %.4f", sl, st)
+	}
+}

@@ -15,101 +15,136 @@ type hierStream struct {
 	path    []int // full 5-node path for this L1's viewers
 }
 
+// hierFabric bundles the baseline CDN topology and its download-leg
+// session state, shared by the per-viewer and cohort engines.
+type hierFabric struct {
+	e    *macroEnv
+	h    *hier.Hier
+	upL1 []int // channel rank -> broadcaster edge
+	upL2 []int // channel rank -> assigned upload L2
+	down map[int]map[uint32]*hierStream
+
+	nextLossSample time.Duration
+}
+
+func newHierFabric(e *macroEnv) *hierFabric {
+	f := &hierFabric{
+		e:    e,
+		h:    hier.Build(e.world, hier.Config{}),
+		down: make(map[int]map[uint32]*hierStream),
+	}
+	// Upload legs: broadcaster edge and its assigned L2, fixed per channel.
+	chans := e.gen.Channels()
+	f.upL1 = make([]int, len(chans))
+	f.upL2 = make([]int, len(chans))
+	for rank, ch := range chans {
+		f.upL1[rank] = f.h.EdgeFor(ch.Lat, ch.Lon)
+		f.upL2[rank] = f.h.AssignL2(f.upL1[rank], 1)
+	}
+	return f
+}
+
+func (f *hierFabric) getDown(l1 int) map[uint32]*hierStream {
+	m := f.down[l1]
+	if m == nil {
+		m = make(map[uint32]*hierStream)
+		f.down[l1] = m
+	}
+	return m
+}
+
+func (f *hierFabric) lossAt(t time.Duration) func(a, b int) float64 {
+	return func(a, b int) float64 { return f.e.linkLoss(a, b, t) }
+}
+
+// advanceTo records the hourly loss samples due at or before t (the
+// baseline has no routing epochs, only Figure 13's bookkeeping).
+func (f *hierFabric) advanceTo(t time.Duration) {
+	for f.nextLossSample <= t {
+		f.e.sampleLossByHour(f.nextLossSample)
+		f.nextLossSample += 10 * time.Minute
+	}
+}
+
+// depart detaches n viewers from the (l1, sid) download leg, releasing
+// the L2 assignment when the last one leaves.
+func (f *hierFabric) depart(l1 int, sid uint32, n int) {
+	if st := f.getDown(l1)[sid]; st != nil {
+		st.viewers -= n
+		if st.viewers <= 0 {
+			f.h.ReleaseL2(st.downL2, 1)
+			delete(f.getDown(l1), sid)
+		}
+	}
+}
+
 // runMacroHier executes the baseline engine: every stream climbs from the
 // broadcaster's L1 edge through an assigned L2 to the streaming center
 // and descends through an L2 to each viewer's L1 edge (fixed 4-hop
 // paths), with the VDN-like L1→L2 mapping of §2.2.
 func runMacroHier(cfg MacroConfig) *MacroResult {
 	e := newMacroEnv(cfg, SystemHier)
-	h := hier.Build(e.world, hier.Config{})
+	f := newHierFabric(e)
 
 	chans := e.gen.Channels()
-	// Upload legs: broadcaster edge and its assigned L2, fixed per channel.
-	upL1 := make([]int, len(chans))
-	upL2 := make([]int, len(chans))
-	for rank, ch := range chans {
-		upL1[rank] = h.EdgeFor(ch.Lat, ch.Lon)
-		upL2[rank] = h.AssignL2(upL1[rank], 1)
-	}
-
-	// Download-leg state per (L1, stream).
-	down := make(map[int]map[uint32]*hierStream)
-	getDown := func(l1 int) map[uint32]*hierStream {
-		m := down[l1]
-		if m == nil {
-			m = make(map[uint32]*hierStream)
-			down[l1] = m
-		}
-		return m
-	}
-
-	lossAt := func(t time.Duration) func(a, b int) float64 {
-		return func(a, b int) float64 { return e.linkLoss(a, b, t) }
-	}
-
-	nextLossSample := time.Duration(0)
 	const dayChunk = 24 * time.Hour
 	for chunk := time.Duration(0); chunk < e.horizon; chunk += dayChunk {
 		views := e.gen.Views(chunk, min(chunk+dayChunk, e.horizon))
 		for _, v := range views {
 			for len(e.deps) > 0 && e.deps[0].at <= v.Start {
 				d := heap.Pop(&e.deps).(departure)
-				if st := getDown(d.site)[d.sid]; st != nil {
-					st.viewers--
-					if st.viewers <= 0 {
-						h.ReleaseL2(st.downL2, 1)
-						delete(getDown(d.site), d.sid)
-					}
-				}
+				f.depart(d.site, d.sid, 1)
 				e.active--
 			}
-			for nextLossSample <= v.Start {
-				e.sampleLossByHour(nextLossSample)
-				nextLossSample += 10 * time.Minute
-			}
+			f.advanceTo(v.Start)
 
-			ch := chans[v.Channel]
-			sid := ch.StreamID
-			l1 := h.EdgeFor(v.Lat, v.Lon)
-			intl := v.Country != ch.Country
-			cp := e.drawClient()
-			t := v.Start
-
-			st := getDown(l1)[sid]
-			localHit := st != nil
-			var firstPktMs float64
-			if st == nil {
-				// Establish the download leg: request climbs L1→L2→center,
-				// data descends the same legs; plus center processing.
-				downL2 := h.AssignL2(l1, 1)
-				path := []int{upL1[v.Channel], upL2[v.Channel], h.Center, downL2, l1}
-				st = &hierStream{downL2: downL2, path: path}
-				getDown(l1)[sid] = st
-				climb := float64(e.world.RTT(l1, downL2)+e.world.RTT(downL2, h.Center)) / float64(time.Millisecond)
-				firstPktMs = climb + 35 + e.rng.Float64()*30 // center lookup + GoP pull
-			} else {
-				firstPktMs = 3 + e.rng.Float64()*8 // L1 GoP cache hit
-			}
-			st.viewers++
-
-			cdnMs := float64(h.PathDelay(st.path, lossAt(t))) / float64(time.Millisecond)
-			stalls := e.stallsFor(SystemHier, v.Duration, st.path, cp, t)
-			startupMs := cp.rttMs + firstPktMs + 110 + e.rng.Float64()*170 + 20
-			if e.rng.Bernoulli(0.05) {
-				startupMs += 300 + e.rng.Float64()*1600
-			}
-			e.recordView(t, st.path, cdnMs, firstPktMs, localHit, intl, stalls, startupMs, false, false)
-			e.notePath(t, st.path)
+			l1 := e.handleHierView(f, v, chans)
 
 			e.active++
-			if ds := e.dayStats(t); e.active > ds.PeakConcurrency {
+			if ds := e.dayStats(v.Start); e.active > ds.PeakConcurrency {
 				ds.PeakConcurrency = e.active
 			}
-			heap.Push(&e.deps, departure{at: v.Start + v.Duration, site: l1, sid: sid})
+			heap.Push(&e.deps, departure{at: v.Start + v.Duration, site: l1, sid: chans[v.Channel].StreamID})
 		}
 	}
 	e.foldUniquePaths()
 	return e.res
 }
 
-var _ = workload.Day // keep import if refactors drop direct uses
+// handleHierView serves one viewing session from the hierarchy and
+// returns the L1 edge it attached to.
+func (e *macroEnv) handleHierView(f *hierFabric, v workload.View, chans []workload.Channel) int {
+	ch := chans[v.Channel]
+	sid := ch.StreamID
+	l1 := f.h.EdgeFor(v.Lat, v.Lon)
+	intl := v.Country != ch.Country
+	cp := e.drawClient()
+	t := v.Start
+
+	st := f.getDown(l1)[sid]
+	localHit := st != nil
+	var firstPktMs float64
+	if st == nil {
+		// Establish the download leg: request climbs L1→L2→center,
+		// data descends the same legs; plus center processing.
+		downL2 := f.h.AssignL2(l1, 1)
+		path := []int{f.upL1[v.Channel], f.upL2[v.Channel], f.h.Center, downL2, l1}
+		st = &hierStream{downL2: downL2, path: path}
+		f.getDown(l1)[sid] = st
+		climb := float64(e.world.RTT(l1, downL2)+e.world.RTT(downL2, f.h.Center)) / float64(time.Millisecond)
+		firstPktMs = climb + 35 + e.rng.Float64()*30 // center lookup + GoP pull
+	} else {
+		firstPktMs = 3 + e.rng.Float64()*8 // L1 GoP cache hit
+	}
+	st.viewers++
+
+	cdnMs := float64(f.h.PathDelay(st.path, f.lossAt(t))) / float64(time.Millisecond)
+	stalls := e.stallsFor(SystemHier, v.Duration, st.path, cp, t)
+	startupMs := cp.rttMs + firstPktMs + 110 + e.rng.Float64()*170 + 20
+	if e.rng.Bernoulli(0.05) {
+		startupMs += 300 + e.rng.Float64()*1600
+	}
+	e.recordView(t, st.path, cdnMs, firstPktMs, localHit, intl, stalls, startupMs, false, false)
+	e.notePath(t, st.path)
+	return l1
+}

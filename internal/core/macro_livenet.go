@@ -38,13 +38,30 @@ type lnStream struct {
 	downstream map[int]bool
 }
 
-// runMacroLiveNet executes the LiveNet session-level engine: the real
-// Streaming Brain computes paths over the real Eq. 2–3 weights; viewing
-// sessions establish/graft subscriptions exactly like the packet-level
-// node code (including cache hits and the long-chain effect); only the
-// per-packet data plane is replaced by the calibrated delay/loss model.
-func runMacroLiveNet(cfg MacroConfig) *MacroResult {
-	e := newMacroEnv(cfg, SystemLiveNet)
+// lnKey packs a directed link into a map key.
+func lnKey(a, b int) int64 { return int64(a)<<32 | int64(uint32(b)) }
+
+// lnFabric bundles the LiveNet control plane and overlay session state:
+// the Streaming Brain, the per-site stream FIBs, and the link/node load
+// accounting that feeds Global Discovery. The per-viewer and cohort
+// engines drive the same fabric — only how viewers attach differs.
+type lnFabric struct {
+	e  *macroEnv
+	br macroBrain
+
+	adj      [][]int // sparse peer adjacency (nil = full mesh)
+	streams  []map[uint32]*lnStream
+	linkLoad map[int64]int
+	nodeLoad []int
+
+	nextRefresh time.Duration
+}
+
+// newLNFabric builds the Brain (monolithic or federated), registers every
+// channel at its producer site, and runs the epoch-0 Global Discovery
+// refresh.
+func newLNFabric(e *macroEnv) *lnFabric {
+	cfg := e.cfg
 	n := cfg.Sites
 
 	bcfg := brain.Config{N: n, LastResort: e.world.IXPSites()}
@@ -71,88 +88,133 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 		}
 		br = mono
 	}
-	defer br.Close()
 
-	// Per-site stream state and per-link/node load accounting.
-	streams := make([]map[uint32]*lnStream, n)
-	for i := range streams {
-		streams[i] = make(map[uint32]*lnStream)
+	f := &lnFabric{
+		e:           e,
+		br:          br,
+		adj:         adj,
+		streams:     make([]map[uint32]*lnStream, n),
+		linkLoad:    make(map[int64]int),
+		nodeLoad:    make([]int, n),
+		nextRefresh: 10 * time.Minute,
 	}
-	linkLoad := make(map[int64]int)
-	nodeLoad := make([]int, n)
-	lkey := func(a, b int) int64 { return int64(a)<<32 | int64(uint32(b)) }
+	for i := range f.streams {
+		f.streams[i] = make(map[uint32]*lnStream)
+	}
 
 	// Register all channels: the producer site carries each stream for
 	// the whole run (broadcasters stay live).
-	chans := e.gen.Channels()
-	for rank, ch := range chans {
+	for rank, ch := range e.gen.Channels() {
 		p := e.chProducer[rank]
-		streams[p][ch.StreamID] = &lnStream{upstream: -1, path: []int{p}, downstream: make(map[int]bool)}
-		nodeLoad[p]++
+		f.streams[p][ch.StreamID] = &lnStream{upstream: -1, path: []int{p}, downstream: make(map[int]bool)}
+		f.nodeLoad[p]++
 		br.RegisterStream(ch.StreamID, p)
 	}
+	f.refresh(0)
+	return f
+}
 
-	// Global Discovery refresh on the paper's 10-minute routing epoch.
-	perLinkCap := func(a, b int) float64 {
-		c := e.world.Sites[a].CapacityMbps
-		if cb := e.world.Sites[b].CapacityMbps; cb < c {
-			c = cb
-		}
-		return c * 1e6 / 8 // per-link share of site capacity
+// perLinkCap is a link's share of site capacity (min of both endpoints).
+func (f *lnFabric) perLinkCap(a, b int) float64 {
+	c := f.e.world.Sites[a].CapacityMbps
+	if cb := f.e.world.Sites[b].CapacityMbps; cb < c {
+		c = cb
 	}
-	reportLink := func(i, j int, t time.Duration) {
+	return c * 1e6 / 8
+}
+
+func (f *lnFabric) reportLink(i, j int, t time.Duration) {
+	util := 0.0
+	if !f.e.cfg.DisableLoadWeights {
+		util = min(1, float64(f.linkLoad[lnKey(i, j)])*f.e.cfg.StreamBitrate/8/f.perLinkCap(i, j))
+	}
+	f.br.ReportLink(i, j, f.e.world.RTT(i, j), f.e.linkLoss(i, j, t), util)
+}
+
+// refresh runs one Global Discovery report + routing epoch (the paper's
+// 10-minute cadence).
+func (f *lnFabric) refresh(t time.Duration) {
+	e := f.e
+	n := e.cfg.Sites
+	for i := 0; i < n; i++ {
+		if f.adj != nil {
+			for _, j := range f.adj[i] {
+				f.reportLink(i, j, t)
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				if i != j {
+					f.reportLink(i, j, t)
+				}
+			}
+		}
 		util := 0.0
-		if !cfg.DisableLoadWeights {
-			util = min(1, float64(linkLoad[lkey(i, j)])*cfg.StreamBitrate/8/perLinkCap(i, j))
+		if !e.cfg.DisableLoadWeights {
+			util = min(1, float64(f.nodeLoad[i])*e.cfg.StreamBitrate/(e.world.Sites[i].CapacityMbps*1e6))
 		}
-		br.ReportLink(i, j, e.world.RTT(i, j), e.linkLoss(i, j, t), util)
-	}
-	refresh := func(t time.Duration) {
-		for i := 0; i < n; i++ {
-			if adj != nil {
-				for _, j := range adj[i] {
-					reportLink(i, j, t)
-				}
-			} else {
-				for j := 0; j < n; j++ {
-					if i != j {
-						reportLink(i, j, t)
-					}
-				}
-			}
-			util := 0.0
-			if !cfg.DisableLoadWeights {
-				util = min(1, float64(nodeLoad[i])*cfg.StreamBitrate/(e.world.Sites[i].CapacityMbps*1e6))
-			}
-			br.ReportNodeLoad(i, util)
-			if util >= 0.8 {
-				br.OverloadAlarm(i, util)
-			}
+		f.br.ReportNodeLoad(i, util)
+		if util >= 0.8 {
+			f.br.OverloadAlarm(i, util)
 		}
-		br.AdvanceEpoch()
-		e.sampleLossByHour(t)
 	}
-	refresh(0)
+	f.br.AdvanceEpoch()
+	e.sampleLossByHour(t)
+}
 
-	// teardown cascades an unsubscription up the chain.
-	var teardown func(site int, sid uint32)
-	teardown = func(site int, sid uint32) {
-		st := streams[site][sid]
-		if st == nil || st.viewers > 0 || len(st.downstream) > 0 || st.upstream == -1 {
-			return
-		}
-		delete(streams[site], sid)
-		nodeLoad[site]--
-		up := st.upstream
-		linkLoad[lkey(up, site)]--
-		if upSt := streams[up][sid]; upSt != nil {
-			delete(upSt.downstream, site)
-			teardown(up, sid)
-		}
+// advanceTo runs every refresh epoch due at or before t.
+func (f *lnFabric) advanceTo(t time.Duration) {
+	for f.nextRefresh <= t {
+		f.refresh(f.nextRefresh)
+		f.nextRefresh += 10 * time.Minute
 	}
+}
+
+// teardown cascades an unsubscription up the chain.
+func (f *lnFabric) teardown(site int, sid uint32) {
+	st := f.streams[site][sid]
+	if st == nil || st.viewers > 0 || len(st.downstream) > 0 || st.upstream == -1 {
+		return
+	}
+	delete(f.streams[site], sid)
+	f.nodeLoad[site]--
+	up := st.upstream
+	f.linkLoad[lnKey(up, site)]--
+	if upSt := f.streams[up][sid]; upSt != nil {
+		delete(upSt.downstream, site)
+		f.teardown(up, sid)
+	}
+}
+
+// finish attaches a final carried-streams report per site so the
+// GlobalView fan-out table reflects end-of-run overlay state (the session
+// engine has no per-packet registries, so the snapshots are empty), then
+// folds the Brain aggregates into the result.
+func (f *lnFabric) finish() {
+	e := f.e
+	for site := 0; site < e.cfg.Sites; site++ {
+		sids := make([]uint32, 0, len(f.streams[site]))
+		for sid := range f.streams[site] {
+			sids = append(sids, sid)
+		}
+		sort.Slice(sids, func(a, b int) bool { return sids[a] < sids[b] })
+		f.br.ReportNodeTelemetry(site, telemetry.Snapshot{}, sids)
+	}
+	e.res.GlobalView = f.br.GlobalView()
+	e.res.BrainMetrics = f.br.Metrics()
+}
+
+// runMacroLiveNet executes the LiveNet session-level engine: the real
+// Streaming Brain computes paths over the real Eq. 2–3 weights; viewing
+// sessions establish/graft subscriptions exactly like the packet-level
+// node code (including cache hits and the long-chain effect); only the
+// per-packet data plane is replaced by the calibrated delay/loss model.
+func runMacroLiveNet(cfg MacroConfig) *MacroResult {
+	e := newMacroEnv(cfg, SystemLiveNet)
+	f := newLNFabric(e)
+	defer f.br.Close()
+	chans := e.gen.Channels()
 
 	// Process events in time order.
-	nextRefresh := 10 * time.Minute
 	const dayChunk = 24 * time.Hour
 	for chunk := time.Duration(0); chunk < e.horizon; chunk += dayChunk {
 		views := e.gen.Views(chunk, min(chunk+dayChunk, e.horizon))
@@ -160,18 +222,15 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 			// Departures and refreshes due before this arrival.
 			for len(e.deps) > 0 && e.deps[0].at <= v.Start {
 				d := heap.Pop(&e.deps).(departure)
-				if st := streams[d.site][d.sid]; st != nil {
+				if st := f.streams[d.site][d.sid]; st != nil {
 					st.viewers--
-					teardown(d.site, d.sid)
+					f.teardown(d.site, d.sid)
 				}
 				e.active--
 			}
-			for nextRefresh <= v.Start {
-				refresh(nextRefresh)
-				nextRefresh += 10 * time.Minute
-			}
+			f.advanceTo(v.Start)
 
-			e.handleLiveNetView(br, streams, linkLoad, nodeLoad, lkey, v, chans)
+			e.handleLiveNetView(f, v, chans)
 
 			e.active++
 			if ds := e.dayStats(v.Start); e.active > ds.PeakConcurrency {
@@ -180,28 +239,13 @@ func runMacroLiveNet(cfg MacroConfig) *MacroResult {
 			heap.Push(&e.deps, departure{at: v.Start + v.Duration, site: e.world.NearestSite(v.Lat, v.Lon), sid: chans[v.Channel].StreamID})
 		}
 	}
-	// Attach a final carried-streams report per site so the GlobalView
-	// fan-out table reflects end-of-run overlay state (the session engine
-	// has no per-packet registries, so the snapshots are empty).
-	for site := 0; site < n; site++ {
-		sids := make([]uint32, 0, len(streams[site]))
-		for sid := range streams[site] {
-			sids = append(sids, sid)
-		}
-		sort.Slice(sids, func(a, b int) bool { return sids[a] < sids[b] })
-		br.ReportNodeTelemetry(site, telemetry.Snapshot{}, sids)
-	}
-	e.res.GlobalView = br.GlobalView()
-	e.res.BrainMetrics = br.Metrics()
+	f.finish()
 	e.foldUniquePaths()
 	return e.res
 }
 
 // handleLiveNetView runs Algorithm 1 for one viewing session.
-func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStream,
-	linkLoad map[int64]int, nodeLoad []int, lkey func(a, b int) int64,
-	v workload.View, chans []workload.Channel) {
-
+func (e *macroEnv) handleLiveNetView(f *lnFabric, v workload.View, chans []workload.Channel) {
 	ch := chans[v.Channel]
 	sid := ch.StreamID
 	consumer := e.world.NearestSite(v.Lat, v.Lon)
@@ -210,7 +254,7 @@ func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStre
 	cp := e.drawClient()
 	t := v.Start
 
-	st := streams[consumer][sid]
+	st := f.streams[consumer][sid]
 	prefetched := !e.cfg.DisablePrefetch && ch.Popular
 	localHit := st != nil || prefetched
 
@@ -234,7 +278,7 @@ func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStre
 			respMs = e.sampleRespTime(t)
 			e.res.RespByHour.Add(workload.Hour(t), respMs)
 		}
-		paths, err := br.Lookup(sid, consumer)
+		paths, err := f.br.Lookup(sid, consumer)
 		var best []int
 		if err != nil || len(paths) == 0 {
 			best = []int{producer, consumer} // degraded fallback
@@ -247,12 +291,12 @@ func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStre
 		// Establishment walk: backtrack from the consumer toward the
 		// producer; the first node already carrying the stream grafts us
 		// (cache hit), possibly yielding a longer actual path (§4.4).
-		actual, walkRTTms := graftLiveNet(e, streams, linkLoad, nodeLoad, lkey, sid, best)
+		actual, walkRTTms := graftLiveNet(e, f, sid, best)
 		path = actual
 		if len(actual) > len(best) {
 			longChain = true
 		}
-		st = streams[consumer][sid]
+		st = f.streams[consumer][sid]
 		st.viewers++
 		burst := 15 + e.rng.Float64()*35
 		firstPktMs = respMs + walkRTTms + burst
@@ -261,7 +305,7 @@ func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStre
 		}
 	}
 
-	cdnMs := e.liveNetPathDelay(path, linkLoad, lkey)
+	cdnMs := e.liveNetPathDelay(path)
 	stalls := e.stallsFor(SystemLiveNet, v.Duration, path, cp, t)
 	startupMs := cp.rttMs + firstPktMs + 90 + e.rng.Float64()*130 + 20 // request + fill + decode
 	if e.rng.Bernoulli(0.065) {
@@ -274,15 +318,12 @@ func (e *macroEnv) handleLiveNetView(br macroBrain, streams []map[uint32]*lnStre
 // graftLiveNet installs session state along the requested path, grafting
 // onto the first node (from the consumer backwards) that already carries
 // the stream. It returns the actual path and the establishment walk RTT.
-func graftLiveNet(e *macroEnv, streams []map[uint32]*lnStream,
-	linkLoad map[int64]int, nodeLoad []int, lkey func(a, b int) int64,
-	sid uint32, best []int) ([]int, float64) {
-
+func graftLiveNet(e *macroEnv, f *lnFabric, sid uint32, best []int) ([]int, float64) {
 	// Find graft point: last index (closest to consumer) whose site has
 	// the stream. The producer always has it.
 	graft := 0
 	for i := len(best) - 1; i >= 0; i-- {
-		if streams[best[i]][sid] != nil {
+		if f.streams[best[i]][sid] != nil {
 			graft = i
 			break
 		}
@@ -295,26 +336,24 @@ func graftLiveNet(e *macroEnv, streams []map[uint32]*lnStream,
 		walkMs += float64(e.world.RTT(best[i-1], best[i])) / float64(time.Millisecond)
 	}
 	// Install states below the graft point.
-	graftState := streams[best[graft]][sid]
 	for i := graft + 1; i < len(best); i++ {
 		prev := best[i-1]
 		site := best[i]
-		if streams[site][sid] == nil {
-			actual := append(append([]int(nil), streams[prev][sid].path...), site)
-			streams[site][sid] = &lnStream{upstream: prev, path: actual, downstream: make(map[int]bool)}
-			nodeLoad[site]++
-			linkLoad[lkey(prev, site)]++
-			streams[prev][sid].downstream[site] = true
+		if f.streams[site][sid] == nil {
+			actual := append(append([]int(nil), f.streams[prev][sid].path...), site)
+			f.streams[site][sid] = &lnStream{upstream: prev, path: actual, downstream: make(map[int]bool)}
+			f.nodeLoad[site]++
+			f.linkLoad[lnKey(prev, site)]++
+			f.streams[prev][sid].downstream[site] = true
 		}
 	}
-	_ = graftState
 	consumer := best[len(best)-1]
-	return streams[consumer][sid].path, walkMs
+	return f.streams[consumer][sid].path, walkMs
 }
 
 // liveNetPathDelay: one-way fast-path delay = Σ (hop RTT/2 + per-hop
-// processing), with a mild queueing term as links load up.
-func (e *macroEnv) liveNetPathDelay(path []int, linkLoad map[int64]int, lkey func(a, b int) int64) float64 {
+// processing).
+func (e *macroEnv) liveNetPathDelay(path []int) float64 {
 	procMs := float64(e.cfg.LiveNetHopProc) / float64(time.Millisecond)
 	total := 0.0
 	for i := 0; i+1 < len(path); i++ {

@@ -45,6 +45,19 @@ type Options struct {
 	// for the LiveNet runs; see core.MacroConfig.Regions. The Hier
 	// baseline ignores it.
 	Regions int
+
+	// Viewers > 0 switches both systems to the cohort-aggregated macro
+	// engine and sizes the workload so the diurnal peak carries about
+	// this many concurrent viewers (core.MacroConfig.Viewers). The
+	// per-view QoE samples then cover only the traced subset; the pooled
+	// aggregates live in MacroResult.CohortQoE (see CohortSummary).
+	Viewers int
+	// Hours > 0 shortens the horizon to whole hours instead of Days
+	// (core.MacroConfig.Hours).
+	Hours int
+	// TracerSample overrides the exact-tracer sampling probability of
+	// cohort runs (core.MacroConfig.TracerSample; default 0.2%).
+	TracerSample float64
 }
 
 // Full returns the paper-scale configuration: 20 days covering the
@@ -72,6 +85,17 @@ func (o Options) macro(sys core.System) core.MacroConfig {
 	if o.Double12 {
 		cfg.Workload.Flash = append(cfg.Workload.Flash, double12Flash())
 	}
+	if o.Viewers > 0 {
+		cfg.Viewers = o.Viewers
+		cfg.TracerSample = o.TracerSample
+		// Viewers sizes the workload (Little's law from the mean view
+		// duration); the Options-level default peak rate would otherwise
+		// shadow it.
+		cfg.Workload.PeakViewsPerSec = 0
+	}
+	if o.Hours > 0 {
+		cfg.Hours = o.Hours
+	}
 	return cfg
 }
 
@@ -98,6 +122,24 @@ func RunSerial(o Options) *Results {
 
 // --- Table 1 ---
 
+// zeroStallPct returns the population 0-stall ratio: the pooled cohort
+// aggregate when the run was cohort-aggregated (the per-view sample then
+// covers only the traced subset), the per-view ratio otherwise.
+func zeroStallPct(r *core.MacroResult) float64 {
+	if r.CohortQoE != nil {
+		return r.CohortQoE.ZeroStall.Percent()
+	}
+	return r.ZeroStall.Percent()
+}
+
+// fastStartPct is zeroStallPct's fast-startup analogue.
+func fastStartPct(r *core.MacroResult) float64 {
+	if r.CohortQoE != nil {
+		return r.CohortQoE.FastStart.Percent()
+	}
+	return r.FastStart.Percent()
+}
+
 // Table1 renders the overall performance comparison (Table 1), with
 // Welch t-test p-values for the delay metrics as the paper reports.
 func Table1(r *Results) string {
@@ -121,13 +163,13 @@ func Table1(r *Results) string {
 		fmt.Sprintf("%.0f", r.HR.Streaming.Median()),
 		impr(r.LN.Streaming.Median(), r.HR.Streaming.Median()))
 	t.AddRow("0-stall ratio (%)",
-		fmt.Sprintf("%.1f", r.LN.ZeroStall.Percent()),
-		fmt.Sprintf("%.1f", r.HR.ZeroStall.Percent()),
-		fmt.Sprintf("+%.1f pts", r.LN.ZeroStall.Percent()-r.HR.ZeroStall.Percent()))
+		fmt.Sprintf("%.1f", zeroStallPct(r.LN)),
+		fmt.Sprintf("%.1f", zeroStallPct(r.HR)),
+		fmt.Sprintf("+%.1f pts", zeroStallPct(r.LN)-zeroStallPct(r.HR)))
 	t.AddRow("Fast startup ratio (%)",
-		fmt.Sprintf("%.1f", r.LN.FastStart.Percent()),
-		fmt.Sprintf("%.1f", r.HR.FastStart.Percent()),
-		fmt.Sprintf("+%.1f pts", r.LN.FastStart.Percent()-r.HR.FastStart.Percent()))
+		fmt.Sprintf("%.1f", fastStartPct(r.LN)),
+		fmt.Sprintf("%.1f", fastStartPct(r.HR)),
+		fmt.Sprintf("+%.1f pts", fastStartPct(r.LN)-fastStartPct(r.HR)))
 
 	_, _, pCDN := stats.WelchT(r.LN.CDNDelayMs, r.HR.CDNDelayMs)
 	_, _, pStream := stats.WelchT(r.LN.Streaming, r.HR.Streaming)
@@ -135,7 +177,12 @@ func Table1(r *Results) string {
 	b.WriteString("Table 1: Performance comparison of LiveNet and Hier (medians)\n")
 	b.WriteString(t.String())
 	fmt.Fprintf(&b, "t-test: CDN delay p=%.2g, streaming delay p=%.2g (paper: p<0.001)\n", pCDN, pStream)
-	fmt.Fprintf(&b, "views: %d per system\n", r.LN.Views)
+	if r.LN.CohortQoE != nil {
+		fmt.Fprintf(&b, "views: %d per system (cohort-aggregated; %d traced exactly; delay medians over traced views)\n",
+			r.LN.Views, r.LN.TracerViews)
+	} else {
+		fmt.Fprintf(&b, "views: %d per system\n", r.LN.Views)
+	}
 	return b.String()
 }
 
@@ -505,10 +552,65 @@ func Table3(r *Results) string {
 	addRow("CDN path delay (ms)", func(d *core.DayStats) float64 { return d.CDNDelayMs.Median() })
 	addRow("CDN path length", func(d *core.DayStats) float64 { return d.PathLen.Median() })
 	addRow("Streaming delay (ms)", func(d *core.DayStats) float64 { return d.Streaming.Median() })
-	addRow("0-stall ratio (%)", func(d *core.DayStats) float64 { return d.ZeroStall.Percent() })
-	addRow("Fast startup ratio (%)", func(d *core.DayStats) float64 { return d.FastStart.Percent() })
+	addRow("0-stall ratio (%)", func(d *core.DayStats) float64 {
+		if d.Cohort != nil {
+			return d.Cohort.ZeroStall.Percent()
+		}
+		return d.ZeroStall.Percent()
+	})
+	addRow("Fast startup ratio (%)", func(d *core.DayStats) float64 {
+		if d.Cohort != nil {
+			return d.Cohort.FastStart.Percent()
+		}
+		return d.FastStart.Percent()
+	})
 	addRow("peak concurrency", func(d *core.DayStats) float64 { return float64(d.PeakConcurrency) })
 	return "Table 3: LiveNet's performance during the Double 12 festival\n" + t.String()
+}
+
+// --- Cohort summary ---
+
+// CohortSummary renders the pooled QoE aggregates of a cohort-aggregated
+// pair: the population-weighted metrics over every represented viewer
+// (establishers and tracers simulated exactly, batch remainders folded in
+// by expectation — see DESIGN.md §11). Returns "" when the runs were not
+// cohort-aggregated.
+func CohortSummary(r *Results) string {
+	ln, hr := r.LN.CohortQoE, r.HR.CohortQoE
+	if ln == nil || hr == nil {
+		return ""
+	}
+	peak := func(m *core.MacroResult) int {
+		p := 0
+		for _, ds := range m.ByDay {
+			if ds.PeakConcurrency > p {
+				p = ds.PeakConcurrency
+			}
+		}
+		return p
+	}
+	t := &stats.Table{Header: []string{"metric", "LiveNet", "Hier"}}
+	t.AddRow("represented viewers",
+		fmt.Sprintf("%.0f", ln.Viewers), fmt.Sprintf("%.0f", hr.Viewers))
+	t.AddRow("traced exactly",
+		fmt.Sprintf("%d", ln.TracerViews), fmt.Sprintf("%d", hr.TracerViews))
+	t.AddRow("peak concurrency",
+		fmt.Sprintf("%d", peak(r.LN)), fmt.Sprintf("%d", peak(r.HR)))
+	t.AddRow("0-stall ratio (%)",
+		fmt.Sprintf("%.2f", ln.ZeroStall.Percent()), fmt.Sprintf("%.2f", hr.ZeroStall.Percent()))
+	t.AddRow("fast startup ratio (%)",
+		fmt.Sprintf("%.2f", ln.FastStart.Percent()), fmt.Sprintf("%.2f", hr.FastStart.Percent()))
+	t.AddRow("rebuffer ratio",
+		fmt.Sprintf("%.5f", ln.RebufferRatio()), fmt.Sprintf("%.5f", hr.RebufferRatio()))
+	t.AddRow("startup delay (ms, mean)",
+		fmt.Sprintf("%.0f", ln.Startup.Mean()), fmt.Sprintf("%.0f", hr.Startup.Mean()))
+	t.AddRow("streaming delay (ms, mean)",
+		fmt.Sprintf("%.0f", ln.Streaming.Mean()), fmt.Sprintf("%.0f", hr.Streaming.Mean()))
+	t.AddRow("CDN path delay (ms, mean)",
+		fmt.Sprintf("%.0f", ln.CDNDelayMs.Mean()), fmt.Sprintf("%.0f", hr.CDNDelayMs.Mean()))
+	t.AddRow("CDN path length (mean)",
+		fmt.Sprintf("%.2f", ln.PathLen.Mean()), fmt.Sprintf("%.2f", hr.PathLen.Mean()))
+	return "Cohort QoE summary (population-weighted over all represented viewers)\n" + t.String()
 }
 
 func sortedDays(r *core.MacroResult) []int {

@@ -212,6 +212,29 @@ func TestFig14AndTable3(t *testing.T) {
 	}
 }
 
+func TestCohortSummaryAndTable1(t *testing.T) {
+	o := Options{Seed: 7, Sites: 16, Hours: 4, Viewers: 50_000, Channels: 40}
+	r := Run(o)
+	if r.LN.CohortQoE == nil || r.HR.CohortQoE == nil {
+		t.Fatal("Viewers option did not produce cohort-aggregated runs")
+	}
+	out := CohortSummary(r)
+	for _, want := range []string{"represented viewers", "traced exactly", "rebuffer ratio", "peak concurrency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CohortSummary missing %q:\n%s", want, out)
+		}
+	}
+	// Table 1 must report the pooled ratios and flag the tracer subset.
+	t1 := Table1(r)
+	if !strings.Contains(t1, "cohort-aggregated") {
+		t.Fatalf("Table1 on a cohort run should flag the traced subset:\n%s", t1)
+	}
+	// Plain runs render no cohort summary.
+	if s := CohortSummary(quickResults(t)); s != "" {
+		t.Fatalf("CohortSummary on a per-viewer run = %q, want empty", s)
+	}
+}
+
 func TestAblationFastSlow(t *testing.T) {
 	r := AblationFastSlow(1, 0.01)
 	if r.FastSlowMedianMs <= 0 || r.StoreFwdMedianMs <= 0 {

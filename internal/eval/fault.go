@@ -15,6 +15,7 @@ import (
 	"livenet/internal/sim"
 	"livenet/internal/stats"
 	"livenet/internal/wire"
+	"livenet/internal/workload"
 )
 
 // --- Fault tolerance (§4.3/§7.1): failure recovery under injected faults ---
@@ -538,6 +539,51 @@ func QuorumPartition(seed int64) QuorumPartitionResult {
 	return res
 }
 
+// FlashCrowdCohortResult summarizes the million-viewer flash-crowd run.
+type FlashCrowdCohortResult struct {
+	Viewers         float64
+	TracerViews     int
+	PeakConcurrency int
+	ZeroStallPct    float64
+	FastStartPct    float64
+	RebufferRatio   float64
+}
+
+// FlashCrowdCohort runs experiment 5: a million-viewer flash crowd
+// through the cohort-aggregated macro engine (§6.1 at production scale —
+// the load doubles for the second hour, Figure 14 style). It is not a
+// chaos scenario but a scale stress: the surge arrives as aggregate
+// cohort counts, so the run costs O(edges x channels) per bucket
+// regardless of the viewer count, and the whole result remains a pure
+// function of the seed.
+func FlashCrowdCohort(seed int64) FlashCrowdCohortResult {
+	cfg := core.MacroConfig{
+		Seed:         seed,
+		Sites:        12,
+		Hours:        2,
+		System:       core.SystemLiveNet,
+		Viewers:      1_000_000,
+		TracerSample: 1e-6,
+	}
+	cfg.Workload.Flash = []workload.FlashEvent{{Start: time.Hour, End: 2 * time.Hour, Multiplier: 2}}
+	r := core.RunMacro(cfg)
+	q := r.CohortQoE
+	peak := 0
+	for _, ds := range r.ByDay {
+		if ds.PeakConcurrency > peak {
+			peak = ds.PeakConcurrency
+		}
+	}
+	return FlashCrowdCohortResult{
+		Viewers:         q.Viewers,
+		TracerViews:     q.TracerViews,
+		PeakConcurrency: peak,
+		ZeroStallPct:    q.ZeroStall.Percent(),
+		FastStartPct:    q.FastStart.Percent(),
+		RebufferRatio:   q.RebufferRatio(),
+	}
+}
+
 // FaultReport renders the fault-tolerance evaluation: the four
 // experiments with their chaos timelines, in the same table style as the
 // paper sections. The whole report is a pure function of the seed.
@@ -591,6 +637,16 @@ func FaultReport(seed int64) string {
 		qp.Proposals, qp.CommittedDuring, qp.CommittedAfter)
 	if qp.Converged {
 		b.WriteString("replica logs converged after heal: the partitioned replica caught up\n")
+	}
+
+	fc := FlashCrowdCohort(seed)
+	b.WriteString("\nMillion-viewer flash crowd: load x2 for hour 2 (cohort-aggregated macro run)\n")
+	fmt.Fprintf(&b, "represented viewers: %.0f (%d traced exactly), peak concurrency: %d\n",
+		fc.Viewers, fc.TracerViews, fc.PeakConcurrency)
+	fmt.Fprintf(&b, "0-stall: %.2f%%, fast startup: %.2f%%, rebuffer ratio: %.5f\n",
+		fc.ZeroStallPct, fc.FastStartPct, fc.RebufferRatio)
+	if fc.PeakConcurrency >= 500_000 && fc.ZeroStallPct > 80 {
+		b.WriteString("QoE holds through the surge: the cohort engine absorbs the flash crowd\n")
 	}
 	return b.String()
 }

@@ -26,6 +26,7 @@ import (
 	"livenet/internal/ksp"
 	"livenet/internal/netem"
 	"livenet/internal/sim"
+	"livenet/internal/workload"
 )
 
 // Spec is one registered benchmark: its canonical name (matching the
@@ -44,6 +45,9 @@ func Specs() []Spec {
 		{Name: "BrainFederatedEpoch", Func: BrainFederatedEpoch},
 		{Name: "BrainFederatedChurn", Func: BrainFederatedChurn},
 		{Name: "GraphNeighborWeights", Func: GraphNeighborWeights},
+		{Name: "MacroPerViewer10k", Func: MacroPerViewer10k},
+		{Name: "MacroCohort10k", Func: MacroCohort10k},
+		{Name: "MacroCohort1M", Func: MacroCohort1M},
 		{Name: "YenKSPFullMesh", Func: YenKSPFullMesh},
 		{Name: "DenseMeshRouting", Func: DenseMeshRouting},
 		{Name: "LoopSchedule", Func: LoopSchedule},
@@ -400,6 +404,83 @@ func YenKSPFullMesh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ksp.Yen(n, i%n, (i+7)%n, 3, g.Neighbors, g.Weight)
 	}
+}
+
+// --- Macro scale: per-viewer vs cohort aggregation (DESIGN.md §11) ---
+
+// macroScaleConfig is the shared shape of the scale benchmarks: a 16-hour
+// LiveNet horizon over 32 sites with a flash-crowd doubling for hour 15,
+// sized by peak concurrent viewers. Only the engine differs between the
+// per-viewer and cohort variants.
+func macroScaleConfig(viewers int) core.MacroConfig {
+	cfg := core.MacroConfig{
+		Seed:         1,
+		Sites:        32,
+		Hours:        16,
+		System:       core.SystemLiveNet,
+		Viewers:      viewers,
+		TracerSample: 2e-5,
+		RungShares:   []float64{0.6, 0.3, 0.1},
+	}
+	cfg.Workload.Flash = []workload.FlashEvent{{Start: 14 * time.Hour, End: 15 * time.Hour, Multiplier: 2}}
+	return cfg
+}
+
+// MacroPerViewer10k runs the per-viewer macro engine at a 10k-viewer
+// diurnal peak: every viewing session is simulated individually, so cost
+// scales linearly with the viewer count. The baseline the cohort variants
+// are measured against.
+func MacroPerViewer10k(b *testing.B) {
+	cfg := macroScaleConfig(10_000)
+	cfg.Viewers = 0 // per-viewer engine
+	cfg.TracerSample = 0
+	cfg.RungShares = nil
+	cfg.Workload.PeakViewsPerSec = cfg.Workload.PeakViewsFor(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var views int
+	for i := 0; i < b.N; i++ {
+		views = core.RunMacro(cfg).Views
+	}
+	b.ReportMetric(float64(views), "views")
+}
+
+// MacroCohort10k is the same 10k-peak workload through the cohort engine
+// (arrival counts per edge/channel/rung bucket; establishers and a traced
+// sample simulated exactly, the rest folded in by expectation). The
+// ns/op ratio against MacroPerViewer10k is the aggregation speedup.
+func MacroCohort10k(b *testing.B) {
+	cfg := macroScaleConfig(10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var views int
+	for i := 0; i < b.N; i++ {
+		views = core.RunMacro(cfg).Views
+	}
+	b.ReportMetric(float64(views), "views")
+}
+
+// MacroCohort1M is the headline scale point: a million concurrent viewers
+// at the diurnal peak (~2M under the flash window), infeasible for the
+// per-viewer engine, completing in roughly the 10k cohort run's time —
+// the cohort engine's cost is O(edges x channels) per arrival bucket,
+// independent of the viewer count.
+func MacroCohort1M(b *testing.B) {
+	cfg := macroScaleConfig(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r *core.MacroResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunMacro(cfg)
+	}
+	b.ReportMetric(r.CohortQoE.Viewers, "viewers")
+	peak := 0
+	for _, ds := range r.ByDay {
+		if ds.PeakConcurrency > peak {
+			peak = ds.PeakConcurrency
+		}
+	}
+	b.ReportMetric(float64(peak), "peak_concurrency")
 }
 
 // DenseMeshRouting measures one full macro day at 48 sites — dominated by

@@ -77,6 +77,58 @@ func (r *Rand) Pareto(xmin, alpha float64) float64 {
 	return xmin / math.Pow(u, 1/alpha)
 }
 
+// Binomial returns a Binomial(n, p) variate. Small n counts Bernoulli
+// trials exactly; large n with a small mean uses CDF inversion; the rest
+// uses a clamped normal approximation. The cohort machinery splits
+// aggregate viewer counts across channels/edges/rungs with sequential
+// conditional binomials, so this needs to be fast at n in the millions
+// while staying deterministic for a given draw sequence.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 32 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	if mean < 12 || float64(n)*(1-p) < 12 {
+		// Inversion on whichever tail is small.
+		if p > 0.5 {
+			return n - r.Binomial(n, 1-p)
+		}
+		// BINV: walk the CDF from k=0. q^n can underflow only when
+		// mean >= ~700, excluded by the mean < 12 branch.
+		q := math.Pow(1-p, float64(n))
+		u := r.Float64()
+		k, acc, pk := 0, q, q
+		ratio := p / (1 - p)
+		for u > acc && k < n {
+			k++
+			pk *= ratio * float64(n-k+1) / float64(k)
+			acc += pk
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(r.Normal(mean, sd) + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
 // Zipf draws ranks in [0, n) with exponent s (classic Zipf popularity:
 // rank 0 is most popular). It uses inverse-CDF sampling over the
 // precomputed harmonic weights for determinism and O(log n) draws.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -355,5 +356,44 @@ func TestEventReuseKeepsDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("trace diverges at %d: %s vs %s", i, a[i], b[i])
 		}
+	}
+}
+
+func TestBinomialMomentsAcrossRegimes(t *testing.T) {
+	rng := NewSource(11).Stream("binom")
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.3},     // exact Bernoulli loop
+		{500, 0.01},   // small-mean inversion
+		{500, 0.99},   // small opposite tail
+		{100000, 0.4}, // normal approximation
+	}
+	for _, c := range cases {
+		const draws = 4000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			k := rng.Binomial(c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, k)
+			}
+			sum += float64(k)
+			sumSq += float64(k) * float64(k)
+		}
+		mean := sum / draws
+		wantMean := float64(c.n) * c.p
+		sd := math.Sqrt(wantMean * (1 - c.p))
+		if tol := 5 * sd / math.Sqrt(draws); math.Abs(mean-wantMean) > tol+1e-9 {
+			t.Errorf("Binomial(%d,%v): mean %v, want %v ± %v", c.n, c.p, mean, wantMean, tol)
+		}
+		variance := sumSq/draws - mean*mean
+		wantVar := sd * sd
+		if wantVar > 1 && math.Abs(variance-wantVar) > 0.25*wantVar {
+			t.Errorf("Binomial(%d,%v): var %v, want ~%v", c.n, c.p, variance, wantVar)
+		}
+	}
+	if rng.Binomial(0, 0.5) != 0 || rng.Binomial(10, 0) != 0 || rng.Binomial(7, 1) != 7 {
+		t.Fatal("edge cases")
 	}
 }

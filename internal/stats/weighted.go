@@ -1,0 +1,102 @@
+package stats
+
+import "math"
+
+// WSample accumulates weighted observations without storing them: the
+// cohort engine folds millions of represented viewers into one of these
+// per metric, where Sample (which keeps every value for percentiles)
+// would need gigabytes. Distribution-level stats at cohort scale come
+// from the exactly-simulated tracer views, which still use Sample.
+// The zero value is ready to use.
+type WSample struct {
+	W     float64 // total weight
+	Sum   float64 // Σ w·x
+	SumSq float64 // Σ w·x²
+}
+
+// Add records value x with weight w (w <= 0 is ignored).
+func (s *WSample) Add(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.W += w
+	s.Sum += w * x
+	s.SumSq += w * x * x
+}
+
+// Merge folds another weighted sample into s.
+func (s *WSample) Merge(o WSample) {
+	s.W += o.W
+	s.Sum += o.Sum
+	s.SumSq += o.SumSq
+}
+
+// Mean returns the weighted mean (0 for zero weight).
+func (s *WSample) Mean() float64 {
+	if s.W == 0 {
+		return 0
+	}
+	return s.Sum / s.W
+}
+
+// StdDev returns the weighted population standard deviation.
+func (s *WSample) StdDev() float64 {
+	if s.W == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.SumSq/s.W - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// WRatio is a success ratio over fractional trial weights: cohort
+// batches observe an expected success probability p for n viewers at
+// once, which Ratio's integer hit counting cannot express.
+// The zero value is ready to use.
+type WRatio struct {
+	Hits, Total float64
+}
+
+// Observe records weight trials succeeding with probability p.
+func (r *WRatio) Observe(p, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	r.Total += weight
+	r.Hits += p * weight
+}
+
+// ObserveBool records one unit-weight trial.
+func (r *WRatio) ObserveBool(hit bool) {
+	if hit {
+		r.Observe(1, 1)
+	} else {
+		r.Observe(0, 1)
+	}
+}
+
+// Merge folds another weighted ratio into r.
+func (r *WRatio) Merge(o WRatio) {
+	r.Hits += o.Hits
+	r.Total += o.Total
+}
+
+// Value returns Hits/Total (0 if no weight).
+func (r *WRatio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return r.Hits / r.Total
+}
+
+// Percent returns the ratio as a percentage.
+func (r *WRatio) Percent() float64 { return r.Value() * 100 }

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWSampleMatchesSampleOnUnitWeights(t *testing.T) {
+	var s Sample
+	var w WSample
+	for _, x := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Add(x)
+		w.Add(x, 1)
+	}
+	if math.Abs(s.Mean()-w.Mean()) > 1e-12 {
+		t.Fatalf("mean mismatch: %v vs %v", s.Mean(), w.Mean())
+	}
+	if w.W != float64(s.N()) {
+		t.Fatalf("weight %v != n %d", w.W, s.N())
+	}
+}
+
+func TestWSampleWeighting(t *testing.T) {
+	var w WSample
+	w.Add(10, 3) // same as adding 10 three times
+	w.Add(40, 1)
+	if got := w.Mean(); math.Abs(got-17.5) > 1e-12 {
+		t.Fatalf("weighted mean = %v, want 17.5", got)
+	}
+	var a, b WSample
+	a.Add(10, 3)
+	b.Add(40, 1)
+	a.Merge(b)
+	if math.Abs(a.Mean()-w.Mean()) > 1e-12 || math.Abs(a.StdDev()-w.StdDev()) > 1e-12 {
+		t.Fatalf("merge mismatch: %v/%v vs %v/%v", a.Mean(), a.StdDev(), w.Mean(), w.StdDev())
+	}
+	w.Add(5, 0)
+	w.Add(5, -2)
+	if a.Mean() != w.Mean() {
+		t.Fatal("non-positive weights must be ignored")
+	}
+}
+
+func TestWRatioExpectations(t *testing.T) {
+	var r WRatio
+	r.Observe(0.25, 1000) // 1000 viewers, each zero-stall with p=0.25
+	r.ObserveBool(true)   // one traced viewer who did not stall
+	want := (0.25*1000 + 1) / 1001 * 100
+	if math.Abs(r.Percent()-want) > 1e-9 {
+		t.Fatalf("percent = %v, want %v", r.Percent(), want)
+	}
+	r.Observe(2, 10) // clamped to 1
+	if r.Hits > r.Total {
+		t.Fatalf("hits %v exceed total %v after clamping", r.Hits, r.Total)
+	}
+	var o WRatio
+	o.Observe(0.5, 100)
+	before := r.Hits
+	r.Merge(o)
+	if r.Hits != before+50 {
+		t.Fatalf("merge: hits = %v, want %v", r.Hits, before+50)
+	}
+}

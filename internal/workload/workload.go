@@ -60,6 +60,11 @@ type Config struct {
 	Flash           []FlashEvent
 }
 
+// Normalized returns the config with defaults applied — the exact
+// parameter set a Generator built from c runs with. The cohort engines
+// need it to evaluate the duration model analytically.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Channels <= 0 {
 		c.Channels = 200
@@ -163,30 +168,7 @@ func (g *Generator) Views(from, to time.Duration) []View {
 
 // poisson draws a Poisson variate (Knuth for small lambda, normal
 // approximation for large).
-func (g *Generator) poisson(lambda float64) int {
-	if lambda <= 0 {
-		return 0
-	}
-	if lambda > 50 {
-		n := int(g.rng.Normal(lambda, math.Sqrt(lambda)) + 0.5)
-		if n < 0 {
-			n = 0
-		}
-		return n
-	}
-	l := math.Exp(-lambda)
-	k, p := 0, 1.0
-	for {
-		p *= g.rng.Float64()
-		if p <= l {
-			return k
-		}
-		k++
-		if k > 10000 {
-			return k
-		}
-	}
-}
+func (g *Generator) poisson(lambda float64) int { return poissonDraw(g.rng, lambda) }
 
 // Day returns which simulation day (0-based) a time falls in.
 func Day(t time.Duration) int { return int(t / (24 * time.Hour)) }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"livenet/internal/client"
 	"livenet/internal/core"
 	"livenet/internal/media"
 	"livenet/internal/netem"
@@ -117,9 +118,17 @@ func TestObservabilityDocCoversMetrics(t *testing.T) {
 	fed := core.NewCluster(core.ClusterConfig{Seed: 3, Sites: 12, Regions: 3, Telemetry: true})
 	defer fed.Close()
 
+	// Cohort-aggregated macro runs publish population-weighted QoE as
+	// cohort.* instruments (DESIGN.md §11); walk that registry too.
+	var cohort client.Cohort
+	cohort.AddViewer(120, 25, 2, 30, 400, 0, 0)
+	cohort.AddBatch(1000, client.CohortBatch{MeanViewSecs: 72.5, PZeroStall: 0.97, PFastStart: 0.95})
+	cohortTel := telemetry.NewRegistry()
+	cohort.Publish(cohortTel)
+
 	var missing []string
 	seen := 0
-	for _, r := range []*telemetry.Registry{c.NodeTel[0], c.ClientTel, c.NetTel, c.BrainTel, rep.BrainTel, fed.BrainTel} {
+	for _, r := range []*telemetry.Registry{c.NodeTel[0], c.ClientTel, c.NetTel, c.BrainTel, rep.BrainTel, fed.BrainTel, cohortTel} {
 		for _, name := range r.Names() {
 			seen++
 			if !strings.Contains(string(doc), name) {
