@@ -9,16 +9,17 @@
 #   make quick      # scaled-down end-to-end evaluation report
 #   make macro-1m   # cohort-engine scale smoke: quarter-million-viewer macro pair
 #   make chaos      # fault-tolerance evaluation (deterministic fault injection)
+#   make chaos-migrate # planned-reconfiguration gate: rolling restart adds zero stalls
 #   make telemetry  # observability report: journey waterfalls + Brain GlobalView
 #   make docs       # docs-freshness gate: every registered metric documented
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-shard bench-json quick macro-1m chaos telemetry docs
+.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-shard bench-json quick macro-1m chaos chaos-migrate telemetry docs
 
 all: ci
 
-ci: vet build race race-dataplane chaos docs bench-smoke macro-1m
+ci: vet build race race-dataplane chaos chaos-migrate docs bench-smoke macro-1m
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +81,12 @@ macro-1m:
 # internal/eval/fault_test.go.
 chaos:
 	$(GO) run ./cmd/livenet-bench -chaos
+
+# Planned-reconfiguration gate: the full-fleet rolling restart must add
+# zero stalls for LiveNet (make-before-break drains) while Hier pays a
+# positive price, and the drain must converge before every crash.
+chaos-migrate:
+	$(GO) test -run 'TestRollingRestart' -count=1 -v ./internal/eval
 
 # Observability report: sampled per-packet latency waterfalls plus the
 # Brain's GlobalView fleet-health tables (see OBSERVABILITY.md).

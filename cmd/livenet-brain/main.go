@@ -20,6 +20,7 @@ import (
 	"livenet/internal/brainfed"
 	"livenet/internal/sim"
 	"livenet/internal/udprun"
+	"livenet/internal/wire"
 )
 
 func main() {
@@ -28,7 +29,26 @@ func main() {
 	lastResort := flag.String("last-resort", "", "comma-separated reserved relay node IDs")
 	epoch := flag.Duration("epoch", 10*time.Minute, "Global Routing recomputation period")
 	regions := flag.Int("regions", 0, "federate the Brain into this many contiguous-ID shards (0 = monolith; reserved relays double as shard gateways)")
+	drain := flag.Int("drain", -1, "admin mode: mark this node draining on a running Brain (-connect) and exit")
+	undrain := flag.Int("undrain", -1, "admin mode: readmit this node on a running Brain (-connect) and exit")
+	connect := flag.String("connect", "", "Brain address for -drain/-undrain admin mode (default: the -listen address)")
 	flag.Parse()
+
+	if *drain >= 0 || *undrain >= 0 {
+		target, draining := *drain, true
+		if *undrain >= 0 {
+			target, draining = *undrain, false
+		}
+		addr := *connect
+		if addr == "" {
+			addr = *listen
+		}
+		if err := adminDrain(addr, target, draining); err != nil {
+			fmt.Fprintln(os.Stderr, "livenet-brain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var lr []int
 	if *lastResort != "" {
@@ -91,4 +111,46 @@ func main() {
 				m.Lookups, m.PIBHits, m.PIBMisses, m.LastResortUsed, m.OverloadAlarms, m.StreamsActive)
 		}
 	}
+}
+
+// adminDrain sends one DrainNode admin RPC to a running Brain at addr
+// and waits for the DrainAck confirming the state change.
+func adminDrain(addr string, node int, draining bool) error {
+	ep, err := udprun.Listen(udprun.AdminID, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	if err := ep.AddPeer(udprun.BrainID, addr); err != nil {
+		return err
+	}
+	acked := make(chan wire.DrainAck, 1)
+	ep.Serve(func(from int, data []byte) {
+		var ack wire.DrainAck
+		if ack.Unmarshal(data) == nil {
+			select {
+			case acked <- ack:
+			default:
+			}
+		}
+	})
+	req := wire.DrainNode{Node: uint16(node), Drain: draining}
+	// The RPC is a single datagram each way; retry a few times so one
+	// lost packet does not fail the admin action.
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := ep.Send(udprun.AdminID, udprun.BrainID, req.Marshal(nil)); err != nil {
+			return err
+		}
+		select {
+		case ack := <-acked:
+			state := "draining"
+			if !ack.Draining {
+				state = "active"
+			}
+			fmt.Printf("node %d is now %s\n", ack.Node, state)
+			return nil
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("no DrainAck from %s after 5 attempts", addr)
 }

@@ -170,6 +170,12 @@ type Brain struct {
 	pib map[pairKey]*pibEntry
 	sib map[uint32]int // stream ID -> producer node
 
+	// draining marks relays being decommissioned (planned
+	// reconfiguration): path decisions avoid them as interior hops and the
+	// last resort skips them, so a drain converges instead of the Brain
+	// steering new subscriptions back onto the leaving node.
+	draining map[int]bool
+
 	// trees caches one SSSP tree per producer, stamped by graph version.
 	trees map[int]treeEntry
 
@@ -208,6 +214,7 @@ func New(cfg Config) *Brain {
 		view:       graph.New(cfg.N),
 		pib:        make(map[pairKey]*pibEntry),
 		sib:        make(map[uint32]int),
+		draining:   make(map[int]bool),
 		trees:      make(map[int]treeEntry),
 		dirtyLinks: make(map[pairKey]uint64),
 		dirtyNodes: make(map[int]uint64),
@@ -697,7 +704,7 @@ func (b *Brain) serveLocked(producer, consumer int, e *pibEntry) [][]int {
 		e.decidedLR = false
 		e.decided = e.decided[:0]
 		for _, p := range e.paths {
-			if !b.view.PathOverloaded(p.Nodes) {
+			if !b.view.PathOverloaded(p.Nodes) && !b.pathDrainingLocked(p.Nodes) {
 				e.decided = append(e.decided, p.Nodes)
 			}
 		}
@@ -718,6 +725,45 @@ func (b *Brain) serveLocked(producer, consumer int, e *pibEntry) [][]int {
 	out := make([][]int, len(e.decided))
 	copy(out, e.decided)
 	return out
+}
+
+// pathDrainingLocked reports whether any interior hop of path is
+// draining. Endpoints are exempt: a draining node keeps serving its own
+// producers and locally attached viewers — only relayed traffic moves.
+func (b *Brain) pathDrainingLocked(path []int) bool {
+	if len(b.draining) == 0 {
+		return false
+	}
+	for _, id := range path[1 : len(path)-1] {
+		if b.draining[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// SetDraining marks a relay as (not) draining for path decisions. The
+// view version is bumped so memoized decisions made before the change
+// expire immediately.
+func (b *Brain) SetDraining(id int, v bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.draining[id] == v {
+		return
+	}
+	if v {
+		b.draining[id] = true
+	} else {
+		delete(b.draining, id)
+	}
+	b.view.BumpVersion()
+}
+
+// Draining reports whether a node is marked draining.
+func (b *Brain) Draining(id int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.draining[id]
 }
 
 // pibEntryLocked returns the cached PIB entry for a pair, computing it if
@@ -797,7 +843,7 @@ func (b *Brain) lastResortLocked(producer, consumer int) []int {
 		// Skip relays known to be failed. Legs that merely lack
 		// measurements (Inf weight at bootstrap) stay eligible — the Brain
 		// must answer before the first discovery reports arrive.
-		if b.view.NodeDown(lr) {
+		if b.view.NodeDown(lr) || b.draining[lr] {
 			continue
 		}
 		if l := b.view.Link(producer, lr); l != nil && l.Down {

@@ -23,6 +23,9 @@ type ReplicatedBrain struct {
 	Local   *Brain
 	id      int
 	replica *replication.Replica
+	// extra handles committed log entries that are not SIB ops (e.g. the
+	// federation's stitch-cache entries). Set before any commit arrives.
+	extra func(value []byte)
 }
 
 // SIB log entry encoding: op byte + stream ID + producer.
@@ -46,19 +49,34 @@ func NewReplicated(local *Brain, id int, peers []int, tr replication.Transport, 
 	rb := &ReplicatedBrain{Local: local, id: id}
 	rb.replica = replication.NewReplica(id, peers, tr, clock)
 	rb.replica.OnCommit = func(_ int, value []byte) {
-		if len(value) != 7 {
+		if len(value) == 7 && (value[0] == opRegister || value[0] == opUnregister) {
+			sid := binary.BigEndian.Uint32(value[1:])
+			producer := binary.BigEndian.Uint16(value[5:])
+			switch value[0] {
+			case opRegister:
+				local.RegisterStream(sid, int(producer))
+			case opUnregister:
+				local.UnregisterStream(sid)
+			}
 			return
 		}
-		sid := binary.BigEndian.Uint32(value[1:])
-		producer := binary.BigEndian.Uint16(value[5:])
-		switch value[0] {
-		case opRegister:
-			local.RegisterStream(sid, int(producer))
-		case opUnregister:
-			local.UnregisterStream(sid)
+		if rb.extra != nil {
+			rb.extra(value)
 		}
 	}
 	return rb
+}
+
+// SetExtraOpHandler installs the handler for committed log entries other
+// than SIB ops. Install it right after construction, before proposals.
+func (rb *ReplicatedBrain) SetExtraOpHandler(fn func(value []byte)) {
+	rb.extra = fn
+}
+
+// ProposeOp proposes an arbitrary log entry (routed to the extra-op
+// handler on commit at every replica).
+func (rb *ReplicatedBrain) ProposeOp(value []byte) {
+	rb.replica.Propose(value)
 }
 
 // Replica exposes the underlying Paxos replica (for transport wiring).

@@ -77,6 +77,79 @@ func newFedInstruments(r *telemetry.Registry) fedInstruments {
 
 type pairKey struct{ src, dst int }
 
+// opStitch is the shard-group log tag for a persisted stitch-cache
+// entry (SIB ops use 1 and 2; see brain.ReplicatedBrain). Persisting
+// decided cross-shard stitches into the per-shard Paxos log means the
+// cached-stitch fallback rung survives a front-end restart: a fresh
+// front-end replays the log instead of starting with a cold cache.
+// Encoding: [opStitch][src u16][dst u16][npaths u8]([len u8][hop u16]*)*
+const opStitch = 3
+
+func encodeStitchOp(src, dst int, paths [][]int) []byte {
+	n := 6
+	for _, p := range paths {
+		n += 1 + 2*len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, opStitch)
+	buf = append(buf, byte(src>>8), byte(src), byte(dst>>8), byte(dst))
+	buf = append(buf, byte(len(paths)))
+	for _, p := range paths {
+		buf = append(buf, byte(len(p)))
+		for _, h := range p {
+			buf = append(buf, byte(h>>8), byte(h))
+		}
+	}
+	return buf
+}
+
+func decodeStitchOp(value []byte) (pairKey, [][]int, bool) {
+	if len(value) < 6 || value[0] != opStitch {
+		return pairKey{}, nil, false
+	}
+	k := pairKey{
+		src: int(value[1])<<8 | int(value[2]),
+		dst: int(value[3])<<8 | int(value[4]),
+	}
+	n := int(value[5])
+	off := 6
+	paths := make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		if len(value) < off+1 {
+			return pairKey{}, nil, false
+		}
+		m := int(value[off])
+		off++
+		if len(value) < off+2*m {
+			return pairKey{}, nil, false
+		}
+		p := make([]int, m)
+		for j := 0; j < m; j++ {
+			p[j] = int(value[off])<<8 | int(value[off+1])
+			off += 2
+		}
+		paths = append(paths, p)
+	}
+	return k, paths, true
+}
+
+func samePaths(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Federation fronts a set of per-region Brain shards behind the
 // monolithic Brain's lookup/report API. Reports route to the shard
 // owning the reporting node; same-shard lookups are served entirely by
@@ -128,7 +201,9 @@ func New(cfg Config) *Federation {
 	}
 	if cfg.Replicas > 1 && cfg.Brain.Clock != nil {
 		for s := 0; s < p.Shards(); s++ {
-			f.groups = append(f.groups, newShardGroup(f.shards[s], cfg.Replicas, cfg.Brain.Clock))
+			g := newShardGroup(f.shards[s], cfg.Replicas, cfg.Brain.Clock)
+			g.rb.SetExtraOpHandler(f.applyStitchOp)
+			f.groups = append(f.groups, g)
 		}
 	}
 	f.tel.shards.Set(float64(p.Shards()))
@@ -232,6 +307,18 @@ func (f *Federation) ReportNodeLoad(id int, util float64) {
 	}
 }
 
+// Draining reports whether any shard has the node marked draining
+// (SetDraining broadcasts, so the shards agree; "any" keeps the answer
+// right even mid-broadcast).
+func (f *Federation) Draining(id int) bool {
+	for _, sh := range f.shards {
+		if sh.Draining(id) {
+			return true
+		}
+	}
+	return false
+}
+
 // OverloadAlarm forwards a node overload alarm to its owner shard.
 func (f *Federation) OverloadAlarm(id int, util float64) {
 	if s := f.sink(id); s >= 0 {
@@ -332,9 +419,16 @@ func (f *Federation) lookupPath(producer, consumer int) ([][]int, error) {
 	if !srcDown && !dstDown {
 		paths := f.stitch(producer, consumer, ss, ds)
 		if len(paths) > 0 {
+			k := pairKey{producer, consumer}
 			f.mu.Lock()
-			f.stitchCache[pairKey{producer, consumer}] = paths
+			changed := !samePaths(f.stitchCache[k], paths)
+			f.stitchCache[k] = paths
 			f.mu.Unlock()
+			if changed && f.groups != nil {
+				// Persist the decided stitch into the destination shard's
+				// log (outside f.mu: the commit path re-enters the lock).
+				f.groups[ds].rb.ProposeOp(encodeStitchOp(producer, consumer, paths))
+			}
 		}
 		return paths, nil
 	}
@@ -537,6 +631,55 @@ func duplicatePath(have [][]int, p []int) bool {
 		}
 	}
 	return false
+}
+
+// applyStitchOp installs a committed stitch-cache log entry. Idempotent
+// (last write wins), so replays and duplicate commits are harmless.
+func (f *Federation) applyStitchOp(value []byte) {
+	k, paths, ok := decodeStitchOp(value)
+	if !ok {
+		return
+	}
+	f.mu.Lock()
+	f.stitchCache[k] = paths
+	f.mu.Unlock()
+}
+
+// DropStitchCache clears the in-memory stitch cache — the model of a
+// front-end restart losing its soft state.
+func (f *Federation) DropStitchCache() {
+	f.mu.Lock()
+	f.stitchCache = make(map[pairKey][][]int)
+	f.mu.Unlock()
+}
+
+// RecoverStitchCache replays the per-shard Paxos logs through the
+// stitch-op handler, rebuilding the cache a restarted front-end needs
+// for the cached-stitch fallback rung. It returns how many entries the
+// replay installed. A no-op without replication.
+func (f *Federation) RecoverStitchCache() int {
+	if f.groups == nil {
+		return 0
+	}
+	n := 0
+	for _, g := range f.groups {
+		for _, v := range g.rb.Replica().AppliedValues() {
+			if _, _, ok := decodeStitchOp(v); ok {
+				f.applyStitchOp(v)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// SetDraining marks a relay as (not) draining in every shard: any shard
+// may route a stitched segment through the node, so the exclusion must
+// be federation-wide.
+func (f *Federation) SetDraining(id int, v bool) {
+	for _, sh := range f.shards {
+		sh.SetDraining(id, v)
+	}
 }
 
 // AdvanceEpoch advances every reachable shard's routing epoch in

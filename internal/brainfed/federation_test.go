@@ -491,3 +491,91 @@ func ExampleByRegion() {
 	fmt.Println(p.Shards() == len(w.Regions()))
 	// Output: true
 }
+
+// TestStitchCacheSurvivesRestartThenPartition is the ROADMAP item 2
+// follow-up pin: decided cross-shard stitches are persisted into the
+// per-shard Paxos SIB log, so the cached-stitch fallback rung survives a
+// front-end restart. The sequence is restart THEN partition: the
+// restarted front-end loses its soft state, replays the log, and must
+// still serve the pre-restart stitch byte-for-byte once the destination
+// shard partitions away.
+func TestStitchCacheSurvivesRestartThenPartition(t *testing.T) {
+	const n = 36
+	w, links := testWorld(t, n)
+	part := ByRegion(w, 0)
+	loop := sim.NewLoop(5)
+	reg := telemetry.NewRegistry()
+	fed := New(Config{
+		Brain:     brain.Config{N: n, MaxHops: 8, Clock: loop},
+		Partition: part,
+		MaxStitch: 16,
+		Replicas:  3,
+		Telemetry: reg,
+	})
+	defer fed.Close()
+	reportAll(w, links, fed)
+
+	producer := part.Nodes(0)[0]
+	foreign := -1
+	for s := 1; s < part.Shards(); s++ {
+		if len(part.Nodes(s)) > 0 {
+			foreign = s
+			break
+		}
+	}
+	if foreign < 0 {
+		t.Skip("no foreign shard")
+	}
+	consumer := part.Nodes(foreign)[0]
+
+	fed.RegisterStream(77, producer)
+	loop.RunUntil(2 * time.Second) // SIB registration commits
+	warm, err := fed.Lookup(77, consumer)
+	if err != nil || len(warm) == 0 {
+		t.Fatalf("warm cross-shard lookup failed: %v (%d paths)", err, len(warm))
+	}
+	// Keep a private copy: the cache aliases what Lookup returned.
+	want := make([][]int, len(warm))
+	for i, p := range warm {
+		want[i] = append([]int(nil), p...)
+	}
+	loop.RunUntil(4 * time.Second) // the stitch op commits through Paxos
+
+	// Front-end restart: all soft state is gone ...
+	fed.DropStitchCache()
+	// ... and the replayed Paxos log rebuilds it.
+	if got := fed.RecoverStitchCache(); got < 1 {
+		t.Fatalf("RecoverStitchCache replayed %d entries, want >= 1", got)
+	}
+
+	// Now the destination shard partitions away. The cached rung must
+	// serve the recovered, pre-restart stitch byte-for-byte.
+	fed.SetShardDown(foreign, true)
+	got, err := fed.Lookup(77, consumer)
+	if err != nil {
+		t.Fatalf("post-restart cached fallback errored: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered fallback served %d paths, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !pathEq(got[i], want[i]) {
+			t.Fatalf("recovered fallback path %d = %v, want pre-restart %v", i, got[i], want[i])
+		}
+	}
+	if reg.Snapshot().Counters["brainfed.fallback_cached"] == 0 {
+		t.Fatal("fallback_cached = 0: the answer did not come from the cached rung")
+	}
+
+	// Control: a restart WITHOUT log replay loses the rung — the same
+	// lookup falls through to the degraded shard-local splice instead.
+	fed.DropStitchCache()
+	before := reg.Snapshot().Counters["brainfed.fallback_cached"]
+	if _, err := fed.Lookup(77, consumer); err != nil {
+		t.Fatalf("unrecovered lookup errored: %v", err)
+	}
+	after := reg.Snapshot().Counters["brainfed.fallback_cached"]
+	if after != before {
+		t.Fatal("unrecovered lookup still hit the cached rung; restart model is broken")
+	}
+}

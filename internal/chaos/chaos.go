@@ -66,6 +66,14 @@ const (
 	ReplicaPartition
 	// ReplicaHeal reconnects a partitioned replica/shard at At.
 	ReplicaHeal
+	// NodeDrain starts a planned drain of Node at At (make-before-break
+	// migration of its carried streams); if Until is set the node is
+	// undrained at Until. This is the migration-storm primitive: many
+	// NodeDrain faults in one schedule reconfigure large parts of the
+	// overlay at once.
+	NodeDrain
+	// NodeUndrain readmits Node to path decisions at At.
+	NodeUndrain
 )
 
 var kindNames = map[Kind]string{
@@ -83,6 +91,8 @@ var kindNames = map[Kind]string{
 	LastMileRestore:  "lastmile-restore",
 	ReplicaPartition: "replica-partition",
 	ReplicaHeal:      "replica-heal",
+	NodeDrain:        "node-drain",
+	NodeUndrain:      "node-undrain",
 }
 
 // String names the fault kind for timelines and logs.
@@ -129,6 +139,10 @@ type Injector interface {
 	RestartReplica(i int)
 	PartitionReplica(i int)
 	HealReplica(i int)
+	// DrainNode starts a planned drain (returns how many migrations were
+	// scheduled); UndrainNode readmits the node.
+	DrainNode(id int) int
+	UndrainNode(id int)
 }
 
 // Event is one applied fault action, as recorded in the timeline.
@@ -257,6 +271,15 @@ func (e *Engine) installFault(f Fault) {
 	case ReplicaHeal:
 		r := f.Replica
 		e.at(f.At, fmt.Sprintf("replica-heal replica=%d", r), func() { e.inj.HealReplica(r) })
+	case NodeDrain:
+		id := f.Node
+		e.at(f.At, fmt.Sprintf("node-drain node=%d", id), func() { e.inj.DrainNode(id) })
+		if f.Until > f.At {
+			e.at(f.Until, fmt.Sprintf("node-undrain node=%d", id), func() { e.inj.UndrainNode(id) })
+		}
+	case NodeUndrain:
+		id := f.Node
+		e.at(f.At, fmt.Sprintf("node-undrain node=%d", id), func() { e.inj.UndrainNode(id) })
 	}
 }
 
@@ -288,6 +311,11 @@ type GenerateConfig struct {
 	// ReplicaPartitions schedules consensus-quorum partitions of random
 	// replicas/shards (0 disables; needs Replicas).
 	ReplicaPartitions int
+	// Drains schedules planned node drain/undrain cycles — the
+	// migration-storm schedule (0 disables). Drawn after every other
+	// fault kind, so schedules generated with Drains=0 are byte-identical
+	// to those from before the knob existed.
+	Drains int
 }
 
 // Generate builds a random fault schedule from a seed: the same seed and
@@ -342,6 +370,13 @@ func Generate(seed int64, cfg GenerateConfig) Scenario {
 	for i := 0; i < cfg.ReplicaPartitions && cfg.Replicas > 0; i++ {
 		t := at()
 		faults = append(faults, Fault{Kind: ReplicaPartition, At: t, Until: t + horizon/4, Replica: rng.Intn(cfg.Replicas)})
+	}
+	for i := 0; i < cfg.Drains && cfg.Nodes > 0; i++ {
+		t := at()
+		faults = append(faults, Fault{
+			Kind: NodeDrain, At: t, Until: t + horizon/4,
+			Node: rng.Intn(cfg.Nodes),
+		})
 	}
 	sort.SliceStable(faults, func(i, j int) bool { return faults[i].At < faults[j].At })
 	return Scenario{Name: fmt.Sprintf("generated(seed=%d)", seed), Faults: faults}

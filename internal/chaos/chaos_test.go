@@ -38,6 +38,13 @@ func (r *recorder) PartitionReplica(i int) {
 func (r *recorder) HealReplica(i int) {
 	r.calls = append(r.calls, fmt.Sprintf("heal-replica %d", i))
 }
+func (r *recorder) DrainNode(id int) int {
+	r.calls = append(r.calls, fmt.Sprintf("drain %d", id))
+	return 1
+}
+func (r *recorder) UndrainNode(id int) {
+	r.calls = append(r.calls, fmt.Sprintf("undrain %d", id))
+}
 
 func TestGenerateIsDeterministic(t *testing.T) {
 	cfg := GenerateConfig{Nodes: 12, Horizon: time.Minute, Crashes: 2, LinkCuts: 3, Bursts: 2, Replicas: 3, ReplicaKills: 1}
@@ -128,5 +135,69 @@ func TestNodeCrashWithAutoRestart(t *testing.T) {
 	}
 	if tl == "" {
 		t.Fatal("empty timeline")
+	}
+}
+
+func TestNodeDrainWithAutoUndrain(t *testing.T) {
+	sc := Scenario{Faults: []Fault{
+		{Kind: NodeDrain, At: time.Second, Until: 3 * time.Second, Node: 5},
+		{Kind: NodeUndrain, At: 4 * time.Second, Node: 6},
+	}}
+	_, calls := run(sc, 5*time.Second)
+	want := []string{"drain 5", "undrain 5", "undrain 6"}
+	if !reflect.DeepEqual(calls, want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+}
+
+// TestMigrationStormReplaysByteIdentically pins the migration-storm
+// schedule (many NodeDrain faults) to the same byte-identical replay
+// contract as every other fault kind.
+func TestMigrationStormReplaysByteIdentically(t *testing.T) {
+	cfg := GenerateConfig{Nodes: 20, Horizon: time.Minute, Drains: 8}
+	sc := Generate(11, cfg)
+	if !reflect.DeepEqual(sc, Generate(11, cfg)) {
+		t.Fatal("same seed produced different migration storms")
+	}
+	drains := 0
+	for _, f := range sc.Faults {
+		if f.Kind == NodeDrain {
+			drains++
+			if f.Until <= f.At {
+				t.Fatalf("drain without undrain window: %+v", f)
+			}
+		}
+	}
+	if drains != 8 {
+		t.Fatalf("drains = %d, want 8", drains)
+	}
+	tl1, calls1 := run(sc, 2*time.Minute)
+	tl2, calls2 := run(sc, 2*time.Minute)
+	if tl1 != tl2 || !reflect.DeepEqual(calls1, calls2) {
+		t.Fatalf("migration storm did not replay identically:\n%s\n---\n%s", tl1, tl2)
+	}
+}
+
+// TestDrainsKnobIsAdditive pins that schedules generated with Drains=0
+// are unchanged from before the knob existed: drains draw from the RNG
+// only after every other fault kind.
+func TestDrainsKnobIsAdditive(t *testing.T) {
+	base := GenerateConfig{Nodes: 12, Horizon: time.Minute, Crashes: 2, LinkCuts: 3, Bursts: 2, Replicas: 3, ReplicaKills: 1}
+	withDrains := base
+	withDrains.Drains = 4
+	a, b := Generate(33, base), Generate(33, withDrains)
+	if len(b.Faults) != len(a.Faults)+4 {
+		t.Fatalf("fault counts: base %d, with drains %d", len(a.Faults), len(b.Faults))
+	}
+	// Removing the drains from the augmented schedule must leave exactly
+	// the base schedule (the sort is stable, drains only add).
+	stripped := b.Faults[:0:0]
+	for _, f := range b.Faults {
+		if f.Kind != NodeDrain {
+			stripped = append(stripped, f)
+		}
+	}
+	if !reflect.DeepEqual(stripped, a.Faults) {
+		t.Fatalf("Drains>0 perturbed the base schedule:\n%v\n%v", stripped, a.Faults)
 	}
 }

@@ -318,6 +318,14 @@ func (v *Viewer) Close() {
 	v.closed = true
 }
 
+// RateEstimate returns the viewer's current delay-based bandwidth
+// estimate in bps (what it REMBs to its consumer).
+func (v *Viewer) RateEstimate() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.aimd.Rate()
+}
+
 // Stats returns a snapshot of the view's QoE metrics.
 func (v *Viewer) Stats() ViewStats {
 	v.mu.Lock()

@@ -180,6 +180,12 @@ type Cluster struct {
 
 	// crashed marks overlay nodes taken down by the fault plane.
 	crashed []bool
+	// draining marks overlay nodes being decommissioned (DrainNode).
+	draining []bool
+	// Drain-orchestration instruments (nil-safe).
+	drainsStarted   *telemetry.Counter
+	drainsCompleted *telemetry.Counter
+	drainMigrations *telemetry.Counter
 	// lastMileClients maps a node to its attached client endpoints and
 	// lastMileLoss remembers each access link's original loss function
 	// (for last-mile degradation and restoration).
@@ -208,6 +214,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		RespTimes:       &stats.Sample{},
 		lowerRendition:  make(map[uint32]uint32),
 		crashed:         make([]bool, cfg.Sites),
+		draining:        make([]bool, cfg.Sites),
 		lastMileClients: make(map[int][]int),
 		lastMileLoss:    make(map[int]func(time.Duration) float64),
 		nextClient:      clientIDBase,
@@ -326,6 +333,12 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 	c.servedHome = c.BrainTel.Counter("brain.lookups_served_home")
 	c.servedFailover = c.BrainTel.Counter("brain.lookups_served_failover")
 	c.lastReplica = c.BrainTel.Gauge("brain.lookup_last_replica")
+	// Drain orchestration (planned reconfiguration): counted here, not in
+	// the Brain, so a federated deployment counts each drain once instead
+	// of once per shard.
+	c.drainsStarted = c.BrainTel.Counter("brain.drains_started")
+	c.drainsCompleted = c.BrainTel.Counter("brain.drains_completed")
+	c.drainMigrations = c.BrainTel.Counter("brain.drain_migrations")
 
 	// Overlay nodes wired to the Brain.
 	for id := 0; id < cfg.Sites; id++ {

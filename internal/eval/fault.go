@@ -93,6 +93,8 @@ func (ci *chainInjector) KillReplica(int)                  {}
 func (ci *chainInjector) RestartReplica(int)               {}
 func (ci *chainInjector) PartitionReplica(int)             {}
 func (ci *chainInjector) HealReplica(int)                  {}
+func (ci *chainInjector) DrainNode(int) int                { return 0 }
+func (ci *chainInjector) UndrainNode(int)                  {}
 
 // RelayCrashResult summarizes one relay-crash run at the viewer.
 type RelayCrashResult struct {
@@ -584,7 +586,7 @@ func FlashCrowdCohort(seed int64) FlashCrowdCohortResult {
 	}
 }
 
-// FaultReport renders the fault-tolerance evaluation: the four
+// FaultReport renders the fault-tolerance evaluation: the six
 // experiments with their chaos timelines, in the same table style as the
 // paper sections. The whole report is a pure function of the seed.
 func FaultReport(seed int64) string {
@@ -638,6 +640,8 @@ func FaultReport(seed int64) string {
 	if qp.Converged {
 		b.WriteString("replica logs converged after heal: the partitioned replica caught up\n")
 	}
+
+	b.WriteString(rollingRestartSection(seed))
 
 	fc := FlashCrowdCohort(seed)
 	b.WriteString("\nMillion-viewer flash crowd: load x2 for hour 2 (cohort-aggregated macro run)\n")

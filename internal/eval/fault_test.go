@@ -121,6 +121,38 @@ func TestQuorumPartitionConvergesAfterHeal(t *testing.T) {
 	}
 }
 
+// TestRollingRestartZeroAddedStalls pins the planned-reconfiguration
+// headline (ROADMAP item 4): restarting the entire relay fleet one node
+// at a time adds zero viewer stalls when each relay is drained first
+// (make-before-break migration), while the Hier baseline — cold
+// restarts, reactive detection only — makes viewers pay.
+func TestRollingRestartZeroAddedStalls(t *testing.T) {
+	ln, hr := RollingRestartCompare(42)
+	if ln.Fleet < 3 {
+		t.Fatalf("fleet too small to be interesting: %+v", ln)
+	}
+	if ln.Viewers != len(rollingViewerLocs) || hr.Viewers != ln.Viewers {
+		t.Fatalf("viewers: ln=%d hr=%d want %d", ln.Viewers, hr.Viewers, len(rollingViewerLocs))
+	}
+	if ln.DrainMigrations < 1 {
+		t.Fatalf("drains never migrated a stream — the fleet carried nothing: %+v", ln)
+	}
+	if ln.LeftoverAtCrash != 0 {
+		t.Fatalf("%d streams still rode draining relays at crash time", ln.LeftoverAtCrash)
+	}
+	if ln.AddedStalls > 0 {
+		t.Fatalf("LiveNet rolling restart added %d stalls (restart %d vs baseline %d)",
+			ln.AddedStalls, ln.RestartStalls, ln.BaselineStalls)
+	}
+	if hr.AddedStalls <= 0 {
+		t.Fatalf("Hier baseline paid nothing for blind restarts (restart %d vs baseline %d) — comparison is vacuous",
+			hr.RestartStalls, hr.BaselineStalls)
+	}
+	if ln.DrainMigrations > 0 && ln.MigrationsDone == 0 && ln.PlannedSwitches == 0 {
+		t.Fatalf("drain migrations scheduled but none completed on surviving nodes: %+v", ln)
+	}
+}
+
 // TestBrainOutageNoRoutingLoss pins replica failover: killing one of
 // three Paxos replicas mid-run loses no lookup and starts every viewer.
 func TestBrainOutageNoRoutingLoss(t *testing.T) {

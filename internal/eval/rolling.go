@@ -1,0 +1,269 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"livenet/internal/chaos"
+	"livenet/internal/core"
+	"livenet/internal/media"
+	"livenet/internal/stats"
+)
+
+// --- Rolling restart (planned reconfiguration, ROADMAP item 4) ---
+//
+// The headline experiment for make-before-break migration and relay
+// drain: restart the WHOLE relay fleet of a live cluster, one node at a
+// time, while viewers keep watching. LiveNet drains each relay first —
+// the Brain stops routing through it, its carried streams migrate off
+// on GoP boundaries, and only then does the process restart — so the
+// viewers see zero added stalls. The Hier baseline has no drain
+// machinery: each restart is a cold crash its reactive (and slow)
+// failure detection must notice, which the viewers pay for in stalls.
+
+// Rolling-restart cadence: each relay drains for rrDrainFor (LiveNet
+// only), is down for rrDownFor, then the fleet stabilizes for
+// rrStabilize before the next relay goes. The drain window must exceed
+// one full GoP (2 s) so every migration reaches its splice point.
+const (
+	rrWarmup    = 5 * time.Second
+	rrDrainFor  = 3 * time.Second
+	rrDownFor   = 2 * time.Second
+	rrStabilize = time.Second
+)
+
+// rollingViewerLocs spreads viewers across continents so the delivery
+// tree has interior relay hops (intercontinental paths ride the IXP
+// relay sites).
+var rollingViewerLocs = [][2]float64{
+	{52.0, -1.0},    // GB
+	{40.7, -74.0},   // US east
+	{1.35, 103.8},   // SG
+	{35.6, 139.7},   // JP
+	{48.8, 2.35},    // FR
+	{-23.55, -46.6}, // BR
+}
+
+// RollingRestartResult summarizes one full-fleet rolling restart.
+type RollingRestartResult struct {
+	System  string
+	Viewers int
+	// Fleet is the restarted relay set: every overlay node that is
+	// neither the producer nor a consumer with attached viewers.
+	Fleet int
+	// DrainMigrations is how many (stream, subscriber) migrations the
+	// drains scheduled (0 for Hier: it has no drain).
+	DrainMigrations int
+	// LeftoverAtCrash sums DrainRemaining just before each crash: 0
+	// means every drain converged and no live stream rode a dying relay.
+	LeftoverAtCrash int
+	// PlannedSwitches/UnplannedSwitches attribute the fleet-wide fast
+	// switches over the run (summed across nodes alive at the end).
+	PlannedSwitches   uint64
+	UnplannedSwitches uint64
+	MigrationsDone    uint64
+	// BaselineStalls/RestartStalls count viewer stalls inside the
+	// restart window for the control run (same seed, no restarts) and
+	// the restart run; AddedStalls is their difference.
+	BaselineStalls int
+	RestartStalls  int
+	AddedStalls    int
+	// WindowSec is the restart window length (virtual seconds).
+	WindowSec float64
+	Timeline  string
+}
+
+// rollingFleet lists the relay fleet to restart: every site except the
+// producer and the consumer sites serving attached viewers.
+func rollingFleet(sites, producer int, consumers map[int]bool) []int {
+	fleet := make([]int, 0, sites)
+	for id := 0; id < sites; id++ {
+		if id == producer || consumers[id] {
+			continue
+		}
+		fleet = append(fleet, id)
+	}
+	sort.Ints(fleet)
+	return fleet
+}
+
+// rollingScenario builds the rolling-restart fault schedule over the
+// fleet: per relay, an optional planned drain (make-before-break
+// migration window) followed by a crash/restart cycle.
+func rollingScenario(fleet []int, drain bool) chaos.Scenario {
+	name := "rolling-restart-hier"
+	if drain {
+		name = "rolling-restart-livenet"
+	}
+	sc := chaos.Scenario{Name: name}
+	t := rrWarmup
+	for _, id := range fleet {
+		crashAt := t + rrDrainFor
+		backAt := crashAt + rrDownFor
+		if drain {
+			sc.Faults = append(sc.Faults, chaos.Fault{Kind: chaos.NodeDrain, At: t, Until: backAt, Node: id})
+		}
+		sc.Faults = append(sc.Faults, chaos.Fault{Kind: chaos.NodeCrash, At: crashAt, Until: backAt, Node: id})
+		t = backAt + rrStabilize
+	}
+	return sc
+}
+
+// rollingWindow returns the restart window [start, end] of the fleet's
+// schedule.
+func rollingWindow(fleet []int) (time.Duration, time.Duration) {
+	cycle := rrDrainFor + rrDownFor + rrStabilize
+	return rrWarmup, rrWarmup + time.Duration(len(fleet))*cycle
+}
+
+// drainCountingInjector forwards the chaos fault surface to the cluster
+// while tallying how many migrations the drains scheduled (DrainNode's
+// return value is dropped by the chaos engine).
+type drainCountingInjector struct {
+	*core.Cluster
+	scheduled int
+}
+
+func (d *drainCountingInjector) DrainNode(id int) int {
+	n := d.Cluster.DrainNode(id)
+	d.scheduled += n
+	return n
+}
+
+// runRollingRestart runs one cluster through the rolling-restart
+// schedule. drain selects the LiveNet behaviour (drain-first); restart
+// false runs the no-fault control on the same seed.
+func runRollingRestart(seed int64, system string, drain, restart bool) RollingRestartResult {
+	detect := 500 * time.Millisecond
+	if !drain {
+		// Hier-style reactive-only failure detection.
+		detect = 3 * time.Second
+	}
+	c := core.NewCluster(core.ClusterConfig{
+		Seed:                seed,
+		Sites:               12,
+		DiscoveryInterval:   10 * time.Second,
+		NodeUpstreamTimeout: detect,
+		SerialSend:          SerialDataPlane,
+	})
+	defer c.Close()
+
+	bc := c.NewBroadcasterAt(31.2, 121.5, 100, media.DefaultRenditions[:1])
+	bc.Start()
+	sid := bc.StreamID(0)
+
+	// Viewers arrive over the first two seconds; stall times are
+	// recorded without displacing the cluster's quality-report relay.
+	type stallRec struct{ at time.Duration }
+	var stalls []stallRec
+	views := make([]*core.Viewing, 0, len(rollingViewerLocs))
+	consumers := make(map[int]bool)
+	for i, loc := range rollingViewerLocs {
+		lat, lon := loc[0], loc[1]
+		c.Loop.AfterFunc(time.Duration(i+1)*300*time.Millisecond, func() {
+			v := c.NewViewerAt(lat, lon, sid)
+			relay := v.Viewer.OnStall
+			v.Viewer.OnStall = func(n int) {
+				stalls = append(stalls, stallRec{at: c.Loop.Now()})
+				if relay != nil {
+					relay(n)
+				}
+			}
+			views = append(views, v)
+			consumers[v.ConsumerNode] = true
+		})
+	}
+
+	res := RollingRestartResult{System: system}
+	inj := &drainCountingInjector{Cluster: c}
+	eng := chaos.NewEngine(c.Loop, inj)
+	var fleet []int
+	start, end := time.Duration(0), time.Duration(0)
+	c.Loop.AfterFunc(rrWarmup-time.Second, func() {
+		fleet = rollingFleet(12, bc.Producer, consumers)
+		start, end = rollingWindow(fleet)
+		if restart {
+			eng.Install(rollingScenario(fleet, drain))
+			// Record convergence just before each crash: a converged
+			// drain leaves nothing riding the dying relay.
+			t := rrWarmup
+			for _, id := range fleet {
+				id := id
+				crashAt := t + rrDrainFor
+				c.Loop.AfterFunc(crashAt-c.Loop.Now()-time.Millisecond, func() {
+					res.LeftoverAtCrash += c.DrainRemaining(id)
+				})
+				t = crashAt + rrDownFor + rrStabilize
+			}
+		}
+	})
+
+	cycle := rrDrainFor + rrDownFor + rrStabilize
+	horizon := rrWarmup + time.Duration(12)*cycle + 4*time.Second
+	c.Run(horizon)
+
+	res.Viewers = len(views)
+	res.Fleet = len(fleet)
+	res.WindowSec = (end - start).Seconds()
+	for _, s := range stalls {
+		if s.at >= start && s.at <= end {
+			res.RestartStalls++
+		}
+	}
+	for id := 0; id < 12; id++ {
+		if c.NodeCrashed(id) {
+			continue
+		}
+		m := c.Nodes[id].Metrics()
+		res.PlannedSwitches += m.FastSwitchesPlanned
+		res.UnplannedSwitches += m.FastSwitchesUnplanned
+		res.MigrationsDone += m.MigrationsCompleted
+	}
+	res.DrainMigrations = inj.scheduled
+	res.Timeline = eng.TimelineString()
+	return res
+}
+
+// RollingRestartCompare runs the full-fleet rolling restart for LiveNet
+// (drain-first, make-before-break) and the Hier baseline (cold
+// restarts, reactive detection only) on the same seed, each against its
+// own no-restart control, and reports added stalls.
+func RollingRestartCompare(seed int64) (ln, hr RollingRestartResult) {
+	ln = runRollingRestart(seed, "LiveNet", true, true)
+	lnBase := runRollingRestart(seed, "LiveNet", true, false)
+	ln.BaselineStalls = lnBase.RestartStalls
+	ln.AddedStalls = ln.RestartStalls - ln.BaselineStalls
+
+	hr = runRollingRestart(seed, "Hier", false, true)
+	hrBase := runRollingRestart(seed, "Hier", false, false)
+	hr.BaselineStalls = hrBase.RestartStalls
+	hr.AddedStalls = hr.RestartStalls - hr.BaselineStalls
+	return ln, hr
+}
+
+// rollingRestartSection renders the FaultReport section.
+func rollingRestartSection(seed int64) string {
+	var b strings.Builder
+	ln, hr := RollingRestartCompare(seed)
+	fmt.Fprintf(&b, "\nRolling restart of the whole relay fleet (%d relays, drain %.0fs + down %.0fs each)\n",
+		ln.Fleet, rrDrainFor.Seconds(), rrDownFor.Seconds())
+	b.WriteString("fault schedule:\n" + indent(ln.Timeline))
+	t := &stats.Table{Header: []string{"system", "relays restarted", "drain migrations", "left riding at crash", "planned switches", "unplanned switches", "stalls in window", "added stalls"}}
+	for _, r := range []RollingRestartResult{ln, hr} {
+		t.AddRow(r.System,
+			fmt.Sprintf("%d", r.Fleet),
+			fmt.Sprintf("%d", r.DrainMigrations),
+			fmt.Sprintf("%d", r.LeftoverAtCrash),
+			fmt.Sprintf("%d", r.PlannedSwitches),
+			fmt.Sprintf("%d", r.UnplannedSwitches),
+			fmt.Sprintf("%d (baseline %d)", r.RestartStalls, r.BaselineStalls),
+			fmt.Sprintf("%d", r.AddedStalls))
+	}
+	b.WriteString(t.String())
+	if ln.AddedStalls <= 0 && hr.AddedStalls > 0 {
+		fmt.Fprintf(&b, "zero added stalls for LiveNet: every relay drained (make-before-break) before restarting; Hier paid %d\n", hr.AddedStalls)
+	}
+	return b.String()
+}

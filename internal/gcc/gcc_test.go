@@ -134,7 +134,8 @@ func TestAIMDHoldOnUnderuse(t *testing.T) {
 }
 
 func TestAIMDBoundedByIncoming(t *testing.T) {
-	a := NewAIMD(5_000_000, 100_000, 50_000_000)
+	// Growth stops at 1.5x the measured incoming rate.
+	a := NewAIMD(1_200_000, 100_000, 50_000_000)
 	now := time.Duration(0)
 	for i := 0; i < 50; i++ {
 		now += 100 * ms
@@ -142,6 +143,28 @@ func TestAIMDBoundedByIncoming(t *testing.T) {
 	}
 	if a.Rate() > 1.5*1_000_000 {
 		t.Fatalf("rate %v should be capped at 1.5x incoming", a.Rate())
+	}
+}
+
+func TestAIMDCapNeverCutsStandingEstimate(t *testing.T) {
+	// The cap is growth-limiting only: a standing estimate above
+	// 1.5x incoming is held, not slashed — a transient arrival pause
+	// drains the rate meter without any congestion, and cutting the
+	// estimate to the momentary trickle would be a spurious collapse.
+	// Genuine congestion decreases through the overuse path instead.
+	a := NewAIMD(5_000_000, 100_000, 50_000_000)
+	now := 100 * ms
+	a.Update(SignalNormal, 1_000_000, now)
+	if r := a.Rate(); r < 5_000_000 {
+		t.Fatalf("normal signal with a drained meter cut the rate: %v", r)
+	}
+	if r := a.Rate(); r > 5_000_000 {
+		t.Fatalf("rate %v grew past the standing estimate while above the cap", r)
+	}
+	now += 100 * ms
+	a.Update(SignalOveruse, 1_000_000, now)
+	if r := a.Rate(); r != 0.85*1_000_000 {
+		t.Fatalf("overuse should still decrease to 85%% of incoming: got %v", r)
 	}
 }
 

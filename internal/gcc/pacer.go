@@ -105,6 +105,29 @@ func (p *Pacer[T]) QueueDelay() time.Duration {
 	return time.Duration(secs * float64(time.Second))
 }
 
+// DropClassFunc removes the queued items of the given class for which
+// drop returns true, returning how many bytes were removed (selective
+// proactive dropping). The callback owns releasing any pooled buffer
+// references of items it drops.
+func (p *Pacer[T]) DropClassFunc(c Class, drop func(Item[T]) bool) int {
+	dropped := 0
+	q := p.queues[c]
+	kept := q[:0]
+	for i := range q {
+		if drop(q[i]) {
+			dropped += q[i].Size
+		} else {
+			kept = append(kept, q[i])
+		}
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = Item[T]{} // drop payload references
+	}
+	p.queues[c] = kept
+	p.queueBytes -= dropped
+	return dropped
+}
+
 // DropClass removes all queued items of the given class and returns how
 // many bytes were dropped (used by proactive frame dropping). onDrop,
 // if non-nil, sees every dropped item — payloads that hold pooled

@@ -107,6 +107,8 @@ func (a *AIMD) Update(sig Signal, incomingBps float64, now time.Duration) float6
 	}
 	a.lastUpdate = now
 
+	before := a.rate
+
 	switch sig {
 	case SignalOveruse:
 		a.state = stateDecrease
@@ -141,9 +143,25 @@ func (a *AIMD) Update(sig Signal, incomingBps float64, now time.Duration) float6
 		// no change
 	}
 
-	// Never run far ahead of what is actually arriving.
-	if incomingBps > 0 && a.rate > 1.5*incomingBps {
-		a.rate = 1.5 * incomingBps
+	// The cap on running ahead of what is actually arriving is
+	// growth-limiting only: it stops the increase path from outrunning
+	// measured throughput but never cuts a standing estimate below its
+	// pre-update value. A transient arrival pause (a path splice, a
+	// scheduling lull) drains the rate meter, and clamping an established
+	// estimate to 1.5x that momentary trickle would slash it with no
+	// congestion signal at all; genuine congestion cuts the rate through
+	// the overuse decrease (85% of incoming) instead. The cap is skipped
+	// entirely below 2x the floor: a sender throttled by this very
+	// estimate can starve the meter, and a cap fed by its own output
+	// would pin the rate at the floor forever.
+	if cap := 1.5 * incomingBps; incomingBps > 2*a.minRate && a.rate > cap {
+		if before > cap {
+			if a.rate > before {
+				a.rate = before
+			}
+		} else {
+			a.rate = cap
+		}
 	}
 	if a.rate < a.minRate {
 		a.rate = a.minRate

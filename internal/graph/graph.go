@@ -107,6 +107,11 @@ func New(n int) *Graph {
 // weight rows, SSSP trees, filtered path decisions — with it.
 func (g *Graph) Version() uint64 { return g.version }
 
+// BumpVersion advances the version without changing any metric. Callers
+// that filter decisions on state held OUTSIDE the graph (e.g. the
+// Brain's draining set) bump it so memoized decisions expire.
+func (g *Graph) BumpVersion() { g.version++ }
+
 // Edges returns the number of directed links (including pending inserts).
 func (g *Graph) Edges() int { return len(g.links) + len(g.pending) }
 

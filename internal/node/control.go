@@ -30,14 +30,73 @@ type clientState struct {
 
 	attachTime  time.Duration
 	firstSent   bool
-	stalls      int
-	dropToNextI bool // GoP-level dropping active: discard until next I frame
+	stalls      int // cumulative stall count from the client's last report
+	// switchStalls is the cumulative count at the last quality-triggered
+	// path switch; reports are cumulative, so switching decisions must be
+	// made on the delta since then, not on the raw counter.
+	switchStalls int
+	dropToNextI  bool // GoP-level dropping active: discard until next I frame
 
 	// pressureSince tracks how long the client's send queue has stayed
 	// past the frame-drop threshold (for bitrate down-switching, §5.2).
 	pressureSince  time.Duration
 	underPressure  bool
 	switchInFlight bool
+
+	// Deliberate drops punch sequence gaps the viewer cannot tell from
+	// network loss: its RR loss fraction and its NACKs are both computed
+	// from the gaps. Track what the dropper shed so that feedback about
+	// those packets is discounted — otherwise shedding reads as heavy
+	// loss, the loss-based controller collapses the client pacer, and
+	// the lower rate forces more shedding (a drop/starve spiral that
+	// bottoms out at the minimum rate and never recovers).
+	droppedPkts int // deliberately dropped since the last RR
+	sentPkts    int // forwarded since the last RR
+	dropCur     map[uint16]struct{}
+	dropPrev    map[uint16]struct{} // previous generation (bounded memory)
+
+	// iStart is the first sequence number of the newest I frame seen,
+	// so a GoP-drop flush can spare it: shedding the only decodable
+	// frame in the queue would leave a starved viewer with nothing to
+	// complete — playback (and the rate feedback loop) would freeze.
+	iStart     uint16
+	haveIStart bool
+}
+
+// noteDrop records one deliberately dropped packet.
+func (c *clientState) noteDrop(seq uint16) {
+	c.droppedPkts++
+	if c.dropCur == nil {
+		c.dropCur = make(map[uint16]struct{}, 256)
+	} else if len(c.dropCur) >= 2048 {
+		c.dropPrev = c.dropCur
+		c.dropCur = make(map[uint16]struct{}, 256)
+	}
+	c.dropCur[seq] = struct{}{}
+}
+
+// wasDropped reports whether seq was recently shed on purpose.
+func (c *clientState) wasDropped(seq uint16) bool {
+	if _, ok := c.dropCur[seq]; ok {
+		return true
+	}
+	_, ok := c.dropPrev[seq]
+	return ok
+}
+
+// adjustLoss discounts deliberate drops from a viewer's reported loss
+// fraction and resets the per-report counters.
+func (c *clientState) adjustLoss(fraction float64) float64 {
+	dropped, sent := c.droppedPkts, c.sentPkts
+	c.droppedPkts, c.sentPkts = 0, 0
+	if dropped == 0 || dropped+sent == 0 {
+		return fraction
+	}
+	fraction -= float64(dropped) / float64(dropped+sent)
+	if fraction < 0 {
+		return 0
+	}
+	return fraction
 }
 
 // --- Viewer attachment: Algorithm 1 ---
@@ -126,6 +185,7 @@ func (n *Node) maybeTeardownLocked(s *stream) {
 	if s.producer || len(s.clients) > 0 || len(s.subscribers) > 0 {
 		return
 	}
+	n.abortMigrationLocked(s)
 	if s.established && s.upstream >= 0 {
 		u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
 		n.sendControl(s.upstream, u.Marshal(nil))
@@ -224,6 +284,14 @@ func (n *Node) onSubscribe(from int, data []byte) {
 	if err := sub.Unmarshal(data); err != nil {
 		return
 	}
+	if n.draining {
+		// Planned decommission: refuse new subscriptions so the drain
+		// converges. The requester falls back to its remaining candidates
+		// or a fresh Brain lookup (which excludes draining relays).
+		rej := wire.SubReject{StreamID: sub.StreamID}
+		n.sendControl(from, rej.Marshal(nil))
+		return
+	}
 	s := n.streams[sub.StreamID]
 	if s != nil && s.established {
 		// Cache hit (or we are the producer): stop backtracking, add the
@@ -280,9 +348,37 @@ func (n *Node) onSubAck(from int, data []byte) {
 	if s == nil {
 		return
 	}
+	if m := s.mig; m != nil && from == m.prevHop && s.established && from != s.upstream {
+		// Make-before-break: the new leg is up. Record it and keep feeding
+		// from the old leg; the splice happens in onRTP on the next GoP
+		// boundary the new leg delivers.
+		m.acked = true
+		m.upstream = from
+		m.fullPath = m.fullPath[:0]
+		for _, h := range ack.Path {
+			m.fullPath = append(m.fullPath, int(h))
+		}
+		m.fullPath = append(m.fullPath, n.id)
+		return
+	}
+	if s.established {
+		// Unsolicited ack: an established stream has no Subscribe in
+		// flight (every reactive switch clears established first; a
+		// migration leg was handled above), so this is a parked
+		// subscription being flushed after we already established
+		// elsewhere, or a stale retransmit. Accepting it would overwrite
+		// a healthy upstream — two nodes whose pushed paths run through
+		// each other would splice into a closed forwarding cycle that
+		// the reverse-path prune then mistakes for the live feed.
+		// Withdraw instead so the acker drops us from its FIB.
+		if from != s.upstream {
+			u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
+			n.sendControl(from, u.Marshal(nil))
+		}
+		return
+	}
 	s.lookupPending = false
 	s.retryAt = 0
-	wasEstablished := s.established
 	s.established = true
 	s.upstream = from
 	// Establishment counts as liveness: the silence detector starts its
@@ -297,7 +393,7 @@ func (n *Node) onSubAck(from int, data []byte) {
 	// Ack our own pending downstream subscribers with the (now known)
 	// actual path.
 	n.ackPendingSubsLocked(s)
-	if !wasEstablished && n.OnEstablished != nil {
+	if n.OnEstablished != nil {
 		cb := n.OnEstablished
 		path := append([]int(nil), s.fullPath...)
 		sid := s.id
@@ -331,6 +427,10 @@ func (n *Node) forwardToClient(s *stream, c *clientState, src *fanoutSrc, pkt *r
 	haveHeader := h.Unmarshal(pkt.Payload) == nil
 
 	if haveHeader && h.Type != media.FrameAudio {
+		if h.Type == media.FrameI && h.PktIdx == 0 {
+			c.iStart = pkt.SequenceNumber
+			c.haveIStart = true
+		}
 		qd := l.pacer.QueueDelay()
 		th := n.cfg.FrameDropThreshold
 		n.trackPressure(s, c, qd > th)
@@ -343,9 +443,27 @@ func (n *Node) forwardToClient(s *stream, c *clientState, src *fanoutSrc, pkt *r
 			} else {
 				if !c.dropToNextI {
 					c.dropToNextI = true
-					l.pacer.DropClass(gcc.ClassVideo, dropRelease) // shed the backlog too
+					// Shed the queued backlog except the newest I frame
+					// (the only thing a starved viewer can still decode);
+					// shed packets were counted as sent, so move them to
+					// the drop ledger.
+					sid := s.id
+					l.pacer.DropClassFunc(gcc.ClassVideo, func(it gcc.Item[outPacket]) bool {
+						if it.Payload.sid == sid {
+							if c.haveIStart && !rtp.SeqLess(it.Payload.seq, c.iStart) {
+								return false
+							}
+							c.noteDrop(it.Payload.seq)
+							if c.sentPkts > 0 {
+								c.sentPkts--
+							}
+						}
+						dropRelease(it)
+						return true
+					})
 					n.tel.droppedGoPs.Inc()
 				}
+				c.noteDrop(pkt.SequenceNumber)
 				return
 			}
 		case qd > 2*th:
@@ -355,11 +473,13 @@ func (n *Node) forwardToClient(s *stream, c *clientState, src *fanoutSrc, pkt *r
 				} else {
 					n.tel.droppedBFrames.Inc()
 				}
+				c.noteDrop(pkt.SequenceNumber)
 				return
 			}
 		case qd > th:
 			if h.Type == media.FrameBUnref {
 				n.tel.droppedBFrames.Inc()
+				c.noteDrop(pkt.SequenceNumber)
 				return
 			}
 		}
@@ -375,6 +495,7 @@ func (n *Node) forwardToClient(s *stream, c *clientState, src *fanoutSrc, pkt *r
 		}
 	}
 	n.pushFrom(l, src, class, gain, false, false)
+	c.sentPkts++
 	n.kickPacer(l)
 	n.noteFirstPacket(c)
 }
@@ -430,11 +551,16 @@ func (n *Node) ReportClientQuality(clientID int, sid uint32, stalls int) {
 		return
 	}
 	c.stalls = stalls
-	if stalls < n.cfg.StallSwitchThreshold || !s.established {
+	// The client reports a cumulative counter: only stalls accrued since
+	// the last quality switch argue for another one (otherwise a single
+	// threshold crossing would re-trigger a switch on every later report —
+	// a path-switch storm whose resubscribe backfills congest the very
+	// last mile that is stalling).
+	if stalls-c.switchStalls < n.cfg.StallSwitchThreshold || !s.established {
 		n.mu.Unlock()
 		return
 	}
-	c.stalls = 0
+	c.switchStalls = stalls
 	n.tel.pathSwitches.Inc()
 	// Switch to the next backup path, or re-query the Brain when exhausted.
 	if len(s.backupPaths) > 0 {
@@ -455,6 +581,8 @@ func (n *Node) ReportClientQuality(clientID int, sid uint32, stalls int) {
 // the same ladder as ReportClientQuality but driven by upstream silence
 // or a stuck establishment instead of viewer stall reports).
 func (n *Node) switchPathLocked(s *stream) {
+	// A reactive switch supersedes any in-flight planned migration.
+	n.abortMigrationLocked(s)
 	if s.upstream < 0 && len(s.requestedPath) >= 2 {
 		// A Subscribe may still be parked at the silent previous hop;
 		// withdraw it so we do not remain in its FIB.
@@ -474,12 +602,15 @@ func (n *Node) switchPathLocked(s *stream) {
 	s.established = false
 	s.upstream = -1
 	s.rx = nil
+	s.fanoutGate = false
+	s.oldLegFrom = -1
 	s.lookupPending = false
 	n.ensureSubscribedLocked(s)
 }
 
 // resubscribeLocked tears down the current upstream and establishes path.
 func (n *Node) resubscribeLocked(s *stream, path []int) {
+	n.abortMigrationLocked(s)
 	if s.upstream >= 0 {
 		u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
 		n.sendControl(s.upstream, u.Marshal(nil))
@@ -487,6 +618,8 @@ func (n *Node) resubscribeLocked(s *stream, path []int) {
 	s.established = false
 	s.upstream = -1
 	s.rx = nil // fresh slow-path state on the new path
+	s.fanoutGate = false
+	s.oldLegFrom = -1
 	n.establishLocked(s, path)
 }
 

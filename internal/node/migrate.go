@@ -1,0 +1,279 @@
+package node
+
+import (
+	"sort"
+	"time"
+
+	"livenet/internal/gcc"
+	"livenet/internal/media"
+	"livenet/internal/rtp"
+	"livenet/internal/wire"
+)
+
+// Make-before-break path migration (planned reconfiguration, ROADMAP
+// item 4): the Brain moves an established subscription onto a new path
+// without the viewer noticing. The consumer-side node establishes the
+// new leg while the old one keeps delivering, lets both feeds run
+// briefly, splices on a GoP boundary (the new leg's first I-frame GoP
+// start), then tears the old leg down. A guard timer bounds the attempt:
+// if the new leg never comes up, the migration is abandoned and the
+// stream is exactly where it was — still covered by the PR 2 reactive
+// ladder.
+
+// oldLegGrace is how long packets already in flight on a torn-down leg
+// keep being accepted into the slow path (but kept out of the fan-out).
+const oldLegGrace = time.Second
+
+// prunePeriod rate-limits reverse-path prunes (re-sent Unsubscribes for
+// stale upstream FIB entries, see onRTP).
+const prunePeriod = time.Second
+
+// migration is the per-stream make-before-break state machine:
+// PENDING (Subscribe sent, waiting for the ack) → ACKED (dual feed,
+// waiting for a GoP boundary) → spliced (state cleared) — or aborted by
+// the guard timer, a SubReject, or a reactive switch.
+type migration struct {
+	prevHop  int   // next hop of the new leg (where the Subscribe went)
+	newPath  []int // requested producer→here path
+	upstream int   // actual new upstream once acked; -1 before
+	fullPath []int // actual producer→here path from the ack
+	acked    bool
+	deadline time.Duration // guard timer: abort if not spliced by then
+}
+
+// Migrate starts a make-before-break migration of an established
+// consumer-side stream onto path (producer→this node, inclusive). It
+// returns false when there is nothing to migrate seamlessly: unknown or
+// producer stream, malformed path, a migration already in flight, or the
+// path's previous hop already being the current upstream. A
+// not-yet-established stream is simply driven down the ordinary
+// establishment ladder instead.
+func (n *Node) Migrate(sid uint32, path []int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return false
+	}
+	s := n.streams[sid]
+	if s == nil || s.producer || len(path) < 2 || path[len(path)-1] != n.id {
+		return false
+	}
+	if !s.established {
+		if !s.lookupPending {
+			n.establishLocked(s, path)
+		}
+		return false
+	}
+	prevHop := path[len(path)-2]
+	if prevHop == s.upstream || s.mig != nil {
+		return false
+	}
+	s.mig = &migration{
+		prevHop:  prevHop,
+		newPath:  append([]int(nil), path...),
+		upstream: -1,
+		deadline: n.cfg.Clock.Now() + n.cfg.MigrateGuardTimeout,
+	}
+	n.tel.migrationsStarted.Inc()
+	// Establish the new leg with the same reverse-route Subscribe as
+	// establishLocked, but without touching requestedPath/retryAt: the
+	// active subscription stays untouched and the guard timer — not the
+	// establishment retry — owns this attempt.
+	rest := make([]uint16, 0, len(path)-2)
+	for i := len(path) - 3; i >= 0; i-- {
+		rest = append(rest, uint16(path[i]))
+	}
+	sub := wire.Subscribe{StreamID: sid, Requester: uint16(n.id), Path: rest}
+	n.sendControl(prevHop, sub.Marshal(nil))
+	return true
+}
+
+// spliceReady reports whether a new-leg packet is a splice point: the
+// first packet of an I frame (a GoP boundary) for video, or any frame
+// start for audio (every audio frame is independently decodable).
+func spliceReady(pkt *rtp.Packet) bool {
+	var h media.FrameHeader
+	if h.Unmarshal(pkt.Payload) != nil {
+		return false
+	}
+	if h.Type == media.FrameAudio {
+		return true
+	}
+	return h.Type == media.FrameI && h.PktIdx == 0
+}
+
+// spliceLocked flips the stream from the old leg to the acked new one.
+// Downstream continuity comes from the resume gate plus the gap flush:
+// new-leg packets fan out only from past the highest sequence received,
+// and anything between the downstream delivery front and that point —
+// packets the gated new leg received while running ahead of the old leg
+// — is fanned out from the RTX ring right now. Downstream sees a
+// continuous sequence across the cut: no duplicate, no hole (a hole
+// would be NACKed all at once, and the priority retransmission burst
+// delays live media behind it — a delay ramp the receiver-side
+// congestion control reads as the onset of congestion). Called with mu
+// held from onRTP when the new leg delivers a GoP boundary.
+func (n *Node) spliceLocked(s *stream, now time.Duration) {
+	m := s.mig
+	old := s.upstream
+	if r := s.rx; r != nil && r.haveHighest {
+		s.fanoutGate = true
+		s.fanoutFrom = r.highest + 1
+		if s.haveFanout && rtp.SeqLess(s.lastFanout, r.highest) {
+			n.flushGapLocked(s, s.lastFanout+1, r.highest)
+			s.lastFanout = r.highest
+		}
+	} else {
+		s.fanoutGate = false
+	}
+	if old >= 0 {
+		u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
+		n.sendControl(old, u.Marshal(nil))
+		// The old leg's residual in-flight tail is dedup fodder for the
+		// slow path only (see onRTP); the grace window just keeps it
+		// from tripping the reverse-path prune.
+		s.oldLegFrom = old
+		s.oldLegUntil = now + oldLegGrace
+	}
+	s.upstream = m.upstream
+	if len(m.fullPath) > 0 {
+		s.fullPath = append(s.fullPath[:0], m.fullPath...)
+	}
+	s.requestedPath = append(s.requestedPath[:0], m.newPath...)
+	if s.rx != nil {
+		// Same receiver state across the splice (the legs carry identical
+		// sequence numbers); the NACK/feedback target moves, and the
+		// delay-gradient estimator restarts against the new path's base
+		// delay (a stale baseline reads the path change itself as
+		// congestion).
+		s.rx.upstream = m.upstream
+		s.rx.ia = gcc.InterArrival{}
+		s.rx.trend = gcc.NewTrendlineEstimator()
+	}
+	s.lastData = now
+	s.mig = nil
+	n.tel.migrationsCompleted.Inc()
+	n.tel.fastSwitches.Inc()
+	n.tel.fastSwitchesPlanned.Inc()
+	n.tel.pathSwitches.Inc()
+}
+
+// flushGapLocked fans out the sequence range [fromSeq, toSeq] (inclusive)
+// from the RTX ring to every subscriber and client: the splice-gap
+// packets a gated migration leg received while running ahead of the old
+// leg. Ring misses are skipped — downstream NACK recovery handles those
+// stragglers one at a time. The range is bounded to the most recent
+// flushGapMax packets so a pathological front difference cannot turn
+// into an unbounded burst.
+func (n *Node) flushGapLocked(s *stream, fromSeq, toSeq uint16) {
+	if rtp.SeqDiff(fromSeq, toSeq) >= flushGapMax {
+		fromSeq = toSeq - flushGapMax + 1
+	}
+	for seq := fromSeq; ; seq++ {
+		if buf, ok := s.rtx.get(seq); ok {
+			var pkt rtp.Packet
+			if pkt.Unmarshal(buf) == nil {
+				class, gain := classify(&pkt)
+				for _, sub := range s.subOrder {
+					n.forwardCopy(sub, buf, class, gain, false, s.id, seq)
+				}
+				for _, id := range s.clientOrder {
+					n.forwardCopy(id, buf, class, gain, false, s.id, seq)
+					s.clients[id].sentPkts++
+				}
+			}
+		}
+		if seq == toSeq {
+			break
+		}
+	}
+}
+
+// flushGapMax bounds one splice-gap flush (packets).
+const flushGapMax = 512
+
+// abortMigrationLocked withdraws an in-flight migration, leaving the
+// active leg untouched. Safe to call with no migration in flight.
+func (n *Node) abortMigrationLocked(s *stream) {
+	m := s.mig
+	if m == nil {
+		return
+	}
+	u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
+	n.sendControl(m.prevHop, u.Marshal(nil))
+	s.mig = nil
+	n.tel.migrationsAborted.Inc()
+}
+
+// onSubReject handles a draining hop's refusal (with mu held). For a
+// migration it aborts the attempt — the old leg is still delivering. For
+// an establishment in flight it drives the ordinary ladder so the next
+// candidate (or a fresh Brain lookup, which excludes draining relays) is
+// tried immediately instead of waiting out the retry timer.
+func (n *Node) onSubReject(from int, data []byte) {
+	var rej wire.SubReject
+	if err := rej.Unmarshal(data); err != nil {
+		return
+	}
+	s := n.streams[rej.StreamID]
+	if s == nil {
+		return
+	}
+	if m := s.mig; m != nil && from == m.prevHop {
+		n.abortMigrationLocked(s)
+		return
+	}
+	if s.established {
+		return
+	}
+	s.lookupPending = false
+	s.retryAt = 0
+	n.switchPathLocked(s)
+}
+
+// SetDraining marks the node as (not) draining. A draining node refuses
+// new downstream subscriptions with SubReject while its carried streams
+// are migrated off for a planned decommission.
+func (n *Node) SetDraining(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.draining = v
+}
+
+// Draining reports whether the node is refusing new subscriptions.
+func (n *Node) Draining() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.draining
+}
+
+// RelayedStream describes one stream this node relays to downstream
+// overlay subscribers.
+type RelayedStream struct {
+	SID         uint32
+	Subscribers []int
+}
+
+// CarriedStreams lists the relayed (non-producer) streams that have
+// downstream overlay subscribers, highest fan-out first — the order a
+// drain migrates them off so the most load moves earliest.
+func (n *Node) CarriedStreams() []RelayedStream {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]RelayedStream, 0, len(n.streams))
+	for sid, s := range n.streams {
+		if s.producer || len(s.subOrder) == 0 {
+			continue
+		}
+		subs := append([]int(nil), s.subOrder...)
+		sort.Ints(subs)
+		out = append(out, RelayedStream{SID: sid, Subscribers: subs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Subscribers) != len(out[j].Subscribers) {
+			return len(out[i].Subscribers) > len(out[j].Subscribers)
+		}
+		return out[i].SID < out[j].SID
+	})
+	return out
+}

@@ -1,0 +1,277 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/gop"
+	"livenet/internal/rtp"
+	"livenet/internal/wire"
+)
+
+// addTimedViewer registers a viewer endpoint that records received RTP
+// packets (like addViewer) plus each arrival's virtual time.
+func (h *harness) addTimedViewer(id int, arrivals *[]time.Duration) {
+	h.net.Handle(id, func(from int, data []byte) {
+		if wire.Kind(data) != wire.MsgRTP {
+			return
+		}
+		_, rtpData, err := wire.UnframeRTP(data)
+		if err != nil {
+			return
+		}
+		var p rtp.Packet
+		if err := p.Unmarshal(rtpData); err != nil {
+			return
+		}
+		p.Payload = append([]byte(nil), p.Payload...)
+		h.viewerRecv[id] = append(h.viewerRecv[id], p)
+		*arrivals = append(*arrivals, h.loop.Now())
+	})
+}
+
+// crash fail-stops an overlay node in the harness: its handler goes
+// dark and every incident link is cut (same model as the chaos plane).
+func (h *harness) crash(id int, peers ...int) {
+	h.net.Handle(id, nil)
+	for _, p := range peers {
+		h.net.SetLinkUp(id, p, false)
+		h.net.SetLinkUp(p, id, false)
+	}
+}
+
+// viewerFrames replays everything the viewer received through a GoP
+// assembler and returns the completed frame IDs in completion order.
+func (h *harness) viewerFrames(viewer int) []uint32 {
+	asm := gop.NewAssembler(256)
+	var ids []uint32
+	asm.OnFrame = func(f gop.AssembledFrame) { ids = append(ids, f.Header.FrameID) }
+	for i := range h.viewerRecv[viewer] {
+		asm.Push(&h.viewerRecv[viewer][i])
+	}
+	return ids
+}
+
+// assertNoDupNoReorderFrames asserts the viewer's assembled frames are
+// strictly increasing: no frame delivered twice, none delivered late.
+func assertNoDupNoReorderFrames(t *testing.T, ids []uint32) {
+	t.Helper()
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("frame %d completed after frame %d: duplicate or out-of-order delivery", ids[i], ids[i-1])
+		}
+	}
+}
+
+func TestMakeBeforeBreakSpliceSeamless(t *testing.T) {
+	// Planned migration (§4.3 extension): the consumer moves its upstream
+	// leg from relay 1 to relay 2 mid-stream. The new leg is established
+	// first, both feeds run briefly, the splice lands on a GoP boundary,
+	// and the viewer sees no gap, no duplicate and no out-of-order frame.
+	h := newHarness(t, 41, []int{0, 1, 2, 3})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(1, 3, 20*time.Millisecond, 0)
+	h.link(0, 2, 20*time.Millisecond, 0)
+	h.link(2, 3, 20*time.Millisecond, 0)
+	h.link(3, viewerBase, 10*time.Millisecond, 0)
+	var arrivals []time.Duration
+	h.addTimedViewer(viewerBase, &arrivals)
+
+	const sid = 90
+	h.paths[sid] = [][]int{{0, 1, 3}}
+	h.broadcast(sid, 0, 250) // 10 s of video
+
+	h.loop.AfterFunc(500*time.Millisecond, func() {
+		h.nodes[3].AttachViewer(viewerBase, sid)
+	})
+	const migrateAt = 4 * time.Second
+	h.loop.AfterFunc(migrateAt, func() {
+		if !h.nodes[3].Migrate(sid, []int{0, 2, 3}) {
+			t.Error("Migrate refused an established stream")
+		}
+	})
+	h.loop.RunUntil(11 * time.Second)
+
+	m := h.nodes[3].Metrics()
+	if m.MigrationsStarted != 1 || m.MigrationsCompleted != 1 || m.MigrationsAborted != 0 {
+		t.Fatalf("migrations started=%d completed=%d aborted=%d, want 1/1/0",
+			m.MigrationsStarted, m.MigrationsCompleted, m.MigrationsAborted)
+	}
+	if m.FastSwitchesPlanned != 1 || m.FastSwitchesUnplanned != 0 {
+		t.Fatalf("fast switches planned=%d unplanned=%d, want 1/0",
+			m.FastSwitchesPlanned, m.FastSwitchesUnplanned)
+	}
+	if m.FastSwitches != m.FastSwitchesPlanned+m.FastSwitchesUnplanned {
+		t.Fatalf("FastSwitches=%d != planned+unplanned", m.FastSwitches)
+	}
+	if m.UpstreamTimeouts != 0 {
+		t.Fatalf("planned migration tripped the silence detector: %d timeouts", m.UpstreamTimeouts)
+	}
+	if m.PathLookups != 1 {
+		t.Fatalf("PathLookups=%d, want 1 (the migration path came from the caller)", m.PathLookups)
+	}
+	h.nodes[3].mu.Lock()
+	up := h.nodes[3].streams[sid].upstream
+	h.nodes[3].mu.Unlock()
+	if up != 2 {
+		t.Fatalf("upstream=%d after the splice, want relay 2", up)
+	}
+
+	// Packet continuity: strictly increasing sequence numbers (no
+	// duplicate, no reorder) with no hole across the splice.
+	seqs := h.viewerRecv[viewerBase]
+	if len(seqs) < 200 {
+		t.Fatalf("viewer received only %d packets", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		prev, cur := seqs[i-1].SequenceNumber, seqs[i].SequenceNumber
+		if !rtp.SeqLess(prev, cur) {
+			t.Fatalf("seq %d after %d at packet %d: duplicate or reorder across the splice", cur, prev, i)
+		}
+		if cur != prev+1 {
+			t.Fatalf("seq hole %d -> %d at packet %d: splice lost packets", prev, cur, i)
+		}
+	}
+	assertNoDupNoReorderFrames(t, h.viewerFrames(viewerBase))
+
+	// Zero added stalls: no viewer-visible arrival gap anywhere near the
+	// stall threshold, before, during, or after the migration window.
+	for i := 1; i < len(arrivals); i++ {
+		if g := arrivals[i] - arrivals[i-1]; g >= 300*time.Millisecond {
+			t.Fatalf("viewer-visible gap %v at %v during a planned migration", g, arrivals[i])
+		}
+	}
+}
+
+func TestMigrationGuardTimerFallback(t *testing.T) {
+	// The migration target crashes mid-make-before-break: the new leg
+	// never delivers a spliceable boundary, the guard timer abandons the
+	// attempt with the active leg untouched, and when that leg later
+	// fails too the PR 2 reactive ladder recovers the viewer — with no
+	// duplicate or out-of-order frames end to end.
+	h := newHarness(t, 42, []int{0, 1, 2, 3})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(1, 3, 20*time.Millisecond, 0)
+	h.link(0, 2, 20*time.Millisecond, 0)
+	h.link(2, 3, 20*time.Millisecond, 0)
+	h.link(0, 3, 30*time.Millisecond, 0) // direct pre-delivered backup
+	h.link(3, viewerBase, 10*time.Millisecond, 0)
+	var arrivals []time.Duration
+	h.addTimedViewer(viewerBase, &arrivals)
+
+	const sid = 91
+	h.paths[sid] = [][]int{{0, 1, 3}, {0, 3}}
+	h.nodes[3].cfg.MigrateGuardTimeout = 800 * time.Millisecond
+	h.nodes[3].cfg.UpstreamTimeout = 500 * time.Millisecond
+	h.broadcast(sid, 0, 300) // 12 s of video
+
+	h.loop.AfterFunc(500*time.Millisecond, func() {
+		h.nodes[3].AttachViewer(viewerBase, sid)
+	})
+	const migrateAt = 3 * time.Second
+	h.loop.AfterFunc(migrateAt, func() {
+		if !h.nodes[3].Migrate(sid, []int{0, 2, 3}) {
+			t.Error("Migrate refused an established stream")
+		}
+	})
+	// The target fail-stops 15 ms in: its Subscribe may or may not have
+	// landed, but no ack or data ever reaches the consumer.
+	h.loop.AfterFunc(migrateAt+15*time.Millisecond, func() { h.crash(2, 0, 3) })
+	// Later the ACTIVE leg's relay dies; only the reactive ladder is
+	// left, and it must find the pre-delivered direct backup.
+	const oldLegCrashAt = 6 * time.Second
+	h.loop.AfterFunc(oldLegCrashAt, func() { h.crash(1, 0, 3) })
+	h.loop.RunUntil(12 * time.Second)
+
+	m := h.nodes[3].Metrics()
+	if m.MigrationsStarted != 1 || m.MigrationsCompleted != 0 || m.MigrationsAborted != 1 {
+		t.Fatalf("migrations started=%d completed=%d aborted=%d, want 1/0/1",
+			m.MigrationsStarted, m.MigrationsCompleted, m.MigrationsAborted)
+	}
+	if m.FastSwitchesPlanned != 0 || m.FastSwitchesUnplanned != 1 {
+		t.Fatalf("fast switches planned=%d unplanned=%d, want 0/1 (reactive recovery only)",
+			m.FastSwitchesPlanned, m.FastSwitchesUnplanned)
+	}
+	if m.PathLookups != 1 {
+		t.Fatalf("PathLookups=%d, want 1 (recovery used the pre-delivered backup)", m.PathLookups)
+	}
+	h.nodes[3].mu.Lock()
+	s := h.nodes[3].streams[sid]
+	up, mig := s.upstream, s.mig
+	h.nodes[3].mu.Unlock()
+	if mig != nil {
+		t.Fatal("migration state not cleared after the guard timer")
+	}
+	if up != 0 {
+		t.Fatalf("upstream=%d after reactive recovery, want the direct backup via node 0", up)
+	}
+
+	// The guard-timer window itself must be invisible: no viewer gap
+	// between the migration start and the old-leg crash.
+	for i := 1; i < len(arrivals); i++ {
+		at := arrivals[i]
+		if at <= oldLegCrashAt {
+			if g := at - arrivals[i-1]; g >= 300*time.Millisecond {
+				t.Fatalf("aborted migration opened a viewer gap of %v at %v", g, at)
+			}
+		}
+	}
+	// Delivery resumed after the reactive switch.
+	last := arrivals[len(arrivals)-1]
+	if last < oldLegCrashAt+2*time.Second {
+		t.Fatalf("viewer never recovered: last arrival at %v", last)
+	}
+	// No duplicate and no out-of-order packets or frames anywhere —
+	// across the dual-feed window, the abort, and the reactive switch.
+	seen := make(map[uint16]bool)
+	for i := range h.viewerRecv[viewerBase] {
+		sn := h.viewerRecv[viewerBase][i].SequenceNumber
+		if seen[sn] {
+			t.Fatalf("sequence %d delivered twice to the viewer", sn)
+		}
+		seen[sn] = true
+	}
+	assertNoDupNoReorderFrames(t, h.viewerFrames(viewerBase))
+}
+
+func TestDrainingNodeRefusesSubscriptions(t *testing.T) {
+	// A draining relay answers Subscribe with SubReject; the requester
+	// falls through to its next candidate path immediately instead of
+	// waiting out the establishment retry timer.
+	h := newHarness(t, 43, []int{0, 1, 2})
+	h.link(broadcasterID, 0, 10*time.Millisecond, 0)
+	h.link(0, 1, 20*time.Millisecond, 0)
+	h.link(1, 2, 20*time.Millisecond, 0)
+	h.link(0, 2, 30*time.Millisecond, 0)
+	h.link(2, viewerBase, 10*time.Millisecond, 0)
+	h.addViewer(viewerBase)
+
+	const sid = 92
+	h.paths[sid] = [][]int{{0, 1, 2}, {0, 2}}
+	h.broadcast(sid, 0, 150)
+
+	h.nodes[1].SetDraining(true)
+	var established []int
+	h.nodes[2].OnEstablished = func(_ uint32, path []int, _ bool) {
+		established = append([]int(nil), path...)
+	}
+	h.loop.AfterFunc(time.Second, func() {
+		h.nodes[2].AttachViewer(viewerBase, sid)
+	})
+	h.loop.RunUntil(5 * time.Second)
+
+	if len(established) != 2 || established[0] != 0 || established[1] != 2 {
+		t.Fatalf("established path = %v, want the direct backup [0 2]", established)
+	}
+	if got := h.nodes[2].Metrics().PathLookups; got != 1 {
+		t.Fatalf("PathLookups=%d, want 1 (reject fell through to the backup, no re-query)", got)
+	}
+	if len(h.viewerRecv[viewerBase]) == 0 {
+		t.Fatal("viewer got no data via the backup path")
+	}
+	if m := h.nodes[1].Metrics(); m.PacketsForwarded != 0 {
+		t.Fatalf("draining relay forwarded %d packets for a rejected subscription", m.PacketsForwarded)
+	}
+}

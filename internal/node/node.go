@@ -119,6 +119,11 @@ type Config struct {
 	// sent but never acked, or a failed path lookup, is retried after this
 	// long (next backup first, then a fresh Brain query). Default 3 s.
 	EstablishTimeout time.Duration
+	// MigrateGuardTimeout bounds a make-before-break migration: if the new
+	// leg has not delivered a spliceable GoP boundary within this window
+	// the migration is aborted and the stream stays on (or is recovered
+	// via) the reactive ladder. Must exceed one GoP interval. Default 4 s.
+	MigrateGuardTimeout time.Duration
 	// LowerRendition maps a stream to its next-lower simulcast rendition
 	// (§5.2: "the consumer node will request a lower bitrate stream
 	// version if the sending queue is consistently building up"). Nil
@@ -187,6 +192,9 @@ func (c Config) withDefaults() Config {
 	if c.EstablishTimeout <= 0 {
 		c.EstablishTimeout = 3 * time.Second
 	}
+	if c.MigrateGuardTimeout <= 0 {
+		c.MigrateGuardTimeout = 4 * time.Second
+	}
 	return c
 }
 
@@ -209,8 +217,15 @@ type Metrics struct {
 	CacheHitPrimes   uint64 // subscriptions served from local cache
 	BitrateSwitches  uint64 // clients moved to a lower simulcast rendition
 	UpstreamTimeouts uint64 // silence windows that triggered failure detection
-	FastSwitches     uint64 // path switches triggered by upstream silence
-	CacheFallbacks   uint64 // Brain unreachable, local path cache used instead
+	FastSwitches     uint64 // fast path switches (planned splices + silence recovery)
+	// FastSwitchesPlanned/Unplanned attribute FastSwitches: a planned
+	// make-before-break splice vs the reactive silence-detection ladder.
+	FastSwitchesPlanned   uint64
+	FastSwitchesUnplanned uint64
+	CacheFallbacks        uint64 // Brain unreachable, local path cache used instead
+	MigrationsStarted     uint64 // make-before-break migrations begun
+	MigrationsCompleted   uint64 // migrations spliced onto the new leg
+	MigrationsAborted     uint64 // migrations abandoned (guard timer / reject / teardown)
 }
 
 // pacerTick is the pacer drain granularity.
@@ -259,7 +274,10 @@ type Node struct {
 
 	scanTimer sim.Timer
 	scanSIDs  []uint32 // reusable sorted-iteration scratch for scan()
-	closed    bool
+	// draining refuses new downstream subscriptions (SubReject) while the
+	// node's carried streams are migrated off for a planned decommission.
+	draining bool
+	closed   bool
 }
 
 // outLink is the paced sender state toward one neighbor (node or client).
@@ -415,6 +433,31 @@ type stream struct {
 	// lastData is when the last RTP packet for this stream arrived
 	// (drives producer-stream garbage collection).
 	lastData time.Duration
+
+	// mig is the in-flight make-before-break migration, nil otherwise.
+	mig *migration
+	// oldLegFrom/oldLegUntil gate the just-torn-down upstream after a
+	// splice: its in-flight packets still reach the slow path (seq dedup)
+	// but are kept out of the fan-out so downstream sees no duplicates.
+	// oldLegFrom is -1 when no grace window is active.
+	oldLegFrom  int
+	oldLegUntil time.Duration
+	// fanoutGate suppresses fan-out of new-upstream packets older than
+	// fanoutFrom just after a splice: the old leg already delivered that
+	// overlap, so re-forwarding it would duplicate frames downstream. The
+	// gate clears itself on the first packet at or past the resume point.
+	fanoutGate bool
+	fanoutFrom uint16
+	// pruneAt rate-limits reverse-path prunes: stream data arriving from
+	// an overlay peer that is not this stream's upstream means that peer
+	// holds a stale FIB entry (our Unsubscribe was lost); the next prune
+	// re-sends it no earlier than this.
+	pruneAt time.Duration
+	// lastFanout tracks the highest sequence number actually fanned out,
+	// so a splice knows the downstream delivery front (which can trail
+	// rx.highest when a gated migration leg runs ahead of the old leg).
+	lastFanout uint16
+	haveFanout bool
 }
 
 // New creates a node and starts its slow-path timers.
@@ -446,24 +489,29 @@ func (n *Node) ID() int { return n.id }
 // the node.* names when one is attached.
 func (n *Node) Metrics() Metrics {
 	return Metrics{
-		PacketsReceived:  n.tel.packetsReceived.Load(),
-		PacketsForwarded: n.tel.packetsForwarded.Load(),
-		NACKsSent:        n.tel.nacksSent.Load(),
-		NACKsReceived:    n.tel.nacksReceived.Load(),
-		Retransmits:      n.tel.retransmits.Load(),
-		HolesRecovered:   n.tel.holesRecovered.Load(),
-		HolesAbandoned:   n.tel.holesAbandoned.Load(),
-		LocalHits:        n.tel.localHits.Load(),
-		PathLookups:      n.tel.pathLookups.Load(),
-		PathSwitches:     n.tel.pathSwitches.Load(),
-		DroppedBFrames:   n.tel.droppedBFrames.Load(),
-		DroppedPFrames:   n.tel.droppedPFrames.Load(),
-		DroppedGoPs:      n.tel.droppedGoPs.Load(),
-		CacheHitPrimes:   n.tel.cacheHitPrimes.Load(),
-		BitrateSwitches:  n.tel.bitrateSwitches.Load(),
-		UpstreamTimeouts: n.tel.upstreamTimeouts.Load(),
-		FastSwitches:     n.tel.fastSwitches.Load(),
-		CacheFallbacks:   n.tel.cacheFallbacks.Load(),
+		PacketsReceived:       n.tel.packetsReceived.Load(),
+		PacketsForwarded:      n.tel.packetsForwarded.Load(),
+		NACKsSent:             n.tel.nacksSent.Load(),
+		NACKsReceived:         n.tel.nacksReceived.Load(),
+		Retransmits:           n.tel.retransmits.Load(),
+		HolesRecovered:        n.tel.holesRecovered.Load(),
+		HolesAbandoned:        n.tel.holesAbandoned.Load(),
+		LocalHits:             n.tel.localHits.Load(),
+		PathLookups:           n.tel.pathLookups.Load(),
+		PathSwitches:          n.tel.pathSwitches.Load(),
+		DroppedBFrames:        n.tel.droppedBFrames.Load(),
+		DroppedPFrames:        n.tel.droppedPFrames.Load(),
+		DroppedGoPs:           n.tel.droppedGoPs.Load(),
+		CacheHitPrimes:        n.tel.cacheHitPrimes.Load(),
+		BitrateSwitches:       n.tel.bitrateSwitches.Load(),
+		UpstreamTimeouts:      n.tel.upstreamTimeouts.Load(),
+		FastSwitches:          n.tel.fastSwitches.Load(),
+		FastSwitchesPlanned:   n.tel.fastSwitchesPlanned.Load(),
+		FastSwitchesUnplanned: n.tel.fastSwitchesUnplanned.Load(),
+		CacheFallbacks:        n.tel.cacheFallbacks.Load(),
+		MigrationsStarted:     n.tel.migrationsStarted.Load(),
+		MigrationsCompleted:   n.tel.migrationsCompleted.Load(),
+		MigrationsAborted:     n.tel.migrationsAborted.Load(),
 	}
 }
 
@@ -536,6 +584,8 @@ func (n *Node) OnMessage(from int, data []byte) {
 		n.onUnsubscribe(from, data)
 	case wire.MsgSubAck:
 		n.onSubAck(from, data)
+	case wire.MsgSubReject:
+		n.onSubReject(from, data)
 	}
 }
 
@@ -590,11 +640,62 @@ func (n *Node) onRTP(from int, data []byte) {
 		}
 	}
 
+	// Make-before-break gating (§4.3 extension): while a migration's new
+	// leg runs alongside the active one, its packets feed the slow path
+	// (warming the dedup window and GoP cache) but must not fan out —
+	// downstream would see duplicates. The splice flips legs on a GoP
+	// boundary; the resume gate below then suppresses the overlap the old
+	// leg already delivered.
+	fanout := true
+	if m := s.mig; m != nil && fromOverlay && from == m.prevHop && from != s.upstream {
+		if m.acked && spliceReady(&pkt) {
+			n.spliceLocked(s, now)
+		} else {
+			fanout = false
+		}
+	} else if s.oldLegFrom >= 0 && from == s.oldLegFrom && from != s.upstream {
+		// Post-splice grace: the old leg's in-flight tail still feeds
+		// the slow path (dedup, loss bookkeeping) but never the fan-out —
+		// everything below the resume point was either already delivered
+		// or flushed from the RTX ring at the splice.
+		if now >= s.oldLegUntil {
+			s.oldLegFrom = -1
+		}
+		fanout = false
+	}
+	if fanout && s.fanoutGate && fromOverlay && from == s.upstream {
+		if rtp.SeqLess(pkt.SequenceNumber, s.fanoutFrom) {
+			fanout = false
+		} else {
+			s.fanoutGate = false
+		}
+	}
+
+	// Reverse-path check: stream data from an overlay peer that is not
+	// this stream's upstream (nor a tolerated migration or old-leg feed)
+	// means that peer holds a stale subscription for us — our Unsubscribe
+	// was lost in transit. Re-send it, rate limited, so the stale FIB
+	// entry is eventually pruned, and drop the packet: a foreign feed
+	// must reach neither the fan-out nor the slow path.
+	if fromOverlay && s.established && s.upstream >= 0 && from != s.upstream &&
+		from != s.oldLegFrom && (s.mig == nil || from != s.mig.prevHop) {
+		if now >= s.pruneAt {
+			s.pruneAt = now + prunePeriod
+			u := wire.Unsubscribe{StreamID: s.id, Requester: uint16(n.id)}
+			n.sendControl(from, u.Marshal(nil))
+		}
+		return
+	}
+
 	// Fast path: forward to every subscribed downstream node. The frame
 	// envelope is built once; each subscriber gets a private copy of the
 	// mutable prefix (so the per-hop delay extension can differ per
 	// link) and a refcounted reference to the shared payload tail.
-	if len(s.subOrder)+len(s.clientOrder) > 0 {
+	if fanout && len(s.subOrder)+len(s.clientOrder) > 0 {
+		if !s.haveFanout || rtp.SeqLess(s.lastFanout, pkt.SequenceNumber) {
+			s.lastFanout = pkt.SequenceNumber
+			s.haveFanout = true
+		}
 		class, gain := classify(&pkt)
 		var src fanoutSrc
 		n.initFanoutSrc(&src, rtpData, pkt.SSRC, pkt.SequenceNumber)
@@ -882,6 +983,7 @@ func (n *Node) newStream(sid uint32) *stream {
 	s := &stream{
 		id:          sid,
 		upstream:    -1,
+		oldLegFrom:  -1,
 		subscribers: make(map[int]bool),
 		clients:     make(map[int]*clientState),
 		cache:       gop.NewCache(n.cfg.GoPCacheGoPs, 0),

@@ -132,12 +132,19 @@ func (n *Node) slowPathReceive(s *stream, from int, sendTime10us uint32, rtpData
 	now := n.cfg.Clock.Now()
 	seq := pkt.SequenceNumber
 
-	// GCC receiver side: inter-arrival sample per packet group.
-	r.meter.Add(now, len(rtpData))
-	sendTime := time.Duration(sendTime10us) * 10 * time.Microsecond
-	if sample, ok := r.ia.Add(sendTime, now); ok {
-		sig := r.trend.Update(sample, now)
-		r.aimd.Update(sig, r.meter.BitrateBps(now), now)
+	// GCC receiver side: inter-arrival sample per packet group. Only the
+	// active leg feeds the estimator: during a make-before-break dual
+	// feed (and an old leg's post-splice grace) the other leg rides a
+	// path with a different base delay, and interleaving the two reads
+	// as delay oscillation — the trendline would signal overuse and
+	// collapse the rate of a perfectly healthy link.
+	if from == r.upstream {
+		r.meter.Add(now, len(rtpData))
+		sendTime := time.Duration(sendTime10us) * 10 * time.Microsecond
+		if sample, ok := r.ia.Add(sendTime, now); ok {
+			sig := r.trend.Update(sample, now)
+			r.aimd.Update(sig, r.meter.BitrateBps(now), now)
+		}
 	}
 
 	// Retransmission history so downstream NACKs can be served.
@@ -311,11 +318,22 @@ func (n *Node) scan() {
 		if s.producer || (len(s.clients) == 0 && len(s.subscribers) == 0 && len(s.pendingSubs) == 0) {
 			continue
 		}
+		// Guard timer (make-before-break): a migration whose new leg has
+		// not spliced by the deadline is abandoned. The active leg was
+		// never touched, and if it too has failed the reactive ladder
+		// below recovers it exactly as before the migration started.
+		if s.mig != nil && now >= s.mig.deadline {
+			n.abortMigrationLocked(s)
+		}
+		if s.oldLegFrom >= 0 && now >= s.oldLegUntil {
+			s.oldLegFrom = -1
+		}
 		switch {
 		case s.established && n.cfg.UpstreamTimeout > 0 && s.lastData > 0 &&
 			now-s.lastData > n.cfg.UpstreamTimeout:
 			n.tel.upstreamTimeouts.Inc()
 			n.tel.fastSwitches.Inc()
+			n.tel.fastSwitchesUnplanned.Inc()
 			n.tel.pathSwitches.Inc()
 			s.lastData = now // re-arm the detector across the switch
 			n.switchPathLocked(s)
@@ -420,7 +438,13 @@ func (n *Node) handleRTCPPacket(from int, data []byte) {
 		if s == nil {
 			return
 		}
+		c := s.clients[from] // nil for overlay downstreams
 		for _, seq := range nack.Lost {
+			if c != nil && c.wasDropped(seq) {
+				// Deliberately shed, not lost: retransmitting it would
+				// re-add exactly the load the dropper removed.
+				continue
+			}
 			if buf, ok := s.rtx.get(seq); ok {
 				n.forwardCopy(from, buf, gcc.ClassRTX, 0, true, nack.MediaSSRC, seq)
 				n.tel.retransmits.Inc()
@@ -433,8 +457,17 @@ func (n *Node) handleRTCPPacket(from int, data []byte) {
 		if err := rtp.UnmarshalRR(&rr, data); err != nil {
 			return
 		}
+		fraction := float64(rr.FractionLost) / 256
+		if s := n.streams[rr.MediaSSRC]; s != nil {
+			if c := s.clients[from]; c != nil {
+				// A viewer's loss fraction includes the gaps our own
+				// frame dropper punched; only real loss may drive the
+				// loss-based controller.
+				fraction = c.adjustLoss(fraction)
+			}
+		}
 		l := n.link(from)
-		l.ctrl.OnReceiverReport(float64(rr.FractionLost) / 256)
+		l.ctrl.OnReceiverReport(fraction)
 		l.pacer.SetRate(l.ctrl.PacingRate())
 	case pt == 206 && fmtField == 15: // REMB → delay-based estimate
 		var remb rtp.REMB

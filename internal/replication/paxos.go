@@ -256,6 +256,19 @@ func (r *Replica) CommittedCount() int {
 	return r.applied
 }
 
+// AppliedValues returns the applied prefix of the log in slot order —
+// the replay source for rebuilding in-memory state derived from the log
+// (e.g. a restarted front-end rewarming its caches).
+func (r *Replica) AppliedValues() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]byte, 0, r.applied)
+	for slot := 0; slot < r.applied; slot++ {
+		out = append(out, r.chosen[slot])
+	}
+	return out
+}
+
 // OnMessage is the transport delivery entry point.
 func (r *Replica) OnMessage(from int, m Msg) {
 	r.mu.Lock()

@@ -327,10 +327,13 @@ func (e *Endpoint) readLoop() {
 			e.mu.RLock()
 			_, known := e.peers[from]
 			e.mu.RUnlock()
-			if !known {
+			// AdminID is always re-learned: admin CLI invocations are
+			// short-lived processes on fresh ephemeral ports, and an ack
+			// sent to a previous invocation's port is lost.
+			if !known || from == AdminID {
 				if ap, ok := r.addr(i); ok {
 					e.mu.Lock()
-					if _, dup := e.peers[from]; !dup {
+					if _, dup := e.peers[from]; !dup || from == AdminID {
 						e.peers[from] = ap
 					}
 					e.mu.Unlock()
@@ -371,6 +374,10 @@ type BrainAPI interface {
 	RegisterStream(sid uint32, producer int)
 	ReportLink(from, to int, rtt time.Duration, loss, util float64)
 	ReportNodeLoad(id int, util float64)
+	// SetDraining/Draining expose the planned-decommission admin surface:
+	// a draining relay is excluded from future path decisions.
+	SetDraining(id int, v bool)
+	Draining(id int) bool
 }
 
 // BrainServer exposes a Streaming Brain over UDP: it answers PathRequest
@@ -382,6 +389,10 @@ type BrainServer struct {
 
 // BrainID is the well-known overlay ID of the Brain endpoint.
 const BrainID = 1 << 20
+
+// AdminID is the well-known overlay ID operator tooling (the
+// livenet-brain -drain/-undrain client mode) sends admin RPCs from.
+const AdminID = BrainID + 1
 
 // NewBrainServer wraps a Brain behind a UDP endpoint.
 func NewBrainServer(b BrainAPI, addr string) (*BrainServer, error) {
@@ -431,6 +442,16 @@ func (s *BrainServer) onMessage(from int, data []byte) {
 		s.Brain.ReportLink(int(rep.From), int(rep.To),
 			time.Duration(rep.RTTMicros)*time.Microsecond, float64(rep.LossPPM)/1e6, float64(rep.UtilPercent)/1e4)
 		s.Brain.ReportNodeLoad(int(rep.From), float64(rep.NodeUtil)/1e4)
+	case wire.MsgDrainNode:
+		// Operator admin: mark a relay (un)draining for path decisions and
+		// ack with the resulting state so tooling can confirm the change.
+		var dn wire.DrainNode
+		if err := dn.Unmarshal(data); err != nil {
+			return
+		}
+		s.Brain.SetDraining(int(dn.Node), dn.Drain)
+		ack := wire.DrainAck{Node: dn.Node, Draining: s.Brain.Draining(int(dn.Node))}
+		s.ep.Send(BrainID, from, ack.Marshal(nil))
 	}
 }
 

@@ -287,3 +287,57 @@ func TestProberTimeout(t *testing.T) {
 		t.Fatal("timeout callback never fired")
 	}
 }
+
+func TestBrainDrainRPC(t *testing.T) {
+	b := brain.New(brain.Config{N: 4})
+	defer b.Close()
+	srv, err := NewBrainServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ep, err := Listen(AdminID, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.AddPeer(BrainID, srv.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	acks := make(chan wire.DrainAck, 4)
+	ep.Serve(func(from int, data []byte) {
+		var ack wire.DrainAck
+		if ack.Unmarshal(data) == nil {
+			acks <- ack
+		}
+	})
+
+	send := func(node int, drain bool) wire.DrainAck {
+		t.Helper()
+		req := wire.DrainNode{Node: uint16(node), Drain: drain}
+		if err := ep.Send(AdminID, BrainID, req.Marshal(nil)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case ack := <-acks:
+			return ack
+		case <-time.After(2 * time.Second):
+			t.Fatal("DrainAck never arrived")
+			return wire.DrainAck{}
+		}
+	}
+
+	if ack := send(2, true); ack.Node != 2 || !ack.Draining {
+		t.Fatalf("drain ack %+v", ack)
+	}
+	if !b.Draining(2) {
+		t.Fatal("brain did not mark node 2 draining")
+	}
+	if ack := send(2, false); ack.Node != 2 || ack.Draining {
+		t.Fatalf("undrain ack %+v", ack)
+	}
+	if b.Draining(2) {
+		t.Fatal("brain did not readmit node 2")
+	}
+}

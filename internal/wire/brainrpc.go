@@ -167,6 +167,71 @@ const (
 	MsgPong byte = 11
 )
 
+// Drain admin tags: an operator (or orchestration tooling) asks the
+// Brain to start or stop draining a relay — the planned-reconfiguration
+// counterpart of the failure-driven reports above.
+const (
+	// MsgDrainNode marks a node as (un)draining in Path Decision.
+	MsgDrainNode byte = 13
+	// MsgDrainAck confirms the drain state change.
+	MsgDrainAck byte = 14
+)
+
+// DrainNode asks the Brain to exclude (Drain=1) or readmit (Drain=0) a
+// relay from future path decisions.
+type DrainNode struct {
+	Node  uint16
+	Drain bool
+}
+
+// Marshal appends the wire form.
+func (d *DrainNode) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgDrainNode)
+	buf = binary.BigEndian.AppendUint16(buf, d.Node)
+	v := byte(0)
+	if d.Drain {
+		v = 1
+	}
+	return append(buf, v)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (d *DrainNode) Unmarshal(data []byte) error {
+	if len(data) < 4 || data[0] != MsgDrainNode {
+		return ErrBadMessage
+	}
+	d.Node = binary.BigEndian.Uint16(data[1:])
+	d.Drain = data[3] != 0
+	return nil
+}
+
+// DrainAck confirms a DrainNode request.
+type DrainAck struct {
+	Node     uint16
+	Draining bool
+}
+
+// Marshal appends the wire form.
+func (d *DrainAck) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgDrainAck)
+	buf = binary.BigEndian.AppendUint16(buf, d.Node)
+	v := byte(0)
+	if d.Draining {
+		v = 1
+	}
+	return append(buf, v)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (d *DrainAck) Unmarshal(data []byte) error {
+	if len(data) < 4 || data[0] != MsgDrainAck {
+		return ErrBadMessage
+	}
+	d.Node = binary.BigEndian.Uint16(data[1:])
+	d.Draining = data[3] != 0
+	return nil
+}
+
 // Probe is a ping or pong carrying a correlation token.
 type Probe struct {
 	Token uint32

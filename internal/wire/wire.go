@@ -25,6 +25,9 @@ const (
 	MsgUnsubscribe byte = 4
 	// MsgSubAck frames a SubAck control message.
 	MsgSubAck byte = 5
+	// MsgSubReject frames a SubReject control message. (6–11 are the
+	// Brain RPC tags in brainrpc.go; 12+ continue the overlay set.)
+	MsgSubReject byte = 12
 )
 
 // ErrBadMessage reports an undecodable control message.
@@ -166,6 +169,29 @@ func (a *SubAck) Unmarshal(data []byte) error {
 	for i := 0; i < n; i++ {
 		a.Path = append(a.Path, binary.BigEndian.Uint16(data[6+2*i:]))
 	}
+	return nil
+}
+
+// SubReject refuses a Subscribe: the receiver is draining (planned
+// decommission, §4.3's make-before-break extension) and accepts no new
+// subscriptions. The requester falls back to its remaining candidate
+// paths or a fresh Brain lookup, which excludes draining relays.
+type SubReject struct {
+	StreamID uint32
+}
+
+// Marshal appends the wire form.
+func (r *SubReject) Marshal(buf []byte) []byte {
+	buf = append(buf, MsgSubReject)
+	return binary.BigEndian.AppendUint32(buf, r.StreamID)
+}
+
+// Unmarshal decodes from data (including the tag byte).
+func (r *SubReject) Unmarshal(data []byte) error {
+	if len(data) < 5 || data[0] != MsgSubReject {
+		return ErrBadMessage
+	}
+	r.StreamID = binary.BigEndian.Uint32(data[1:])
 	return nil
 }
 
