@@ -4,8 +4,10 @@
 #   make test       # plain test run (fastest)
 #   make bench      # allocation + throughput benchmark smoke (short benchtime)
 #   make bench-smoke # routing/perf suite, one iteration each (part of make ci)
+#   make bench-routing # cold/warm routing-epoch suite incl. the N=2000 point, one iteration each
 #   make bench-shard # federated-Brain epoch benchmarks, one iteration each
-#   make bench-json # perfbench suite -> BENCH_8.json snapshot (minutes)
+#   make bench-check # hot-path alloc regression guard vs BENCH_9.json (part of make ci)
+#   make bench-json # perfbench suite -> BENCH_9.json snapshot (minutes)
 #   make quick      # scaled-down end-to-end evaluation report
 #   make macro-1m   # cohort-engine scale smoke: quarter-million-viewer macro pair
 #   make chaos      # fault-tolerance evaluation (deterministic fault injection)
@@ -15,11 +17,11 @@
 
 GO ?= go
 
-.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-shard bench-json quick macro-1m chaos chaos-migrate telemetry docs
+.PHONY: all ci vet build test race race-dataplane bench bench-smoke bench-routing bench-shard bench-check bench-json quick macro-1m chaos chaos-migrate telemetry docs
 
 all: ci
 
-ci: vet build race race-dataplane chaos chaos-migrate docs bench-smoke macro-1m
+ci: vet build race race-dataplane chaos chaos-migrate docs bench-smoke bench-check macro-1m
 
 vet:
 	$(GO) vet ./...
@@ -48,11 +50,17 @@ race-dataplane:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkBrainLookup|BenchmarkRTP|BenchmarkNetemThroughput|BenchmarkNodeForward' -benchtime 0.2s .
 
-# Routing/perf suite smoke: every perfbench benchmark for one iteration,
-# including the paper-scale (600-site) epoch — proves a full fleet-scale
-# Global Routing round and an incremental churn round both complete.
-bench-smoke: bench-shard
-	$(GO) test -run xxx -bench 'BenchmarkBrainLookup|BenchmarkBrainPaperScale|BenchmarkBrainEpochChurn|BenchmarkGraphNeighborWeights|BenchmarkYenKSPFullMesh|BenchmarkDenseMeshRouting|BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkNodeForwardFanout|BenchmarkUDPLoopback' -benchtime 1x .
+# Routing/perf suite smoke: the routing-epoch suite plus the data-plane
+# and allocation-diet benchmarks, one iteration each.
+bench-smoke: bench-shard bench-routing
+	$(GO) test -run xxx -bench 'BenchmarkBrainLookup|BenchmarkGraphNeighborWeights|BenchmarkLoopSchedule|BenchmarkNetemSend|BenchmarkNodeForwardFanout|BenchmarkUDPLoopback' -benchtime 1x .
+
+# Routing-epoch smoke: the cold (from-scratch) epochs at N=600 and
+# N=2000, the incremental churn round, and the KSP micro-benchmarks —
+# proves the arena engine completes a beyond-paper-scale Global Routing
+# round (the N=2000 point exists because the pre-arena engine could not).
+bench-routing:
+	$(GO) test -run xxx -bench 'BenchmarkBrainPaperScale|BenchmarkBrainPaperScale2000|BenchmarkBrainEpochChurn|BenchmarkYenKSPFullMesh|BenchmarkDenseMeshRouting' -benchtime 1x .
 
 # Federated-Brain smoke: the sharded (one Brain per region) epoch and
 # churn rounds at the same 600-site scale — proves cross-region stitch
@@ -61,9 +69,16 @@ bench-shard:
 	$(GO) test -run xxx -bench 'BenchmarkBrainFederatedEpoch|BenchmarkBrainFederatedChurn' -benchtime 1x .
 
 # Perfbench snapshot: run the suite at full benchtime through
-# cmd/livenet-bench and write BENCH_8.json for cross-PR comparison.
+# cmd/livenet-bench and write BENCH_9.json for cross-PR comparison.
 bench-json:
-	$(GO) run ./cmd/livenet-bench -bench-json BENCH_8.json
+	$(GO) run ./cmd/livenet-bench -bench-json BENCH_9.json
+
+# Hot-path alloc regression guard: re-run the allocation-diet benchmarks
+# and fail if any exceeds its committed BENCH_9.json allocs/op by >10%
+# (zero-alloc paths must stay at zero). ns/op is not gated — timing is
+# machine-dependent; allocation counts are deterministic.
+bench-check:
+	$(GO) run ./cmd/livenet-bench -bench-check BENCH_9.json
 
 quick:
 	$(GO) run ./cmd/livenet-bench -quick

@@ -336,6 +336,12 @@ func BenchmarkMacroCohort1M(b *testing.B)     { perfbench.MacroCohort1M(b) }
 func BenchmarkBrainPaperScale(b *testing.B) { perfbench.BrainPaperScale(b) }
 func BenchmarkBrainEpochChurn(b *testing.B) { perfbench.BrainEpochChurn(b) }
 
+// BenchmarkBrainPaperScale2000 stretches the from-scratch epoch to
+// N=2000 sites — the scale point the worker-arena engine added (the
+// allocation-heavy engine before it did not complete a 2000-site round
+// in useful time; see EXPERIMENTS.md).
+func BenchmarkBrainPaperScale2000(b *testing.B) { perfbench.BrainPaperScale2000(b) }
+
 // BenchmarkBrainFederatedEpoch / Churn are the sharded counterparts: the
 // same 600-site overlay with one Brain shard per region and cross-region
 // stitching (see DESIGN.md §10); metrics include the per-shard report

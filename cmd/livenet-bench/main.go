@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -52,10 +53,51 @@ func main() {
 	hours := flag.Int("hours", 0, "simulate whole hours instead of days (0 = use days)")
 	tracer := flag.Float64("tracer", 0, "exact-tracer sampling probability for -viewers runs (0 = default 0.002)")
 	macroOnly := flag.Bool("macro-only", false, "run only the paired macro simulation: Table 1 plus the cohort summary")
+	benchCheck := flag.String("bench-check", "", "re-run the hot-path benchmarks and fail on alloc regressions vs this committed -bench-json snapshot")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+			}
+		}()
+	}
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "livenet-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchCheck != "" {
+		if err := runBenchCheck(*benchCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "livenet-bench:", err)
 			os.Exit(1)
 		}
@@ -285,4 +327,67 @@ func runBenchJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// hotPathBenchmarks are the allocation-diet benchmarks the CI regression
+// guard re-runs: paths where a single new alloc per op compounds into
+// fleet-scale throughput loss. Timing is machine-dependent so ns/op is
+// not gated, but allocs/op is deterministic at steady state.
+var hotPathBenchmarks = map[string]bool{
+	"BrainLookup":           true,
+	"GraphNeighborWeights":  true,
+	"YenKSPFullMesh":        true,
+	"LoopSchedule":          true,
+	"NetemSend":             true,
+	"NodeForwardFanout10":   true,
+	"NodeForwardFanout100":  true,
+	"NodeForwardFanout1000": true,
+	"UDPLoopbackEcho":       true,
+	"UDPLoopbackBatchRelay": true,
+}
+
+// runBenchCheck re-runs the hot-path benchmarks and compares allocs/op
+// against the committed snapshot: a benchmark may not exceed its
+// recorded allocs/op by more than 10% (and a zero-alloc benchmark must
+// stay at zero). Missing snapshot entries fail, so the snapshot cannot
+// silently fall behind the suite.
+func runBenchCheck(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseline := make(map[string]benchRecord, len(snap.Results))
+	for _, r := range snap.Results {
+		baseline[r.Name] = r
+	}
+	var failures []string
+	for _, s := range perfbench.Specs() {
+		if !hotPathBenchmarks[s.Name] {
+			continue
+		}
+		base, ok := baseline[s.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from %s (regenerate with -bench-json)", s.Name, path))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "check %-22s", s.Name)
+		r := testing.Benchmark(s.Func)
+		got := r.AllocsPerOp()
+		allowed := base.AllocsPerOp + base.AllocsPerOp/10
+		verdict := "ok"
+		if got > allowed {
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op, snapshot %d (allowed <= %d)",
+				s.Name, got, base.AllocsPerOp, allowed))
+		}
+		fmt.Fprintf(os.Stderr, " %6d allocs/op (snapshot %6d)  %s\n", got, base.AllocsPerOp, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("hot-path alloc regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }

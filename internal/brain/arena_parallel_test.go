@@ -1,0 +1,81 @@
+package brain
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"livenet/internal/runner"
+	"livenet/internal/sim"
+)
+
+// randomTopology reports a randomized sparse digraph into a brain: a
+// directed ring (so every pair resolves) plus ~20% of the remaining
+// ordered pairs, with randomized RTT/loss/util. The same seed produces
+// the same reports, so two brains fed the same seed see one topology.
+func randomTopology(b *Brain, n int, seed int64) {
+	rng := sim.NewSource(seed).Stream("topo")
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ring := j == (i+1)%n
+			if !ring && rng.Float64() > 0.2 {
+				continue
+			}
+			rtt := time.Duration(1500+rng.Intn(120000)) * time.Microsecond
+			b.ReportLink(i, j, rtt, rng.Float64()*0.01, rng.Float64()*0.8)
+		}
+	}
+}
+
+// TestArenaParallelColdEpochMatchesSerial is the worker-arena
+// determinism pin: a from-scratch routing epoch fanned across
+// worker-pinned arenas must produce byte-identical PIB contents and
+// served paths to the serial schedule, across randomized sparse
+// topologies and pool sizes (run under -race, this also proves the
+// pinned arenas never share state across workers).
+func TestArenaParallelColdEpochMatchesSerial(t *testing.T) {
+	for _, n := range []int{19, 37} {
+		for seed := int64(1); seed <= 3; seed++ {
+			for _, workers := range []int{2, 3, 8} {
+				t.Run(fmt.Sprintf("n=%d/seed=%d/workers=%d", n, seed, workers), func(t *testing.T) {
+					par := New(Config{N: n, Recompute: runner.Options{Workers: workers}})
+					defer par.Close()
+					ser := New(Config{N: n, Recompute: runner.Serial()})
+					defer ser.Close()
+					for _, b := range []*Brain{par, ser} {
+						randomTopology(b, n, seed)
+						b.RegisterStream(9, int(seed)%n)
+					}
+
+					// Cold epoch: every pair recomputed through the pools.
+					par.RecomputeAll()
+					ser.RecomputeAll()
+					comparePairs(t, "cold", n, par, ser)
+
+					// Prefetch exercises the per-producer fan-out path.
+					pm, err1 := par.PrefetchPaths(9)
+					sm, err2 := ser.PrefetchPaths(9)
+					if err1 != nil || err2 != nil {
+						t.Fatalf("prefetch: %v / %v", err1, err2)
+					}
+					for d := range pm {
+						if !pathsEqual(pm[d], sm[d]) {
+							t.Fatalf("prefetch dst %d diverged", d)
+						}
+					}
+
+					// A second cold epoch reuses the now-grown arenas —
+					// the steady state the allocation-free claim is about.
+					par.InvalidateAll()
+					ser.InvalidateAll()
+					par.RecomputeAll()
+					ser.RecomputeAll()
+					comparePairs(t, "warm-arena", n, par, ser)
+				})
+			}
+		}
+	}
+}

@@ -160,6 +160,14 @@ type treeEntry struct {
 	tree    ksp.Tree
 }
 
+// rdistEntry is a cached per-consumer reverse distance array (one
+// backward Dijkstra shared by every producer pairing with that consumer
+// within a graph version).
+type rdistEntry struct {
+	version uint64
+	dist    []float64
+}
+
 // Brain is the Streaming Brain.
 type Brain struct {
 	mu  sync.Mutex
@@ -178,6 +186,19 @@ type Brain struct {
 
 	// trees caches one SSSP tree per producer, stamped by graph version.
 	trees map[int]treeEntry
+
+	// rdist caches per-consumer reverse shortest distances (dist[v] =
+	// v→dst on the current weights), stamped by graph version. Yen spur
+	// searches use them as an exact A* heuristic: a spur search then
+	// expands only nodes on near-optimal corridors toward the consumer
+	// instead of flooding a distance ball around the spur node.
+	rdist map[int]rdistEntry
+
+	// arenas is the worker-pinned routing scratch: index w belongs
+	// exclusively to runner worker w during a batch fan-out (serial paths
+	// use arena 0 under b.mu). Arenas hold no results, only scratch, so
+	// they never affect outputs — just allocation counts.
+	arenas []*ksp.Arena
 
 	// Dirty sets for incremental invalidation: elements whose metrics
 	// changed since the last routing round, with the graph version at
@@ -216,6 +237,7 @@ func New(cfg Config) *Brain {
 		sib:        make(map[uint32]int),
 		draining:   make(map[int]bool),
 		trees:      make(map[int]treeEntry),
+		rdist:      make(map[int]rdistEntry),
 		dirtyLinks: make(map[pairKey]uint64),
 		dirtyNodes: make(map[int]uint64),
 		tel:        newBrainInstruments(cfg.Telemetry),
@@ -354,6 +376,16 @@ func (b *Brain) invalidatePIBLocked() {
 	b.tel.pibInvalidated.Add(uint64(len(b.pib)))
 	clear(b.pib)
 	clear(b.trees)
+	clear(b.rdist)
+}
+
+// arenasLocked sizes the worker-pinned arena set to the runner pool and
+// returns it; index 0 doubles as the serial scratch.
+func (b *Brain) arenasLocked() []*ksp.Arena {
+	for len(b.arenas) < b.cfg.Recompute.PoolSize() {
+		b.arenas = append(b.arenas, new(ksp.Arena))
+	}
+	return b.arenas
 }
 
 func (b *Brain) markLinkDirtyLocked(from, to int) {
@@ -477,13 +509,13 @@ func (b *Brain) buildProbesLocked() []probe {
 		return roots[a].id < roots[c].id
 	})
 	b.view.MaterializeWeights() // both row directions: workers only read
-	dists, _ := runner.Map(b.cfg.Recompute, roots, func(r root) []float64 {
+	arenas := b.arenasLocked()
+	nw, inw := b.view.NeighborWeights, b.view.InNeighborWeights
+	dists, _ := runner.MapW(b.cfg.Recompute, roots, func(w int, r root) []float64 {
 		if r.rev {
-			d, _ := ksp.DijkstraNW(n, r.id, b.view.InNeighborWeights)
-			return d
+			return arenas[w].DijkstraDist(n, r.id, inw)
 		}
-		d, _ := ksp.DijkstraNW(n, r.id, b.view.NeighborWeights)
-		return d
+		return arenas[w].DijkstraDist(n, r.id, nw)
 	})
 	rev := make(map[int][]float64, len(revSet))
 	fwd := make(map[int][]float64, len(fwdSet))
@@ -790,7 +822,8 @@ func (b *Brain) computeEntryLocked(src, dst int) *pibEntry {
 	if b.dense {
 		raw = b.computePathsDense(src, dst)
 	} else {
-		raw = ksp.YenFromTree(b.cfg.N, src, dst, b.cfg.K, b.view.NeighborWeights, b.treeLocked(src))
+		a := b.arenasLocked()[0]
+		raw = a.YenFromTreeH(b.cfg.N, src, dst, b.cfg.K, b.view.NeighborWeights, b.treeLocked(src), b.rdistLocked(dst))
 	}
 	return b.newEntry(raw, b.view.Version())
 }
@@ -825,9 +858,23 @@ func (b *Brain) treeLocked(src int) ksp.Tree {
 	if te, ok := b.trees[src]; ok && te.version == v {
 		return te.tree
 	}
-	t := ksp.SSSP(b.cfg.N, src, b.view.NeighborWeights)
+	t := b.arenasLocked()[0].SSSP(b.cfg.N, src, b.view.NeighborWeights)
 	b.trees[src] = treeEntry{version: v, tree: t}
 	return t
+}
+
+// rdistLocked returns the reverse-distance array toward dst for the
+// current graph version, computing and caching it on first use. Every
+// producer pairing with this consumer shares it as the spur-search A*
+// heuristic.
+func (b *Brain) rdistLocked(dst int) []float64 {
+	v := b.view.Version()
+	if re, ok := b.rdist[dst]; ok && re.version == v {
+		return re.dist
+	}
+	d := b.arenasLocked()[0].DijkstraDist(b.cfg.N, dst, b.view.InNeighborWeights)
+	b.rdist[dst] = rdistEntry{version: v, dist: d}
+	return d
 }
 
 // lastResortLocked builds producer → LR → consumer through the best
@@ -876,13 +923,17 @@ type recomputeJob struct {
 // recomputeMissingLocked computes PIB entries for every listed (src,dsts)
 // group, fanning the per-producer jobs out across the runner pool and
 // merging results in deterministic (src, dst) order. Workers only read
-// the graph: weight rows are materialized up front, so the parallel
-// schedule is byte-identical to the serial one.
+// the graph: weight rows are materialized up front and every consumer's
+// reverse-distance heuristic is precomputed before the fan-out, so the
+// parallel schedule is byte-identical to the serial one. Each worker
+// runs its searches on its own pinned arena — the steady state of a
+// batch allocates only the results it retains.
 func (b *Brain) recomputeMissingLocked(jobs []recomputeJob) {
 	if len(jobs) == 0 {
 		return
 	}
 	version := b.view.Version()
+	arenas := b.arenasLocked()
 	if b.dense {
 		b.denseWeightsLocked() // build once; workers then read it
 	} else {
@@ -892,12 +943,14 @@ func (b *Brain) recomputeMissingLocked(jobs []recomputeJob) {
 				jobs[i].tree, jobs[i].has = te.tree, true
 			}
 		}
+		b.precomputeRdistLocked(jobs, version)
 	}
 	type jobResult struct {
 		tree    ksp.Tree
 		entries []*pibEntry
 	}
-	results, _ := runner.Map(b.cfg.Recompute, jobs, func(j recomputeJob) jobResult {
+	nw := b.view.NeighborWeights
+	results, _ := runner.MapW(b.cfg.Recompute, jobs, func(w int, j recomputeJob) jobResult {
 		r := jobResult{entries: make([]*pibEntry, len(j.dsts))}
 		if b.dense {
 			for i, d := range j.dsts {
@@ -905,12 +958,13 @@ func (b *Brain) recomputeMissingLocked(jobs []recomputeJob) {
 			}
 			return r
 		}
+		a := arenas[w]
 		r.tree = j.tree
 		if !j.has {
-			r.tree = ksp.SSSP(b.cfg.N, j.src, b.view.NeighborWeights)
+			r.tree = a.SSSP(b.cfg.N, j.src, nw)
 		}
 		for i, d := range j.dsts {
-			r.entries[i] = b.newEntry(ksp.YenFromTree(b.cfg.N, j.src, d, b.cfg.K, b.view.NeighborWeights, r.tree), version)
+			r.entries[i] = b.newEntry(a.YenFromTreeH(b.cfg.N, j.src, d, b.cfg.K, nw, r.tree, b.rdist[d].dist), version)
 		}
 		return r
 	})
@@ -922,6 +976,38 @@ func (b *Brain) recomputeMissingLocked(jobs []recomputeJob) {
 			b.pib[pairKey{j.src, d}] = results[ji].entries[i]
 			b.tel.pibMisses.Inc()
 		}
+	}
+}
+
+// precomputeRdistLocked builds the reverse-distance heuristic for every
+// consumer the jobs will touch, in parallel, before the pair fan-out —
+// workers then read b.rdist without synchronization.
+func (b *Brain) precomputeRdistLocked(jobs []recomputeJob, version uint64) {
+	need := make(map[int]bool)
+	for i := range jobs {
+		for _, d := range jobs[i].dsts {
+			if !need[d] {
+				if re, ok := b.rdist[d]; !ok || re.version != version {
+					need[d] = true
+				}
+			}
+		}
+	}
+	if len(need) == 0 {
+		return
+	}
+	missing := make([]int, 0, len(need))
+	for d := range need {
+		missing = append(missing, d)
+	}
+	sort.Ints(missing)
+	arenas := b.arenasLocked()
+	inw := b.view.InNeighborWeights
+	dists, _ := runner.MapW(b.cfg.Recompute, missing, func(w, d int) []float64 {
+		return arenas[w].DijkstraDist(b.cfg.N, d, inw)
+	})
+	for i, d := range missing {
+		b.rdist[d] = rdistEntry{version: version, dist: dists[i]}
 	}
 }
 
@@ -1010,11 +1096,68 @@ func (b *Brain) PrefetchPaths(sid uint32) (map[int][][]int, error) {
 func (b *Brain) PathCost(path []int) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.pathCostLocked(path)
+}
+
+func (b *Brain) pathCostLocked(path []int) float64 {
 	total := 0.0
 	for i := 0; i+1 < len(path); i++ {
 		total += b.view.Weight(path[i], path[i+1])
 	}
 	return total
+}
+
+// Segment is one answer in a batched segment lookup: the best current
+// path for the pair plus its Eq. 2 cost. An empty Path (Cost +Inf)
+// means the pair has no usable route in this Brain's view.
+type Segment struct {
+	Path []int
+	Cost float64
+}
+
+func (b *Brain) segmentLocked(src, dst int) Segment {
+	paths := b.pathsLocked(src, dst)
+	if len(paths) == 0 {
+		return Segment{Cost: math.Inf(1)}
+	}
+	return Segment{Path: paths[0], Cost: b.pathCostLocked(paths[0])}
+}
+
+// LookupSegments answers a batch of same-source path queries under one
+// lock acquisition: for each destination, the best current path
+// src→dst with its cost. The federation front-end uses it to fetch a
+// producer's segments to every candidate gateway (and a shard's digest
+// row) as one shard query instead of one query per gateway.
+func (b *Brain) LookupSegments(src int, dsts []int) []Segment {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Segment, len(dsts))
+	for i, d := range dsts {
+		out[i] = b.segmentLocked(src, d)
+	}
+	return out
+}
+
+// LookupSegmentsInto is the reverse batch: the best current path
+// src→dst for each source — the destination shard's gateway→consumer
+// segments, fetched as one query.
+func (b *Brain) LookupSegmentsInto(srcs []int, dst int) []Segment {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Segment, len(srcs))
+	for i, s := range srcs {
+		out[i] = b.segmentLocked(s, dst)
+	}
+	return out
+}
+
+// ViewVersion returns the view's version counter — the cheap staleness
+// check the federation's digest exporter keys on: a shard's digest is
+// rebuilt only when this moves.
+func (b *Brain) ViewVersion() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.view.Version()
 }
 
 // SortedPIBKeys returns the current PIB keys in (src, dst) order — the

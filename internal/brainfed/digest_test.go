@@ -1,0 +1,297 @@
+package brainfed
+
+import (
+	"testing"
+	"time"
+
+	"livenet/internal/brain"
+	"livenet/internal/geo"
+	"livenet/internal/sim"
+	"livenet/internal/telemetry"
+)
+
+// transitWorld builds the transit-penalty topology the digest stitcher
+// exists for: full mesh within each region, cross-region links only
+// between gateways, and a heavy RTT penalty on any gateway link that
+// does not touch the transit region (the largest one — APAC for the
+// default geo seed). The monolith's best cross-region path then dog-
+// legs through a transit-region gateway, which a two-segment stitch at
+// the destination's gateways cannot express — only a digest detour can.
+func transitWorld(t *testing.T, n int) (w *geo.World, transit string, report func(sinks ...reportSink)) {
+	t.Helper()
+	src := sim.NewSource(11)
+	cfg := geo.DefaultConfig()
+	cfg.NumSites = n
+	w = geo.Build(cfg, src.Stream("geo"))
+	if len(w.Regions()) < 3 {
+		t.Fatalf("world has %d regions; need >= 3 for a transit detour", len(w.Regions()))
+	}
+	count := make(map[string]int)
+	for _, s := range w.Sites {
+		count[s.Region]++
+	}
+	for _, r := range w.Regions() {
+		if transit == "" || count[r] > count[transit] {
+			transit = r
+		}
+	}
+	gws := w.RegionGateways()
+	isGW := make(map[int]bool)
+	for _, g := range gws {
+		for _, id := range g {
+			isGW[id] = true
+		}
+	}
+	// A penalty large enough that any two-leg detour through the transit
+	// region (each leg at most half the globe, ~100 ms metric) beats a
+	// penalized direct hop, on every region pair.
+	const penalty = 500 * time.Millisecond
+	report = func(sinks ...reportSink) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ri, rj := w.Sites[i].Region, w.Sites[j].Region
+				if ri != rj && !(isGW[i] && isGW[j]) {
+					continue
+				}
+				rtt := metricRTT(w, i, j)
+				if ri != rj && ri != transit && rj != transit {
+					rtt += penalty
+				}
+				for _, s := range sinks {
+					s.ReportLink(i, j, rtt, 0.0005, 0.2)
+					s.ReportLink(j, i, rtt, 0.0005, 0.2)
+				}
+			}
+		}
+	}
+	return w, transit, report
+}
+
+// TestDigestStitchMatchesMonolithOnTransitPenalty is the tentpole
+// equivalence pin: on a transit-penalty topology the federation's
+// selected path must equal the monolith's for every pair — which
+// requires stitching through third-region detours via the shards'
+// exported digests (the pre-digest stitcher provably could not: it only
+// spliced producer→gate and gate→consumer segments at the destination's
+// gateways, so the penalized direct link always won).
+func TestDigestStitchMatchesMonolithOnTransitPenalty(t *testing.T) {
+	const n = 48
+	w, _, report := transitWorld(t, n)
+	part := ByRegion(w, 0)
+
+	var allGW []int
+	for s := 0; s < part.Shards(); s++ {
+		allGW = append(allGW, part.Gateways(s)...)
+	}
+	bcfg := brain.Config{N: n, MaxHops: 8, LastResort: allGW}
+	mono := brain.New(bcfg)
+	defer mono.Close()
+	reg := telemetry.NewRegistry()
+	fed := New(Config{Brain: bcfg, Partition: part, MaxStitch: 16, Telemetry: reg})
+	defer fed.Close()
+	report(mono, fed)
+
+	mismatches := 0
+	for p := 0; p < n; p++ {
+		for c := 0; c < n; c++ {
+			if p == c {
+				continue
+			}
+			mp := mono.LookupByProducer(p, c)
+			fp := fed.LookupByProducer(p, c)
+			if len(mp) == 0 || len(fp) == 0 {
+				t.Fatalf("pair %d->%d: monolith %d paths, federation %d paths", p, c, len(mp), len(fp))
+			}
+			if !pathEq(mp[0], fp[0]) {
+				mismatches++
+				if mismatches <= 5 {
+					t.Errorf("pair %d->%d: monolith %v, federation %v", p, c, mp[0], fp[0])
+				}
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d of %d pairs diverged", mismatches, n*(n-1))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["brainfed.stitch_transit"] == 0 {
+		t.Fatal("no stitch candidate used a digest detour on a transit-penalty topology")
+	}
+	if snap.Counters["brainfed.digest_builds"] == 0 {
+		t.Fatal("no digest was exported")
+	}
+
+	// Steady state: with digests warm, one cross-shard lookup costs O(1)
+	// batched shard queries (producer side + destination exits), not
+	// 2 queries per gateway candidate like the pre-digest stitcher.
+	var p, c int = -1, -1
+	for id := 0; id < n && c < 0; id++ {
+		if p < 0 {
+			p = id
+			continue
+		}
+		if part.ShardOf(id) != part.ShardOf(p) {
+			c = id
+		}
+	}
+	fed.InvalidateAll() // drop PIBs but not view versions: digests stay warm
+	before := reg.Snapshot().Counters["brainfed.segment_queries"]
+	if paths := fed.LookupByProducer(p, c); len(paths) == 0 {
+		t.Fatalf("no stitched path for %d->%d", p, c)
+	}
+	queries := reg.Snapshot().Counters["brainfed.segment_queries"] - before
+	if queries > 2 {
+		t.Fatalf("steady-state cross-shard lookup made %d segment queries, want <= 2", queries)
+	}
+}
+
+// TestSplitPartitionReducesFanInAtMonolithQuality pins the fan-in side
+// of the digest tentpole: splitting the largest region into sub-shards
+// must cut the maximum per-shard discovery-report fan-in, while digest
+// stitching (entry via sibling sub-shards' digests, exit legs answered
+// by each gateway's owning sub-shard) keeps every cross-region path
+// identical to the monolith's. Intra-region pairs that straddle a split
+// are the documented trade: they detour via a gateway, so they are only
+// required to resolve, not to match.
+func TestSplitPartitionReducesFanInAtMonolithQuality(t *testing.T) {
+	const n = 48
+	w, transit, report := transitWorld(t, n)
+	whole := ByRegion(w, 0)
+	count := make(map[string]int)
+	for _, s := range w.Sites {
+		count[s.Region]++
+	}
+	split := ByRegionSplit(w, count[transit]/2)
+	if split.Shards() <= whole.Shards() {
+		t.Fatalf("split partition has %d shards, want > %d", split.Shards(), whole.Shards())
+	}
+
+	var allGW []int
+	for s := 0; s < whole.Shards(); s++ {
+		allGW = append(allGW, whole.Gateways(s)...)
+	}
+	bcfg := brain.Config{N: n, MaxHops: 8, LastResort: allGW}
+	mono := brain.New(bcfg)
+	defer mono.Close()
+	fedWhole := New(Config{Brain: bcfg, Partition: whole, MaxStitch: 16})
+	defer fedWhole.Close()
+	fedSplit := New(Config{Brain: bcfg, Partition: split, MaxStitch: 16})
+	defer fedSplit.Close()
+	report(mono, fedWhole, fedSplit)
+
+	mismatches := 0
+	for p := 0; p < n; p++ {
+		for c := 0; c < n; c++ {
+			if p == c {
+				continue
+			}
+			fp := fedSplit.LookupByProducer(p, c)
+			if len(fp) == 0 {
+				t.Fatalf("pair %d->%d: split federation served no path", p, c)
+			}
+			if w.Sites[p].Region == w.Sites[c].Region {
+				continue // split-region interior pairs may gateway-detour
+			}
+			mp := mono.LookupByProducer(p, c)
+			if len(mp) == 0 {
+				t.Fatalf("pair %d->%d: monolith served no path", p, c)
+			}
+			if !pathEq(mp[0], fp[0]) {
+				mismatches++
+				if mismatches <= 5 {
+					t.Errorf("pair %d->%d: monolith %v, split federation %v", p, c, mp[0], fp[0])
+				}
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d cross-region pairs diverged from the monolith", mismatches)
+	}
+
+	maxFan := func(f *Federation) uint64 {
+		var m uint64
+		for _, c := range f.ReportFanIn() {
+			if c > m {
+				m = c
+			}
+		}
+		return m
+	}
+	fw, fs := maxFan(fedWhole), maxFan(fedSplit)
+	if fs >= fw {
+		t.Fatalf("split max shard fan-in %d, want < whole-region %d", fs, fw)
+	}
+}
+
+// TestByRegionSplitPartition covers the split partition's invariants:
+// disjoint ownership, every sub-shard owning at least one gateway, and
+// peer groups tying a region's sub-shards together.
+func TestByRegionSplitPartition(t *testing.T) {
+	const n = 48
+	w, transit, _ := transitWorld(t, n)
+	count := make(map[string]int)
+	for _, s := range w.Sites {
+		count[s.Region]++
+	}
+	p := ByRegionSplit(w, count[transit]/2)
+
+	covered := 0
+	region := make(map[int]string)
+	for s := 0; s < p.Shards(); s++ {
+		if len(p.Gateways(s)) == 0 {
+			t.Fatalf("shard %d (%s) owns no gateway", s, p.Names[s])
+		}
+		for _, g := range p.Gateways(s) {
+			if p.ShardOf(g) != s {
+				t.Fatalf("gateway %d listed by shard %d but owned by %d", g, s, p.ShardOf(g))
+			}
+		}
+		for _, id := range p.Nodes(s) {
+			if p.ShardOf(id) != s {
+				t.Fatalf("node %d listed in shard %d but ShardOf says %d", id, s, p.ShardOf(id))
+			}
+			if r, ok := region[s]; ok && r != w.Sites[id].Region {
+				t.Fatalf("shard %d spans regions %s and %s", s, r, w.Sites[id].Region)
+			}
+			region[s] = w.Sites[id].Region
+			covered++
+		}
+	}
+	if covered != len(w.Sites) {
+		t.Fatalf("covered %d nodes, want %d", covered, len(w.Sites))
+	}
+
+	// The transit region split; its sub-shards are peers of each other
+	// and of nobody else.
+	subs := 0
+	for s := 0; s < p.Shards(); s++ {
+		if region[s] == transit {
+			subs++
+		}
+	}
+	if subs < 2 {
+		t.Fatalf("transit region %s split into %d shards, want >= 2", transit, subs)
+	}
+	for s := 0; s < p.Shards(); s++ {
+		peers := p.PeerShards(s)
+		want := 1
+		if region[s] == transit {
+			want = subs
+		}
+		if len(peers) != want {
+			t.Fatalf("shard %d (%s) has peers %v, want %d", s, p.Names[s], peers, want)
+		}
+		self := false
+		for _, u := range peers {
+			if u == s {
+				self = true
+			}
+			if region[u] != region[s] {
+				t.Fatalf("shard %d peers with %d across regions", s, u)
+			}
+		}
+		if !self {
+			t.Fatalf("shard %d missing from its own peer group %v", s, peers)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package brainfed
 
 import (
 	"errors"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -50,7 +51,10 @@ type fedInstruments struct {
 	lookupsLocal     *telemetry.Counter
 	lookupsCross     *telemetry.Counter
 	stitchCandidates *telemetry.Counter
+	stitchTransit    *telemetry.Counter
 	stitchCacheHits  *telemetry.Counter
+	segmentQueries   *telemetry.Counter
+	digestBuilds     *telemetry.Counter
 	fallbackCached   *telemetry.Counter
 	fallbackLocal    *telemetry.Counter
 	fallbackFailed   *telemetry.Counter
@@ -66,7 +70,10 @@ func newFedInstruments(r *telemetry.Registry) fedInstruments {
 		lookupsLocal:     r.Counter("brainfed.lookups_local"),
 		lookupsCross:     r.Counter("brainfed.lookups_cross"),
 		stitchCandidates: r.Counter("brainfed.stitch_candidates"),
+		stitchTransit:    r.Counter("brainfed.stitch_transit"),
 		stitchCacheHits:  r.Counter("brainfed.stitch_cache_hits"),
+		segmentQueries:   r.Counter("brainfed.segment_queries"),
+		digestBuilds:     r.Counter("brainfed.digest_builds"),
 		fallbackCached:   r.Counter("brainfed.fallback_cached"),
 		fallbackLocal:    r.Counter("brainfed.fallback_local"),
 		fallbackFailed:   r.Counter("brainfed.fallback_failed"),
@@ -153,8 +160,9 @@ func samePaths(a, b [][]int) bool {
 // Federation fronts a set of per-region Brain shards behind the
 // monolithic Brain's lookup/report API. Reports route to the shard
 // owning the reporting node; same-shard lookups are served entirely by
-// one shard; cross-shard lookups stitch two shard-local segments at the
-// destination shard's gateways. See the package comment for the design.
+// one shard; cross-shard lookups stitch shard-local segments over the
+// gateway meta-graph, using each shard's exported inter-region digest
+// for any transit legs. See the package comment for the design.
 type Federation struct {
 	cfg  Config
 	part *Partition
@@ -167,8 +175,28 @@ type Federation struct {
 	sib         map[uint32]int
 	down        []bool
 	stitchCache map[pairKey][][]int
+	digests     []*digest
 	reportCount []uint64
 	epochTimes  []time.Duration
+}
+
+// digest is a shard's compressed inter-region link summary (ROADMAP
+// item 2 follow-up): for each of the shard's exported gateways, the
+// best shard-local segment to every foreign gateway, with its Eq. 2
+// cost. Digests are what let the front-end stitch cross-shard paths
+// through third-region detours — a transit shard's border links enter
+// the stitch as a handful of (gateway, gateway, cost) rows refreshed
+// once per shard view version, instead of per-lookup queries against
+// the transit shard (let alone its full graph).
+type digest struct {
+	version uint64
+	entries []digestEntry
+}
+
+type digestEntry struct {
+	from, to int // gateway pair; from is owned by the exporting shard
+	cost     float64
+	path     []int // the exporting shard's best from→to node path
 }
 
 // New builds the federation: one Brain per shard, each owning its
@@ -188,6 +216,7 @@ func New(cfg Config) *Federation {
 		sib:         make(map[uint32]int),
 		down:        make([]bool, p.Shards()),
 		stitchCache: make(map[pairKey][][]int),
+		digests:     make([]*digest, p.Shards()),
 		reportCount: make([]uint64, p.Shards()),
 		epochTimes:  make([]time.Duration, p.Shards()),
 	}
@@ -458,15 +487,164 @@ func (f *Federation) lookupPath(producer, consumer int) ([][]int, error) {
 	return nil, ErrShardUnreachable
 }
 
-// stitch builds cross-shard paths: for each of the destination shard's
-// first MaxStitch gateways g, concatenate the source shard's best
-// producer→g segment with the destination shard's best g→consumer
-// segment, rank by summed Eq. 2 cost, and keep up to K loop-free
-// candidates within the hop bound.
+// gatesOf returns a shard's exported gateway set: its first MaxStitch
+// gateways (best-peered first). Both the stitcher's candidate exits and
+// the digest rows are bounded by it, so stitch state stays O(1) in
+// region size.
+func (f *Federation) gatesOf(s int) []int {
+	g := f.part.Gateways(s)
+	if len(g) > f.cfg.MaxStitch {
+		g = g[:f.cfg.MaxStitch]
+	}
+	return g
+}
+
+// digestFor returns shard t's current inter-region digest, rebuilding
+// it when the shard's view version moved: one batched segment query per
+// exported gateway, against every foreign gateway. While t is marked
+// down the last exported digest keeps serving (summaries are front-end
+// soft state, like the stitch cache), possibly nil if t never exported.
+func (f *Federation) digestFor(t int) *digest {
+	f.mu.Lock()
+	d, down := f.digests[t], f.down[t]
+	f.mu.Unlock()
+	if down {
+		return d
+	}
+	v := f.shards[t].ViewVersion()
+	if d != nil && d.version == v {
+		return d
+	}
+	own := f.gatesOf(t)
+	var foreign []int
+	for u := 0; u < f.part.Shards(); u++ {
+		if u != t {
+			foreign = append(foreign, f.gatesOf(u)...)
+		}
+	}
+	nd := &digest{version: v}
+	for _, e := range own {
+		segs := f.shards[t].LookupSegments(e, foreign)
+		f.tel.segmentQueries.Inc()
+		for i, s := range segs {
+			if len(s.Path) < 2 || math.IsInf(s.Cost, 1) {
+				continue
+			}
+			nd.entries = append(nd.entries, digestEntry{from: e, to: foreign[i], cost: s.Cost, path: s.Path})
+		}
+	}
+	f.tel.digestBuilds.Inc()
+	f.mu.Lock()
+	f.digests[t] = nd
+	f.mu.Unlock()
+	return nd
+}
+
+// RefreshDigests re-exports every reachable shard's inter-region
+// digest (a no-op per shard whose view has not moved). AdvanceEpoch
+// calls it so steady-state lookups never pay the rebuild.
+func (f *Federation) RefreshDigests() {
+	for t := 0; t < f.part.Shards(); t++ {
+		f.digestFor(t)
+	}
+}
+
+// metaEdge is one edge of the stitcher's gateway meta-graph: a
+// shard-local segment (node path + Eq. 2 cost) between two meta
+// vertices. transit marks edges imported from another shard's digest.
+type metaEdge struct {
+	to      int
+	cost    float64
+	path    []int
+	transit bool
+}
+
+// stitch builds cross-shard paths over the gateway meta-graph. The
+// vertices are the producer plus every shard's exported gateways; the
+// edges are (1) the source shard's batched producer→gateway segments
+// and (2) every other shard's digest rows. A deterministic Dijkstra
+// over this graph finds the cheapest route to each of the destination
+// shard's gateways — including third-region detours the old two-segment
+// stitch could not see, at no per-lookup queries against transit
+// shards. Each exit gateway g then contributes one candidate (meta
+// route + the destination shard's g→consumer segment); candidates are
+// ranked by summed cost and up to K loop-free ones within the hop
+// bound are kept.
 func (f *Federation) stitch(producer, consumer, ss, ds int) [][]int {
-	gates := f.part.Gateways(ds)
-	if len(gates) > f.cfg.MaxStitch {
-		gates = gates[:f.cfg.MaxStitch]
+	var gatesAll []int
+	for t := 0; t < f.part.Shards(); t++ {
+		gatesAll = append(gatesAll, f.gatesOf(t)...)
+	}
+	adj := make(map[int][]metaEdge, len(gatesAll)+1)
+	segs := f.shards[ss].LookupSegments(producer, gatesAll)
+	f.tel.segmentQueries.Inc()
+	for i, s := range segs {
+		if gatesAll[i] == producer || len(s.Path) == 0 {
+			continue
+		}
+		adj[producer] = append(adj[producer], metaEdge{to: gatesAll[i], cost: s.Cost, path: s.Path})
+	}
+	for t := 0; t < f.part.Shards(); t++ {
+		if t == ss {
+			continue // producer→gateway segments already cover ss's view
+		}
+		d := f.digestFor(t)
+		if d == nil {
+			continue
+		}
+		for i := range d.entries {
+			e := &d.entries[i]
+			adj[e.from] = append(adj[e.from], metaEdge{to: e.to, cost: e.cost, path: e.path, transit: true})
+		}
+	}
+
+	// Deterministic Dijkstra over the meta-graph (|V| is a few dozen at
+	// most, so linear-scan extraction beats a heap and ties break on the
+	// fixed vertex order).
+	order := append([]int{producer}, gatesAll...)
+	dist := map[int]float64{producer: 0}
+	type pred struct {
+		prev int
+		edge *metaEdge
+	}
+	from := make(map[int]pred, len(gatesAll))
+	done := make(map[int]bool, len(gatesAll)+1)
+	for {
+		u, best := -1, math.Inf(1)
+		for _, v := range order {
+			if d, ok := dist[v]; ok && !done[v] && d < best {
+				u, best = v, d
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for i := range adj[u] {
+			e := &adj[u][i]
+			nd := best + e.cost
+			if d, ok := dist[e.to]; !ok || nd < d {
+				dist[e.to] = nd
+				from[e.to] = pred{prev: u, edge: e}
+			}
+		}
+	}
+
+	// Exit candidates are the destination region's gateways. Each exit
+	// leg g→consumer is answered by g's owning shard — for a split
+	// region that may be a sibling sub-shard of ds, the only shard that
+	// sees g's outgoing links.
+	var exits []int
+	var exitSegs []brain.Segment
+	for _, u := range f.part.PeerShards(ds) {
+		if f.ShardDown(u) {
+			continue
+		}
+		gs := f.gatesOf(u)
+		segs := f.shards[u].LookupSegmentsInto(gs, consumer)
+		f.tel.segmentQueries.Inc()
+		exits = append(exits, gs...)
+		exitSegs = append(exitSegs, segs...)
 	}
 	type cand struct {
 		path []int
@@ -474,35 +652,44 @@ func (f *Federation) stitch(producer, consumer, ss, ds int) [][]int {
 		gate int
 	}
 	var cands []cand
-	for _, g := range gates {
+	for i, g := range exits {
 		f.tel.stitchCandidates.Inc()
-		segA := []int{producer}
-		costA := 0.0
-		if g != producer {
-			pathsA := f.shards[ss].LookupByProducer(producer, g)
-			if len(pathsA) == 0 {
-				continue
-			}
-			segA = pathsA[0]
-			costA = f.shards[ss].PathCost(segA)
+		dg, ok := dist[g]
+		if !ok {
+			continue
 		}
-		full := segA
-		cost := costA
-		if g != consumer {
-			pathsB := f.shards[ds].LookupByProducer(g, consumer)
-			if len(pathsB) == 0 {
-				continue
-			}
-			segB := pathsB[0]
-			cost += f.shards[ds].PathCost(segB)
-			full = make([]int, 0, len(segA)+len(segB)-1)
-			full = append(full, segA...)
-			full = append(full, segB[1:]...)
+		es := exitSegs[i]
+		if len(es.Path) == 0 {
+			continue
 		}
+		// Splice the meta route's segments producer→…→g, then the exit
+		// segment (es.Path[0] == g; a zero-hop exit appends nothing).
+		full := []int{producer}
+		transit := false
+		var walk func(v int) bool
+		walk = func(v int) bool {
+			p, ok := from[v]
+			if !ok {
+				return v == producer
+			}
+			if !walk(p.prev) {
+				return false
+			}
+			full = append(full, p.edge.path[1:]...)
+			transit = transit || p.edge.transit
+			return true
+		}
+		if !walk(g) {
+			continue
+		}
+		full = append(full, es.Path[1:]...)
 		if hasRepeats(full) {
 			continue
 		}
-		cands = append(cands, cand{path: full, cost: cost, gate: g})
+		if transit {
+			f.tel.stitchTransit.Inc()
+		}
+		cands = append(cands, cand{path: full, cost: dg + es.Cost, gate: g})
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].cost != cands[b].cost {
@@ -541,10 +728,7 @@ func (f *Federation) stitch(producer, consumer, ss, ds int) [][]int {
 // away: the reachable shard contributes its best gateway segment; the
 // unreachable side is bridged with a single optimistic hop.
 func (f *Federation) degradedStitch(producer, consumer, ss, ds int, srcDown, dstDown bool) []int {
-	gates := f.part.Gateways(ds)
-	if len(gates) > f.cfg.MaxStitch {
-		gates = gates[:f.cfg.MaxStitch]
-	}
+	gates := f.gatesOf(ds)
 	switch {
 	case srcDown && !dstDown:
 		// Only the consumer side can route: producer → g optimistic,
@@ -707,6 +891,9 @@ func (f *Federation) AdvanceEpoch() {
 			f.tel.epochNs.Observe(d.Nanoseconds())
 		}
 	}
+	// Each shard exports its refreshed inter-region digest with the
+	// epoch, so lookups between epochs stitch from warm summaries.
+	f.RefreshDigests()
 }
 
 // InvalidateAll drops every shard's PIB (epoch boundary without new

@@ -11,6 +11,10 @@
 //   - Cross-region path requests are answered by stitching shard-local
 //     segments at a bounded candidate set of gateway nodes — the
 //     destination region's IXP-attached sites (geo.RegionGateways).
+//     Transit legs between foreign gateways come from each shard's
+//     compressed inter-region digest (a per-epoch export of its best
+//     gateway→gateway segments), so third-region detours are found
+//     without per-lookup queries against transit shards.
 //   - When a peer shard is unreachable, lookups degrade through a
 //     fallback ladder (cached stitches, then shard-local gateway
 //     segments) instead of failing; see federation.go.
@@ -38,6 +42,7 @@ type Partition struct {
 	shardOf  []int
 	nodes    [][]int
 	gateways [][]int
+	group    []int // region group per shard; sub-shards of one split region share a group
 }
 
 // ByRegion partitions a geo world's sites by region. k <= 0 (or k at or
@@ -109,6 +114,82 @@ func ByRegion(w *geo.World, k int) *Partition {
 	return p
 }
 
+// ByRegionSplit is ByRegion with a per-shard ownership cap: a region
+// owning more than maxNodes sites is split into balanced sub-shards,
+// bounded by the region's gateway count (every sub-shard must own at
+// least one gateway to be reachable by the stitcher). Splitting caps
+// the maximum per-shard discovery-report fan-in below the largest
+// region's size; the digest stitcher keeps cross-region paths whole by
+// routing through sibling sub-shards' exported gateway summaries.
+// Region gateways are dealt round-robin in best-peered order, then the
+// remaining sites round-robin in ID order, so sub-shards stay balanced.
+func ByRegionSplit(w *geo.World, maxNodes int) *Partition {
+	if maxNodes < 1 {
+		maxNodes = 1
+	}
+	regions := w.Regions()
+	gws := w.RegionGateways()
+	p := &Partition{
+		N:       len(w.Sites),
+		shardOf: make([]int, len(w.Sites)),
+	}
+	for _, r := range regions {
+		var members []int
+		for _, s := range w.Sites {
+			if s.Region == r {
+				members = append(members, s.ID)
+			}
+		}
+		sort.Ints(members)
+		gw := append([]int(nil), gws[r]...)
+		sort.Slice(gw, func(a, b int) bool {
+			if w.Peering(gw[a]) != w.Peering(gw[b]) {
+				return w.Peering(gw[a]) > w.Peering(gw[b])
+			}
+			return gw[a] < gw[b]
+		})
+		parts := (len(members) + maxNodes - 1) / maxNodes
+		if parts > len(gw) {
+			parts = len(gw)
+		}
+		if parts < 1 {
+			parts = 1
+		}
+		base := len(p.nodes)
+		for i := 0; i < parts; i++ {
+			name := r
+			if parts > 1 {
+				name = r + "/" + itoa(i)
+			}
+			p.Names = append(p.Names, name)
+			p.nodes = append(p.nodes, nil)
+			p.gateways = append(p.gateways, nil)
+			p.group = append(p.group, base)
+		}
+		isGW := make(map[int]bool, len(gw))
+		for i, g := range gw {
+			si := base + i%parts
+			p.gateways[si] = append(p.gateways[si], g)
+			p.shardOf[g] = si
+			isGW[g] = true
+		}
+		at := 0
+		for _, id := range members {
+			if isGW[id] {
+				continue
+			}
+			si := base + at%parts
+			p.shardOf[id] = si
+			at++
+		}
+		for _, id := range members {
+			si := p.shardOf[id]
+			p.nodes[si] = append(p.nodes[si], id)
+		}
+	}
+	return p
+}
+
 // Contiguous partitions node IDs 0..n-1 into k contiguous blocks — the
 // world-less variant for the standalone UDP Brain, where node IDs are
 // assigned by deployment script and regions are ID ranges. gateways
@@ -165,6 +246,24 @@ func itoa(v int) string {
 
 // Shards returns the shard count.
 func (p *Partition) Shards() int { return len(p.nodes) }
+
+// PeerShards returns the shards covering the same region as s (always
+// including s itself). Whole-region shards are their own group;
+// ByRegionSplit sub-shards share one. The stitcher consults every peer
+// of the destination shard for exit segments, because a gateway's
+// outgoing links are visible only to the sub-shard that owns it.
+func (p *Partition) PeerShards(s int) []int {
+	if p.group == nil {
+		return []int{s}
+	}
+	var out []int
+	for u, g := range p.group {
+		if g == p.group[s] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
 
 // ShardOf returns the shard owning a node.
 func (p *Partition) ShardOf(node int) int { return p.shardOf[node] }

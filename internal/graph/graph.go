@@ -84,6 +84,13 @@ type Graph struct {
 	wStamp  []uint64
 	rW      []float64
 	rwStamp []uint64
+
+	// matVer is the version both weight-row caches were last fully
+	// materialized at: MaterializeWeights is an O(1) no-op until the next
+	// effective mutation, so a batch caller (the Brain runs it before
+	// every epoch fan-out and every shard of the federation repeats it)
+	// pays the O(E) sweep once per version instead of once per call.
+	matVer uint64
 }
 
 func key(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
@@ -93,12 +100,16 @@ func New(n int) *Graph {
 	return &Graph{
 		N:        n,
 		rowStart: make([]int32, n+1),
-		eIdx:     make(map[int64]int32),
-		nodeUtil: make([]float64, n),
-		nodeDown: make([]bool, n),
-		version:  1,
-		wStamp:   make([]uint64, n),
-		rwStamp:  make([]uint64, n),
+		// The reverse CSR starts as valid empty rows (rebuilt at every
+		// compaction): reverse sweeps are legal even before the first
+		// link report lands.
+		rRowStart: make([]int32, n+1),
+		eIdx:      make(map[int64]int32),
+		nodeUtil:  make([]float64, n),
+		nodeDown:  make([]bool, n),
+		version:   1,
+		wStamp:    make([]uint64, n),
+		rwStamp:   make([]uint64, n),
 	}
 }
 
@@ -347,11 +358,15 @@ func (g *Graph) InNeighborWeights(id int) ([]int, []float64) {
 // across goroutines: workers then share the graph without
 // synchronization.
 func (g *Graph) MaterializeWeights() {
+	if g.matVer == g.version && len(g.pending) == 0 {
+		return
+	}
 	g.compact()
 	for id := 0; id < g.N; id++ {
 		g.NeighborWeights(id)
 		g.InNeighborWeights(id)
 	}
+	g.matVer = g.version
 }
 
 // LinkOverloaded reports whether the from→to link or either endpoint is at

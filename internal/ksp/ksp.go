@@ -2,13 +2,15 @@
 // loopless paths algorithm — the "KSP" step of the Streaming Brain's
 // Global Routing module (§4.3). The Brain computes k=3 candidate paths per
 // node pair and then filters constraint violations.
+//
+// The search core runs on reusable Arenas (see arena.go): generation-
+// stamped scratch arrays plus a monotone radix heap, so the steady state
+// of a routing epoch performs no allocations inside the search. The
+// package-level functions below draw scratch from a shared pool; batch
+// callers (the Brain's epoch recompute) pin one Arena per worker instead.
 package ksp
 
-import (
-	"container/heap"
-	"math"
-	"sort"
-)
+import "math"
 
 // WeightFunc returns the weight of the directed edge from→to; it must
 // return +Inf for edges that do not exist (or are masked out).
@@ -69,19 +71,6 @@ func (p Path) Equal(q Path) bool {
 	return true
 }
 
-type pqItem struct {
-	node int
-	dist float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
-
 // Dijkstra computes shortest distances and predecessors from src over n
 // nodes. Unreachable nodes have dist = +Inf and prev = -1.
 func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int) {
@@ -91,50 +80,10 @@ func Dijkstra(n, src int, adj AdjFunc, w WeightFunc) (dist []float64, prev []int
 // DijkstraNW is the Dijkstra core over the neighbor-weights expansion
 // interface. Unreachable nodes have dist = +Inf and prev = -1.
 func DijkstraNW(n, src int, nw NeighborWeightsFunc) (dist []float64, prev []int) {
-	return dijkstra(n, src, -1, nw)
-}
-
-// dijkstra settles nodes from src; if stop >= 0 it returns as soon as
-// stop is settled (dist[stop] and the prev chain back to src are final at
-// that point — Dijkstra settles nodes in nondecreasing distance order, so
-// the early exit is exact). Unsettled nodes keep tentative or +Inf
-// distances.
-func dijkstra(n, src, stop int, nw NeighborWeightsFunc) (dist []float64, prev []int) {
-	dist = make([]float64, n)
-	prev = make([]int, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if done[it.node] {
-			continue
-		}
-		done[it.node] = true
-		if it.node == stop {
-			return dist, prev
-		}
-		nbrs, ws := nw(it.node)
-		for i, nb := range nbrs {
-			if done[nb] {
-				continue
-			}
-			wt := ws[i]
-			if math.IsInf(wt, 1) {
-				continue
-			}
-			if nd := it.dist + wt; nd < dist[nb] {
-				dist[nb] = nd
-				prev[nb] = it.node
-				heap.Push(q, pqItem{node: nb, dist: nd})
-			}
-		}
-	}
-	return dist, prev
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	t := a.SSSP(n, src, nw)
+	return t.Dist, t.Prev
 }
 
 // Tree is a shortest-path tree rooted at Src: the result of one forward
@@ -151,8 +100,9 @@ type Tree struct {
 
 // SSSP computes the single-source shortest-path tree from src.
 func SSSP(n, src int, nw NeighborWeightsFunc) Tree {
-	dist, prev := DijkstraNW(n, src, nw)
-	return Tree{Src: src, Dist: dist, Prev: prev}
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	return a.SSSP(n, src, nw)
 }
 
 // PathTo reads the shortest path Src→dst out of the tree.
@@ -164,9 +114,7 @@ func (t Tree) PathTo(dst int) (Path, bool) {
 	for at := dst; at != -1; at = t.Prev[at] {
 		nodes = append(nodes, at)
 	}
-	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
-		nodes[i], nodes[j] = nodes[j], nodes[i]
-	}
+	reverseInts(nodes)
 	if nodes[0] != t.Src {
 		return Path{}, false
 	}
@@ -180,8 +128,9 @@ func ShortestPath(n, src, dst int, adj AdjFunc, w WeightFunc) (Path, bool) {
 
 // ShortestPathNW is ShortestPath over the neighbor-weights interface.
 func ShortestPathNW(n, src, dst int, nw NeighborWeightsFunc) (Path, bool) {
-	dist, prev := dijkstra(n, src, dst, nw)
-	return Tree{Src: src, Dist: dist, Prev: prev}.PathTo(dst)
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	return a.ShortestPath(n, src, dst, nw)
 }
 
 // Yen returns up to k loopless shortest paths src→dst in nondecreasing
@@ -192,14 +141,9 @@ func Yen(n, src, dst, k int, adj AdjFunc, w WeightFunc) []Path {
 
 // YenNW is Yen's algorithm over the neighbor-weights interface.
 func YenNW(n, src, dst, k int, nw NeighborWeightsFunc) []Path {
-	if k <= 0 || src == dst {
-		return nil
-	}
-	first, ok := ShortestPathNW(n, src, dst, nw)
-	if !ok {
-		return nil
-	}
-	return yenFrom(n, src, dst, k, nw, first)
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	return a.YenNW(n, src, dst, k, nw)
 }
 
 // YenFromTree is YenNW with the first (shortest) path read from a
@@ -210,89 +154,10 @@ func YenNW(n, src, dst, k int, nw NeighborWeightsFunc) []Path {
 // Dijkstra path. This lets the Brain pay one Dijkstra per producer per
 // epoch instead of one per (producer, consumer) pair.
 func YenFromTree(n, src, dst, k int, nw NeighborWeightsFunc, t Tree) []Path {
-	if k <= 0 || src == dst {
-		return nil
-	}
-	first, ok := t.PathTo(dst)
-	if !ok {
-		return nil
-	}
-	return yenFrom(n, src, dst, k, nw, first)
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	return a.YenFromTree(n, src, dst, k, nw, t)
 }
-
-// yenFrom runs Yen's spur-deviation loop seeded with the known shortest
-// path src→dst.
-func yenFrom(n, src, dst, k int, nw NeighborWeightsFunc, first Path) []Path {
-	paths := []Path{first}
-	var candidates []Path
-	var mbuf []float64 // scratch row for the masked expansion
-
-	for len(paths) < k {
-		last := paths[len(paths)-1]
-		// Each node of the previous shortest path except the final one is
-		// a potential spur node.
-		for i := 0; i < len(last.Nodes)-1; i++ {
-			spur := last.Nodes[i]
-			rootNodes := last.Nodes[:i+1]
-
-			// Edges removed for this spur computation: the outgoing edge
-			// used by every accepted path sharing this root.
-			removedEdges := make(map[int64]bool)
-			for _, p := range paths {
-				if len(p.Nodes) > i && equalPrefix(p.Nodes, rootNodes) {
-					removedEdges[edgeKey(p.Nodes[i], p.Nodes[i+1])] = true
-				}
-			}
-			// Nodes of the root (except the spur) are removed to keep
-			// paths loopless.
-			removedNodes := make(map[int]bool, i)
-			for _, rn := range rootNodes[:i] {
-				removedNodes[rn] = true
-			}
-
-			maskedNW := func(id int) ([]int, []float64) {
-				nbrs, ws := nw(id)
-				if cap(mbuf) < len(nbrs) {
-					mbuf = make([]float64, len(nbrs))
-				}
-				mbuf = mbuf[:len(nbrs)]
-				fromRemoved := removedNodes[id]
-				for j, nb := range nbrs {
-					wt := ws[j]
-					if fromRemoved || removedNodes[nb] || removedEdges[edgeKey(id, nb)] {
-						wt = math.Inf(1)
-					}
-					mbuf[j] = wt
-				}
-				return nbrs, mbuf
-			}
-			spurPath, ok := ShortestPathNW(n, spur, dst, maskedNW)
-			if !ok {
-				continue
-			}
-			total := make([]int, 0, i+len(spurPath.Nodes))
-			total = append(total, rootNodes[:i]...)
-			total = append(total, spurPath.Nodes...)
-			cand := Path{Nodes: total, Cost: pathCostNW(total, nw)}
-			if !containsPath(paths, cand) && !containsPath(candidates, cand) {
-				candidates = append(candidates, cand)
-			}
-		}
-		if len(candidates) == 0 {
-			break
-		}
-		// Stable: equal-cost candidates keep their generation order, so the
-		// winner among ties is a function of the accepted prefix and the
-		// weights alone — what the Brain's incremental invalidation and the
-		// parallel≡serial guarantee both lean on.
-		sort.SliceStable(candidates, func(a, b int) bool { return candidates[a].Cost < candidates[b].Cost })
-		paths = append(paths, candidates[0])
-		candidates = candidates[1:]
-	}
-	return paths
-}
-
-func edgeKey(from, to int) int64 { return int64(from)<<32 | int64(uint32(to)) }
 
 func equalPrefix(p, prefix []int) bool {
 	if len(p) < len(prefix) {
@@ -306,15 +171,9 @@ func equalPrefix(p, prefix []int) bool {
 	return true
 }
 
-func pathCost(nodes []int, w WeightFunc) float64 {
-	var c float64
-	for i := 0; i+1 < len(nodes); i++ {
-		c += w(nodes[i], nodes[i+1])
-	}
-	return c
-}
-
-// pathCostNW sums edge weights along nodes via the expansion interface.
+// pathCostNW sums edge weights along nodes via the expansion interface,
+// edge by edge in path order (candidate costs must fold in the same
+// float order regardless of which search produced the path).
 func pathCostNW(nodes []int, nw NeighborWeightsFunc) float64 {
 	var c float64
 	for i := 0; i+1 < len(nodes); i++ {

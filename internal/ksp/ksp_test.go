@@ -334,3 +334,34 @@ func TestTreePathToMatchesShortestPath(t *testing.T) {
 		}
 	}
 }
+
+// TestFreshArenaYenFromTree is the regression pin for the grow/maskGen
+// interaction: a brand-new (never-grown) Arena must produce the same
+// YenFromTree answer as the pooled package path. The original bug
+// stamped the spur mask before the first search grew the scratch
+// arrays; grow() then reset the mask generation, every spur node read
+// as masked, and all deviation paths silently vanished.
+func TestFreshArenaYenFromTree(t *testing.T) {
+	const n = 16
+	for seed := int64(1); seed <= 5; seed++ {
+		_, _, nw := randomNW(n, seed)
+		for src := 0; src < n; src += 3 {
+			tree := SSSP(n, src, nw)
+			for dst := 0; dst < n; dst += 2 {
+				if dst == src {
+					continue
+				}
+				want := YenNW(n, src, dst, 4, nw)
+				got := new(Arena).YenFromTree(n, src, dst, 4, nw, tree)
+				if len(want) != len(got) {
+					t.Fatalf("seed %d %d→%d: %d vs %d paths", seed, src, dst, len(want), len(got))
+				}
+				for i := range want {
+					if !want[i].Equal(got[i]) || want[i].Cost != got[i].Cost {
+						t.Fatalf("seed %d %d→%d path %d: %+v vs %+v", seed, src, dst, i, want[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -16,7 +16,10 @@ import (
 	"livenet/internal/telemetry"
 )
 
-// Handler receives delivered packets on a node.
+// Handler receives delivered packets on a node. The data slice is
+// BORROWED: it is only valid for the duration of the call (the backing
+// slab is recycled once the handler returns, exactly like udprun's
+// pooled receive buffers); retain a copy if needed.
 type Handler func(from int, data []byte)
 
 // LinkConfig describes one directed link.
@@ -141,6 +144,11 @@ type Network struct {
 	// dispatch is the delivery callback bound once at construction, so
 	// Send schedules deliveries without allocating a closure per packet.
 	dispatch sim.MsgFunc
+	// free recycles datagram slabs: send pops one (or grows a new slab),
+	// deliver pushes it back after the handler returns. The emulator runs
+	// single-threaded on the loop, so no locking. This is what keeps the
+	// steady-state send path allocation-free.
+	free [][]byte
 
 	// Fabric-wide telemetry handles (unregistered until Instrument).
 	telSent  *telemetry.Counter
@@ -172,11 +180,32 @@ func (n *Network) Instrument(r *telemetry.Registry) {
 	n.telBytes = r.Counter("netem.bytes_sent")
 }
 
+// maxFreeSlabs bounds the recycled-slab pool (idle buffers only; slabs
+// in flight are not in the list). Beyond it slabs fall to the GC.
+const maxFreeSlabs = 1024
+
+// slab returns an empty datagram buffer with at least size capacity,
+// recycled when possible.
+func (n *Network) slab(size int) []byte {
+	if k := len(n.free) - 1; k >= 0 {
+		b := n.free[k]
+		n.free = n.free[:k]
+		if cap(b) >= size {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, size)
+}
+
 // deliver hands a packet to the destination handler (looked up at
-// delivery time, preserving Handle-replacement semantics).
+// delivery time, preserving Handle-replacement semantics) and recycles
+// the slab — handlers borrow the data slice (see Handler).
 func (n *Network) deliver(from, to int, data []byte) {
 	if h := n.handlers[to]; h != nil {
 		h(from, data)
+	}
+	if len(n.free) < maxFreeSlabs {
+		n.free = append(n.free, data)
 	}
 }
 
@@ -312,7 +341,7 @@ func (n *Network) send(from, to int, hdr, payload []byte) error {
 		arrival = l.lastArrival + time.Microsecond
 	}
 	l.lastArrival = arrival
-	buf := make([]byte, 0, size)
+	buf := n.slab(size)
 	buf = append(append(buf, hdr...), payload...)
 	n.loop.AtMsg(arrival, n.dispatch, from, to, buf)
 	return nil

@@ -1,0 +1,34 @@
+package perfbench
+
+import (
+	"testing"
+)
+
+// TestSteadyStateZeroAllocs pins the allocation diet of the pps-
+// denominated data-plane benchmarks: the emulator send path and the
+// real-socket loopback echo must not allocate per operation at steady
+// state. Regressions here are the kind that silently melt fleet-scale
+// throughput (a single alloc per datagram is ~1M allocs/s per relay),
+// so they fail the test suite, not just drift in BENCH_*.json.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark bodies")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc pins hold without -race only")
+	}
+	for _, tc := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"NetemSend", NetemSend},
+		{"UDPLoopbackEcho", UDPLoopbackEcho},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := testing.Benchmark(tc.fn)
+			if got := r.AllocsPerOp(); got != 0 {
+				t.Fatalf("%s allocates %d times per op at steady state, want 0", tc.name, got)
+			}
+		})
+	}
+}

@@ -41,6 +41,7 @@ func Specs() []Spec {
 	return []Spec{
 		{Name: "BrainLookup", Func: BrainLookup},
 		{Name: "BrainPaperScale", Func: BrainPaperScale},
+		{Name: "BrainPaperScale2000", Func: BrainPaperScale2000},
 		{Name: "BrainEpochChurn", Func: BrainEpochChurn},
 		{Name: "BrainFederatedEpoch", Func: BrainFederatedEpoch},
 		{Name: "BrainFederatedChurn", Func: BrainFederatedChurn},
@@ -71,21 +72,24 @@ const (
 // paperFleet is a Streaming Brain over a paper-scale sparse overlay with
 // a registered working set of streams.
 type paperFleet struct {
+	n     int
 	world *geo.World
 	br    *brain.Brain
 	links [][2]int // directed overlay links, sorted (src, dst)
 	sids  []uint32
 }
 
-func newPaperFleet() *paperFleet {
+// newPaperFleet builds a fleet of n sites (paperN is the paper's scale;
+// BrainPaperScale2000 stretches the same shape to >3x that).
+func newPaperFleet(n int) *paperFleet {
 	src := sim.NewSource(7)
 	gcfg := geo.DefaultConfig()
-	gcfg.NumSites = paperN
+	gcfg.NumSites = n
 	w := geo.Build(gcfg, src.Stream("geo"))
 
 	// Sparse symmetric adjacency: nearest peers by RTT plus every IXP
 	// site, the same shape core.MacroConfig.MaxPeers builds.
-	set := make([]map[int]bool, paperN)
+	set := make([]map[int]bool, n)
 	for i := range set {
 		set[i] = make(map[int]bool, paperDegree+8)
 	}
@@ -96,7 +100,7 @@ func newPaperFleet() *paperFleet {
 		}
 	}
 	ixps := w.IXPSites()
-	for i := 0; i < paperN; i++ {
+	for i := 0; i < n; i++ {
 		for _, j := range w.NearestPeers(i, paperDegree) {
 			add(i, j)
 		}
@@ -118,8 +122,9 @@ func newPaperFleet() *paperFleet {
 	})
 
 	f := &paperFleet{
+		n:     n,
 		world: w,
-		br:    brain.New(brain.Config{N: paperN, LastResort: ixps}),
+		br:    brain.New(brain.Config{N: n, LastResort: ixps}),
 		links: links,
 	}
 	rng := src.Stream("load")
@@ -130,7 +135,7 @@ func newPaperFleet() *paperFleet {
 	}
 	for s := 0; s < paperStreams; s++ {
 		sid := uint32(100 + s)
-		f.br.RegisterStream(sid, (s*paperN)/paperStreams)
+		f.br.RegisterStream(sid, (s*n)/paperStreams)
 		f.sids = append(f.sids, sid)
 	}
 	return f
@@ -152,15 +157,23 @@ func (f *paperFleet) epoch(b *testing.B) {
 // each of the active producers to all 599 consumers. One forward Dijkstra
 // per producer seeds every consumer's first path (shared SSSP tree); the
 // per-producer groups fan out across cores.
-func BrainPaperScale(b *testing.B) {
-	f := newPaperFleet()
+func BrainPaperScale(b *testing.B) { brainPaperScale(b, paperN) }
+
+// BrainPaperScale2000 is the same from-scratch epoch stretched to
+// N=2000 sites — beyond the paper's fleet, the scale the worker-arena
+// engine is sized for (the pre-arena engine held ~50M allocs per epoch
+// at N=600 and did not finish a 2000-site round in useful time).
+func BrainPaperScale2000(b *testing.B) { brainPaperScale(b, 2000) }
+
+func brainPaperScale(b *testing.B, n int) {
+	f := newPaperFleet(n)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.br.InvalidateAll()
 		f.epoch(b)
 	}
-	b.ReportMetric(float64(paperN), "sites")
+	b.ReportMetric(float64(n), "sites")
 	b.ReportMetric(float64(len(f.links)), "links")
 }
 
@@ -170,7 +183,7 @@ func BrainPaperScale(b *testing.B) {
 // recomputes only those. The per-op gap to BrainPaperScale is the paper's
 // argument for incremental routing rounds (EXPERIMENTS.md records it).
 func BrainEpochChurn(b *testing.B) {
-	f := newPaperFleet()
+	f := newPaperFleet(paperN)
 	f.epoch(b) // warm PIB: steady state before the first churn round
 	dirty := len(f.links) / 100
 	if dirty < 1 {
@@ -193,9 +206,10 @@ func BrainEpochChurn(b *testing.B) {
 // --- Federated paper-scale fleet (one Brain shard per region) ---
 
 // fedFleet is the same N=600 sparse overlay as paperFleet, but the
-// control plane is the federated Brain: one shard per region, discovery
+// control plane is the federated Brain: one shard per region with
+// oversized regions split into gateway-owning sub-shards, discovery
 // reports fanning into the owning shard only, cross-region paths
-// stitched at the region gateways.
+// digest-stitched at the region gateways.
 type fedFleet struct {
 	world *geo.World
 	fed   *brainfed.Federation
@@ -244,8 +258,12 @@ func newFederatedFleet() *fedFleet {
 	f := &fedFleet{
 		world: w,
 		fed: brainfed.New(brainfed.Config{
-			Brain:     brain.Config{N: paperN},
-			Partition: brainfed.ByRegion(w, 0), // one shard per region
+			Brain: brain.Config{N: paperN},
+			// One shard per region, but regions above a quarter of the
+			// fleet split into sub-shards: digest stitching keeps
+			// cross-region paths whole, so the dominant region no longer
+			// sets the per-shard report fan-in ceiling.
+			Partition: brainfed.ByRegionSplit(w, paperN/4),
 		}),
 		links: links,
 	}

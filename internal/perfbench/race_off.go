@@ -1,0 +1,8 @@
+//go:build !race
+
+package perfbench
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation assertions only hold without it (race instrumentation
+// allocates shadow state on some paths).
+const raceEnabled = false

@@ -76,29 +76,42 @@ func (r *Report) Merge(o Report) {
 // builds its own private state, so simulation jobs are).
 func Map[T, R any](opts Options, items []T, f func(T) R) ([]R, Report) {
 	out := make([]R, len(items))
-	rep := run(opts, len(items), func(i int) { out[i] = f(items[i]) })
+	rep := run(opts, len(items), func(_, i int) { out[i] = f(items[i]) })
+	return out, rep
+}
+
+// MapW is Map with worker identity: f additionally receives the stable
+// index (0..PoolSize()-1) of the worker goroutine evaluating the item,
+// so callers can pin per-worker scratch — the Brain's routing arenas —
+// without locking. Work distribution is still stolen per item, so the
+// (worker, item) pairing is nondeterministic; only the per-worker state
+// isolation and the item-ordered results are guaranteed.
+func MapW[T, R any](opts Options, items []T, f func(w int, item T) R) ([]R, Report) {
+	out := make([]R, len(items))
+	rep := run(opts, len(items), func(w, i int) { out[i] = f(w, items[i]) })
 	return out, rep
 }
 
 // Do runs the given thunks, returning the batch report.
 func Do(opts Options, jobs ...func()) Report {
-	return run(opts, len(jobs), func(i int) { jobs[i]() })
+	return run(opts, len(jobs), func(_, i int) { jobs[i]() })
 }
 
-// run executes job(0..n-1) on the pool. Work is handed out through an
-// atomic counter, so idle workers steal the next index as soon as they
-// finish — no pre-partitioning imbalance when job costs differ (a 20-day
-// LiveNet run next to a 1-day ablation).
-func run(opts Options, n int, job func(i int)) Report {
+// run executes job(0..n-1) on the pool, telling each invocation which
+// worker (0..workers-1) runs it. Work is handed out through an atomic
+// counter, so idle workers steal the next index as soon as they finish —
+// no pre-partitioning imbalance when job costs differ (a 20-day LiveNet
+// run next to a 1-day ablation).
+func run(opts Options, n int, job func(w, i int)) Report {
 	if n == 0 {
 		return Report{}
 	}
 	start := time.Now()
 	var serial atomic.Int64
 
-	timed := func(i int) {
+	timed := func(w, i int) {
 		js := time.Now()
-		job(i)
+		job(w, i)
 		serial.Add(int64(time.Since(js)))
 	}
 
@@ -108,7 +121,7 @@ func run(opts Options, n int, job func(i int)) Report {
 	}
 	if opts.Serial || workers == 1 {
 		for i := 0; i < n; i++ {
-			timed(i)
+			timed(0, i)
 		}
 		return Report{Jobs: n, Wall: time.Since(start), Serial: time.Duration(serial.Load())}
 	}
@@ -117,16 +130,16 @@ func run(opts Options, n int, job func(i int)) Report {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				timed(i)
+				timed(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return Report{Jobs: n, Wall: time.Since(start), Serial: time.Duration(serial.Load())}
